@@ -1,0 +1,33 @@
+//! Criterion microbenchmark: segmentation speed of the approximation
+//! algorithms (§IV-A) plus the gapped layout build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use li_core::approx::lsa_gap::GappedLayout;
+use li_core::approx::ApproxAlgorithm;
+use li_workloads::{generate_keys, Dataset};
+
+fn bench_approx(c: &mut Criterion) {
+    let n = 500_000;
+    for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
+        let keys = generate_keys(dataset, n, 7);
+        let mut group = c.benchmark_group(format!("segment_{}_500k", dataset.name()));
+        group.sample_size(10);
+        for algo in [
+            ApproxAlgorithm::Lsa { seg_size: 1024 },
+            ApproxAlgorithm::OptPla { epsilon: 64 },
+            ApproxAlgorithm::Fsw { epsilon: 64 },
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+                b.iter(|| std::hint::black_box(algo.segment(&keys)));
+            });
+        }
+        let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+        group.bench_function(BenchmarkId::from_parameter("LSA-gap"), |b| {
+            b.iter(|| std::hint::black_box(GappedLayout::build(&data, 0.7)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

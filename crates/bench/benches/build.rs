@@ -1,0 +1,23 @@
+//! Criterion microbenchmark: bulk build time per index (Fig. 16's core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use li_workloads::{generate_keys, Dataset};
+use lip::{AnyIndex, IndexKind};
+
+fn bench_build(c: &mut Criterion) {
+    let n = 200_000;
+    let keys = generate_keys(Dataset::YcsbNormal, n, 5);
+    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+
+    let mut group = c.benchmark_group("bulk_build_200k");
+    group.sample_size(10);
+    for kind in IndexKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| std::hint::black_box(AnyIndex::build(kind, &pairs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

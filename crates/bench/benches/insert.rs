@@ -1,0 +1,34 @@
+//! Criterion microbenchmark: inserts per updatable index (in-memory).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use li_workloads::{generate_keys, split_load_insert, Dataset};
+use lip::core::traits::UpdatableIndex;
+use lip::{AnyIndex, IndexKind};
+
+fn bench_insert(c: &mut Criterion) {
+    let n = 100_000;
+    let keys = generate_keys(Dataset::YcsbNormal, n, 3);
+    let (loaded, pool) = split_load_insert(&keys, 0.5);
+    let pairs: Vec<(u64, u64)> = loaded.iter().map(|&k| (k, 0)).collect();
+
+    let mut group = c.benchmark_group("insert_batch_ycsb");
+    group.sample_size(10);
+    for kind in IndexKind::UPDATABLE {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || AnyIndex::build(kind, &pairs),
+                |mut idx| {
+                    for (i, &k) in pool.iter().enumerate() {
+                        idx.insert(k, i as u64);
+                    }
+                    idx
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion microbenchmark: point lookups per index (in-memory, no NVM),
+//! isolating index cost from record-store cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use li_workloads::{generate_keys, Dataset};
+use lip::core::traits::Index;
+use lip::{AnyIndex, IndexKind};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn bench_lookup(c: &mut Criterion) {
+    let n = 200_000;
+    let keys = generate_keys(Dataset::YcsbNormal, n, 1);
+    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let probes: Vec<u64> = (0..4096).map(|_| keys[rng.random_range(0..n)]).collect();
+
+    let mut group = c.benchmark_group("lookup_ycsb_200k");
+    for kind in IndexKind::ALL {
+        let idx = AnyIndex::build(kind, &pairs);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &idx, |b, idx| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let k = probes[i & 4095];
+                i += 1;
+                std::hint::black_box(idx.get(std::hint::black_box(k)))
+            });
+        });
+    }
+    group.finish();
+
+    // The hard CDF: OSM-like.
+    let keys = generate_keys(Dataset::OsmLike, n, 1);
+    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let probes: Vec<u64> = (0..4096).map(|_| keys[rng.random_range(0..n)]).collect();
+    let mut group = c.benchmark_group("lookup_osm_200k");
+    for kind in [IndexKind::BTree, IndexKind::Rmi, IndexKind::Pgm, IndexKind::Alex] {
+        let idx = AnyIndex::build(kind, &pairs);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &idx, |b, idx| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let k = probes[i & 4095];
+                i += 1;
+                std::hint::black_box(idx.get(std::hint::black_box(k)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

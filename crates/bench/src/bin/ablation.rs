@@ -1,0 +1,6 @@
+//! Ablations of the reproduction's design choices (see
+//! crates/bench/src/figs/ablation.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::ablation::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 10 (see crates/bench/src/figs/fig10.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig10::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 11 (see crates/bench/src/figs/fig11.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig11::run(&cfg);
+}

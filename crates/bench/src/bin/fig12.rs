@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 12 (see crates/bench/src/figs/fig12.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig12::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 13 (see crates/bench/src/figs/fig13.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig13::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 14 (see crates/bench/src/figs/fig14.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig14::run(&cfg);
+}

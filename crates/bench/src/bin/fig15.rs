@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 15 (see crates/bench/src/figs/fig15.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig15::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 16 (see crates/bench/src/figs/fig16.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig16::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 17 (see crates/bench/src/figs/fig17.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig17::run(&cfg);
+}

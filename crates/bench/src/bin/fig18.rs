@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig. 18 (see crates/bench/src/figs/fig18.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::fig18::run(&cfg);
+}

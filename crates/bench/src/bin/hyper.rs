@@ -1,0 +1,5 @@
+//! Reproduces the paper's hyper evaluation (see crates/bench/src/figs/hyper.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::hyper::run(&cfg);
+}

@@ -1,0 +1,32 @@
+//! Runs every table and figure reproduction in sequence.
+//!
+//! Scale with env vars: `LIP_BENCH_N` (base dataset size, default 200k),
+//! `LIP_BENCH_OPS`, `LIP_BENCH_THREADS`.
+
+use li_bench::figs;
+
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    println!(
+        "learned-index-pieces: full evaluation (n={}k, ops={}k, threads<= {})\n",
+        cfg.n / 1000,
+        cfg.ops / 1000,
+        cfg.max_threads
+    );
+    figs::table1::run(&cfg);
+    figs::fig10::run(&cfg);
+    figs::fig11::run(&cfg);
+    figs::fig12::run(&cfg);
+    figs::fig13::run(&cfg);
+    figs::fig14::run(&cfg);
+    figs::fig15::run(&cfg);
+    figs::table2::run(&cfg);
+    figs::table3::run(&cfg);
+    figs::fig16::run(&cfg);
+    figs::fig17::run(&cfg);
+    figs::fig18::run(&cfg);
+    figs::hyper::run(&cfg);
+    figs::scan::run(&cfg);
+    figs::ablation::run(&cfg);
+    println!("all experiments complete.");
+}

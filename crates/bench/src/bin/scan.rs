@@ -1,0 +1,5 @@
+//! Reproduces the paper's scan evaluation (see crates/bench/src/figs/scan.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::scan::run(&cfg);
+}

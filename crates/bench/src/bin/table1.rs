@@ -1,0 +1,5 @@
+//! Reproduces the paper's table1 (see crates/bench/src/figs/table1.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::table1::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's table2 (see crates/bench/src/figs/table2.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::table2::run(&cfg);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's table3 (see crates/bench/src/figs/table3.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::table3::run(&cfg);
+}

@@ -1,0 +1,36 @@
+//! Fig. 10 — end-to-end read-only evaluation (single thread).
+//!
+//! Throughput and p99.9 tail latency of every index inside the Viper
+//! store under uniform point lookups, on the YCSB and OSM datasets at
+//! 1×/2×/4× the base size (the paper's 200M/400M/800M, scaled).
+
+use crate::harness::{self, BenchConfig};
+use li_workloads::Dataset;
+use lip::IndexKind;
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Fig. 10: read-only end-to-end (single thread) ==");
+    println!("(uniform point lookups through the NVM-backed store)\n");
+    for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
+        for mult in [1usize, 2, 4] {
+            let n = cfg.n * mult;
+            let keys = harness::dataset(dataset, n, cfg.seed);
+            let ops = harness::read_ops(&keys, cfg.ops, cfg.seed + 1);
+            println!("--- {} / {}k keys ---", dataset.name(), n / 1000);
+            harness::header(&["index", "Mops/s", "p50 us", "p99.9 us"]);
+            for kind in IndexKind::ALL {
+                let mut store = harness::build_store(kind, &keys);
+                let m = harness::run_ops(kind.name(), &mut store, &ops);
+                harness::row(
+                    kind.name(),
+                    &[
+                        format!("{:.3}", m.mops()),
+                        format!("{:.2}", m.p50_us()),
+                        format!("{:.2}", m.p999_us()),
+                    ],
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 11 — read-only comparison on the FACE(-like) dataset.
+//!
+//! The headline: RadixSpline collapses because the skewed key space makes
+//! its fixed r-bit radix prefixes useless (§III-B1). The harness also
+//! prints RS's radix-cell width to show the mechanism directly.
+
+use crate::harness::{self, BenchConfig};
+use li_core::traits::BulkBuildIndex;
+use li_workloads::Dataset;
+use lip::IndexKind;
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Fig. 11: read-only on FACE-like skew ==\n");
+    let keys = harness::dataset(Dataset::FaceLike, cfg.n, cfg.seed);
+    let ops = harness::read_ops(&keys, cfg.ops, cfg.seed + 1);
+
+    harness::header(&["index", "Mops/s", "p99.9 us"]);
+    for kind in IndexKind::ALL {
+        let mut store = harness::build_store(kind, &keys);
+        let m = harness::run_ops(kind.name(), &mut store, &ops);
+        harness::row(
+            kind.name(),
+            &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())],
+        );
+    }
+
+    // Mechanism probe: how many spline points must RS's segment search
+    // consider per lookup on FACE vs YCSB?
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let rs = li_rs::RadixSpline::build(&data);
+    let face_width: usize = keys
+        .iter()
+        .step_by(keys.len() / 200)
+        .map(|&k| li_rs::radix_cell_width(&rs, k))
+        .max()
+        .unwrap_or(0);
+    let ycsb_keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
+    let ycsb_data: Vec<(u64, u64)> =
+        ycsb_keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let rs_y = li_rs::RadixSpline::build(&ycsb_data);
+    let ycsb_width: usize = ycsb_keys
+        .iter()
+        .step_by(ycsb_keys.len() / 200)
+        .map(|&k| li_rs::radix_cell_width(&rs_y, k))
+        .max()
+        .unwrap_or(0);
+    println!("\nRS radix-cell width (spline points per segment search, max over probes):");
+    println!("  YCSB: {ycsb_width:>6}    FACE: {face_width:>6}");
+    println!("(the FACE blow-up is why RS degrades in this figure)\n");
+}

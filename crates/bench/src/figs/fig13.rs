@@ -1,0 +1,39 @@
+//! Fig. 13 — end-to-end write-only evaluation (single thread).
+//!
+//! Inserts of fresh keys spread across the key space (the hard case for
+//! learned indexes) on YCSB and OSM at 1×/2×/4× the base size.
+
+use crate::harness::{self, BenchConfig};
+use li_workloads::Dataset;
+use lip::IndexKind;
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Fig. 13: write-only end-to-end (single thread) ==\n");
+    for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
+        for mult in [1usize, 2, 4] {
+            let n = cfg.n * mult;
+            let keys = harness::dataset(dataset, n, cfg.seed);
+            let (loaded, ops) = harness::write_setup(&keys, cfg.ops, cfg.seed + 2);
+            println!(
+                "--- {} / {}k keys loaded, {}k inserts ---",
+                dataset.name(),
+                loaded.len() / 1000,
+                ops.len() / 1000
+            );
+            harness::header(&["index", "Mops/s", "p50 us", "p99.9 us"]);
+            for kind in IndexKind::UPDATABLE {
+                let mut store = harness::build_store(kind, &loaded);
+                let m = harness::run_ops(kind.name(), &mut store, &ops);
+                harness::row(
+                    kind.name(),
+                    &[
+                        format!("{:.3}", m.mops()),
+                        format!("{:.2}", m.p50_us()),
+                        format!("{:.2}", m.p999_us()),
+                    ],
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 15 — read-write-mixed evaluation (YCSB A/B/D/F).
+//!
+//! YCSB-D is the interesting column: its writes are *insertions* of fresh
+//! keys (not updates), continuously forcing retraining — the robustness
+//! test most learned indexes fail in the paper.
+
+use crate::harness::{self, BenchConfig};
+use li_workloads::{generate_ops, split_load_insert, Dataset, WorkloadSpec};
+use lip::IndexKind;
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Fig. 15: read-write-mixed (YCSB-A/B/D/F) ==\n");
+    let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
+    let (loaded, pool) = split_load_insert(&keys, 0.2);
+
+    let specs = [
+        WorkloadSpec::ycsb_a(),
+        WorkloadSpec::ycsb_b(),
+        WorkloadSpec::ycsb_d(),
+        WorkloadSpec::ycsb_f(),
+    ];
+    for spec in specs {
+        let ops = generate_ops(&spec, &loaded, &pool, cfg.ops, cfg.seed + 3);
+        println!("--- {} ---", spec.name);
+        harness::header(&["index", "Mops/s", "p99.9 us"]);
+        for kind in IndexKind::UPDATABLE {
+            let mut store = harness::build_store(kind, &loaded);
+            let m = harness::run_ops(kind.name(), &mut store, &ops);
+            harness::row(
+                kind.name(),
+                &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())],
+            );
+        }
+        println!();
+    }
+}

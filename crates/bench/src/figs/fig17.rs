@@ -1,0 +1,271 @@
+//! Fig. 17 — in-depth inquiry: approximation algorithms and inner
+//! structures (§IV-A/B/C).
+//!
+//! * (a) avg error ↔ in-leaf query time per approximation algorithm
+//! * (b) avg error ↔ number of leaves per approximation algorithm
+//! * (c) inner-structure query time vs number of leaves (RMI/ATS/BTREE/LRS)
+//! * (d) per-index leaf cost vs structure cost scatter
+
+use std::time::Instant;
+
+use crate::harness::{self, BenchConfig};
+use li_core::approx::lsa_gap::{lsa_gap_quality, GappedLayout};
+use li_core::approx::{ApproxAlgorithm, Segment};
+use li_core::cdf::segmentation_quality;
+use li_core::pieces::structure::StructureKind;
+use li_core::search::bounded_last_le;
+use li_core::traits::{BulkBuildIndex, Index, TwoPhaseLookup};
+use li_core::Key;
+use li_workloads::Dataset;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Fig. 17: approximation algorithms & inner structures ==\n");
+    let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
+    part_a(cfg, &keys);
+    part_b(cfg, &keys);
+    part_c(cfg, &keys);
+    part_d(cfg, &keys);
+}
+
+/// Times bounded-search lookups *within* segments (leaf phase only — the
+/// segment for each probe key is precomputed).
+fn leaf_lookup_ns(keys: &[Key], segments: &[Segment], probes: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute (key, segment) probe pairs.
+    let pairs: Vec<(Key, usize)> = (0..probes)
+        .map(|_| {
+            let i = rng.random_range(0..keys.len());
+            let s = segments.partition_point(|s| s.start <= i) - 1;
+            (keys[i], s)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0usize;
+    for &(k, s) in &pairs {
+        let seg = &segments[s];
+        let p = seg
+            .model
+            .predict_clamped(k, keys.len())
+            .clamp(seg.start, seg.start + seg.len - 1);
+        acc ^= bounded_last_le(keys, k, p, seg.max_error as usize + 1);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_nanos() as f64 / probes as f64
+}
+
+/// Times lookups in model-based gapped layouts (LSA-gap's leaf phase).
+fn gapped_lookup_ns(keys: &[Key], seg_size: usize, density: f64, probes: usize, seed: u64) -> f64 {
+    let layouts: Vec<GappedLayout> = keys
+        .chunks(seg_size)
+        .map(|c| {
+            let data: Vec<(Key, u64)> = c.iter().map(|&k| (k, 0)).collect();
+            GappedLayout::build(&data, density)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(Key, usize)> = (0..probes)
+        .map(|_| {
+            let i = rng.random_range(0..keys.len());
+            (keys[i], i / seg_size)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for &(k, l) in &pairs {
+        acc ^= layouts[l].get(k).unwrap_or(1);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_nanos() as f64 / probes as f64
+}
+
+fn part_a(cfg: &BenchConfig, keys: &[Key]) {
+    println!("--- (a) avg error vs in-leaf query time ---");
+    harness::header(&["algorithm", "param", "avg err", "leaf ns"]);
+    let probes = (cfg.ops / 4).max(10_000);
+    for seg_size in [256usize, 1024, 4096] {
+        let segs = ApproxAlgorithm::Lsa { seg_size }.segment(keys);
+        let q = segmentation_quality(keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+        let ns = leaf_lookup_ns(keys, &segs, probes, cfg.seed);
+        harness::row(
+            "LSA",
+            &[seg_size.to_string(), format!("{:.1}", q.avg_error), format!("{ns:.0}")],
+        );
+    }
+    for eps in [16u64, 64, 256] {
+        let segs = ApproxAlgorithm::OptPla { epsilon: eps }.segment(keys);
+        let q = segmentation_quality(keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+        let ns = leaf_lookup_ns(keys, &segs, probes, cfg.seed);
+        harness::row(
+            "Opt-PLA",
+            &[format!("eps={eps}"), format!("{:.1}", q.avg_error), format!("{ns:.0}")],
+        );
+    }
+    for seg_size in [256usize, 1024, 4096] {
+        let q = lsa_gap_quality(keys, seg_size, 0.7);
+        let ns = gapped_lookup_ns(keys, seg_size, 0.7, probes, cfg.seed);
+        harness::row(
+            "LSA-gap",
+            &[seg_size.to_string(), format!("{:.2}", q.avg_error), format!("{ns:.0}")],
+        );
+    }
+    println!();
+}
+
+fn part_b(cfg: &BenchConfig, keys: &[Key]) {
+    let _ = cfg;
+    println!("--- (b) avg error vs number of leaves ---");
+    harness::header(&["algorithm", "param", "avg err", "leaves"]);
+    for seg_size in [64usize, 256, 1024, 4096, 16384] {
+        let segs = ApproxAlgorithm::Lsa { seg_size }.segment(keys);
+        let q = segmentation_quality(keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+        harness::row(
+            "LSA",
+            &[seg_size.to_string(), format!("{:.1}", q.avg_error), q.segments.to_string()],
+        );
+    }
+    for eps in [4u64, 16, 64, 256, 1024] {
+        let segs = ApproxAlgorithm::OptPla { epsilon: eps }.segment(keys);
+        let q = segmentation_quality(keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+        harness::row(
+            "Opt-PLA",
+            &[format!("eps={eps}"), format!("{:.1}", q.avg_error), q.segments.to_string()],
+        );
+    }
+    for seg_size in [64usize, 256, 1024, 4096, 16384] {
+        let q = lsa_gap_quality(keys, seg_size, 0.7);
+        harness::row(
+            "LSA-gap",
+            &[seg_size.to_string(), format!("{:.2}", q.avg_error), q.segments.to_string()],
+        );
+    }
+    println!("(LSA-gap: low error AND few leaves simultaneously — §IV-A's conclusion)\n");
+}
+
+fn part_c(cfg: &BenchConfig, keys: &[Key]) {
+    println!("--- (c) inner-structure query time vs number of leaves ---");
+    harness::header(&["#leaves", "BTREE ns", "RMI ns", "LRS ns", "ATS ns"]);
+    let probes = (cfg.ops / 4).max(10_000);
+    for leaves in [1_000usize, 5_000, 20_000, 100_000] {
+        if leaves > keys.len() {
+            continue;
+        }
+        // Leaf boundary keys sampled evenly from the dataset.
+        let step = keys.len() / leaves;
+        let first_keys: Vec<Key> = keys.iter().step_by(step).copied().collect();
+        let mut cells = Vec::new();
+        for kind in [StructureKind::BTree, StructureKind::Rmi, StructureKind::Lrs, StructureKind::Ats]
+        {
+            let s = kind.build_dyn(&first_keys);
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let probe_keys: Vec<Key> =
+                (0..probes).map(|_| keys[rng.random_range(0..keys.len())]).collect();
+            let t0 = Instant::now();
+            let mut acc = 0usize;
+            for &k in &probe_keys {
+                acc ^= s.locate(k);
+            }
+            std::hint::black_box(acc);
+            cells.push(format!("{:.0}", t0.elapsed().as_nanos() as f64 / probes as f64));
+        }
+        harness::row(&first_keys.len().to_string(), &cells);
+    }
+    println!();
+}
+
+fn part_d(cfg: &BenchConfig, keys: &[Key]) {
+    println!("--- (d) structure cost vs leaf cost per learned index ---");
+    harness::header(&["index", "struct ns", "leaf ns", "total ns"]);
+    let probes = (cfg.ops / 4).max(10_000);
+    let pairs: Vec<(Key, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 9);
+    let probe_keys: Vec<Key> =
+        (0..probes).map(|_| keys[rng.random_range(0..keys.len())]).collect();
+
+    // Indexes exposing the two-phase lookup: time phase 1, then total.
+    macro_rules! two_phase {
+        ($name:expr, $idx:expr) => {{
+            let idx = $idx;
+            let t0 = Instant::now();
+            let mut acc = 0usize;
+            for &k in &probe_keys {
+                acc ^= idx.locate_leaf(k);
+            }
+            std::hint::black_box(acc);
+            let struct_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for &k in &probe_keys {
+                acc ^= Index::get(&idx, k).unwrap_or(1);
+            }
+            std::hint::black_box(acc);
+            let total_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+            harness::row(
+                $name,
+                &[
+                    format!("{struct_ns:.0}"),
+                    format!("{:.0}", (total_ns - struct_ns).max(0.0)),
+                    format!("{total_ns:.0}"),
+                ],
+            );
+        }};
+    }
+
+    two_phase!("RMI", li_rmi::Rmi::build(&pairs));
+    two_phase!("RS", li_rs::RadixSpline::build(&pairs));
+    two_phase!("FITing-tree", li_fiting::FitingTree::new_buffered(&pairs));
+    two_phase!("PGM", li_pgm::StaticPgm::build(&pairs));
+
+    // ALEX and XIndex expose dedicated structure probes.
+    {
+        let alex = li_alex::Alex::build(&pairs);
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for &k in &probe_keys {
+            acc ^= alex.descend_only(k);
+        }
+        std::hint::black_box(acc);
+        let struct_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for &k in &probe_keys {
+            acc ^= alex.get(k).unwrap_or(1);
+        }
+        std::hint::black_box(acc);
+        let total_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        harness::row(
+            "ALEX",
+            &[
+                format!("{struct_ns:.0}"),
+                format!("{:.0}", (total_ns - struct_ns).max(0.0)),
+                format!("{total_ns:.0}"),
+            ],
+        );
+    }
+    {
+        let x = li_xindex::XIndex::build(&pairs);
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for &k in &probe_keys {
+            acc ^= x.locate_group(k);
+        }
+        std::hint::black_box(acc);
+        let struct_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for &k in &probe_keys {
+            acc ^= Index::get(&x, k).unwrap_or(1);
+        }
+        std::hint::black_box(acc);
+        let total_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        harness::row(
+            "XIndex",
+            &[
+                format!("{struct_ns:.0}"),
+                format!("{:.0}", (total_ns - struct_ns).max(0.0)),
+                format!("{total_ns:.0}"),
+            ],
+        );
+    }
+    println!("(ALEX should sit closest to the origin — §IV-C)\n");
+}

@@ -1,0 +1,210 @@
+//! Hyperparameter sweeps (§III-A1: "We first separately evaluate the
+//! performance of each index with different hyperparameters and choose
+//! their configurations with the best performance").
+//!
+//! For each learned index, the main knob is swept and in-memory lookup /
+//! insert costs are reported so a configuration can be chosen per dataset.
+
+use std::time::Instant;
+
+use crate::harness::{self, BenchConfig};
+use li_core::traits::{Index, UpdatableIndex};
+use li_core::{Key, KeyValue};
+use li_workloads::Dataset;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Hyperparameter sweeps (§III-A1) ==\n");
+    let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
+    let pairs: Vec<KeyValue> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let (loaded, pool) = li_workloads::split_load_insert(&keys, 0.3);
+    let loaded_pairs: Vec<KeyValue> = loaded.iter().map(|&k| (k, 0)).collect();
+    let probes = probe_keys(&keys, (cfg.ops / 4).max(10_000), cfg.seed + 1);
+
+    println!("--- RMI: keys per second-stage model ---");
+    harness::header(&["keys/model", "get ns", "models"]);
+    for kpm in [256usize, 1024, 4096, 16384] {
+        let idx = li_rmi::Rmi::build_with(li_rmi::RmiConfig { keys_per_model: kpm, ..Default::default() }, &pairs);
+        harness::row(
+            &kpm.to_string(),
+            &[format!("{:.0}", time_gets(&idx, &probes)), idx.model_count().to_string()],
+        );
+    }
+
+    println!("\n--- RMI second stage: linear vs cubic (§V-A nonlinear models) ---");
+    harness::header(&["stage", "keys/model", "get ns", "models"]);
+    for (name, stage) in
+        [("linear", li_rmi::SecondStage::Linear), ("cubic", li_rmi::SecondStage::Cubic)]
+    {
+        for kpm in [2048usize, 8192] {
+            let idx = li_rmi::Rmi::build_with(
+                li_rmi::RmiConfig { keys_per_model: kpm, second_stage: stage },
+                &pairs,
+            );
+            harness::row(
+                name,
+                &[
+                    kpm.to_string(),
+                    format!("{:.0}", time_gets(&idx, &probes)),
+                    idx.model_count().to_string(),
+                ],
+            );
+        }
+    }
+
+    println!("\n--- RadixSpline: radix bits × epsilon ---");
+    harness::header(&["radix bits", "epsilon", "get ns", "spline pts"]);
+    for bits in [12u32, 18, 22] {
+        for eps in [16u64, 64, 256] {
+            let idx = li_rs::RadixSpline::build_with(
+                li_rs::RsConfig { radix_bits: bits, epsilon: eps },
+                &pairs,
+            );
+            harness::row(
+                &bits.to_string(),
+                &[
+                    eps.to_string(),
+                    format!("{:.0}", time_gets(&idx, &probes)),
+                    idx.spline_points().to_string(),
+                ],
+            );
+        }
+    }
+
+    println!("\n--- PGM: epsilon ---");
+    harness::header(&["epsilon", "get ns", "segments", "height"]);
+    for eps in [16u64, 64, 256, 1024] {
+        let idx = li_pgm::StaticPgm::build_with(
+            li_pgm::PgmConfig { epsilon: eps, epsilon_recursive: 4 },
+            &pairs,
+        );
+        harness::row(
+            &eps.to_string(),
+            &[
+                format!("{:.0}", time_gets(&idx, &probes)),
+                idx.segment_count().to_string(),
+                idx.height().to_string(),
+            ],
+        );
+    }
+
+    println!("\n--- FITing-tree: epsilon × reserve (buffered) ---");
+    harness::header(&["epsilon", "reserve", "get ns", "ins ns"]);
+    for eps in [32u64, 128, 512] {
+        for reserve in [64usize, 256] {
+            let mk = || {
+                li_fiting::FitingTree::build_with(
+                    li_fiting::FitingConfig {
+                        epsilon: eps,
+                        reserve,
+                        strategy: li_fiting::InsertStrategy::Buffered,
+                        use_greedy_fsw: false,
+                    },
+                    &loaded_pairs,
+                )
+            };
+            let idx = mk();
+            let get_ns = time_gets_loaded(&idx, &loaded, cfg);
+            let ins_ns = time_inserts(mk(), &pool);
+            harness::row(
+                &eps.to_string(),
+                &[reserve.to_string(), format!("{get_ns:.0}"), format!("{ins_ns:.0}")],
+            );
+        }
+    }
+
+    println!("\n--- ALEX: bulk leaf keys × initial density ---");
+    harness::header(&["leaf keys", "density", "get ns", "ins ns"]);
+    for leaf in [1024usize, 4096, 16384] {
+        for density in [0.5f64, 0.6, 0.7] {
+            let mk = || {
+                li_alex::Alex::build_with(
+                    li_alex::AlexConfig {
+                        bulk_leaf_keys: leaf,
+                        initial_density: density,
+                        ..Default::default()
+                    },
+                    &loaded_pairs,
+                )
+            };
+            let idx = mk();
+            let get_ns = time_gets_loaded(&idx, &loaded, cfg);
+            let ins_ns = time_inserts(mk(), &pool);
+            harness::row(
+                &leaf.to_string(),
+                &[format!("{density}"), format!("{get_ns:.0}"), format!("{ins_ns:.0}")],
+            );
+        }
+    }
+
+    println!("\n--- XIndex: group size × buffer size ---");
+    harness::header(&["group", "buffer", "get ns", "ins ns"]);
+    for group in [512usize, 1024, 4096] {
+        for buffer in [64usize, 256] {
+            let mk = || {
+                li_xindex::XIndex::build_with(
+                    li_xindex::XIndexConfig {
+                        group_size: group,
+                        buffer_size: buffer,
+                        max_group_size: group * 4,
+                    },
+                    &loaded_pairs,
+                )
+            };
+            let idx = mk();
+            let get_ns = time_gets_loaded(&idx, &loaded, cfg);
+            let ins_ns = time_inserts(mk(), &pool);
+            harness::row(
+                &group.to_string(),
+                &[buffer.to_string(), format!("{get_ns:.0}"), format!("{ins_ns:.0}")],
+            );
+        }
+    }
+
+    println!("\n--- LIPP (bonus): slots per key ---");
+    harness::header(&["slots/key", "get ns", "ins ns", "max depth"]);
+    for spk in [1.5f64, 2.0, 3.0] {
+        let mk = || {
+            li_lipp::Lipp::build_with(
+                li_lipp::LippConfig { slots_per_key: spk, ..Default::default() },
+                &loaded_pairs,
+            )
+        };
+        let idx = mk();
+        let get_ns = time_gets_loaded(&idx, &loaded, cfg);
+        let ins_ns = time_inserts(mk(), &pool);
+        harness::row(
+            &format!("{spk}"),
+            &[format!("{get_ns:.0}"), format!("{ins_ns:.0}"), idx.max_depth().to_string()],
+        );
+    }
+    println!();
+}
+
+fn probe_keys(keys: &[Key], count: usize, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| keys[rng.random_range(0..keys.len())]).collect()
+}
+
+fn time_gets<I: Index>(idx: &I, probes: &[Key]) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for &k in probes {
+        acc ^= idx.get(k).unwrap_or(1);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_nanos() as f64 / probes.len() as f64
+}
+
+fn time_gets_loaded<I: Index>(idx: &I, loaded: &[Key], cfg: &BenchConfig) -> f64 {
+    let probes = probe_keys(loaded, (cfg.ops / 4).max(10_000), cfg.seed + 2);
+    time_gets(idx, &probes)
+}
+
+fn time_inserts<I: UpdatableIndex>(mut idx: I, pool: &[Key]) -> f64 {
+    let t0 = Instant::now();
+    for (i, &k) in pool.iter().enumerate() {
+        idx.insert(k, i as u64);
+    }
+    t0.elapsed().as_nanos() as f64 / pool.len() as f64
+}

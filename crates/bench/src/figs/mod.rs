@@ -1,0 +1,17 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod hyper;
+pub mod scan;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,32 @@
+//! Table I — technology comparison of the learned indexes.
+//!
+//! Printed from code metadata so the table always reflects what is
+//! actually implemented.
+
+use crate::harness::BenchConfig;
+use lip::IndexKind;
+
+pub fn run(_cfg: &BenchConfig) {
+    println!("== Table I: technology comparison of learned indexes ==\n");
+    println!(
+        "{:<20} {:<14} {:<8} {:<9} {:<40} {:<18} {:<18} {:<6}",
+        "Learned index", "Inner node", "Leaf", "Error", "Approximation algorithm", "Insertion",
+        "Retraining", "Conc."
+    );
+    println!("{}", "-".repeat(136));
+    for kind in IndexKind::LEARNED {
+        let Some(c) = kind.capabilities() else { continue };
+        println!(
+            "{:<20} {:<14} {:<8} {:<9} {:<40} {:<18} {:<18} {:<6}",
+            c.name,
+            c.inner_node,
+            c.leaf_node,
+            if c.bounded_error { "Maximum" } else { "Unfixed" },
+            c.approx_algorithm,
+            c.insertion,
+            c.retraining,
+            if c.concurrent_writes { "yes" } else { "no" },
+        );
+    }
+    println!();
+}

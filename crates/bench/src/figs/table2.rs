@@ -1,0 +1,37 @@
+//! Table II — average depth of the learned indexes on YCSB and OSM.
+
+use crate::harness::{self, BenchConfig};
+use li_workloads::Dataset;
+use lip::{AnyIndex, IndexKind};
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Table II: average depth of learned indexes ==\n");
+    harness::header(&["dataset", "RMI", "RS", "FIT-inp", "FIT-buf", "PGM", "ALEX", "XIndex", "LIPP"]);
+    for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
+        let keys = harness::dataset(dataset, cfg.n, cfg.seed);
+        let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let cells: Vec<String> = IndexKind::LEARNED
+            .iter()
+            .map(|&kind| {
+                let idx = AnyIndex::build(kind, &pairs);
+                format!("{:.2}", idx.avg_depth().unwrap_or(0.0))
+            })
+            .collect();
+        harness::row(dataset.name(), &cells);
+    }
+    println!("\nleaf/segment counts for context:");
+    harness::header(&["dataset", "RMI", "RS", "FIT-inp", "FIT-buf", "PGM", "ALEX", "XIndex", "LIPP"]);
+    for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
+        let keys = harness::dataset(dataset, cfg.n, cfg.seed);
+        let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let cells: Vec<String> = IndexKind::LEARNED
+            .iter()
+            .map(|&kind| {
+                let idx = AnyIndex::build(kind, &pairs);
+                format!("{}", idx.leaf_count().unwrap_or(0))
+            })
+            .collect();
+        harness::row(dataset.name(), &cells);
+    }
+    println!();
+}

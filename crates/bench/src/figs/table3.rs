@@ -1,0 +1,44 @@
+//! Table III — space overhead of the indexes.
+//!
+//! Three storage scenarios from §III-E1: index structure alone, index +
+//! sorted key array (key-value separation), and index + full KV pairs
+//! (memory database).
+
+use crate::harness::{self, BenchConfig};
+use li_core::traits::Index as _;
+use li_workloads::Dataset;
+use lip::{AnyIndex, IndexKind};
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    }
+}
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Table III: space overhead ==");
+    println!("({}k records, 8-byte keys, 200-byte values)\n", cfg.n / 1000);
+    harness::header(&["index", "index size", "index+key", "index+KV"]);
+    let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
+    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let key_bytes = keys.len() * 8;
+    let kv_bytes = keys.len() * (8 + 200);
+    for kind in IndexKind::ALL {
+        let idx = AnyIndex::build(kind, &pairs);
+        // "Index size" is the structure (models/nodes/tables); the sorted
+        // key/offset arrays owned by learned indexes count toward the
+        // key-separated scenario, as in the paper's accounting.
+        let structure = idx.index_size_bytes();
+        let with_keys = structure + idx.data_size_bytes().max(key_bytes);
+        let with_kv = structure + idx.data_size_bytes().max(key_bytes) + kv_bytes;
+        harness::row(
+            kind.name(),
+            &[fmt_bytes(structure), fmt_bytes(with_keys), fmt_bytes(with_kv)],
+        );
+    }
+    println!();
+}

@@ -1,0 +1,199 @@
+//! Shared measurement machinery for the figure/table binaries.
+
+use std::time::Instant;
+
+use li_core::hist::LatencyHistogram;
+use li_core::Key;
+use li_viper::{StoreConfig, ViperStore};
+use li_workloads::{generate_ops, split_load_insert, Dataset, Op, WorkloadSpec};
+use lip::{AnyIndex, IndexKind};
+
+/// Scale and repetition knobs, read from the environment so every binary
+/// accepts the same controls:
+///
+/// * `LIP_BENCH_N` — base dataset size (default 200 000; the paper used
+///   200 000 000).
+/// * `LIP_BENCH_OPS` — operations per measurement (default `N / 2`).
+/// * `LIP_BENCH_THREADS` — max thread count for Figs. 12/14 (default 8).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub n: usize,
+    pub ops: usize,
+    pub max_threads: usize,
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    pub fn from_env() -> Self {
+        let n = std::env::var("LIP_BENCH_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        let ops = std::env::var("LIP_BENCH_OPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(n / 2);
+        let max_threads = std::env::var("LIP_BENCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        BenchConfig { n, ops, max_threads, seed: 42 }
+    }
+
+    /// Thread counts swept by the multi-threaded figures.
+    pub fn thread_counts(&self) -> Vec<usize> {
+        [1usize, 2, 4, 8, 16, 32]
+            .into_iter()
+            .filter(|&t| t <= self.max_threads)
+            .collect()
+    }
+}
+
+/// Default record value: every byte is `key % 251`.
+pub fn value_of(key: Key, buf: &mut [u8]) {
+    buf.fill((key % 251) as u8);
+}
+
+/// One measured cell: throughput + latency distribution.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub ops: usize,
+    pub secs: f64,
+    pub hist: LatencyHistogram,
+}
+
+impl Measurement {
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.secs / 1e6
+    }
+
+    pub fn p999_us(&self) -> f64 {
+        self.hist.percentile(0.999) as f64 / 1e3
+    }
+
+    pub fn p50_us(&self) -> f64 {
+        self.hist.percentile(0.5) as f64 / 1e3
+    }
+}
+
+/// Builds a loaded store for `kind` over `keys`.
+pub fn build_store(kind: IndexKind, keys: &[Key]) -> ViperStore<AnyIndex> {
+    let config = StoreConfig::paper(keys.len() * 2 + 1024);
+    ViperStore::bulk_load_with(config, keys, value_of, |pairs| AnyIndex::build(kind, pairs))
+}
+
+/// Executes an op stream against a store, recording per-op latency.
+/// Returns the measurement; panics if a read of a supposedly-live key
+/// misses (correctness backstop inside the benchmark itself).
+pub fn run_ops(
+    name: impl Into<String>,
+    store: &mut ViperStore<AnyIndex>,
+    ops: &[Op],
+) -> Measurement {
+    let vs = store.heap().layout().value_size;
+    let mut buf = vec![0u8; vs];
+    let mut val = vec![0u8; vs];
+    let mut hist = LatencyHistogram::new();
+    let start = Instant::now();
+    for op in ops {
+        let t0 = Instant::now();
+        match *op {
+            Op::Read(k) => {
+                std::hint::black_box(store.get(k, &mut buf));
+            }
+            Op::Insert(k, v) | Op::Update(k, v) => {
+                val.fill(v as u8);
+                store.put(k, &val);
+            }
+            Op::ReadModifyWrite(k, v) => {
+                store.get(k, &mut buf);
+                val.fill(v as u8);
+                store.put(k, &val);
+            }
+            Op::Scan(k, len) => {
+                store.scan(k, u64::MAX, len, &mut |_, _| {});
+            }
+        }
+        hist.record(t0.elapsed().as_nanos() as u64);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement { name: name.into(), ops: ops.len(), secs, hist }
+}
+
+/// Builds the standard read-only op stream of Fig. 10.
+pub fn read_ops(keys: &[Key], count: usize, seed: u64) -> Vec<Op> {
+    generate_ops(&WorkloadSpec::read_only_uniform(), keys, &[], count, seed)
+}
+
+/// Splits keys and builds the write-only stream of Fig. 13: the loaded
+/// store keeps 80% of keys, the stream inserts the withheld 20% (and
+/// falls back to updates once exhausted).
+pub fn write_setup(keys: &[Key], count: usize, seed: u64) -> (Vec<Key>, Vec<Op>) {
+    let (loaded, pool) = split_load_insert(keys, 0.2);
+    let ops = generate_ops(&WorkloadSpec::write_only(), &loaded, &pool, count.min(pool.len()), seed);
+    (loaded, ops)
+}
+
+/// Generates the base dataset for a figure.
+pub fn dataset(d: Dataset, n: usize, seed: u64) -> Vec<Key> {
+    li_workloads::generate_keys(d, n, seed)
+}
+
+/// Prints a table header.
+pub fn header(cols: &[&str]) {
+    let mut line = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{c:<18}"));
+        } else {
+            line.push_str(&format!("{c:>14}"));
+        }
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(18 + 14 * (cols.len() - 1)));
+}
+
+/// Prints one row: a name plus formatted numeric cells.
+pub fn row(name: &str, cells: &[String]) {
+    let mut line = format!("{name:<18}");
+    for c in cells {
+        line.push_str(&format!("{c:>14}"));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_defaults() {
+        // The env vars may be set by an outer harness; just check sanity.
+        let c = BenchConfig::from_env();
+        assert!(c.n > 0);
+        assert!(c.ops > 0);
+        assert!(c.max_threads >= 1);
+    }
+
+    #[test]
+    fn run_ops_measures() {
+        let keys: Vec<Key> = (0..5_000u64).map(|i| i * 3).collect();
+        let mut store = build_store(IndexKind::BTree, &keys);
+        let ops = read_ops(&keys, 2_000, 1);
+        let m = run_ops("smoke", &mut store, &ops);
+        assert_eq!(m.ops, 2_000);
+        assert!(m.secs > 0.0);
+        assert!(m.mops() > 0.0);
+        assert!(m.hist.count() == 2_000);
+    }
+
+    #[test]
+    fn write_setup_splits() {
+        let keys: Vec<Key> = (0..10_000u64).collect();
+        let (loaded, ops) = write_setup(&keys, 5_000, 2);
+        assert!(loaded.len() == 8_000);
+        assert!(ops.iter().all(|o| matches!(o, Op::Insert(..))));
+        assert_eq!(ops.len(), 2_000);
+    }
+}

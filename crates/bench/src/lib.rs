@@ -1,0 +1,17 @@
+//! # li-bench — the paper's evaluation harness
+//!
+//! One module per table/figure of *"Cutting Learned Index into Pieces"*
+//! (ICDE 2023); each has a `run(&BenchConfig)` entry point and a thin
+//! binary in `src/bin/`. `run_all` executes the lot.
+//!
+//! Dataset sizes are scaled from the paper's 200M–800M down to a default
+//! of 200k–800k (set `LIP_BENCH_N` to change the base size); value size
+//! (200 B), workload mixes, thread counts and every qualitative knob
+//! match the paper. Shapes — who wins, by what factor, where crossovers
+//! sit — are the reproduction target, not absolute numbers (see
+//! EXPERIMENTS.md).
+
+pub mod figs;
+pub mod harness;
+
+pub use harness::BenchConfig;

@@ -1,0 +1,130 @@
+//! Greedy feasible-space-window segmentation, the FITing-tree algorithm
+//! (§II-B1). Anchors each segment at its first point and maintains the cone
+//! of slopes that keep every subsequent point within ±ε; when the cone
+//! collapses the segment is closed.
+//!
+//! Greedy FSW guarantees the same max error ε as Opt-PLA but may produce
+//! more segments (the paper chose Opt-PLA for its FITing-tree
+//! reimplementation for exactly this reason, §III-A1).
+
+use super::Segment;
+use crate::model::LinearModel;
+use crate::types::Key;
+
+/// Segments `keys` greedily with max error `epsilon`.
+pub fn segment_fsw(keys: &[Key], epsilon: u64) -> Vec<Segment> {
+    assert!(epsilon >= 1, "FSW requires epsilon >= 1");
+    let mut out = Vec::new();
+    let n = keys.len();
+    if n == 0 {
+        return out;
+    }
+    let eps = epsilon as f64;
+
+    let mut seg_start = 0usize;
+    // Slope cone for the current segment, anchored at
+    // (keys[seg_start], seg_start).
+    let mut slope_lo = f64::NEG_INFINITY;
+    let mut slope_hi = f64::INFINITY;
+
+    let close = |out: &mut Vec<Segment>, keys: &[Key], start: usize, end: usize, lo: f64, hi: f64| {
+        let slope = match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => (lo + hi) / 2.0,
+            (true, false) => lo,
+            (false, true) => hi,
+            (false, false) => 0.0, // single-point segment
+        };
+        let model = LinearModel { x0: keys[start], slope, intercept: start as f64 };
+        out.push(
+            Segment { first_key: keys[start], start, len: end - start, model, max_error: 0 }
+                .finish(keys),
+        );
+    };
+
+    let mut i = 1usize;
+    while i < n {
+        debug_assert!(keys[i] > keys[i - 1], "FSW input must be strictly ascending");
+        let dx = (keys[i] - keys[seg_start]) as f64;
+        let dy = (i - seg_start) as f64;
+        let lo = (dy - eps) / dx;
+        let hi = (dy + eps) / dx;
+        let new_lo = slope_lo.max(lo);
+        let new_hi = slope_hi.min(hi);
+        if new_lo > new_hi {
+            close(&mut out, keys, seg_start, i, slope_lo, slope_hi);
+            seg_start = i;
+            slope_lo = f64::NEG_INFINITY;
+            slope_hi = f64::INFINITY;
+        } else {
+            slope_lo = new_lo;
+            slope_hi = new_hi;
+        }
+        i += 1;
+    }
+    close(&mut out, keys, seg_start, n, slope_lo, slope_hi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::validate_segmentation;
+
+    fn check(keys: &[Key], eps: u64) -> Vec<Segment> {
+        let segs = segment_fsw(keys, eps);
+        assert!(validate_segmentation(keys, &segs));
+        for s in &segs {
+            assert!(s.max_error <= eps + 1, "err {} > eps {}", s.max_error, eps);
+        }
+        segs
+    }
+
+    #[test]
+    fn linear_is_one_segment() {
+        let keys: Vec<Key> = (0..50_000u64).map(|i| i * 7).collect();
+        assert_eq!(check(&keys, 2).len(), 1);
+    }
+
+    #[test]
+    fn single_key() {
+        let segs = check(&[99], 4);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 1);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(segment_fsw(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn random_respects_epsilon() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut keys: Vec<Key> = (0..50_000).map(|_| rng.random::<u64>() >> 2).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for eps in [1u64, 8, 64, 512] {
+            check(&keys, eps);
+        }
+    }
+
+    #[test]
+    fn monotone_in_epsilon() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut keys: Vec<Key> = (0..40_000).map(|_| rng.random::<u64>() >> 8).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let a = segment_fsw(&keys, 4).len();
+        let b = segment_fsw(&keys, 64).len();
+        assert!(b < a);
+    }
+
+    #[test]
+    fn abrupt_slope_change_splits() {
+        let mut keys: Vec<Key> = (0..1_000u64).collect();
+        keys.extend((0..1_000u64).map(|i| 1_000 + i * 10_000));
+        assert!(check(&keys, 2).len() >= 2);
+    }
+}

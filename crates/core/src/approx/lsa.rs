@@ -1,0 +1,87 @@
+//! Fixed-segment least squares approximation ("LSA", §IV-A (i)), the
+//! algorithm used by XIndex: split the sorted array into fixed-size chunks
+//! and fit each by ordinary least squares. Simple and fast to build, but
+//! with no maximum-error guarantee — the source of XIndex's and (plain)
+//! LSA's tail-latency problems in Fig. 10.
+
+use super::Segment;
+use crate::model::LinearModel;
+use crate::types::Key;
+
+/// Splits `keys` into chunks of `seg_size` and fits each by least squares.
+pub fn segment_lsa(keys: &[Key], seg_size: usize) -> Vec<Segment> {
+    assert!(seg_size >= 1, "LSA segment size must be >= 1");
+    let n = keys.len();
+    let mut out = Vec::with_capacity(n.div_ceil(seg_size.max(1)));
+    let mut start = 0usize;
+    while start < n {
+        let len = seg_size.min(n - start);
+        let chunk = &keys[start..start + len];
+        // Fit local positions then shift to global.
+        let local = LinearModel::fit_least_squares(chunk);
+        let model = local.shifted(start as f64);
+        out.push(
+            Segment { first_key: keys[start], start, len, model, max_error: 0 }.finish(keys),
+        );
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::validate_segmentation;
+
+    #[test]
+    fn covers_input() {
+        let keys: Vec<Key> = (0..10_000u64).map(|i| i * i).collect();
+        let segs = segment_lsa(&keys, 256);
+        assert!(validate_segmentation(&keys, &segs));
+        assert_eq!(segs.len(), 10_000usize.div_ceil(256));
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let keys: Vec<Key> = (0..1_000u64).collect();
+        let segs = segment_lsa(&keys, 300);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[3].len, 100);
+        assert!(validate_segmentation(&keys, &segs));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert!(segment_lsa(&[], 10).is_empty());
+        let segs = segment_lsa(&[5], 10);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].max_error, 0);
+    }
+
+    #[test]
+    fn linear_data_zero_error() {
+        let keys: Vec<Key> = (0..10_000u64).map(|i| i * 3).collect();
+        for s in segment_lsa(&keys, 500) {
+            assert_eq!(s.max_error, 0, "segment at {}", s.start);
+        }
+    }
+
+    #[test]
+    fn smaller_segments_mean_lower_error() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut keys: Vec<Key> = (0..40_000).map(|_| rng.random::<u64>() >> 16).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let avg = |segs: &[Segment]| {
+            let q = crate::cdf::segmentation_quality(
+                &keys,
+                segs.iter().map(|s| (s.start, s.len, s.model)),
+            );
+            q.avg_error
+        };
+        let coarse = segment_lsa(&keys, 4096);
+        let fine = segment_lsa(&keys, 64);
+        assert!(avg(&fine) < avg(&coarse));
+    }
+}

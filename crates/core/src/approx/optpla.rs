@@ -1,0 +1,416 @@
+//! Streaming optimal piecewise linear approximation ("Opt-PLA", §IV-A (ii)).
+//!
+//! This is the O'Rourke (1981) algorithm as used by PGM-Index: it maintains
+//! the feasible region of lines that stay within ±ε of every point seen so
+//! far, represented by upper/lower convex hulls and the two extreme-slope
+//! lines (a shrinking "rectangle" in dual space). A segment is closed only
+//! when the region becomes empty, which provably yields the minimum number
+//! of maximal segments and runs in O(n) total time.
+//!
+//! Feasibility tests use exact `i128` cross products; only the final
+//! reported line is floating point (and each segment's true max error is
+//! re-measured afterwards, see [`crate::approx::Segment::finish`]).
+
+use super::Segment;
+use crate::model::LinearModel;
+use crate::types::Key;
+
+/// A point in (key, position±ε) space; `x` is stored relative to the first
+/// key of the current segment to keep cross products small and the final
+/// floating-point line well conditioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pt {
+    x: i128,
+    y: i128,
+}
+
+impl Pt {
+    #[inline]
+    fn sub(self, o: Pt) -> Pt {
+        Pt { x: self.x - o.x, y: self.y - o.y }
+    }
+
+    /// Cross product (self - o) × (b - o); sign gives turn direction.
+    #[inline]
+    fn cross(o: Pt, a: Pt, b: Pt) -> i128 {
+        let u = a.sub(o);
+        let v = b.sub(o);
+        u.x * v.y - u.y * v.x
+    }
+}
+
+/// Compares slope(a) < slope(b) by cross-multiplication, exactly as PGM's
+/// `Slope::operator<`. Valid whenever both vectors have the same-signed
+/// `x`; for a vertical vector (`x == 0`) the comparison degenerates to the
+/// projective "±∞ depending on the sign of `y`" semantics the algorithm
+/// relies on (a vertical min-slope line has `y < 0` and acts as −∞; a
+/// vertical max-slope line has `y > 0` and acts as +∞).
+#[inline]
+fn slope_lt(a: Pt, b: Pt) -> bool {
+    a.y * b.x < b.y * a.x
+}
+
+#[inline]
+fn slope_gt(a: Pt, b: Pt) -> bool {
+    a.y * b.x > b.y * a.x
+}
+
+/// Incremental optimal-PLA state for one segment.
+///
+/// Usage mirrors PGM's `OptimalPiecewiseLinearModel`: call
+/// [`OptimalPla::add_point`] with ascending keys; when it returns `false`
+/// the point did not fit, so extract the finished line with
+/// [`OptimalPla::segment_line`] and start a new segment by calling
+/// `add_point` again with the same point.
+pub struct OptimalPla {
+    epsilon: i128,
+    /// x-origin of the current segment (the segment's first key).
+    origin_x: u64,
+    last_x: Option<u64>,
+    points_in_hull: usize,
+    /// rectangle[0], rectangle[1]: upper/lower corner at segment start;
+    /// rectangle[2], rectangle[3]: corners defining min/max slopes.
+    rect: [Pt; 4],
+    upper: Vec<Pt>,
+    lower: Vec<Pt>,
+    upper_start: usize,
+    lower_start: usize,
+}
+
+impl OptimalPla {
+    /// `epsilon` is the maximum allowed absolute position error (≥ 1).
+    pub fn new(epsilon: u64) -> Self {
+        assert!(epsilon >= 1, "Opt-PLA requires epsilon >= 1");
+        OptimalPla {
+            epsilon: epsilon as i128,
+            origin_x: 0,
+            last_x: None,
+            points_in_hull: 0,
+            rect: [Pt { x: 0, y: 0 }; 4],
+            upper: Vec::with_capacity(64),
+            lower: Vec::with_capacity(64),
+            upper_start: 0,
+            lower_start: 0,
+        }
+    }
+
+    /// Number of points accepted into the current segment.
+    pub fn points_in_hull(&self) -> usize {
+        self.points_in_hull
+    }
+
+    /// Tries to extend the current segment with `(key, position)`.
+    /// Keys must be passed in strictly ascending order. Returns `false`
+    /// when the point cannot be covered with error ≤ ε — the caller must
+    /// then materialise the segment and re-add the point.
+    pub fn add_point(&mut self, key: Key, position: u64) -> bool {
+        if self.points_in_hull > 0 {
+            if let Some(last) = self.last_x {
+                assert!(key > last, "Opt-PLA input must be strictly ascending");
+            }
+        }
+
+        if self.points_in_hull == 0 {
+            self.origin_x = key;
+            self.last_x = Some(key);
+            let y = position as i128;
+            let p1 = Pt { x: 0, y: y + self.epsilon };
+            let p2 = Pt { x: 0, y: y - self.epsilon };
+            self.rect[0] = p1;
+            self.rect[1] = p2;
+            self.upper.clear();
+            self.lower.clear();
+            self.upper.push(p1);
+            self.lower.push(p2);
+            self.upper_start = 0;
+            self.lower_start = 0;
+            self.points_in_hull = 1;
+            return true;
+        }
+
+        self.last_x = Some(key);
+        let x = (key - self.origin_x) as i128;
+        let y = position as i128;
+        let p1 = Pt { x, y: y + self.epsilon };
+        let p2 = Pt { x, y: y - self.epsilon };
+
+        if self.points_in_hull == 1 {
+            self.rect[2] = p2;
+            self.rect[3] = p1;
+            self.upper.push(p1);
+            self.lower.push(p2);
+            self.points_in_hull = 2;
+            return true;
+        }
+
+        let slope1 = self.rect[2].sub(self.rect[0]); // min slope
+        let slope2 = self.rect[3].sub(self.rect[1]); // max slope
+        let outside1 = slope_lt(p1.sub(self.rect[2]), slope1);
+        let outside2 = slope_gt(p2.sub(self.rect[3]), slope2);
+        if outside1 || outside2 {
+            // Region empty: keep rect intact so segment_line() still
+            // describes the finished segment.
+            self.points_in_hull = 0;
+            return false;
+        }
+
+        if slope_lt(p1.sub(self.rect[1]), slope2) {
+            // p1's constraint lowers the max slope: find the lower-hull
+            // point minimising slope(p1 - lower[i]).
+            let mut min_i = self.lower_start;
+            let mut min_s = p1.sub(self.lower[min_i]);
+            let mut i = self.lower_start + 1;
+            while i < self.lower.len() {
+                let s = p1.sub(self.lower[i]);
+                if slope_gt(s, min_s) {
+                    break;
+                }
+                min_s = s;
+                min_i = i;
+                i += 1;
+            }
+            self.rect[1] = self.lower[min_i];
+            self.rect[3] = p1;
+            self.lower_start = min_i;
+
+            // Maintain the upper hull with p1.
+            let mut end = self.upper.len();
+            while end >= self.upper_start + 2
+                && Pt::cross(self.upper[end - 2], self.upper[end - 1], p1) <= 0
+            {
+                end -= 1;
+            }
+            self.upper.truncate(end);
+            self.upper.push(p1);
+        }
+
+        if slope_gt(p2.sub(self.rect[0]), slope1) {
+            // p2's constraint raises the min slope: find the upper-hull
+            // point maximising slope(p2 - upper[i]).
+            let mut max_i = self.upper_start;
+            let mut max_s = p2.sub(self.upper[max_i]);
+            let mut i = self.upper_start + 1;
+            while i < self.upper.len() {
+                let s = p2.sub(self.upper[i]);
+                if slope_lt(s, max_s) {
+                    break;
+                }
+                max_s = s;
+                max_i = i;
+                i += 1;
+            }
+            self.rect[0] = self.upper[max_i];
+            self.rect[2] = p2;
+            self.upper_start = max_i;
+
+            // Maintain the lower hull with p2.
+            let mut end = self.lower.len();
+            while end >= self.lower_start + 2
+                && Pt::cross(self.lower[end - 2], self.lower[end - 1], p2) >= 0
+            {
+                end -= 1;
+            }
+            self.lower.truncate(end);
+            self.lower.push(p2);
+        }
+
+        self.points_in_hull += 1;
+        true
+    }
+
+    /// Returns the line for the finished segment: a model predicting
+    /// *global* positions (same space as the `position` arguments).
+    ///
+    /// Valid after one or more successful `add_point` calls, including
+    /// immediately after a failed `add_point` (which keeps the state of the
+    /// finished segment, matching PGM's contract).
+    pub fn segment_line(&self) -> LinearModel {
+        if self.points_in_hull == 1 {
+            // Single point: horizontal line through its position.
+            let y = (self.rect[0].y + self.rect[1].y) as f64 / 2.0;
+            return LinearModel { x0: self.origin_x, slope: 0.0, intercept: y };
+        }
+        let min_slope = slope_f(self.rect[0], self.rect[2]);
+        let max_slope = slope_f(self.rect[1], self.rect[3]);
+        let slope = (min_slope + max_slope) / 2.0;
+
+        // Intersection of the two extreme lines gives a point every
+        // feasible line passes near; anchor the mid-slope line there.
+        let (ix, iy) = intersection(self.rect[0], self.rect[2], self.rect[1], self.rect[3]);
+        // All rectangle coordinates are relative to the segment's first
+        // key, so anchor the model there.
+        LinearModel { x0: self.origin_x, slope, intercept: iy - slope * ix }
+    }
+}
+
+#[inline]
+fn slope_f(a: Pt, b: Pt) -> f64 {
+    (b.y - a.y) as f64 / (b.x - a.x) as f64
+}
+
+/// Intersection of line(a1,a2) and line(b1,b2) in relative coordinates;
+/// falls back to a corner when the lines are parallel.
+fn intersection(a1: Pt, a2: Pt, b1: Pt, b2: Pt) -> (f64, f64) {
+    let d1 = a2.sub(a1);
+    let d2 = b2.sub(b1);
+    let denom = d1.x * d2.y - d1.y * d2.x;
+    if denom == 0 {
+        return (a1.x as f64, a1.y as f64);
+    }
+    let w = b1.sub(a1);
+    // Parameter t along (a1, d1): t = (w × d2) / (d1 × d2)
+    let t_num = w.x * d2.y - w.y * d2.x;
+    let t = t_num as f64 / denom as f64;
+    (a1.x as f64 + t * d1.x as f64, a1.y as f64 + t * d1.y as f64)
+}
+
+/// Segments a strictly-ascending key array with max error `epsilon`,
+/// producing the minimum number of maximal segments.
+pub fn segment_opt_pla(keys: &[Key], epsilon: u64) -> Vec<Segment> {
+    let mut out = Vec::new();
+    if keys.is_empty() {
+        return out;
+    }
+    let mut pla = OptimalPla::new(epsilon);
+    let mut seg_start = 0usize;
+    let mut i = 0usize;
+    while i < keys.len() {
+        if pla.add_point(keys[i], i as u64) {
+            i += 1;
+        } else {
+            let seg = Segment {
+                first_key: keys[seg_start],
+                start: seg_start,
+                len: i - seg_start,
+                model: pla.segment_line(),
+                max_error: 0,
+            }
+            .finish(keys);
+            out.push(seg);
+            seg_start = i;
+            // Re-add the failed point into the fresh segment; always
+            // succeeds on an empty hull.
+            let ok = pla.add_point(keys[i], i as u64);
+            debug_assert!(ok);
+            i += 1;
+        }
+    }
+    let seg = Segment {
+        first_key: keys[seg_start],
+        start: seg_start,
+        len: keys.len() - seg_start,
+        model: pla.segment_line(),
+        max_error: 0,
+    }
+    .finish(keys);
+    out.push(seg);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::validate_segmentation;
+
+    fn check_epsilon(keys: &[Key], eps: u64) -> Vec<Segment> {
+        let segs = segment_opt_pla(keys, eps);
+        assert!(validate_segmentation(keys, &segs));
+        for s in &segs {
+            // The theoretical guarantee is ε; allow +1 for floating point
+            // rounding of the final line (same tolerance PGM uses).
+            assert!(
+                s.max_error <= eps + 1,
+                "segment err {} > eps {}",
+                s.max_error,
+                eps
+            );
+        }
+        segs
+    }
+
+    #[test]
+    fn perfectly_linear_is_one_segment() {
+        let keys: Vec<Key> = (0..100_000u64).map(|i| i * 13 + 5).collect();
+        let segs = check_epsilon(&keys, 4);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn single_and_two_keys() {
+        let segs = segment_opt_pla(&[42], 8);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 1);
+        let segs = segment_opt_pla(&[42, 43], 8);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(segment_opt_pla(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn piecewise_distribution_respects_epsilon() {
+        // Two very different slopes force at least two segments at low ε.
+        let mut keys: Vec<Key> = (0..10_000u64).collect();
+        keys.extend((0..10_000u64).map(|i| 10_000 + i * 1_000));
+        let segs = check_epsilon(&keys, 2);
+        assert!(segs.len() >= 2);
+    }
+
+    #[test]
+    fn random_keys_respect_epsilon() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut keys: Vec<Key> = (0..50_000).map(|_| rng.random::<u64>() >> 1).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for eps in [1u64, 4, 32, 256] {
+            check_epsilon(&keys, eps);
+        }
+    }
+
+    #[test]
+    fn fewer_segments_with_larger_epsilon() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut keys: Vec<Key> = (0..50_000).map(|_| rng.random::<u64>() >> 8).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let small = segment_opt_pla(&keys, 4).len();
+        let large = segment_opt_pla(&keys, 128).len();
+        assert!(large < small, "eps=4: {small}, eps=128: {large}");
+    }
+
+    #[test]
+    fn optimal_not_worse_than_greedy() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut keys: Vec<Key> = (0..30_000).map(|_| rng.random::<u64>() >> 4).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for eps in [8u64, 64] {
+            let opt = segment_opt_pla(&keys, eps).len();
+            let greedy = crate::approx::fsw::segment_fsw(&keys, eps).len();
+            assert!(opt <= greedy, "eps {eps}: opt {opt} > greedy {greedy}");
+        }
+    }
+
+    #[test]
+    fn huge_key_magnitudes() {
+        let keys: Vec<Key> = (0..10_000u64)
+            .map(|i| (u64::MAX / 2) + i * (1 << 40))
+            .collect();
+        check_epsilon(&keys, 16);
+    }
+
+    #[test]
+    fn ascending_assert_fires() {
+        let mut pla = OptimalPla::new(4);
+        assert!(pla.add_point(10, 0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pla.add_point(9, 1);
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! CDF utilities and approximation-quality metrics.
+//!
+//! §IV-A of the paper measures approximation algorithms by (i) the number
+//! of segments (leaves) they produce, (ii) the average in-segment error and
+//! (iii) whether a maximum error is guaranteed. The helpers here compute
+//! those metrics for any segmentation, and quantify how "hard" a key
+//! distribution is to approximate (the paper's explanation for why OSM is
+//! slower than YCSB).
+
+use crate::model::LinearModel;
+use crate::types::Key;
+
+/// Empirical CDF point: `(key, rank / n)`.
+pub fn empirical_cdf(keys: &[Key]) -> Vec<(Key, f64)> {
+    let n = keys.len();
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (k, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Quality metrics of one piecewise-linear segmentation of a sorted key
+/// array, matching Fig. 17 (a)/(b)'s axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentationQuality {
+    /// Number of segments (leaf nodes).
+    pub segments: usize,
+    /// Mean absolute prediction error over all keys.
+    pub avg_error: f64,
+    /// Largest absolute prediction error over all keys.
+    pub max_error: f64,
+}
+
+/// Computes quality metrics for a segmentation given as `(start, len,
+/// model)` triples over `keys`, where each model predicts *global*
+/// positions.
+#[allow(clippy::needless_range_loop)] // position i is the model target
+pub fn segmentation_quality(
+    keys: &[Key],
+    segments: impl IntoIterator<Item = (usize, usize, LinearModel)>,
+) -> SegmentationQuality {
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut covered = 0usize;
+    for (start, len, model) in segments {
+        count += 1;
+        for i in start..start + len {
+            let e = (model.predict_f(keys[i]) - i as f64).abs();
+            sum += e;
+            if e > max {
+                max = e;
+            }
+        }
+        covered += len;
+    }
+    debug_assert_eq!(covered, keys.len(), "segmentation must cover all keys");
+    SegmentationQuality {
+        segments: count,
+        avg_error: if covered == 0 { 0.0 } else { sum / covered as f64 },
+        max_error: max,
+    }
+}
+
+/// A crude "CDF complexity" score: the number of maximal ε-error linear
+/// pieces needed per million keys (higher = lumpier CDF = harder for
+/// learned indexes). Used by tests to verify the synthetic OSM-like
+/// generator really is harder than the YCSB-like one, as the paper relies
+/// on (§III-B1).
+pub fn cdf_complexity(keys: &[Key], epsilon: u64) -> f64 {
+    if keys.len() < 2 {
+        return 0.0;
+    }
+    let segs = crate::approx::optpla::segment_opt_pla(keys, epsilon);
+    segs.len() as f64 * 1e6 / keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_cdf_monotone() {
+        let keys = vec![3u64, 7, 9, 100];
+        let cdf = empirical_cdf(&keys);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf[3].1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn quality_of_perfect_fit() {
+        let keys: Vec<Key> = (0..1000u64).map(|i| i * 2).collect();
+        let m = LinearModel { x0: 0, slope: 0.5, intercept: 0.0 };
+        let q = segmentation_quality(&keys, [(0usize, keys.len(), m)]);
+        assert_eq!(q.segments, 1);
+        assert!(q.max_error < 1e-9);
+        assert!(q.avg_error < 1e-9);
+    }
+
+    #[test]
+    fn quality_multiple_segments() {
+        let keys: Vec<Key> = (0..100u64).collect();
+        let m1 = LinearModel { x0: 0, slope: 1.0, intercept: 0.0 };
+        let m2 = LinearModel { x0: 0, slope: 1.0, intercept: 1.0 }; // off by one
+        let q = segmentation_quality(&keys, [(0usize, 50, m1), (50usize, 50, m2)]);
+        assert_eq!(q.segments, 2);
+        assert!((q.max_error - 1.0).abs() < 1e-9);
+        assert!((q.avg_error - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_distribution_has_trivial_complexity() {
+        let keys: Vec<Key> = (0..100_000u64).map(|i| i * 17).collect();
+        let c = cdf_complexity(&keys, 16);
+        // One segment per 100k keys => 10 per million.
+        assert!(c <= 20.0, "complexity {c}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Hot-key front cache (§V-B1).
+//!
+//! The paper's closing structural suggestion: "the asymmetric tree
+//! structure can support the hot data to be placed closer to the root
+//! node, which can shorten the total number of queries". The structure-
+//! agnostic form of that idea is a small direct-mapped cache in front of
+//! *any* index: a hot key resolves in one hash-and-compare (depth 0)
+//! instead of a full descent. [`HotCache`] wraps any
+//! [`UpdatableIndex`] and keeps itself coherent across inserts/removes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::traits::{Index, OrderedIndex, UpdatableIndex};
+use crate::types::{Key, KeyValue, Value};
+
+/// One cache slot.
+#[derive(Clone, Copy)]
+struct Slot {
+    key: Key,
+    value: Value,
+    live: bool,
+}
+
+const EMPTY: Slot = Slot { key: 0, value: 0, live: false };
+
+/// A direct-mapped hot-key cache wrapped around an index.
+pub struct HotCache<I> {
+    inner: I,
+    slots: Vec<Slot>,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[inline]
+fn slot_of(key: Key, mask: usize) -> usize {
+    (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & mask
+}
+
+impl<I> HotCache<I> {
+    /// Wraps `inner` with a cache of `capacity` slots (rounded up to a
+    /// power of two).
+    pub fn new(inner: I, capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(64);
+        HotCache {
+            inner,
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    fn invalidate(&mut self, key: Key) {
+        let s = slot_of(key, self.mask);
+        if self.slots[s].live && self.slots[s].key == key {
+            self.slots[s] = EMPTY;
+        }
+    }
+}
+
+impl<I: Index> HotCache<I> {
+    /// Point lookup with cache fill. Takes `&mut self` because a miss
+    /// promotes the key into its slot (direct-mapped, evicting whatever
+    /// was there — recency wins, which is exactly right for Zipfian
+    /// traffic).
+    pub fn get_mut(&mut self, key: Key) -> Option<Value> {
+        let s = slot_of(key, self.mask);
+        let slot = self.slots[s];
+        if slot.live && slot.key == key {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(slot.value);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = self.inner.get(key)?;
+        self.slots[s] = Slot { key, value: v, live: true };
+        Some(v)
+    }
+}
+
+impl<I: Index> Index for HotCache<I> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Read-only lookup: consults the cache but cannot fill it.
+    fn get(&self, key: Key) -> Option<Value> {
+        let s = slot_of(key, self.mask);
+        let slot = self.slots[s];
+        if slot.live && slot.key == key {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(slot.value);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.get(key)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.inner.index_size_bytes() + self.slots.len() * core::mem::size_of::<Slot>()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.inner.data_size_bytes()
+    }
+}
+
+impl<I: Index + UpdatableIndex> UpdatableIndex for HotCache<I> {
+    fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        // Write-through: keep the slot coherent.
+        let s = slot_of(key, self.mask);
+        if self.slots[s].live && self.slots[s].key == key {
+            self.slots[s].value = value;
+        }
+        self.inner.insert(key, value)
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        self.invalidate(key);
+        self.inner.remove(key)
+    }
+}
+
+impl<I: OrderedIndex> OrderedIndex for HotCache<I> {
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        self.inner.range(lo, hi, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    struct Map(BTreeMap<Key, Value>);
+
+    impl Index for Map {
+        fn name(&self) -> &'static str {
+            "map"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.get(&key).copied()
+        }
+        fn index_size_bytes(&self) -> usize {
+            0
+        }
+        fn data_size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    impl UpdatableIndex for Map {
+        fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+            self.0.insert(key, value)
+        }
+        fn remove(&mut self, key: Key) -> Option<Value> {
+            self.0.remove(&key)
+        }
+    }
+
+    fn cache() -> HotCache<Map> {
+        let inner = Map((0..1_000u64).map(|i| (i * 3, i)).collect());
+        HotCache::new(inner, 256)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = cache();
+        assert_eq!(c.get_mut(30), Some(10));
+        let (h0, _) = c.stats();
+        assert_eq!(c.get_mut(30), Some(10));
+        let (h1, _) = c.stats();
+        assert_eq!(h1, h0 + 1, "second lookup must hit");
+    }
+
+    #[test]
+    fn insert_write_through() {
+        let mut c = cache();
+        c.get_mut(30); // fill
+        c.insert(30, 999);
+        assert_eq!(c.get_mut(30), Some(999));
+        assert_eq!(c.inner().get(30), Some(999));
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut c = cache();
+        c.get_mut(30);
+        assert_eq!(c.remove(30), Some(10));
+        assert_eq!(c.get_mut(30), None);
+        // Reinsert: fresh value visible.
+        c.insert(30, 7);
+        assert_eq!(c.get_mut(30), Some(7));
+    }
+
+    #[test]
+    fn misses_never_cached() {
+        let mut c = cache();
+        assert_eq!(c.get_mut(31), None);
+        assert_eq!(c.get_mut(31), None);
+        c.insert(31, 1);
+        assert_eq!(c.get_mut(31), Some(1));
+    }
+
+    #[test]
+    fn zipfian_traffic_mostly_hits() {
+        let mut c = cache();
+        // 90% of lookups to 10 hot keys.
+        for i in 0..10_000u64 {
+            let k = if i % 10 != 0 { (i % 10) * 3 } else { (i % 1_000) * 3 };
+            c.get_mut(k);
+        }
+        let (h, m) = c.stats();
+        assert!(h as f64 / (h + m) as f64 > 0.8, "hit rate {h}/{}", h + m);
+    }
+
+    #[test]
+    fn coherent_under_churn() {
+        let mut c = cache();
+        let mut model: BTreeMap<Key, Value> = (0..1_000u64).map(|i| (i * 3, i)).collect();
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..20_000u64 {
+            let k = rng.random_range(0..3_100u64);
+            match rng.random_range(0..3) {
+                0 => {
+                    assert_eq!(c.insert(k, i), model.insert(k, i));
+                }
+                1 => {
+                    assert_eq!(c.get_mut(k), model.get(&k).copied(), "get {k}");
+                }
+                _ => {
+                    assert_eq!(c.remove(k), model.remove(&k));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Linear models — the building block of every learned index in the paper.
+//!
+//! A model maps a key to a predicted position: `pos ≈ slope * key +
+//! intercept`. Models are produced either by least squares fitting
+//! ([`LinearModel::fit_least_squares`], used by ALEX and XIndex) or by the
+//! PLA algorithms in [`crate::approx`].
+
+use crate::types::Key;
+
+/// A linear function from key space to position space, anchored at a
+/// reference key `x0`: `pos ≈ slope * (key − x0) + intercept`.
+///
+/// The anchored form matters at 64-bit key magnitudes: evaluating
+/// `slope * key + b` directly loses up to hundreds of positions to `f64`
+/// cancellation when `key ≈ 2^64`, whereas `key − x0` is computed exactly
+/// in integer arithmetic first (PGM's segments use the same trick).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    pub x0: Key,
+    pub slope: f64,
+    pub intercept: f64,
+}
+
+impl Default for LinearModel {
+    fn default() -> Self {
+        LinearModel { x0: 0, slope: 0.0, intercept: 0.0 }
+    }
+}
+
+impl LinearModel {
+    /// A model predicting `position` for every key (constant).
+    pub fn constant(position: f64) -> Self {
+        LinearModel { x0: 0, slope: 0.0, intercept: position }
+    }
+
+    /// Fits positions `0..keys.len()` by ordinary least squares — the "LSA"
+    /// algorithm of §IV-A used by ALEX node models and XIndex.
+    ///
+    /// Keys need not be distinct but must be ascending for the resulting
+    /// model to be monotone in expectation.
+    pub fn fit_least_squares(keys: &[Key]) -> Self {
+        Self::fit_least_squares_positions(keys, |i| i as f64)
+    }
+
+    /// Least squares fit against caller-provided target positions, used by
+    /// gapped layouts where position `i` maps to a slot other than `i`.
+    pub fn fit_least_squares_positions(keys: &[Key], pos: impl Fn(usize) -> f64) -> Self {
+        let n = keys.len();
+        match n {
+            0 => LinearModel::default(),
+            1 => LinearModel { x0: keys[0], slope: 0.0, intercept: pos(0) },
+            _ => {
+                // Anchor at the first key to keep the sums well conditioned
+                // for 64-bit key magnitudes.
+                let x0 = keys[0];
+                let nf = n as f64;
+                let mut sx = 0.0f64;
+                let mut sy = 0.0f64;
+                let mut sxx = 0.0f64;
+                let mut sxy = 0.0f64;
+                for (i, &k) in keys.iter().enumerate() {
+                    let x = (k - x0) as f64;
+                    let y = pos(i);
+                    sx += x;
+                    sy += y;
+                    sxx += x * x;
+                    sxy += x * y;
+                }
+                let denom = nf * sxx - sx * sx;
+                if denom.abs() < f64::EPSILON {
+                    // All keys identical: fall back to mean position.
+                    return LinearModel { x0, slope: 0.0, intercept: sy / nf };
+                }
+                let slope = (nf * sxy - sx * sy) / denom;
+                let intercept = (sy - slope * sx) / nf;
+                LinearModel { x0, slope, intercept }
+            }
+        }
+    }
+
+    /// Builds the model through two points `(k0, p0)` and `(k1, p1)`.
+    pub fn through(k0: Key, p0: f64, k1: Key, p1: f64) -> Self {
+        if k1 == k0 {
+            return LinearModel { x0: k0, slope: 0.0, intercept: p0 };
+        }
+        let slope = (p1 - p0) / (k1 as f64 - k0 as f64);
+        LinearModel { x0: k0, slope, intercept: p0 }
+    }
+
+    /// Raw (unclamped) prediction. The key offset is computed exactly in
+    /// 128-bit integers before the single rounding to `f64`.
+    #[inline]
+    pub fn predict_f(&self, key: Key) -> f64 {
+        let dx = key as i128 - self.x0 as i128;
+        self.slope * dx as f64 + self.intercept
+    }
+
+    /// Prediction clamped to `[0, n)` and rounded to a slot index; `n == 0`
+    /// yields 0.
+    #[inline]
+    pub fn predict_clamped(&self, key: Key, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let p = self.predict_f(key);
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(n - 1)
+        }
+    }
+
+    /// Returns a copy with slope and intercept scaled by `factor` — ALEX's
+    /// trick of expanding a fitted model so the same keys spread over a
+    /// larger, gap-containing array (§II-B3).
+    pub fn scaled(&self, factor: f64) -> Self {
+        LinearModel {
+            x0: self.x0,
+            slope: self.slope * factor,
+            intercept: self.intercept * factor,
+        }
+    }
+
+    /// Returns a copy whose predictions are shifted by `delta` positions
+    /// (e.g. converting between a segment's global and leaf-local position
+    /// spaces).
+    pub fn shifted(&self, delta: f64) -> Self {
+        LinearModel { x0: self.x0, slope: self.slope, intercept: self.intercept + delta }
+    }
+
+    /// Maximum and mean absolute prediction error against the true
+    /// positions `0..keys.len()`.
+    pub fn errors(&self, keys: &[Key]) -> (f64, f64) {
+        if keys.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for (i, &k) in keys.iter().enumerate() {
+            let e = (self.predict_f(k) - i as f64).abs();
+            if e > max {
+                max = e;
+            }
+            sum += e;
+        }
+        (max, sum / keys.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_exact_line() {
+        // keys = 10, 20, 30 ... positions 0,1,2: slope 0.1
+        let keys: Vec<Key> = (1..=100).map(|i| i * 10).collect();
+        let m = LinearModel::fit_least_squares(&keys);
+        assert!((m.slope - 0.1).abs() < 1e-9, "slope {}", m.slope);
+        let (max, mean) = m.errors(&keys);
+        assert!(max < 1e-6);
+        assert!(mean < 1e-6);
+    }
+
+    #[test]
+    fn fit_single_and_empty() {
+        let m = LinearModel::fit_least_squares(&[]);
+        assert_eq!(m.predict_clamped(42, 0), 0);
+        let m = LinearModel::fit_least_squares(&[7]);
+        assert_eq!(m.predict_clamped(7, 1), 0);
+    }
+
+    #[test]
+    fn fit_identical_keys() {
+        let m = LinearModel::fit_least_squares(&[5, 5, 5, 5]);
+        // Mean position 1.5 for 4 duplicates.
+        assert!((m.predict_f(5) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_clamps() {
+        let m = LinearModel { x0: 0, slope: 1.0, intercept: -5.0 };
+        assert_eq!(m.predict_clamped(0, 10), 0); // negative -> 0
+        assert_eq!(m.predict_clamped(100, 10), 9); // beyond -> n-1
+        assert_eq!(m.predict_clamped(8, 10), 3);
+    }
+
+    #[test]
+    fn through_two_points() {
+        let m = LinearModel::through(10, 0.0, 20, 10.0);
+        assert!((m.predict_f(15) - 5.0).abs() < 1e-9);
+        let degen = LinearModel::through(10, 3.0, 10, 9.0);
+        assert!((degen.predict_f(123) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_spreads_predictions() {
+        let keys: Vec<Key> = (0..100).map(|i| i * 3).collect();
+        let m = LinearModel::fit_least_squares(&keys);
+        let g = m.scaled(2.0);
+        assert!((g.predict_f(297) - 2.0 * m.predict_f(297)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huge_keys_well_conditioned() {
+        let base = u64::MAX - 10_000;
+        let keys: Vec<Key> = (0..1_000).map(|i| base + i * 10).collect();
+        let m = LinearModel::fit_least_squares(&keys);
+        let (max, _) = m.errors(&keys);
+        assert!(max < 1.0, "max err {max}");
+    }
+}
+
+/// A cubic model `pos ≈ a·x³ + b·x² + c·x + d` over `x = key − x0`
+/// (normalised), §V-A's "nonlinear models" suggestion. Used optionally as
+/// an RMI second stage, where one cubic can replace several linear models
+/// on curved CDF regions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubicModel {
+    pub x0: Key,
+    /// Key span used for normalisation (predictions divide by it).
+    pub span: f64,
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl CubicModel {
+    /// Least-squares cubic fit of positions `0..keys.len()` via the normal
+    /// equations (4×4 Gaussian elimination). Keys are normalised to
+    /// `[0, 1]` first so the power sums stay conditioned.
+    pub fn fit(keys: &[Key]) -> Self {
+        let n = keys.len();
+        if n == 0 {
+            return CubicModel { x0: 0, span: 1.0, a: 0.0, b: 0.0, c: 0.0, d: 0.0 };
+        }
+        let x0 = keys[0];
+        let span = ((keys[n - 1] - x0) as f64).max(1.0);
+        if n < 4 {
+            // Fall back to the linear fit embedded in cubic form.
+            let lin = LinearModel::fit_least_squares(keys);
+            return CubicModel { x0, span, a: 0.0, b: 0.0, c: lin.slope * span, d: lin.intercept };
+        }
+        // Accumulate power sums S_k = Σ x^k (k ≤ 6) and T_k = Σ x^k · y.
+        let mut s = [0.0f64; 7];
+        let mut t = [0.0f64; 4];
+        for (i, &k) in keys.iter().enumerate() {
+            let x = (k - x0) as f64 / span;
+            let y = i as f64;
+            let mut p = 1.0;
+            for sk in s.iter_mut() {
+                *sk += p;
+                p *= x;
+            }
+            let mut p = 1.0;
+            for tk in t.iter_mut() {
+                *tk += p * y;
+                p *= x;
+            }
+        }
+        // Normal equations: M · [d c b a]^T = t with M[i][j] = S_{i+j}.
+        let mut m = [[0.0f64; 5]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().take(4).enumerate() {
+                *cell = s[i + j];
+            }
+            row[4] = t[i];
+        }
+        // Gaussian elimination with partial pivoting.
+        for col in 0..4 {
+            let piv = (col..4)
+                .max_by(|&r1, &r2| m[r1][col].abs().partial_cmp(&m[r2][col].abs()).unwrap())
+                .unwrap();
+            m.swap(col, piv);
+            if m[col][col].abs() < 1e-12 {
+                // Degenerate system: fall back to linear.
+                let lin = LinearModel::fit_least_squares(keys);
+                return CubicModel {
+                    x0,
+                    span,
+                    a: 0.0,
+                    b: 0.0,
+                    c: lin.slope * span,
+                    d: lin.intercept,
+                };
+            }
+            for row in col + 1..4 {
+                let f = m[row][col] / m[col][col];
+                // Row elimination; indexing both rows keeps the linear
+                // algebra legible.
+                #[allow(clippy::needless_range_loop)]
+                for k in col..5 {
+                    m[row][k] -= f * m[col][k];
+                }
+            }
+        }
+        let mut coef = [0.0f64; 4];
+        for row in (0..4).rev() {
+            let mut acc = m[row][4];
+            for k in row + 1..4 {
+                acc -= m[row][k] * coef[k];
+            }
+            coef[row] = acc / m[row][row];
+        }
+        CubicModel { x0, span, a: coef[3], b: coef[2], c: coef[1], d: coef[0] }
+    }
+
+    /// Raw prediction.
+    #[inline]
+    pub fn predict_f(&self, key: Key) -> f64 {
+        let x = (key as i128 - self.x0 as i128) as f64 / self.span;
+        ((self.a * x + self.b) * x + self.c) * x + self.d
+    }
+
+    /// Prediction clamped to `[0, n)`.
+    #[inline]
+    pub fn predict_clamped(&self, key: Key, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let p = self.predict_f(key);
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(n - 1)
+        }
+    }
+
+    /// `(max, mean)` absolute error against positions `0..keys.len()`.
+    pub fn errors(&self, keys: &[Key]) -> (f64, f64) {
+        if keys.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for (i, &k) in keys.iter().enumerate() {
+            let e = (self.predict_f(k) - i as f64).abs();
+            max = max.max(e);
+            sum += e;
+        }
+        (max, sum / keys.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod cubic_tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_cubic_cdf() {
+        // Keys whose CDF (rank as a function of key) is a cubic:
+        // key ∝ rank^(1/3) makes rank ∝ key³.
+        let keys: Vec<Key> = (0..1_000u64)
+            .map(|i| ((i as f64).powf(1.0 / 3.0) * 100_000.0) as u64 + i)
+            .collect();
+        let m = CubicModel::fit(&keys);
+        let (max, mean) = m.errors(&keys);
+        assert!(mean < 2.0, "mean {mean}");
+        assert!(max < 20.0, "max {max}");
+        // A linear fit is far worse on the same data.
+        let lin = LinearModel::fit_least_squares(&keys);
+        let (_, lin_mean) = lin.errors(&keys);
+        assert!(lin_mean > mean * 10.0, "cubic {mean} vs linear {lin_mean}");
+    }
+
+    #[test]
+    fn linear_data_still_fits() {
+        let keys: Vec<Key> = (0..5_000u64).map(|i| i * 17 + 3).collect();
+        let m = CubicModel::fit(&keys);
+        let (max, _) = m.errors(&keys);
+        assert!(max < 1.5, "max {max}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(CubicModel::fit(&[]).predict_clamped(5, 0), 0);
+        let m = CubicModel::fit(&[10]);
+        assert_eq!(m.predict_clamped(10, 1), 0);
+        let m = CubicModel::fit(&[10, 20, 30]);
+        assert_eq!(m.predict_clamped(20, 3), 1);
+    }
+
+    #[test]
+    fn huge_key_magnitudes() {
+        let base = u64::MAX - (1 << 30);
+        let keys: Vec<Key> = (0..2_000u64).map(|i| base + i * 1_000).collect();
+        let m = CubicModel::fit(&keys);
+        let (max, _) = m.errors(&keys);
+        assert!(max < 4.0, "max {max}");
+    }
+
+    #[test]
+    fn monotone_on_training_range_for_monotone_data() {
+        let keys: Vec<Key> = (0..1_000u64).map(|i| (i as f64).powf(1.5) as u64 * 7 + i).collect();
+        let m = CubicModel::fit(&keys);
+        let mut last = m.predict_f(keys[0]);
+        let mut violations = 0;
+        for &k in &keys[1..] {
+            let p = m.predict_f(k);
+            if p < last - 1.0 {
+                violations += 1;
+            }
+            last = p;
+        }
+        // Cubic fits of monotone CDFs are near-monotone; allow slack.
+        assert!(violations < keys.len() / 20, "{violations} violations");
+    }
+}

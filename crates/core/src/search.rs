@@ -1,0 +1,292 @@
+//! In-leaf search routines.
+//!
+//! Learned indexes predict an approximate position and then correct it with
+//! a local search (§II, Fig. 2). The paper's indexes use bounded binary
+//! search within `prediction ± error` (RMI, RS, FITing-tree, PGM) or
+//! exponential search outward from the prediction (ALEX). All variants are
+//! provided here and unit-tested against each other.
+
+use crate::types::{Key, KeyValue};
+
+/// Returns the index of the first element `>= key` in the sorted slice
+/// (classic lower bound). Returns `keys.len()` if all elements are smaller.
+#[inline]
+pub fn lower_bound(keys: &[Key], key: Key) -> usize {
+    let mut lo = 0usize;
+    let mut hi = keys.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if keys[mid] < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Lower bound over `(key, value)` pairs.
+#[inline]
+pub fn lower_bound_kv(data: &[KeyValue], key: Key) -> usize {
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if data[mid].0 < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Bounded binary search: looks for `key` within
+/// `[predicted.saturating_sub(err), min(len, predicted + err + 1))` of the
+/// sorted slice, the correction step every bounded-error learned index
+/// performs (§II).
+///
+/// Returns the position of the first element `>= key` inside the window.
+/// The caller must guarantee the window actually contains that position
+/// (true whenever `err` is the approximation's max error).
+#[inline]
+pub fn bounded_lower_bound(keys: &[Key], key: Key, predicted: usize, err: usize) -> usize {
+    let lo = predicted.saturating_sub(err);
+    let hi = (predicted + err + 1).min(keys.len());
+    let window = &keys[lo.min(hi)..hi];
+    lo.min(hi) + lower_bound(window, key)
+}
+
+/// Bounded "last element <= key" search: like [`bounded_lower_bound`] but
+/// returns the index of the last element `<= key` (0 if every element in
+/// the window exceeds `key`). Avoids the `key + 1` overflow trick that
+/// breaks at `u64::MAX`. The caller must guarantee the window brackets the
+/// answer.
+#[inline]
+pub fn bounded_last_le(keys: &[Key], key: Key, predicted: usize, err: usize) -> usize {
+    let lo = predicted.saturating_sub(err);
+    let hi = (predicted + err + 1).min(keys.len());
+    let lo = lo.min(hi);
+    let window = &keys[lo..hi];
+    let ub = window.partition_point(|&k| k <= key);
+    (lo + ub).saturating_sub(1)
+}
+
+/// Exponential (galloping) search outward from `predicted`, used by ALEX
+/// whose approximation has no max-error guarantee (§II-B3). Works on a
+/// sorted slice; returns lower-bound position.
+#[inline]
+pub fn exponential_lower_bound(keys: &[Key], key: Key, predicted: usize) -> usize {
+    let n = keys.len();
+    if n == 0 {
+        return 0;
+    }
+    let p = predicted.min(n - 1);
+    if keys[p] == key {
+        return p;
+    }
+    if keys[p] < key {
+        // gallop right
+        let mut step = 1usize;
+        let mut lo = p;
+        let mut hi = p;
+        while hi < n && keys[hi] < key {
+            lo = hi;
+            hi = (hi + step).min(n);
+            step <<= 1;
+        }
+        lo + lower_bound(&keys[lo..hi], key)
+    } else {
+        // gallop left
+        let mut step = 1usize;
+        let mut hi = p;
+        let mut lo = p;
+        while lo > 0 && keys[lo] >= key {
+            hi = lo;
+            lo = lo.saturating_sub(step);
+            step <<= 1;
+        }
+        lo + lower_bound(&keys[lo..=hi.min(n - 1)], key)
+    }
+}
+
+/// Interpolation search over a sorted slice (mentioned in §VI-A as one of
+/// the in-leaf search options). Falls back to binary search when the key
+/// range degenerates. Returns lower-bound position.
+pub fn interpolation_lower_bound(keys: &[Key], key: Key) -> usize {
+    let mut lo = 0usize;
+    let mut hi = keys.len();
+    // Limit interpolation probes to avoid pathological behaviour on skewed
+    // data, then fall back to binary search on the remaining window.
+    let mut probes = 0;
+    while lo < hi && probes < 16 {
+        let k_lo = keys[lo];
+        let k_hi = keys[hi - 1];
+        if key <= k_lo {
+            // keys[lo] >= key, so lo is the lower bound.
+            return lo;
+        }
+        if key > k_hi {
+            return hi;
+        }
+        if k_hi == k_lo {
+            break;
+        }
+        let span = (hi - lo - 1) as u128;
+        let off = ((key - k_lo) as u128 * span / (k_hi - k_lo) as u128) as usize;
+        let mid = lo + off;
+        if keys[mid] < key {
+            lo = mid + 1;
+        } else {
+            // keys[mid] >= key, so the answer is at most mid; mid < hi
+            // always holds, guaranteeing progress.
+            hi = mid;
+        }
+        probes += 1;
+    }
+    lo + lower_bound(&keys[lo..hi], key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<Key> {
+        vec![2, 4, 8, 16, 23, 42, 99, 100, 105, 1000]
+    }
+
+    #[test]
+    fn lower_bound_matches_std() {
+        let ks = keys();
+        for probe in 0..1100u64 {
+            let expect = ks.partition_point(|&k| k < probe);
+            assert_eq!(lower_bound(&ks, probe), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_empty() {
+        assert_eq!(lower_bound(&[], 5), 0);
+    }
+
+    #[test]
+    fn bounded_matches_when_window_covers() {
+        let ks = keys();
+        for (true_pos, &k) in ks.iter().enumerate() {
+            for pred in 0..ks.len() {
+                let err = true_pos.abs_diff(pred);
+                assert_eq!(
+                    bounded_lower_bound(&ks, k, pred, err),
+                    true_pos,
+                    "key {k} pred {pred} err {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_matches_std() {
+        let ks = keys();
+        for probe in 0..1100u64 {
+            let expect = ks.partition_point(|&k| k < probe);
+            for pred in 0..ks.len() {
+                assert_eq!(
+                    exponential_lower_bound(&ks, probe, pred),
+                    expect,
+                    "probe {probe} pred {pred}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_empty() {
+        assert_eq!(exponential_lower_bound(&[], 1, 0), 0);
+    }
+
+    #[test]
+    fn interpolation_matches_std() {
+        let ks = keys();
+        for probe in 0..1100u64 {
+            let expect = ks.partition_point(|&k| k < probe);
+            assert_eq!(interpolation_lower_bound(&ks, probe), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn interpolation_uniform_large() {
+        let ks: Vec<Key> = (0..10_000).map(|i| i * 7 + 3).collect();
+        for probe in (0..70_000).step_by(13) {
+            let expect = ks.partition_point(|&k| k < probe);
+            assert_eq!(interpolation_lower_bound(&ks, probe), expect);
+        }
+    }
+
+    #[test]
+    fn bounded_last_le_matches() {
+        let ks = keys();
+        for probe in 0..1100u64 {
+            let expect = ks.partition_point(|&k| k <= probe).saturating_sub(1);
+            // Full-window call is always bracketed.
+            assert_eq!(bounded_last_le(&ks, probe, 5, ks.len()), expect, "probe {probe}");
+        }
+        // u64::MAX present and queried.
+        let ks2 = vec![1u64, 5, u64::MAX];
+        assert_eq!(bounded_last_le(&ks2, u64::MAX, 1, 3), 2);
+        assert_eq!(bounded_last_le(&ks2, 0, 1, 3), 0);
+    }
+
+    #[test]
+    fn lower_bound_kv_matches() {
+        let data: Vec<KeyValue> = keys().into_iter().map(|k| (k, k * 2)).collect();
+        for probe in 0..1100u64 {
+            let expect = data.partition_point(|kv| kv.0 < probe);
+            assert_eq!(lower_bound_kv(&data, probe), expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn all_searches_agree_with_partition_point(
+            mut keys in proptest::collection::vec(0u64..10_000, 0..300),
+            probe in 0u64..10_000,
+            pred in 0usize..300,
+        ) {
+            keys.sort_unstable();
+            keys.dedup();
+            let expect = keys.partition_point(|&k| k < probe);
+            prop_assert_eq!(lower_bound(&keys, probe), expect);
+            prop_assert_eq!(interpolation_lower_bound(&keys, probe), expect);
+            if !keys.is_empty() {
+                prop_assert_eq!(exponential_lower_bound(&keys, probe, pred % keys.len()), expect);
+                // Full-window bounded searches are always bracketed.
+                prop_assert_eq!(bounded_lower_bound(&keys, probe, pred % keys.len(), keys.len()), expect);
+                let le = keys.partition_point(|&k| k <= probe).saturating_sub(1);
+                prop_assert_eq!(bounded_last_le(&keys, probe, pred % keys.len(), keys.len()), le);
+            }
+        }
+
+        #[test]
+        fn bounded_search_correct_within_true_error(
+            mut keys in proptest::collection::vec(0u64..100_000, 2..400),
+            idx in 0usize..400,
+            err_extra in 0usize..8,
+        ) {
+            keys.sort_unstable();
+            keys.dedup();
+            let i = idx % keys.len();
+            let probe = keys[i];
+            // Any window that brackets the true position must find it.
+            for pred in [i.saturating_sub(err_extra), (i + err_extra).min(keys.len() - 1)] {
+                let err = i.abs_diff(pred);
+                prop_assert_eq!(bounded_lower_bound(&keys, probe, pred, err), i);
+            }
+        }
+    }
+}

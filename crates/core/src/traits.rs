@@ -1,0 +1,165 @@
+//! Trait family implemented by every index in the workspace.
+//!
+//! The end-to-end harness (`li-viper` + `li-bench`) talks to indexes only
+//! through these traits, which is what makes the paper's "same environment,
+//! fair comparison" (§III) possible.
+
+use crate::types::{Key, KeyValue, Value};
+
+/// Read-side interface common to all indexes.
+pub trait Index: Send + Sync {
+    /// Human-readable name used in benchmark output (e.g. `"ALEX"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// True when the index holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point lookup.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Bytes used by the index *structure* only: models, inner nodes,
+    /// routing tables — excluding the sorted key/value arrays. This is the
+    /// "Index size" column of the paper's Table III.
+    fn index_size_bytes(&self) -> usize;
+
+    /// Bytes used by the key/value-handle arrays the index owns (leaf data,
+    /// buffers, gaps). Together with [`Index::index_size_bytes`] this forms
+    /// the "Index+key size" column of Table III.
+    fn data_size_bytes(&self) -> usize;
+}
+
+/// Indexes that support ordered range scans (every index in the paper except
+/// the hash baseline).
+pub trait OrderedIndex: Index {
+    /// Appends all pairs with `lo <= key <= hi` to `out`, in key order.
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>);
+
+    /// Convenience wrapper returning a fresh vector.
+    fn range_vec(&self, lo: Key, hi: Key) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        self.range(lo, hi, &mut out);
+        out
+    }
+}
+
+/// Indexes supporting single-threaded mutation.
+pub trait UpdatableIndex: Index {
+    /// Inserts or updates; returns the previous value if the key existed.
+    fn insert(&mut self, key: Key, value: Value) -> Option<Value>;
+
+    /// Removes a key; returns its value if present.
+    fn remove(&mut self, key: Key) -> Option<Value>;
+}
+
+/// Indexes supporting concurrent mutation through a shared reference
+/// (in the paper only XIndex among the learned indexes; §III-C2).
+pub trait ConcurrentIndex: Send + Sync {
+    /// Point lookup through a shared reference.
+    fn get(&self, key: Key) -> Option<Value>;
+    /// Insert/update through a shared reference.
+    fn insert(&self, key: Key, value: Value) -> Option<Value>;
+    /// Remove through a shared reference.
+    fn remove(&self, key: Key) -> Option<Value>;
+    /// Number of live keys (may be approximate while writers are active).
+    fn len(&self) -> usize;
+    /// True when no keys are present.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Indexes constructible from a sorted array in one shot (bulk loading),
+/// which is how every learned index in the paper is initialised and how
+/// Viper recovers its DRAM index after a crash (Fig. 16).
+pub trait BulkBuildIndex: Sized {
+    /// Builds from strictly-ascending `(key, value)` pairs.
+    fn build(data: &[KeyValue]) -> Self;
+}
+
+/// Structural statistics used by Table II (average depth) and Fig. 17.
+pub trait DepthStats {
+    /// Mean root-to-leaf depth over all leaves (Table II).
+    fn avg_depth(&self) -> f64;
+    /// Number of leaf nodes / segments produced by the approximation
+    /// algorithm (Fig. 17 (b)).
+    fn leaf_count(&self) -> usize;
+}
+
+/// Two-phase lookup used by Fig. 17 (d) to time the inner-structure phase
+/// and the in-leaf search phase separately.
+pub trait TwoPhaseLookup: Index {
+    /// Phase 1: route `key` to a leaf identifier.
+    fn locate_leaf(&self, key: Key) -> usize;
+    /// Phase 2: search within leaf `leaf` for `key`.
+    fn search_leaf(&self, leaf: usize, key: Key) -> Option<Value>;
+}
+
+/// Capability row for the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    pub name: &'static str,
+    pub inner_node: &'static str,
+    pub leaf_node: &'static str,
+    /// Whether the approximation guarantees a maximum error.
+    pub bounded_error: bool,
+    pub approx_algorithm: &'static str,
+    pub insertion: &'static str,
+    pub retraining: &'static str,
+    pub concurrent_writes: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(Vec<KeyValue>);
+
+    impl Index for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0
+                .binary_search_by_key(&key, |kv| kv.0)
+                .ok()
+                .map(|i| self.0[i].1)
+        }
+        fn index_size_bytes(&self) -> usize {
+            0
+        }
+        fn data_size_bytes(&self) -> usize {
+            self.0.len() * core::mem::size_of::<KeyValue>()
+        }
+    }
+
+    impl OrderedIndex for Dummy {
+        fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+            out.extend(self.0.iter().filter(|kv| kv.0 >= lo && kv.0 <= hi));
+        }
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let d = Dummy(vec![]);
+        assert!(d.is_empty());
+        let d = Dummy(vec![(1, 10)]);
+        assert!(!d.is_empty());
+        assert_eq!(d.get(1), Some(10));
+        assert_eq!(d.get(2), None);
+    }
+
+    #[test]
+    fn range_vec_collects() {
+        let d = Dummy(vec![(1, 10), (5, 50), (9, 90)]);
+        assert_eq!(d.range_vec(2, 9), vec![(5, 50), (9, 90)]);
+        assert_eq!(d.range_vec(10, 20), vec![]);
+    }
+}

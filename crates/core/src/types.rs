@@ -1,0 +1,86 @@
+//! Fundamental key/value types shared by every index in the workspace.
+//!
+//! The paper evaluates indexes over 8-byte integer keys whose payloads live
+//! in an NVM-resident record store; the index itself only maps a key to a
+//! *value handle* (an offset into the store). Both are `u64` here.
+
+/// An 8-byte key, matching the paper's evaluation setup (§III-A3).
+pub type Key = u64;
+
+/// A value handle: for end-to-end runs this is an offset into the Viper
+/// record store; for in-memory microbenchmarks it is the payload itself.
+pub type Value = u64;
+
+/// A key/value-handle pair as stored in index leaf arrays.
+pub type KeyValue = (Key, Value);
+
+/// Errors produced by index construction or mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Bulk build requires strictly ascending unique keys.
+    UnsortedInput { at: usize },
+    /// The structure cannot accept further inserts (read-only index).
+    ReadOnly,
+    /// An internal invariant was violated; carries a description.
+    Corrupt(&'static str),
+}
+
+impl core::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IndexError::UnsortedInput { at } => {
+                write!(f, "bulk-build input not strictly ascending at position {at}")
+            }
+            IndexError::ReadOnly => write!(f, "index is read-only"),
+            IndexError::Corrupt(what) => write!(f, "index corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Validates that `data` is strictly ascending by key, as required by all
+/// bulk-build constructors in the workspace.
+pub fn check_sorted(data: &[KeyValue]) -> Result<(), IndexError> {
+    for (i, w) in data.windows(2).enumerate() {
+        if w[0].0 >= w[1].0 {
+            return Err(IndexError::UnsortedInput { at: i + 1 });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_ok() {
+        assert!(check_sorted(&[(1, 0), (2, 0), (9, 0)]).is_ok());
+        assert!(check_sorted(&[]).is_ok());
+        assert!(check_sorted(&[(5, 0)]).is_ok());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert_eq!(
+            check_sorted(&[(1, 0), (1, 1)]),
+            Err(IndexError::UnsortedInput { at: 1 })
+        );
+    }
+
+    #[test]
+    fn descending_rejected() {
+        assert_eq!(
+            check_sorted(&[(3, 0), (2, 0)]),
+            Err(IndexError::UnsortedInput { at: 1 })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IndexError::UnsortedInput { at: 7 };
+        assert!(e.to_string().contains("position 7"));
+        assert_eq!(IndexError::ReadOnly.to_string(), "index is read-only");
+    }
+}

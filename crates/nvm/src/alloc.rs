@@ -1,0 +1,146 @@
+//! Fixed-size page allocation over a device range.
+//!
+//! Viper organises NVM into fixed-size value pages; this allocator hands
+//! out page slots (bump allocation + free list) without touching the
+//! device itself — allocation metadata is volatile, and Viper's recovery
+//! re-derives it from page headers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Allocates fixed-size pages within `[0, capacity)` of a device.
+pub struct PageAllocator {
+    page_size: usize,
+    total_pages: usize,
+    next: AtomicUsize,
+    free: Mutex<Vec<usize>>,
+}
+
+impl PageAllocator {
+    /// Creates an allocator for `capacity / page_size` pages.
+    pub fn new(capacity: usize, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        PageAllocator {
+            page_size,
+            total_pages: capacity / page_size,
+            next: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Number of pages currently handed out.
+    pub fn allocated_pages(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.total_pages) - self.free.lock().len()
+    }
+
+    /// Allocates a page, returning its id, or `None` when the device is
+    /// full.
+    pub fn alloc(&self) -> Option<usize> {
+        if let Some(id) = self.free.lock().pop() {
+            return Some(id);
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if id < self.total_pages {
+            Some(id)
+        } else {
+            // Undo overshoot so allocated_pages stays meaningful.
+            self.next.fetch_sub(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Returns a page to the free list.
+    pub fn free(&self, page: usize) {
+        debug_assert!(page < self.total_pages);
+        self.free.lock().push(page);
+    }
+
+    /// Byte offset of a page on the device.
+    #[inline]
+    pub fn page_offset(&self, page: usize) -> usize {
+        page * self.page_size
+    }
+
+    /// Marks pages `0..count` as allocated — used by recovery, which
+    /// re-discovers live pages by scanning the device.
+    pub fn assume_allocated(&self, count: usize) {
+        assert!(count <= self.total_pages);
+        self.next.store(count, Ordering::Relaxed);
+        self.free.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuse() {
+        let a = PageAllocator::new(4096, 1024);
+        assert_eq!(a.total_pages(), 4);
+        let p0 = a.alloc().unwrap();
+        let p1 = a.alloc().unwrap();
+        assert_ne!(p0, p1);
+        assert_eq!(a.allocated_pages(), 2);
+        a.free(p0);
+        assert_eq!(a.allocated_pages(), 1);
+        assert_eq!(a.alloc().unwrap(), p0, "free list reused first");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let a = PageAllocator::new(2048, 1024);
+        assert!(a.alloc().is_some());
+        assert!(a.alloc().is_some());
+        assert!(a.alloc().is_none());
+        assert!(a.alloc().is_none());
+        assert_eq!(a.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn offsets() {
+        let a = PageAllocator::new(1 << 20, 4096);
+        assert_eq!(a.page_offset(0), 0);
+        assert_eq!(a.page_offset(3), 12288);
+    }
+
+    #[test]
+    fn assume_allocated_for_recovery() {
+        let a = PageAllocator::new(8192, 1024);
+        a.assume_allocated(5);
+        assert_eq!(a.allocated_pages(), 5);
+        assert_eq!(a.alloc().unwrap(), 5);
+    }
+
+    #[test]
+    fn concurrent_allocs_unique() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let a = Arc::new(PageAllocator::new(1 << 20, 64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| a.alloc().unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "page {id} allocated twice");
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+}

@@ -1,0 +1,409 @@
+//! The simulated NVM device.
+
+use parking_lot::Mutex;
+
+use crate::latency::{spin_ns, BandwidthLimiter, LatencyModel};
+use crate::stats::NvmStats;
+
+/// Whether the device keeps a shadow image for crash simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityTracking {
+    /// No shadow; `crash` is unavailable. Zero overhead — the right choice
+    /// for throughput benchmarks.
+    Disabled,
+    /// Keep a durable shadow image updated on flush+fence; `crash` resets
+    /// the device to it. Doubles memory; meant for crash-consistency tests.
+    Shadow,
+}
+
+/// Device construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NvmConfig {
+    /// Device capacity in bytes.
+    pub capacity: usize,
+    pub latency: LatencyModel,
+    pub durability: DurabilityTracking,
+}
+
+impl NvmConfig {
+    /// Optane-like device of `capacity` bytes without crash tracking.
+    pub fn optane(capacity: usize) -> Self {
+        NvmConfig {
+            capacity,
+            latency: LatencyModel::optane_like(),
+            durability: DurabilityTracking::Disabled,
+        }
+    }
+
+    /// Latency-free device (useful for unit tests).
+    pub fn fast(capacity: usize) -> Self {
+        NvmConfig {
+            capacity,
+            latency: LatencyModel::dram_like(),
+            durability: DurabilityTracking::Disabled,
+        }
+    }
+
+    /// Latency-free device with crash tracking (for recovery tests).
+    pub fn fast_with_crash(capacity: usize) -> Self {
+        NvmConfig {
+            capacity,
+            latency: LatencyModel::dram_like(),
+            durability: DurabilityTracking::Shadow,
+        }
+    }
+}
+
+/// Byte-addressable storage written through raw pointers so that readers
+/// and writers can proceed concurrently through `&self`, like a real
+/// memory-mapped device.
+struct Arena {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the arena itself is just memory; cross-thread coordination is the
+// caller contract documented on `NvmDevice` (no overlapping concurrent
+// accesses where one is a write).
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    fn new(len: usize) -> Self {
+        let boxed: Box<[u8]> = vec![0u8; len].into_boxed_slice();
+        Arena { ptr: Box::into_raw(boxed) as *mut u8, len }
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from Box::into_raw of a boxed slice.
+        unsafe {
+            drop(Box::from_raw(core::ptr::slice_from_raw_parts_mut(self.ptr, self.len)));
+        }
+    }
+}
+
+/// Shadow state for crash simulation.
+struct Shadow {
+    /// Last durable image of the device.
+    image: Vec<u8>,
+    /// Ranges flushed (content captured at flush time) but not yet fenced.
+    pending: Vec<(usize, Vec<u8>)>,
+}
+
+/// The simulated persistent-memory device.
+///
+/// # Concurrency contract
+///
+/// `read_into`/`write` take `&self` and may be called from many threads,
+/// but — exactly like a real memory mapping — concurrent accesses to
+/// *overlapping* byte ranges where at least one is a write are not
+/// allowed. The Viper store upholds this by giving each record slot a
+/// single owner until it is published.
+pub struct NvmDevice {
+    mem: Arena,
+    latency: LatencyModel,
+    limiter: Option<BandwidthLimiter>,
+    stats: NvmStats,
+    shadow: Option<Mutex<Shadow>>,
+}
+
+impl NvmDevice {
+    pub fn new(config: NvmConfig) -> Self {
+        let shadow = match config.durability {
+            DurabilityTracking::Disabled => None,
+            DurabilityTracking::Shadow => Some(Mutex::new(Shadow {
+                image: vec![0u8; config.capacity],
+                pending: Vec::new(),
+            })),
+        };
+        NvmDevice {
+            mem: Arena::new(config.capacity),
+            latency: config.latency,
+            limiter: BandwidthLimiter::new(config.latency.bandwidth_bytes_per_us),
+            stats: NvmStats::default(),
+            shadow,
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.mem.len
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn charge(&self, offset: usize, len: usize, ns_per_block: u64) {
+        let blocks = LatencyModel::blocks(offset, len) as u64;
+        spin_ns(blocks * ns_per_block);
+        if let Some(l) = &self.limiter {
+            l.consume(len as u64);
+        }
+    }
+
+    #[inline]
+    fn check_range(&self, offset: usize, len: usize) {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.mem.len),
+            "NVM access out of range: offset {offset} len {len} capacity {}",
+            self.mem.len
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    #[inline]
+    pub fn read_into(&self, offset: usize, buf: &mut [u8]) {
+        self.check_range(offset, buf.len());
+        self.charge(offset, buf.len(), self.latency.read_ns_per_block);
+        self.stats.on_read(buf.len());
+        // SAFETY: range checked above; non-overlap with concurrent writes
+        // is the documented caller contract.
+        unsafe {
+            core::ptr::copy_nonoverlapping(self.mem.ptr.add(offset), buf.as_mut_ptr(), buf.len());
+        }
+    }
+
+    /// Writes `data` starting at `offset`. Volatile until flushed+fenced.
+    #[inline]
+    pub fn write(&self, offset: usize, data: &[u8]) {
+        self.check_range(offset, data.len());
+        self.charge(offset, data.len(), self.latency.write_ns_per_block);
+        self.stats.on_write(data.len());
+        // SAFETY: see read_into.
+        unsafe {
+            core::ptr::copy_nonoverlapping(data.as_ptr(), self.mem.ptr.add(offset), data.len());
+        }
+    }
+
+    /// Convenience: reads a little-endian u64.
+    #[inline]
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Convenience: writes a little-endian u64.
+    #[inline]
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Flushes a written range toward persistence (clwb-like). The content
+    /// captured *now* becomes durable at the next [`NvmDevice::fence`].
+    pub fn flush(&self, offset: usize, len: usize) {
+        self.check_range(offset, len);
+        let lines = len.div_ceil(64).max(1) as u64;
+        spin_ns(lines * self.latency.flush_ns);
+        self.stats.flushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(shadow) = &self.shadow {
+            let mut data = vec![0u8; len];
+            // SAFETY: range checked; caller contract as in read_into.
+            unsafe {
+                core::ptr::copy_nonoverlapping(self.mem.ptr.add(offset), data.as_mut_ptr(), len);
+            }
+            shadow.lock().pending.push((offset, data));
+        }
+    }
+
+    /// Store fence: all previously flushed ranges become durable.
+    pub fn fence(&self) {
+        spin_ns(self.latency.fence_ns);
+        self.stats.fences.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(shadow) = &self.shadow {
+            let mut s = shadow.lock();
+            let pending = std::mem::take(&mut s.pending);
+            for (offset, data) in pending {
+                s.image[offset..offset + data.len()].copy_from_slice(&data);
+            }
+        }
+    }
+
+    /// Flush + fence in one call.
+    pub fn persist(&self, offset: usize, len: usize) {
+        self.flush(offset, len);
+        self.fence();
+    }
+
+    /// Simulates a power failure: the device content reverts to the last
+    /// durable image (writes that were not flushed+fenced are lost).
+    /// Requires [`DurabilityTracking::Shadow`].
+    ///
+    /// Takes `&mut self` so the borrow checker enforces quiescence.
+    pub fn crash(&mut self) {
+        let shadow = self
+            .shadow
+            .as_ref()
+            .expect("crash() requires DurabilityTracking::Shadow");
+        let mut s = shadow.lock();
+        s.pending.clear();
+        // SAFETY: &mut self guarantees no concurrent access.
+        unsafe {
+            core::ptr::copy_nonoverlapping(s.image.as_ptr(), self.mem.ptr, self.mem.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dev = NvmDevice::new(NvmConfig::fast(4096));
+        dev.write(100, b"hello world");
+        let mut buf = [0u8; 11];
+        dev.read_into(100, &mut buf);
+        assert_eq!(&buf, b"hello world");
+        dev.write_u64(200, 0xdead_beef);
+        assert_eq!(dev.read_u64(200), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let dev = NvmDevice::new(NvmConfig::fast(64));
+        let mut b = [0u8; 8];
+        dev.read_into(60, &mut b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let dev = NvmDevice::new(NvmConfig::fast(64));
+        dev.write(64, &[1]);
+    }
+
+    #[test]
+    fn stats_counted() {
+        let dev = NvmDevice::new(NvmConfig::fast(4096));
+        dev.write(0, &[0u8; 300]);
+        let mut b = [0u8; 100];
+        dev.read_into(0, &mut b);
+        dev.persist(0, 300);
+        let s = dev.stats().snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 300);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn crash_discards_unflushed() {
+        let mut dev = NvmDevice::new(NvmConfig::fast_with_crash(4096));
+        dev.write_u64(0, 11);
+        dev.persist(0, 8);
+        dev.write_u64(8, 22); // never flushed
+        dev.write_u64(16, 33);
+        dev.flush(16, 8); // flushed but not fenced
+        dev.crash();
+        assert_eq!(dev.read_u64(0), 11, "durable data survives");
+        assert_eq!(dev.read_u64(8), 0, "unflushed write lost");
+        assert_eq!(dev.read_u64(16), 0, "flush without fence lost");
+    }
+
+    #[test]
+    fn crash_respects_flush_time_content() {
+        let mut dev = NvmDevice::new(NvmConfig::fast_with_crash(4096));
+        dev.write_u64(0, 1);
+        dev.flush(0, 8);
+        dev.write_u64(0, 2); // after the flush, before the fence
+        dev.fence();
+        dev.crash();
+        // The flush captured value 1; the overwrite was never re-flushed.
+        assert_eq!(dev.read_u64(0), 1);
+    }
+
+    #[test]
+    fn repeated_crash_idempotent() {
+        let mut dev = NvmDevice::new(NvmConfig::fast_with_crash(1024));
+        dev.write_u64(0, 7);
+        dev.persist(0, 8);
+        dev.crash();
+        dev.crash();
+        assert_eq!(dev.read_u64(0), 7);
+    }
+
+    #[test]
+    fn latency_charged() {
+        use std::time::Instant;
+        let mut cfg = NvmConfig::fast(1 << 20);
+        cfg.latency.read_ns_per_block = 1_000;
+        let dev = NvmDevice::new(cfg);
+        let mut buf = [0u8; 256];
+        let t0 = Instant::now();
+        for i in 0..100 {
+            dev.read_into(i * 256, &mut buf);
+        }
+        // 100 block reads * 1 µs each.
+        assert!(t0.elapsed().as_micros() >= 100, "latency not charged");
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        use std::sync::Arc;
+        let dev = Arc::new(NvmDevice::new(NvmConfig::fast(1 << 20)));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let dev = Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    let off = (t * 1_000 + i) as usize * 8;
+                    dev.write_u64(off, t * 1_000_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u64 {
+            for i in (0..1_000u64).step_by(97) {
+                let off = (t * 1_000 + i) as usize * 8;
+                assert_eq!(dev.read_u64(off), t * 1_000_000 + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn crash_preserves_exactly_the_persisted_writes(
+            ops in proptest::collection::vec((0usize..120, 0u8..255, proptest::bool::ANY), 1..80),
+        ) {
+            let mut dev = NvmDevice::new(NvmConfig::fast_with_crash(1024));
+            // Durable oracle: what a crash must restore.
+            let mut durable = vec![0u8; 1024];
+            let mut pending: Vec<(usize, u8)> = Vec::new();
+            for &(off, byte, persist) in &ops {
+                let off = off * 8;
+                dev.write(off, &[byte; 8]);
+                if persist {
+                    dev.flush(off, 8);
+                    pending.push((off, byte));
+                    dev.fence();
+                    for &(o, b) in &pending {
+                        durable[o..o + 8].fill(b);
+                    }
+                    pending.clear();
+                }
+            }
+            dev.crash();
+            let mut buf = vec![0u8; 1024];
+            dev.read_into(0, &mut buf);
+            prop_assert_eq!(buf, durable);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Latency and bandwidth model of the simulated device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Access-cost model. All costs are *additional* nanoseconds paid on top of
+/// the underlying DRAM access, charged per [`LatencyModel::BLOCK`]-byte
+/// block touched (256 B is Optane's internal access granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Extra nanoseconds per block read.
+    pub read_ns_per_block: u64,
+    /// Extra nanoseconds per block written.
+    pub write_ns_per_block: u64,
+    /// Extra nanoseconds for a flush (clwb-like) of one cache line.
+    pub flush_ns: u64,
+    /// Extra nanoseconds for a store fence.
+    pub fence_ns: u64,
+    /// Global bandwidth cap in bytes per microsecond (0 = unlimited).
+    /// Shared by all threads, which is what makes high-thread-count
+    /// workloads contend (Fig. 12).
+    pub bandwidth_bytes_per_us: u64,
+}
+
+impl LatencyModel {
+    /// Internal device access granularity (bytes).
+    pub const BLOCK: usize = 256;
+
+    /// Calibrated against published Optane DC PMem measurements
+    /// (Yang et al., FAST'20): ~300 ns random read, ~100 ns write into the
+    /// buffer, flush+fence ~ tens of ns, per-DIMM bandwidth a few GB/s.
+    pub fn optane_like() -> Self {
+        LatencyModel {
+            read_ns_per_block: 220,
+            write_ns_per_block: 90,
+            flush_ns: 40,
+            fence_ns: 30,
+            bandwidth_bytes_per_us: 8_000, // ~8 GB/s shared
+        }
+    }
+
+    /// No added latency: the device behaves like DRAM. Useful for unit
+    /// tests and for isolating index cost from device cost.
+    pub fn dram_like() -> Self {
+        LatencyModel {
+            read_ns_per_block: 0,
+            write_ns_per_block: 0,
+            flush_ns: 0,
+            fence_ns: 0,
+            bandwidth_bytes_per_us: 0,
+        }
+    }
+
+    /// Number of blocks an access of `len` bytes at `offset` touches.
+    #[inline]
+    pub fn blocks(offset: usize, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let first = offset / Self::BLOCK;
+        let last = (offset + len - 1) / Self::BLOCK;
+        last - first + 1
+    }
+}
+
+/// Busy-waits for approximately `ns` nanoseconds. Spinning (rather than
+/// sleeping) matches how a blocked memory access behaves and stays accurate
+/// at the sub-microsecond scale the model needs.
+#[inline]
+pub(crate) fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// A coarse token-bucket bandwidth limiter shared by all threads.
+///
+/// Time is divided into 64 µs windows; each window grants
+/// `bandwidth_bytes_per_us * 64` bytes. A thread that overdraws the current
+/// window spins until the next one. Simple, lock-free, and sufficient to
+/// create the cross-thread contention the multi-threaded experiments need.
+pub(crate) struct BandwidthLimiter {
+    bytes_per_window: u64,
+    /// Packed state: upper 32 bits = window id, lower 32 = bytes used.
+    state: AtomicU64,
+    epoch: Instant,
+}
+
+const WINDOW_US: u64 = 64;
+
+impl BandwidthLimiter {
+    pub fn new(bandwidth_bytes_per_us: u64) -> Option<Self> {
+        if bandwidth_bytes_per_us == 0 {
+            return None;
+        }
+        Some(BandwidthLimiter {
+            bytes_per_window: bandwidth_bytes_per_us * WINDOW_US,
+            state: AtomicU64::new(0),
+            epoch: Instant::now(),
+        })
+    }
+
+    #[inline]
+    fn window_now(&self) -> u64 {
+        (self.epoch.elapsed().as_micros() as u64) / WINDOW_US
+    }
+
+    /// Accounts `bytes` of traffic, spinning into future windows when the
+    /// current one is exhausted.
+    pub fn consume(&self, bytes: u64) {
+        let mut remaining = bytes;
+        loop {
+            let now = self.window_now();
+            let cur = self.state.load(Ordering::Relaxed);
+            let (win, used) = (cur >> 32, cur & 0xffff_ffff);
+            let (win, used) = if win < now { (now, 0) } else { (win, used) };
+            let grant = (self.bytes_per_window.saturating_sub(used)).min(remaining);
+            let next = (win << 32) | (used + grant).min(0xffff_ffff);
+            if self
+                .state
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            remaining -= grant;
+            if remaining == 0 {
+                return;
+            }
+            // Window exhausted: wait for the next one.
+            while self.window_now() <= win {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counting() {
+        assert_eq!(LatencyModel::blocks(0, 0), 0);
+        assert_eq!(LatencyModel::blocks(0, 1), 1);
+        assert_eq!(LatencyModel::blocks(0, 256), 1);
+        assert_eq!(LatencyModel::blocks(0, 257), 2);
+        assert_eq!(LatencyModel::blocks(255, 2), 2);
+        assert_eq!(LatencyModel::blocks(256, 256), 1);
+        assert_eq!(LatencyModel::blocks(100, 400), 2);
+    }
+
+    #[test]
+    fn spin_roughly_accurate() {
+        let t0 = Instant::now();
+        spin_ns(200_000); // 200 µs
+        let took = t0.elapsed().as_nanos() as u64;
+        assert!(took >= 200_000, "spun only {took} ns");
+        assert!(took < 5_000_000, "spun way too long: {took} ns");
+    }
+
+    #[test]
+    fn limiter_disabled_when_zero() {
+        assert!(BandwidthLimiter::new(0).is_none());
+    }
+
+    #[test]
+    fn limiter_throttles() {
+        // 1 byte/µs => 1 MB should take ~1 s; use 10 KB => ~10 ms.
+        let l = BandwidthLimiter::new(1).unwrap();
+        let t0 = Instant::now();
+        l.consume(10_000);
+        let took = t0.elapsed().as_micros();
+        assert!(took >= 5_000, "took only {took} µs");
+    }
+
+    #[test]
+    fn limiter_fast_under_budget() {
+        let l = BandwidthLimiter::new(10_000).unwrap();
+        let t0 = Instant::now();
+        l.consume(1_000);
+        assert!(t0.elapsed().as_micros() < 1_000);
+    }
+}

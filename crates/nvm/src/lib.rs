@@ -1,0 +1,31 @@
+//! # li-nvm — simulated persistent memory
+//!
+//! The paper's end-to-end evaluation (§III) runs inside Viper, a KV store
+//! that keeps records on Intel Optane persistent memory while the index
+//! stays in DRAM. This crate substitutes the Optane hardware with a
+//! DRAM-backed simulation that preserves the properties the evaluation
+//! depends on:
+//!
+//! * **Asymmetric, higher-than-DRAM access latency** — every read/write
+//!   pays a configurable busy-wait per 256-byte block ([`LatencyModel`]),
+//!   so the record-store "drag" on end-to-end throughput is reproduced.
+//! * **Shared bandwidth** — an optional global token-bucket limiter makes
+//!   many threads contend for device bandwidth, reproducing the saturation
+//!   ALEX hits at high thread counts (Fig. 12).
+//! * **Persistence semantics** — writes are volatile until a `flush` of
+//!   their range plus a `fence`; [`NvmDevice::crash`] discards everything
+//!   not yet durable, letting recovery tests (Fig. 16) verify honest
+//!   crash-consistency.
+//!
+//! See DESIGN.md for why this substitution preserves the paper's
+//! conclusions.
+
+mod alloc;
+mod device;
+mod latency;
+mod stats;
+
+pub use alloc::PageAllocator;
+pub use device::{DurabilityTracking, NvmConfig, NvmDevice};
+pub use latency::LatencyModel;
+pub use stats::NvmStats;

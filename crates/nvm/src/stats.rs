@@ -1,0 +1,70 @@
+//! Device traffic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters of device traffic; cheap enough to stay enabled during
+/// benchmarks (one relaxed add per access).
+#[derive(Debug, Default)]
+pub struct NvmStats {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub flushes: AtomicU64,
+    pub fences: AtomicU64,
+}
+
+/// Plain snapshot of [`NvmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvmStatsSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub flushes: u64,
+    pub fences: u64,
+}
+
+impl NvmStats {
+    pub fn snapshot(&self) -> NvmStatsSnapshot {
+        NvmStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_read(&self, bytes: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_write(&self, bytes: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = NvmStats::default();
+        s.on_read(100);
+        s.on_read(28);
+        s.on_write(8);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.bytes_read, 128);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 8);
+        assert_eq!(snap.flushes, 0);
+    }
+}

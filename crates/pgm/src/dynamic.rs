@@ -1,0 +1,466 @@
+//! Dynamic PGM-Index: the logarithmic method (Overmars; §II-B2).
+//!
+//! Levels `S_0, S_1, …` hold `0` or up to `BASE·2^i` pairs, each level an
+//! independent [`StaticPgm`]. An insert finds the first level whose
+//! capacity can absorb all smaller levels plus the new pair, merges them
+//! (newest version wins, like an LSM compaction) and rebuilds that one
+//! level — PGM's "retrain" operation, counted in [`DynamicPgm::stats`].
+//! Deletes insert tombstones that are dropped when they reach the top
+//! occupied level.
+
+use std::time::Instant;
+
+use li_core::pieces::retrain::RetrainStats;
+use li_core::traits::{BulkBuildIndex, DepthStats, Index, OrderedIndex, UpdatableIndex};
+use li_core::{Key, KeyValue, Value};
+
+use crate::statik::{PgmConfig, StaticPgm};
+
+/// Capacity of level 0.
+const BASE: usize = 128;
+
+/// An entry: live value or tombstone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entry {
+    Live(Value),
+    Dead,
+}
+
+struct DynLevel {
+    pgm: StaticPgm,
+    /// Parallel to the level's data: live/tombstone markers.
+    entries: Vec<Entry>,
+}
+
+impl DynLevel {
+    fn lookup(&self, key: Key) -> Option<Entry> {
+        // The static PGM stores positions as values.
+        let pos = self.pgm.get(key)?;
+        Some(self.entries[pos as usize])
+    }
+}
+
+/// The updatable PGM-Index.
+pub struct DynamicPgm {
+    /// levels[i] holds up to BASE << i pairs; None = empty.
+    levels: Vec<Option<DynLevel>>,
+    config: PgmConfig,
+    len: usize,
+    stats: RetrainStats,
+}
+
+impl Default for DynamicPgm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynamicPgm {
+    pub fn new() -> Self {
+        Self::with_config(PgmConfig::default())
+    }
+
+    pub fn with_config(config: PgmConfig) -> Self {
+        DynamicPgm { levels: Vec::new(), config, len: 0, stats: RetrainStats::default() }
+    }
+
+    /// Retrain counters (Fig. 18 (b)).
+    pub fn stats(&self) -> RetrainStats {
+        self.stats
+    }
+
+    fn cap(i: usize) -> usize {
+        BASE << i
+    }
+
+    fn build_level(&self, pairs: Vec<(Key, Entry)>) -> DynLevel {
+        let keyed: Vec<KeyValue> =
+            pairs.iter().enumerate().map(|(i, &(k, _))| (k, i as u64)).collect();
+        let entries: Vec<Entry> = pairs.iter().map(|&(_, e)| e).collect();
+        DynLevel { pgm: StaticPgm::build_with(self.config, &keyed), entries }
+    }
+
+    /// Inserts an entry (live or tombstone) via the logarithmic method.
+    fn push_entry(&mut self, key: Key, entry: Entry) {
+        let t0 = Instant::now();
+        // Gather levels 0..j (inclusive of the first level that fits).
+        let mut carry: Vec<(Key, Entry)> = vec![(key, entry)];
+        let mut total = 1usize;
+        let mut target = 0usize;
+        loop {
+            if target >= self.levels.len() {
+                self.levels.push(None);
+            }
+            match &self.levels[target] {
+                None if total <= Self::cap(target) => break,
+                None => {
+                    target += 1;
+                }
+                Some(level) => {
+                    total += level.entries.len();
+                    target += 1;
+                }
+            }
+        }
+        // Merge levels 0..target (newest = lowest level wins) with carry
+        // (the brand-new entry, newest of all).
+        let mut merged: Vec<(Key, Entry)> = std::mem::take(&mut carry);
+        let mut keys_retrained = 1u64;
+        for i in 0..target {
+            if let Some(level) = self.levels[i].take() {
+                keys_retrained += level.entries.len() as u64;
+                let older: Vec<(Key, Entry)> = level
+                    .pgm
+                    .iter()
+                    .map(|(k, pos)| (k, level.entries[pos as usize]))
+                    .collect();
+                merged = merge_newest_wins(&merged, &older);
+            }
+        }
+        // At the top occupied level, tombstones can be dropped iff nothing
+        // older remains below... here "older" means deeper levels; drop
+        // tombstones only when no deeper occupied level exists.
+        let deepest_occupied = self.levels[target + 1..].iter().any(|l| l.is_some());
+        if !deepest_occupied {
+            merged.retain(|&(_, e)| e != Entry::Dead);
+        }
+        if !merged.is_empty() {
+            self.levels[target] = Some(self.build_level(merged));
+        }
+        self.stats.record_retrain(t0.elapsed(), keys_retrained);
+    }
+
+    fn lookup_entry(&self, key: Key) -> Option<Entry> {
+        for level in self.levels.iter().flatten() {
+            if let Some(e) = level.lookup(key) {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
+/// Merges two sorted runs; on duplicate keys `newer` wins.
+fn merge_newest_wins(newer: &[(Key, Entry)], older: &[(Key, Entry)]) -> Vec<(Key, Entry)> {
+    let mut out = Vec::with_capacity(newer.len() + older.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < newer.len() || j < older.len() {
+        match (newer.get(i), older.get(j)) {
+            (Some(&(nk, ne)), Some(&(ok, _))) if nk < ok => {
+                out.push((nk, ne));
+                i += 1;
+            }
+            (Some(&(nk, ne)), Some(&(ok, _))) if nk == ok => {
+                out.push((nk, ne));
+                i += 1;
+                j += 1;
+            }
+            (Some(_), Some(&(ok, oe))) => {
+                out.push((ok, oe));
+                j += 1;
+            }
+            (Some(&(nk, ne)), None) => {
+                out.push((nk, ne));
+                i += 1;
+            }
+            (None, Some(&(ok, oe))) => {
+                out.push((ok, oe));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+impl Index for DynamicPgm {
+    fn name(&self) -> &'static str {
+        "PGM"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        match self.lookup_entry(key)? {
+            Entry::Live(v) => Some(v),
+            Entry::Dead => None,
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|l| l.pgm.index_size_bytes())
+            .sum()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|l| l.pgm.data_size_bytes() + l.entries.len() * core::mem::size_of::<Entry>())
+            .sum()
+    }
+}
+
+impl UpdatableIndex for DynamicPgm {
+    fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        self.stats.inserts += 1;
+        let old = self.get(key);
+        self.push_entry(key, Entry::Live(value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let old = self.get(key)?;
+        self.push_entry(key, Entry::Dead);
+        self.len -= 1;
+        Some(old)
+    }
+}
+
+impl OrderedIndex for DynamicPgm {
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        if lo > hi {
+            return;
+        }
+        // Merge all levels, newest wins, tombstones suppressed.
+        let mut merged: Vec<(Key, Entry)> = Vec::new();
+        for level in self.levels.iter().flatten() {
+            let mut older = Vec::new();
+            let mut pairs = Vec::new();
+            level.pgm.range(lo, hi, &mut pairs);
+            for (k, pos) in pairs {
+                older.push((k, level.entries[pos as usize]));
+            }
+            merged = merge_newest_wins(&merged, &older);
+        }
+        out.extend(merged.into_iter().filter_map(|(k, e)| match e {
+            Entry::Live(v) => Some((k, v)),
+            Entry::Dead => None,
+        }));
+    }
+}
+
+impl BulkBuildIndex for DynamicPgm {
+    fn build(data: &[KeyValue]) -> Self {
+        let mut d = DynamicPgm::new();
+        if data.is_empty() {
+            return d;
+        }
+        // Place everything in the smallest level that fits.
+        let mut target = 0usize;
+        while Self::cap(target) < data.len() {
+            target += 1;
+        }
+        d.levels.resize_with(target + 1, || None);
+        let pairs: Vec<(Key, Entry)> =
+            data.iter().map(|&(k, v)| (k, Entry::Live(v))).collect();
+        d.levels[target] = Some(d.build_level(pairs));
+        d.len = data.len();
+        d
+    }
+}
+
+impl DepthStats for DynamicPgm {
+    fn avg_depth(&self) -> f64 {
+        let occupied: Vec<&DynLevel> = self.levels.iter().flatten().collect();
+        if occupied.is_empty() {
+            return 0.0;
+        }
+        // Weighted by level size: expected PGM height consulted.
+        let total: usize = occupied.iter().map(|l| l.entries.len()).sum();
+        occupied
+            .iter()
+            .map(|l| l.pgm.height() as f64 * l.entries.len() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    fn leaf_count(&self) -> usize {
+        self.levels.iter().flatten().map(|l| l.pgm.segment_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_many() {
+        let mut d = DynamicPgm::new();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..20_000u64 {
+            let k = rng.random_range(0..100_000u64);
+            assert_eq!(d.insert(k, i), model.insert(k, i), "insert {k}");
+        }
+        assert_eq!(d.len(), model.len());
+        for (&k, &v) in model.iter().step_by(31) {
+            assert_eq!(d.get(k), Some(v));
+        }
+        assert!(d.stats().count > 0, "merges must have been counted");
+    }
+
+    #[test]
+    fn remove_with_tombstones() {
+        let mut d = DynamicPgm::new();
+        for k in 0..5_000u64 {
+            d.insert(k, k * 2);
+        }
+        for k in (0..5_000u64).step_by(2) {
+            assert_eq!(d.remove(k), Some(k * 2), "remove {k}");
+            assert_eq!(d.get(k), None);
+            assert_eq!(d.remove(k), None);
+        }
+        assert_eq!(d.len(), 2_500);
+        // Odd keys still present (step 500 keeps parity odd).
+        for k in (1..5_000u64).step_by(500) {
+            assert_eq!(d.get(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut d = DynamicPgm::new();
+        d.insert(42, 1);
+        assert_eq!(d.remove(42), Some(1));
+        assert_eq!(d.insert(42, 2), None);
+        assert_eq!(d.get(42), Some(2));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn bulk_build_then_mutate() {
+        let data: Vec<KeyValue> = (0..50_000u64).map(|i| (i * 4, i)).collect();
+        let mut d = DynamicPgm::build(&data);
+        assert_eq!(d.len(), data.len());
+        for &(k, v) in data.iter().step_by(233) {
+            assert_eq!(d.get(k), Some(v));
+        }
+        for i in 0..5_000u64 {
+            d.insert(i * 4 + 1, i);
+        }
+        assert_eq!(d.len(), 55_000);
+        assert_eq!(d.get(5), Some(1));
+        assert_eq!(d.get(4), Some(1));
+    }
+
+    #[test]
+    fn range_merges_levels() {
+        let mut d = DynamicPgm::new();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..8_000u64 {
+            let k = rng.random_range(0..50_000u64);
+            d.insert(k, i);
+            model.insert(k, i);
+            if i % 7 == 0 {
+                let dk = rng.random_range(0..50_000u64);
+                assert_eq!(d.remove(dk), model.remove(&dk), "remove {dk}");
+            }
+        }
+        for _ in 0..30 {
+            let lo = rng.random_range(0..50_000u64);
+            let hi = lo + rng.random_range(0..5_000u64);
+            let got = d.range_vec(lo, hi);
+            let expect: Vec<KeyValue> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, expect, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn update_value() {
+        let mut d = DynamicPgm::new();
+        assert_eq!(d.insert(9, 1), None);
+        assert_eq!(d.insert(9, 2), Some(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(9), Some(2));
+        assert_eq!(d.range_vec(0, 100), vec![(9, 2)]);
+    }
+
+    #[test]
+    fn empty() {
+        let d = DynamicPgm::new();
+        assert!(d.is_empty());
+        assert_eq!(d.get(1), None);
+        assert!(d.range_vec(0, u64::MAX).is_empty());
+        let d = DynamicPgm::build(&[]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn amortized_retrain_profile() {
+        // The logarithmic method: many small merges, few big ones.
+        let mut d = DynamicPgm::new();
+        for k in 0..10_000u64 {
+            d.insert(k * 3, k);
+        }
+        let s = d.stats();
+        assert_eq!(s.inserts, 10_000);
+        assert_eq!(s.count, 10_000, "every insert triggers one (usually tiny) merge");
+        // Amortised cost must stay logarithmic: total keys touched across
+        // all merges is O(n log n), far below the quadratic worst case.
+        assert!(
+            s.keys_retrained < 10_000 * 20,
+            "keys retrained {} suggests quadratic behaviour",
+            s.keys_retrained
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn matches_btreemap(ops in proptest::collection::vec((0u64..800, 0u64..100, proptest::bool::ANY), 0..400)) {
+            let mut d = DynamicPgm::new();
+            let mut model = BTreeMap::new();
+            for &(k, v, ins) in &ops {
+                if ins {
+                    proptest::prop_assert_eq!(d.insert(k, v), model.insert(k, v));
+                } else {
+                    proptest::prop_assert_eq!(d.remove(k), model.remove(&k));
+                }
+            }
+            proptest::prop_assert_eq!(d.len(), model.len());
+            let got = d.range_vec(0, u64::MAX);
+            let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod interleaved_tests {
+    use super::*;
+
+    #[test]
+    fn probes_stay_correct_between_removes() {
+        let mut d = DynamicPgm::new();
+        for k in 0..5_000u64 {
+            d.insert(k, k * 2);
+        }
+        for k in 0..5_000u64 {
+            assert_eq!(d.get(k), Some(k * 2), "missing {k} right after inserts");
+        }
+        for k in (0..5_000u64).step_by(2) {
+            assert_eq!(d.remove(k), Some(k * 2), "remove {k}");
+            for probe in [k + 1, k + 2, k + 3, 4_999] {
+                if probe < 5_000 && (probe % 2 == 1 || probe > k) {
+                    assert_eq!(
+                        d.get(probe),
+                        Some(probe * 2),
+                        "probe {probe} lost after remove({k})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # li-pgm — PGM-Index (Ferragina & Vinciguerra, VLDB'20; §II-B2)
+//!
+//! * [`StaticPgm`] — the static index: optimal PLA (Opt-PLA) segments over
+//!   the data, then Opt-PLA applied recursively to the segments' first
+//!   keys until a single root segment remains (the "linear recursive
+//!   structure", LRS). Every level guarantees a maximum error, so lookups
+//!   are `O(log)` bounded binary searches with tight tail latency.
+//! * [`DynamicPgm`] — updatable PGM via the logarithmic method
+//!   (LSM-style, §II-B2): levels `S_0..S_b` of doubling capacity, each an
+//!   independent [`StaticPgm`]; an insert rebuilds the first level that
+//!   can absorb the merged prefix. Amortised `O(log n)` per insert,
+//!   exactly the retraining profile Fig. 18 (b) measures (many cheap
+//!   retrains).
+
+pub mod dynamic;
+pub mod statik;
+
+pub use dynamic::DynamicPgm;
+pub use statik::{PgmConfig, StaticPgm};

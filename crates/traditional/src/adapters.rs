@@ -1,0 +1,179 @@
+//! Concurrency adapters: give any single-writer index a
+//! [`ConcurrentIndex`] face for the multi-threaded experiments (Figs.
+//! 12/14).
+
+use li_core::traits::{BulkBuildIndex, ConcurrentIndex, Index, UpdatableIndex};
+use li_core::{Key, KeyValue, Value};
+use parking_lot::RwLock;
+
+/// Coarse-grained wrapper: one reader-writer lock around the whole index.
+/// Reads scale; writes serialise — the "global latch" baseline.
+pub struct RwLocked<I> {
+    inner: RwLock<I>,
+}
+
+impl<I> RwLocked<I> {
+    pub fn new(index: I) -> Self {
+        RwLocked { inner: RwLock::new(index) }
+    }
+
+    pub fn into_inner(self) -> I {
+        self.inner.into_inner()
+    }
+}
+
+impl<I: Index + UpdatableIndex> ConcurrentIndex for RwLocked<I> {
+    fn get(&self, key: Key) -> Option<Value> {
+        self.inner.read().get(key)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Option<Value> {
+        self.inner.write().insert(key, value)
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        self.inner.write().remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+}
+
+/// Range-sharded wrapper: the key space is cut into `2^bits` contiguous
+/// shards (by key MSBs), each an independent index behind its own lock —
+/// the standard way tree indexes gain write scalability without internal
+/// latching. Preserves per-shard ordering, so approximate range scans
+/// remain possible shard by shard.
+pub struct Sharded<I> {
+    shards: Vec<RwLock<I>>,
+    bits: u32,
+}
+
+impl<I: Default> Sharded<I> {
+    pub fn new(bits: u32) -> Self {
+        assert!(bits <= 12, "too many shards");
+        Sharded {
+            shards: (0..1usize << bits).map(|_| RwLock::new(I::default())).collect(),
+            bits,
+        }
+    }
+}
+
+impl<I> Sharded<I> {
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (key >> (64 - self.bits)) as usize
+        }
+    }
+}
+
+impl<I: Default + BulkBuildIndex + Index + UpdatableIndex> Sharded<I> {
+    /// Bulk builds each shard from its slice of the sorted input.
+    pub fn build_sharded(bits: u32, data: &[KeyValue]) -> Self {
+        let sharded = Self::new(bits);
+        let mut start = 0usize;
+        for s in 0..sharded.shards.len() {
+            let end = if s + 1 == sharded.shards.len() {
+                data.len()
+            } else {
+                let bound = ((s + 1) as u64) << (64 - bits);
+                start + data[start..].partition_point(|kv| kv.0 < bound)
+            };
+            *sharded.shards[s].write() = I::build(&data[start..end]);
+            start = end;
+        }
+        sharded
+    }
+}
+
+impl<I: Index + UpdatableIndex> ConcurrentIndex for Sharded<I> {
+    fn get(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(key)].read().get(key)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Option<Value> {
+        self.shards[self.shard_of(key)].write().insert(key, value)
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(key)].write().remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bptree::BPlusTree;
+    use crate::skiplist::SkipList;
+    use std::sync::Arc;
+
+    #[test]
+    fn rwlocked_concurrent_reads_and_writes() {
+        let idx = Arc::new(RwLocked::new(BPlusTree::new()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    idx.insert(t * 100_000 + i, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 20_000);
+        assert_eq!(idx.get(100_001), Some(1));
+        assert_eq!(idx.remove(100_001), Some(1));
+        assert_eq!(idx.get(100_001), None);
+    }
+
+    #[test]
+    fn sharded_distributes() {
+        let idx = Arc::new(Sharded::<SkipList>::new(4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    // Spread keys over the whole space.
+                    let k = (t * 2_000 + i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    idx.insert(k, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 16_000);
+    }
+
+    #[test]
+    fn sharded_bulk_build() {
+        let data: Vec<KeyValue> = (0..10_000u64)
+            .map(|i| (i << 50, i)) // spans many shards
+            .collect();
+        let idx = Sharded::<BPlusTree>::build_sharded(4, &data);
+        assert_eq!(idx.len(), 10_000);
+        for &(k, v) in data.iter().step_by(117) {
+            assert_eq!(idx.get(k), Some(v));
+        }
+        assert_eq!(idx.get(123), None);
+    }
+
+    #[test]
+    fn sharded_zero_bits() {
+        let idx = Sharded::<BPlusTree>::new(0);
+        idx.insert(5, 50);
+        assert_eq!(idx.get(5), Some(50));
+        assert_eq!(idx.len(), 1);
+    }
+}

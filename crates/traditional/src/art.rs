@@ -1,0 +1,708 @@
+//! An Adaptive Radix Tree (Leis et al., ICDE'13) over fixed 8-byte keys.
+//!
+//! Serves as the trie-family baseline standing in for Masstree/Wormhole
+//! (§III-A1; see DESIGN.md). Implements the classic adaptive node sizes
+//! (Node4/16/48/256) with path compression. Keys are compared in
+//! big-endian byte order, so in-order traversal yields ascending `u64`
+//! keys and range scans are natural.
+
+use li_core::traits::{BulkBuildIndex, Index, OrderedIndex, UpdatableIndex};
+use li_core::{Key, KeyValue, Value};
+
+const KEY_LEN: usize = 8;
+
+#[inline]
+fn key_bytes(key: Key) -> [u8; KEY_LEN] {
+    key.to_be_bytes()
+}
+
+enum Node {
+    Leaf {
+        key: Key,
+        value: Value,
+    },
+    Inner {
+        /// Compressed path bytes between this node's parent edge and its
+        /// children's discriminating byte.
+        prefix: Vec<u8>,
+        children: Children,
+    },
+}
+
+enum Children {
+    N4 { keys: [u8; 4], ptrs: [Option<Box<Node>>; 4], n: u8 },
+    N16 { keys: [u8; 16], ptrs: [Option<Box<Node>>; 16], n: u8 },
+    N48 { index: Box<[u8; 256]>, ptrs: Vec<Option<Box<Node>>>, n: u8 },
+    N256 { ptrs: Box<[Option<Box<Node>>; 256]>, n: u16 },
+}
+
+const N48_EMPTY: u8 = 0xff;
+
+impl Children {
+    fn n4() -> Self {
+        Children::N4 { keys: [0; 4], ptrs: [None, None, None, None], n: 0 }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Children::N4 { n, .. } | Children::N16 { n, .. } | Children::N48 { n, .. } => {
+                *n as usize
+            }
+            Children::N256 { n, .. } => *n as usize,
+        }
+    }
+
+    fn get(&self, byte: u8) -> Option<&Node> {
+        match self {
+            Children::N4 { keys, ptrs, n } => (0..*n as usize)
+                .find(|&i| keys[i] == byte)
+                .and_then(|i| ptrs[i].as_deref()),
+            Children::N16 { keys, ptrs, n } => (0..*n as usize)
+                .find(|&i| keys[i] == byte)
+                .and_then(|i| ptrs[i].as_deref()),
+            Children::N48 { index, ptrs, .. } => {
+                let slot = index[byte as usize];
+                if slot == N48_EMPTY {
+                    None
+                } else {
+                    ptrs[slot as usize].as_deref()
+                }
+            }
+            Children::N256 { ptrs, .. } => ptrs[byte as usize].as_deref(),
+        }
+    }
+
+    fn get_mut(&mut self, byte: u8) -> Option<&mut Box<Node>> {
+        match self {
+            Children::N4 { keys, ptrs, n } => {
+                let pos = (0..*n as usize).find(|&i| keys[i] == byte)?;
+                ptrs[pos].as_mut()
+            }
+            Children::N16 { keys, ptrs, n } => {
+                let pos = (0..*n as usize).find(|&i| keys[i] == byte)?;
+                ptrs[pos].as_mut()
+            }
+            Children::N48 { index, ptrs, .. } => {
+                let slot = index[byte as usize];
+                if slot == N48_EMPTY {
+                    None
+                } else {
+                    ptrs[slot as usize].as_mut()
+                }
+            }
+            Children::N256 { ptrs, .. } => ptrs[byte as usize].as_mut(),
+        }
+    }
+
+    /// Inserts a child for `byte`, growing the node representation as
+    /// needed. The byte must not already be present.
+    fn add(&mut self, byte: u8, child: Box<Node>) {
+        debug_assert!(self.get(byte).is_none());
+        match self {
+            Children::N4 { keys, ptrs, n } => {
+                if (*n as usize) < 4 {
+                    keys[*n as usize] = byte;
+                    ptrs[*n as usize] = Some(child);
+                    *n += 1;
+                    return;
+                }
+                // Grow to N16.
+                let mut nk = [0u8; 16];
+                let mut np: [Option<Box<Node>>; 16] = Default::default();
+                for i in 0..4 {
+                    nk[i] = keys[i];
+                    np[i] = ptrs[i].take();
+                }
+                nk[4] = byte;
+                np[4] = Some(child);
+                *self = Children::N16 { keys: nk, ptrs: np, n: 5 };
+            }
+            Children::N16 { keys, ptrs, n } => {
+                if (*n as usize) < 16 {
+                    keys[*n as usize] = byte;
+                    ptrs[*n as usize] = Some(child);
+                    *n += 1;
+                    return;
+                }
+                // Grow to N48.
+                let mut index = Box::new([N48_EMPTY; 256]);
+                let mut np: Vec<Option<Box<Node>>> = Vec::with_capacity(48);
+                for i in 0..16 {
+                    index[keys[i] as usize] = i as u8;
+                    np.push(ptrs[i].take());
+                }
+                index[byte as usize] = 16;
+                np.push(Some(child));
+                *self = Children::N48 { index, ptrs: np, n: 17 };
+            }
+            Children::N48 { index, ptrs, n } => {
+                if (*n as usize) < 48 {
+                    index[byte as usize] = ptrs.len() as u8;
+                    ptrs.push(Some(child));
+                    *n += 1;
+                    return;
+                }
+                // Grow to N256.
+                let mut np: Box<[Option<Box<Node>>; 256]> =
+                    Box::new([const { None }; 256]);
+                for b in 0..256usize {
+                    let slot = index[b];
+                    if slot != N48_EMPTY {
+                        np[b] = ptrs[slot as usize].take();
+                    }
+                }
+                np[byte as usize] = Some(child);
+                *self = Children::N256 { ptrs: np, n: 49 };
+            }
+            Children::N256 { ptrs, n } => {
+                ptrs[byte as usize] = Some(child);
+                *n += 1;
+            }
+        }
+    }
+
+    /// Removes and returns the child for `byte` (no shrinking; removal is
+    /// rare in the paper's workloads).
+    fn take(&mut self, byte: u8) -> Option<Box<Node>> {
+        match self {
+            Children::N4 { keys, ptrs, n } => {
+                let pos = (0..*n as usize).find(|&i| keys[i] == byte)?;
+                let child = ptrs[pos].take();
+                // Compact.
+                for i in pos..*n as usize - 1 {
+                    keys[i] = keys[i + 1];
+                    ptrs[i] = ptrs[i + 1].take();
+                }
+                *n -= 1;
+                child
+            }
+            Children::N16 { keys, ptrs, n } => {
+                let pos = (0..*n as usize).find(|&i| keys[i] == byte)?;
+                let child = ptrs[pos].take();
+                for i in pos..*n as usize - 1 {
+                    keys[i] = keys[i + 1];
+                    ptrs[i] = ptrs[i + 1].take();
+                }
+                *n -= 1;
+                child
+            }
+            Children::N48 { index, ptrs, n } => {
+                let slot = index[byte as usize];
+                if slot == N48_EMPTY {
+                    return None;
+                }
+                index[byte as usize] = N48_EMPTY;
+                *n -= 1;
+                ptrs[slot as usize].take()
+            }
+            Children::N256 { ptrs, n } => {
+                let child = ptrs[byte as usize].take();
+                if child.is_some() {
+                    *n -= 1;
+                }
+                child
+            }
+        }
+    }
+
+    /// Iterates `(byte, child)` in ascending byte order.
+    fn iter_sorted(&self) -> Vec<(u8, &Node)> {
+        let mut out = Vec::with_capacity(self.len());
+        match self {
+            Children::N4 { keys, ptrs, n } => {
+                let mut order: Vec<usize> = (0..*n as usize).collect();
+                order.sort_by_key(|&i| keys[i]);
+                for i in order {
+                    if let Some(p) = &ptrs[i] {
+                        out.push((keys[i], p.as_ref()));
+                    }
+                }
+            }
+            Children::N16 { keys, ptrs, n } => {
+                let mut order: Vec<usize> = (0..*n as usize).collect();
+                order.sort_by_key(|&i| keys[i]);
+                for i in order {
+                    if let Some(p) = &ptrs[i] {
+                        out.push((keys[i], p.as_ref()));
+                    }
+                }
+            }
+            Children::N48 { index, ptrs, .. } => {
+                for b in 0..256usize {
+                    let slot = index[b];
+                    if slot != N48_EMPTY {
+                        if let Some(p) = &ptrs[slot as usize] {
+                            out.push((b as u8, p.as_ref()));
+                        }
+                    }
+                }
+            }
+            Children::N256 { ptrs, .. } => {
+                for (b, p) in ptrs.iter().enumerate() {
+                    if let Some(p) = p {
+                        out.push((b as u8, p.as_ref()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The ART index.
+pub struct Art {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl Default for Art {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Art {
+    pub fn new() -> Self {
+        Art { root: None, len: 0 }
+    }
+
+    /// Length of the shared prefix of `a` and `b`.
+    fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count()
+    }
+
+    fn get_rec<'a>(node: &'a Node, bytes: &[u8; KEY_LEN], mut depth: usize) -> Option<&'a Node> {
+        let mut cur = node;
+        loop {
+            match cur {
+                Node::Leaf { key, .. } => {
+                    return (key_bytes(*key) == *bytes).then_some(cur);
+                }
+                Node::Inner { prefix, children } => {
+                    if depth + prefix.len() > KEY_LEN
+                        || bytes[depth..depth + prefix.len()] != prefix[..]
+                    {
+                        return None;
+                    }
+                    depth += prefix.len();
+                    if depth >= KEY_LEN {
+                        return None;
+                    }
+                    cur = children.get(bytes[depth])?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn insert_rec(
+        node: &mut Box<Node>,
+        bytes: &[u8; KEY_LEN],
+        key: Key,
+        value: Value,
+        depth: usize,
+    ) -> Option<Value> {
+        match node.as_mut() {
+            Node::Leaf { key: lkey, value: lvalue } => {
+                if key_bytes(*lkey) == *bytes {
+                    return Some(std::mem::replace(lvalue, value));
+                }
+                // Split: create an inner node covering the common prefix.
+                let lbytes = key_bytes(*lkey);
+                let common = Self::common_prefix(&bytes[depth..], &lbytes[depth..]);
+                let split_depth = depth + common;
+                debug_assert!(split_depth < KEY_LEN, "distinct keys must diverge");
+                let mut children = Children::n4();
+                let old_leaf =
+                    std::mem::replace(node.as_mut(), Node::Leaf { key: 0, value: 0 });
+                children.add(lbytes[split_depth], Box::new(old_leaf));
+                children.add(bytes[split_depth], Box::new(Node::Leaf { key, value }));
+                **node = Node::Inner { prefix: bytes[depth..split_depth].to_vec(), children };
+                None
+            }
+            Node::Inner { prefix, children } => {
+                let common = Self::common_prefix(&bytes[depth..], prefix);
+                if common < prefix.len() {
+                    // Prefix mismatch: split the compressed path.
+                    let rest = prefix.split_off(common + 1);
+                    let split_byte_old = prefix.pop().expect("nonempty");
+                    let old_prefix = std::mem::take(prefix);
+                    let old_inner = std::mem::replace(
+                        node.as_mut(),
+                        Node::Leaf { key: 0, value: 0 },
+                    );
+                    let old_inner = match old_inner {
+                        Node::Inner { children, .. } => {
+                            Node::Inner { prefix: rest, children }
+                        }
+                        Node::Leaf { .. } => unreachable!(),
+                    };
+                    let mut nc = Children::n4();
+                    nc.add(split_byte_old, Box::new(old_inner));
+                    nc.add(
+                        bytes[depth + common],
+                        Box::new(Node::Leaf { key, value }),
+                    );
+                    **node = Node::Inner { prefix: old_prefix, children: nc };
+                    return None;
+                }
+                let next_depth = depth + prefix.len();
+                debug_assert!(next_depth < KEY_LEN);
+                let byte = bytes[next_depth];
+                match children.get_mut(byte) {
+                    Some(child) => Self::insert_rec(child, bytes, key, value, next_depth + 1),
+                    None => {
+                        children.add(byte, Box::new(Node::Leaf { key, value }));
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Box<Node>, bytes: &[u8; KEY_LEN], depth: usize) -> RemoveOutcome {
+        match node.as_mut() {
+            Node::Leaf { key, value } => {
+                if key_bytes(*key) == *bytes {
+                    RemoveOutcome::RemoveMe(*value)
+                } else {
+                    RemoveOutcome::NotFound
+                }
+            }
+            Node::Inner { prefix, children } => {
+                if bytes[depth..].len() < prefix.len()
+                    || bytes[depth..depth + prefix.len()] != prefix[..]
+                {
+                    return RemoveOutcome::NotFound;
+                }
+                let next_depth = depth + prefix.len();
+                if next_depth >= KEY_LEN {
+                    return RemoveOutcome::NotFound;
+                }
+                let byte = bytes[next_depth];
+                let outcome = match children.get_mut(byte) {
+                    Some(child) => Self::remove_rec(child, bytes, next_depth + 1),
+                    None => return RemoveOutcome::NotFound,
+                };
+                match outcome {
+                    RemoveOutcome::RemoveMe(v) => {
+                        children.take(byte);
+                        if children.len() == 0 {
+                            RemoveOutcome::RemoveMe(v)
+                        } else {
+                            RemoveOutcome::Removed(v)
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn range_rec(node: &Node, depth_bytes: &mut Vec<u8>, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        match node {
+            Node::Leaf { key, value } => {
+                if *key >= lo && *key <= hi {
+                    out.push((*key, *value));
+                }
+            }
+            Node::Inner { prefix, children } => {
+                depth_bytes.extend_from_slice(prefix);
+                for (byte, child) in children.iter_sorted() {
+                    depth_bytes.push(byte);
+                    // Prune: [min, max] of keys under this edge.
+                    let mut min_b = [0u8; KEY_LEN];
+                    let mut max_b = [0xffu8; KEY_LEN];
+                    let d = depth_bytes.len().min(KEY_LEN);
+                    min_b[..d].copy_from_slice(&depth_bytes[..d]);
+                    max_b[..d].copy_from_slice(&depth_bytes[..d]);
+                    let min_k = u64::from_be_bytes(min_b);
+                    let max_k = u64::from_be_bytes(max_b);
+                    if max_k >= lo && min_k <= hi {
+                        Self::range_rec(child, depth_bytes, lo, hi, out);
+                    }
+                    depth_bytes.pop();
+                }
+                depth_bytes.truncate(depth_bytes.len() - prefix.len());
+            }
+        }
+    }
+
+    fn size_rec(node: &Node) -> usize {
+        match node {
+            Node::Leaf { .. } => core::mem::size_of::<Node>(),
+            Node::Inner { prefix, children } => {
+                let child_overhead = match children {
+                    Children::N4 { ptrs, .. } => {
+                        core::mem::size_of_val(ptrs) + 4
+                    }
+                    Children::N16 { ptrs, .. } => core::mem::size_of_val(ptrs) + 16,
+                    Children::N48 { ptrs, .. } => ptrs.capacity() * 8 + 256,
+                    Children::N256 { .. } => 256 * 8,
+                };
+                core::mem::size_of::<Node>()
+                    + prefix.capacity()
+                    + child_overhead
+                    + children
+                        .iter_sorted()
+                        .iter()
+                        .map(|(_, c)| Self::size_rec(c))
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+enum RemoveOutcome {
+    NotFound,
+    /// Value removed; subtree still has other entries.
+    Removed(Value),
+    /// Value removed and this node is now empty — parent must unlink it.
+    RemoveMe(Value),
+}
+
+impl Index for Art {
+    fn name(&self) -> &'static str {
+        "ART"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let bytes = key_bytes(key);
+        let node = self.root.as_deref()?;
+        match Self::get_rec(node, &bytes, 0)? {
+            Node::Leaf { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.root.as_deref().map_or(0, Self::size_rec)
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        0 // keys/values live in the leaves counted above
+    }
+}
+
+impl UpdatableIndex for Art {
+    fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        let bytes = key_bytes(key);
+        match &mut self.root {
+            None => {
+                self.root = Some(Box::new(Node::Leaf { key, value }));
+                self.len += 1;
+                None
+            }
+            Some(root) => {
+                let old = Self::insert_rec(root, &bytes, key, value, 0);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let bytes = key_bytes(key);
+        let root = self.root.as_mut()?;
+        match Self::remove_rec(root, &bytes, 0) {
+            RemoveOutcome::NotFound => None,
+            RemoveOutcome::Removed(v) => {
+                self.len -= 1;
+                Some(v)
+            }
+            RemoveOutcome::RemoveMe(v) => {
+                self.root = None;
+                self.len -= 1;
+                Some(v)
+            }
+        }
+    }
+}
+
+impl OrderedIndex for Art {
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        if lo > hi {
+            return;
+        }
+        if let Some(root) = self.root.as_deref() {
+            let mut path = Vec::with_capacity(KEY_LEN);
+            Self::range_rec(root, &mut path, lo, hi, out);
+        }
+    }
+}
+
+impl BulkBuildIndex for Art {
+    fn build(data: &[KeyValue]) -> Self {
+        let mut art = Art::new();
+        for &(k, v) in data {
+            art.insert(k, v);
+        }
+        art
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_dense_and_sparse() {
+        let mut a = Art::new();
+        // Dense low keys force deep N256 nodes; sparse high keys exercise
+        // path compression.
+        for k in 0..10_000u64 {
+            assert_eq!(a.insert(k, k * 2), None);
+        }
+        for k in (0..10_000u64).map(|i| i << 40) {
+            a.insert(k | 1 << 63, k);
+        }
+        for k in (0..10_000u64).step_by(97) {
+            assert_eq!(a.get(k), Some(k * 2));
+            assert_eq!(a.get((k << 40) | 1 << 63), Some(k << 40));
+        }
+        assert_eq!(a.get(999_999_999), None);
+    }
+
+    #[test]
+    fn update_replaces() {
+        let mut a = Art::new();
+        assert_eq!(a.insert(42, 1), None);
+        assert_eq!(a.insert(42, 2), Some(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(42), Some(2));
+    }
+
+    #[test]
+    fn random_matches_model() {
+        let mut a = Art::new();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..50_000u64 {
+            let k = rng.random::<u64>();
+            assert_eq!(a.insert(k, i), model.insert(k, i));
+        }
+        assert_eq!(a.len(), model.len());
+        for (&k, &v) in model.iter().step_by(431) {
+            assert_eq!(a.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn range_matches_model() {
+        let mut a = Art::new();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        for i in 0..20_000u64 {
+            let k = rng.random::<u64>() >> 20;
+            a.insert(k, i);
+            model.insert(k, i);
+        }
+        for _ in 0..50 {
+            let lo = rng.random::<u64>() >> 20;
+            let hi = lo + (rng.random::<u64>() >> 30);
+            let got = a.range_vec(lo, hi);
+            let expect: Vec<KeyValue> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, expect, "range {lo}..={hi}");
+        }
+        // Full scan is ascending.
+        let all = a.range_vec(0, u64::MAX);
+        let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn remove_matches_model() {
+        let mut a = Art::new();
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let keys: Vec<Key> = (0..5_000).map(|_| rng.random::<u64>() >> 8).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            a.insert(k, i as u64);
+            model.insert(k, i as u64);
+        }
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(a.remove(k), model.remove(&k), "remove {k}");
+            assert_eq!(a.remove(k), None);
+        }
+        assert_eq!(a.len(), model.len());
+        let all = a.range_vec(0, u64::MAX);
+        let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn empty_and_boundaries() {
+        let mut a = Art::new();
+        assert_eq!(a.get(0), None);
+        assert_eq!(a.remove(0), None);
+        assert!(a.range_vec(0, u64::MAX).is_empty());
+        a.insert(0, 1);
+        a.insert(u64::MAX, 2);
+        assert_eq!(a.get(0), Some(1));
+        assert_eq!(a.get(u64::MAX), Some(2));
+        assert_eq!(a.range_vec(0, u64::MAX), vec![(0, 1), (u64::MAX, 2)]);
+        assert_eq!(a.remove(0), Some(1));
+        assert_eq!(a.remove(u64::MAX), Some(2));
+        assert!(a.is_empty());
+        assert!(a.root.is_none());
+    }
+
+    #[test]
+    fn node_growth_through_all_sizes() {
+        // 256 children under one byte position forces N4→N16→N48→N256.
+        let mut a = Art::new();
+        for b in 0..256u64 {
+            a.insert(b << 8, b);
+        }
+        assert_eq!(a.len(), 256);
+        for b in 0..256u64 {
+            assert_eq!(a.get(b << 8), Some(b), "byte {b}");
+        }
+        let scan = a.range_vec(0, u64::MAX);
+        assert_eq!(scan.len(), 256);
+        for (i, (k, _)) in scan.iter().enumerate() {
+            assert_eq!(*k, (i as u64) << 8);
+        }
+    }
+
+    #[test]
+    fn bulk_build() {
+        let data: Vec<KeyValue> = (0..30_000u64).map(|i| (i * 11, i)).collect();
+        let a = Art::build(&data);
+        assert_eq!(a.len(), data.len());
+        for &(k, v) in data.iter().step_by(173) {
+            assert_eq!(a.get(k), Some(v));
+        }
+        assert!(a.index_size_bytes() > 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn matches_btreemap(ops in proptest::collection::vec((0u64..5_000, 0u64..100, proptest::bool::ANY), 0..600)) {
+            let mut a = Art::new();
+            let mut model = BTreeMap::new();
+            for &(k, v, ins) in &ops {
+                // Spread keys across byte positions.
+                let k = k.wrapping_mul(0x0101_0101_0101_0101);
+                if ins {
+                    proptest::prop_assert_eq!(a.insert(k, v), model.insert(k, v));
+                } else {
+                    proptest::prop_assert_eq!(a.remove(k), model.remove(&k));
+                }
+            }
+            proptest::prop_assert_eq!(a.len(), model.len());
+            let got = a.range_vec(0, u64::MAX);
+            let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # li-traditional — classical index baselines
+//!
+//! The paper compares learned indexes against six traditional indexes
+//! (§III-A1). We implement four from scratch, covering the same structural
+//! families; the remaining two are represented by the closest family
+//! member (see DESIGN.md):
+//!
+//! | Paper baseline | Family | Here |
+//! |---|---|---|
+//! | STX B-Tree | comparison tree | [`BPlusTree`] |
+//! | Skiplist (LevelDB) | probabilistic list | [`SkipList`] |
+//! | CCEH | persistent extendible hash | [`Cceh`] / [`ShardedCceh`] |
+//! | Wormhole | hash-accelerated ordered index | [`Wormhole`] |
+//! | Bw-tree | delta-chain B-tree | [`BwTree`] |
+//! | Masstree | trie of B+trees | [`Art`] (for fixed 8-byte keys a Masstree
+//!   degenerates to one trie layer; ART is the closest faithful structure) |
+//!
+//! [`adapters`] provides coarse- and sharded-lock wrappers giving any
+//! single-writer index a [`li_core::ConcurrentIndex`] face for the
+//! multi-threaded experiments.
+
+pub mod adapters;
+pub mod art;
+pub mod bptree;
+pub mod bwtree;
+pub mod cceh;
+pub mod skiplist;
+pub mod wormhole;
+
+pub use adapters::{RwLocked, Sharded};
+pub use art::Art;
+pub use bptree::BPlusTree;
+pub use bwtree::BwTree;
+pub use cceh::{Cceh, ShardedCceh};
+pub use skiplist::SkipList;
+pub use wormhole::Wormhole;

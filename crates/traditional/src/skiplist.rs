@@ -1,0 +1,320 @@
+//! A skip list (LevelDB-style baseline, §III-A1).
+//!
+//! Arena-based (nodes live in a `Vec`, links are indices) so the structure
+//! is safe Rust with no reference-counting overhead. Level choice uses the
+//! classic p = 1/4 geometric distribution with a deterministic per-instance
+//! RNG, making runs reproducible.
+
+use li_core::traits::{BulkBuildIndex, Index, OrderedIndex, UpdatableIndex};
+use li_core::{Key, KeyValue, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const MAX_LEVEL: usize = 20;
+/// Branching probability denominator (p = 1/4).
+const BRANCH: u32 = 4;
+
+const NIL: u32 = u32::MAX;
+
+struct SkipNode {
+    key: Key,
+    value: Value,
+    /// next[l] = arena index of the next node at level l.
+    next: Vec<u32>,
+}
+
+/// The skip list index.
+pub struct SkipList {
+    arena: Vec<SkipNode>,
+    /// head[l] = first node at level l.
+    head: [u32; MAX_LEVEL],
+    level: usize,
+    len: usize,
+    /// Arena slots freed by remove, recycled by insert.
+    free: Vec<u32>,
+    rng: StdRng,
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    pub fn new() -> Self {
+        SkipList {
+            arena: Vec::new(),
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            len: 0,
+            free: Vec::new(),
+            rng: StdRng::seed_from_u64(0x5157_u64 ^ 0x51ab),
+        }
+    }
+
+    fn random_level(&mut self) -> usize {
+        let mut lvl = 1;
+        while lvl < MAX_LEVEL && self.rng.random_range(0..BRANCH) == 0 {
+            lvl += 1;
+        }
+        lvl
+    }
+
+    /// For each level, the last node with key < `key` (NIL = head).
+    /// Returns (preds, candidate) where candidate is the first node with
+    /// key >= `key`.
+    fn find_preds(&self, key: Key) -> ([u32; MAX_LEVEL], u32) {
+        let mut preds = [NIL; MAX_LEVEL];
+        let mut cur = NIL; // virtual head
+        for l in (0..self.level).rev() {
+            loop {
+                let next = if cur == NIL { self.head[l] } else { self.arena[cur as usize].next[l] };
+                if next != NIL && self.arena[next as usize].key < key {
+                    cur = next;
+                } else {
+                    break;
+                }
+            }
+            preds[l] = cur;
+        }
+        let candidate = if cur == NIL { self.head[0] } else { self.arena[cur as usize].next[0] };
+        (preds, candidate)
+    }
+
+    #[inline]
+    fn next_of(&self, node: u32, level: usize) -> u32 {
+        if node == NIL {
+            self.head[level]
+        } else {
+            self.arena[node as usize].next[level]
+        }
+    }
+
+    fn set_next(&mut self, node: u32, level: usize, to: u32) {
+        if node == NIL {
+            self.head[level] = to;
+        } else {
+            self.arena[node as usize].next[level] = to;
+        }
+    }
+}
+
+impl Index for SkipList {
+    fn name(&self) -> &'static str {
+        "SkipList"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let (_, cand) = self.find_preds(key);
+        if cand != NIL && self.arena[cand as usize].key == key {
+            Some(self.arena[cand as usize].value)
+        } else {
+            None
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        // Tower links are the structural overhead.
+        self.arena
+            .iter()
+            .map(|n| core::mem::size_of::<SkipNode>() + n.next.capacity() * 4)
+            .sum()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.len * core::mem::size_of::<KeyValue>()
+    }
+}
+
+impl UpdatableIndex for SkipList {
+    #[allow(clippy::needless_range_loop)] // levels index two arrays + self
+    fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        let (preds, cand) = self.find_preds(key);
+        if cand != NIL && self.arena[cand as usize].key == key {
+            return Some(std::mem::replace(&mut self.arena[cand as usize].value, value));
+        }
+        let lvl = self.random_level();
+        if lvl > self.level {
+            self.level = lvl;
+        }
+        let idx = if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = SkipNode { key, value, next: vec![NIL; lvl] };
+            slot
+        } else {
+            self.arena.push(SkipNode { key, value, next: vec![NIL; lvl] });
+            (self.arena.len() - 1) as u32
+        };
+        for l in 0..lvl {
+            let pred = preds[l];
+            let succ = self.next_of(pred, l);
+            self.arena[idx as usize].next[l] = succ;
+            self.set_next(pred, l, idx);
+        }
+        self.len += 1;
+        None
+    }
+
+    #[allow(clippy::needless_range_loop)] // levels index two arrays + self
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let (preds, cand) = self.find_preds(key);
+        if cand == NIL || self.arena[cand as usize].key != key {
+            return None;
+        }
+        let height = self.arena[cand as usize].next.len();
+        for l in 0..height {
+            let succ = self.arena[cand as usize].next[l];
+            debug_assert_eq!(self.next_of(preds[l], l), cand);
+            self.set_next(preds[l], l, succ);
+        }
+        self.len -= 1;
+        self.free.push(cand);
+        Some(self.arena[cand as usize].value)
+    }
+}
+
+impl OrderedIndex for SkipList {
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        let (_, mut cur) = self.find_preds(lo);
+        while cur != NIL {
+            let node = &self.arena[cur as usize];
+            if node.key > hi {
+                break;
+            }
+            out.push((node.key, node.value));
+            cur = node.next[0];
+        }
+    }
+}
+
+impl BulkBuildIndex for SkipList {
+    #[allow(clippy::needless_range_loop)] // levels index two arrays + self
+    fn build(data: &[KeyValue]) -> Self {
+        // Deterministic bulk build: node i gets level = 1 + trailing
+        // quaternary zeros of (i+1), the expected geometric profile without
+        // RNG, then link levels in one pass.
+        let mut sl = SkipList::new();
+        sl.arena.reserve(data.len());
+        let mut lasts = [NIL; MAX_LEVEL]; // last node per level
+        for (i, &(key, value)) in data.iter().enumerate() {
+            debug_assert!(i == 0 || data[i - 1].0 < key, "bulk data must ascend");
+            let mut lvl = 1usize;
+            let mut x = i + 1;
+            while lvl < MAX_LEVEL && x % (BRANCH as usize) == 0 {
+                lvl += 1;
+                x /= BRANCH as usize;
+            }
+            sl.level = sl.level.max(lvl);
+            let idx = sl.arena.len() as u32;
+            sl.arena.push(SkipNode { key, value, next: vec![NIL; lvl] });
+            for l in 0..lvl {
+                if lasts[l] == NIL {
+                    sl.head[l] = idx;
+                } else {
+                    sl.arena[lasts[l] as usize].next[l] = idx;
+                }
+                lasts[l] = idx;
+            }
+        }
+        sl.len = data.len();
+        sl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut sl = SkipList::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = BTreeMap::new();
+        for i in 0..10_000u64 {
+            let k = rng.random_range(0..50_000u64);
+            assert_eq!(sl.insert(k, i), model.insert(k, i));
+        }
+        assert_eq!(sl.len(), model.len());
+        for (&k, &v) in model.iter().step_by(23) {
+            assert_eq!(sl.get(k), Some(v));
+        }
+        // Remove half.
+        let keys: Vec<Key> = model.keys().copied().collect();
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(sl.remove(k), model.remove(&k));
+        }
+        assert_eq!(sl.len(), model.len());
+        let got = sl.range_vec(0, u64::MAX);
+        let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_build_ordered() {
+        let data: Vec<KeyValue> = (0..50_000u64).map(|i| (i * 2 + 1, i)).collect();
+        let sl = SkipList::build(&data);
+        assert_eq!(sl.len(), data.len());
+        for &(k, v) in data.iter().step_by(211) {
+            assert_eq!(sl.get(k), Some(v));
+            assert_eq!(sl.get(k - 1), None);
+        }
+        assert_eq!(sl.range_vec(101, 121), (50..=60).map(|i| (i * 2 + 1, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_then_mutate() {
+        let data: Vec<KeyValue> = (0..5_000u64).map(|i| (i * 4, i)).collect();
+        let mut sl = SkipList::build(&data);
+        for i in 0..5_000u64 {
+            sl.insert(i * 4 + 2, i + 10);
+        }
+        assert_eq!(sl.len(), 10_000);
+        assert_eq!(sl.get(6), Some(11));
+        assert_eq!(sl.remove(6), Some(11));
+        assert_eq!(sl.get(6), None);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut sl = SkipList::new();
+        assert!(sl.is_empty());
+        assert_eq!(sl.get(1), None);
+        assert_eq!(sl.remove(1), None);
+        sl.insert(5, 50);
+        assert_eq!(sl.get(5), Some(50));
+        assert_eq!(sl.range_vec(0, 10), vec![(5, 50)]);
+    }
+
+    #[test]
+    fn update_replaces() {
+        let mut sl = SkipList::new();
+        assert_eq!(sl.insert(1, 10), None);
+        assert_eq!(sl.insert(1, 20), Some(10));
+        assert_eq!(sl.len(), 1);
+        assert_eq!(sl.get(1), Some(20));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn matches_btreemap(ops in proptest::collection::vec((0u64..500, 0u64..100, proptest::bool::ANY), 0..500)) {
+            let mut sl = SkipList::new();
+            let mut model = BTreeMap::new();
+            for &(k, v, ins) in &ops {
+                if ins {
+                    proptest::prop_assert_eq!(sl.insert(k, v), model.insert(k, v));
+                } else {
+                    proptest::prop_assert_eq!(sl.remove(k), model.remove(&k));
+                }
+            }
+            let got = sl.range_vec(0, u64::MAX);
+            let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Persistent layout of pages and records.
+//!
+//! ```text
+//! page   := header(16B) slot*                 (fixed page size)
+//! header := magic(8B) _reserved(8B)
+//! slot   := key(8B) state(1B) value(value_size B)
+//! state  := 0 free | 1 live | 2 dead
+//! ```
+//!
+//! The layout is self-describing enough for recovery: a page is live iff
+//! its header carries [`PAGE_MAGIC`], and a slot's record is live iff its
+//! state byte is [`SLOT_LIVE`] — set only *after* key and value were
+//! flushed, so a crash mid-write never surfaces a half-written record.
+
+use li_core::Key;
+
+/// Magic marking an allocated page.
+pub const PAGE_MAGIC: u64 = 0x5649_5045_525f_5047; // "VIPER_PG"
+
+/// Page header size in bytes.
+pub const PAGE_HEADER: usize = 16;
+
+/// Slot state: never written.
+pub const SLOT_FREE: u8 = 0;
+/// Slot state: record is live.
+pub const SLOT_LIVE: u8 = 1;
+/// Slot state: record was deleted.
+pub const SLOT_DEAD: u8 = 2;
+
+/// Runtime layout parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Bytes of each value (the paper uses 200-byte values, §III-A3).
+    pub value_size: usize,
+    /// Bytes of each page.
+    pub page_size: usize,
+}
+
+impl RecordLayout {
+    /// Paper-default layout: 200-byte values in 64 KiB pages.
+    pub fn paper_default() -> Self {
+        RecordLayout { value_size: 200, page_size: 64 * 1024 }
+    }
+
+    /// Tiny values for tests.
+    pub fn small() -> Self {
+        RecordLayout { value_size: 16, page_size: 4096 }
+    }
+
+    /// Bytes of one record slot: key + state + value.
+    #[inline]
+    pub fn slot_size(&self) -> usize {
+        8 + 1 + self.value_size
+    }
+
+    /// Record slots per page.
+    #[inline]
+    pub fn slots_per_page(&self) -> usize {
+        (self.page_size - PAGE_HEADER) / self.slot_size()
+    }
+
+    /// Byte offset of slot `slot` within a page starting at `page_offset`.
+    #[inline]
+    pub fn slot_offset(&self, page_offset: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.slots_per_page());
+        page_offset + PAGE_HEADER + slot * self.slot_size()
+    }
+
+    /// Offset of the state byte within a slot.
+    #[inline]
+    pub fn state_offset(&self, slot_offset: usize) -> usize {
+        slot_offset + 8
+    }
+
+    /// Offset of the value within a slot.
+    #[inline]
+    pub fn value_offset(&self, slot_offset: usize) -> usize {
+        slot_offset + 9
+    }
+
+    /// Serialises a record into `buf` (which must be `slot_size` long).
+    pub fn encode_record(&self, key: Key, state: u8, value: &[u8], buf: &mut [u8]) {
+        assert_eq!(value.len(), self.value_size, "value size mismatch");
+        assert_eq!(buf.len(), self.slot_size());
+        buf[..8].copy_from_slice(&key.to_le_bytes());
+        buf[8] = state;
+        buf[9..].copy_from_slice(value);
+    }
+
+    /// Reads `(key, state)` from an encoded slot prefix.
+    pub fn decode_header(buf: &[u8]) -> (Key, u8) {
+        let key = u64::from_le_bytes(buf[..8].try_into().expect("slot prefix"));
+        (key, buf[8])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_capacity() {
+        let l = RecordLayout::paper_default();
+        assert_eq!(l.slot_size(), 209);
+        assert_eq!(l.slots_per_page(), (64 * 1024 - 16) / 209);
+        assert!(l.slots_per_page() > 300);
+    }
+
+    #[test]
+    fn slot_offsets_disjoint() {
+        let l = RecordLayout::small();
+        let spp = l.slots_per_page();
+        let mut last_end = PAGE_HEADER;
+        for s in 0..spp {
+            let off = l.slot_offset(0, s);
+            assert_eq!(off, last_end);
+            last_end = off + l.slot_size();
+        }
+        assert!(last_end <= l.page_size);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let l = RecordLayout::small();
+        let mut buf = vec![0u8; l.slot_size()];
+        let val = vec![7u8; l.value_size];
+        l.encode_record(0xabcdef, SLOT_LIVE, &val, &mut buf);
+        let (k, st) = RecordLayout::decode_header(&buf);
+        assert_eq!(k, 0xabcdef);
+        assert_eq!(st, SLOT_LIVE);
+        assert_eq!(&buf[9..], &val[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value size mismatch")]
+    fn wrong_value_size_panics() {
+        let l = RecordLayout::small();
+        let mut buf = vec![0u8; l.slot_size()];
+        l.encode_record(1, SLOT_LIVE, &[1, 2, 3], &mut buf);
+    }
+}

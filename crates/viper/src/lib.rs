@@ -1,0 +1,23 @@
+//! # li-viper — an NVM-oriented key-value store
+//!
+//! A from-scratch reproduction of the architecture of Viper (Benson et
+//! al., VLDB'21) as used by the paper's end-to-end evaluation (§III-A2,
+//! Fig. 9): fixed-size record pages live on (simulated) persistent memory,
+//! while a *volatile*, pluggable index in DRAM maps each key to its record
+//! offset. Every index evaluated by the paper — learned or traditional —
+//! plugs into the same store, which is what makes the comparison fair.
+//!
+//! * [`layout`] — persistent record/page layout and its invariants.
+//! * [`heap`] — the record heap: slot allocation, persistence protocol
+//!   (write → flush → fence → publish), recovery scan.
+//! * [`store`] — [`store::ViperStore`] (single-writer) and
+//!   [`store::ConcurrentViperStore`] (shared-writer, for XIndex and the
+//!   concurrent traditional indexes).
+
+pub mod heap;
+pub mod layout;
+pub mod store;
+
+pub use heap::RecordHeap;
+pub use layout::{RecordLayout, PAGE_MAGIC};
+pub use store::{ConcurrentViperStore, StoreConfig, ViperStore};

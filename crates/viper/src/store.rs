@@ -1,0 +1,541 @@
+//! The two store flavours: single-writer and shared-writer.
+
+use std::sync::Arc;
+
+use li_core::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
+use li_core::{Key, KeyValue};
+use li_nvm::{NvmConfig, NvmDevice};
+
+use crate::heap::RecordHeap;
+use crate::layout::RecordLayout;
+
+/// Store construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    pub layout: RecordLayout,
+    pub nvm: NvmConfig,
+}
+
+impl StoreConfig {
+    /// Paper-style store: 200-byte values on an Optane-like device sized
+    /// for `n` records (with 30% headroom).
+    pub fn paper(n: usize) -> Self {
+        let layout = RecordLayout::paper_default();
+        let bytes = (n + n / 3 + 1024) / layout.slots_per_page() * layout.page_size
+            + 64 * layout.page_size;
+        StoreConfig { layout, nvm: NvmConfig::optane(bytes) }
+    }
+
+    /// Small, latency-free store for tests.
+    pub fn test(n: usize) -> Self {
+        let layout = RecordLayout::small();
+        let bytes = (n + n / 2 + 64) / layout.slots_per_page() * layout.page_size
+            + 16 * layout.page_size;
+        StoreConfig { layout, nvm: NvmConfig::fast(bytes) }
+    }
+}
+
+/// Viper with a single-writer index (everything except XIndex).
+/// Reads (`get`, `scan`) take `&self` and are safe to share across threads
+/// — that is how the multi-threaded read-only experiment (Fig. 12) runs.
+pub struct ViperStore<I> {
+    heap: RecordHeap,
+    index: I,
+}
+
+impl<I: Index> ViperStore<I> {
+    /// Point lookup: index probe + one NVM record read.
+    pub fn get(&self, key: Key, value_buf: &mut [u8]) -> bool {
+        match self.index.get(key) {
+            Some(offset) => {
+                let stored = self.heap.read(offset, value_buf);
+                debug_assert_eq!(stored, key, "index pointed at wrong record");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.len() == 0
+    }
+
+    /// The DRAM index (for stats like size/depth).
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The persistent record heap.
+    pub fn heap(&self) -> &RecordHeap {
+        &self.heap
+    }
+
+    /// Tears the store down to its device (crash-simulation tests).
+    pub fn into_device(self) -> Arc<NvmDevice> {
+        self.heap.into_device()
+    }
+}
+
+impl<I: Index + UpdatableIndex> ViperStore<I> {
+    /// Creates an empty store with the given index.
+    pub fn new(config: StoreConfig, index: I) -> Self {
+        let dev = Arc::new(NvmDevice::new(config.nvm));
+        ViperStore { heap: RecordHeap::new(dev, config.layout), index }
+    }
+
+    /// Inserts or updates. Updates are in-place (same-size values).
+    pub fn put(&mut self, key: Key, value: &[u8]) {
+        match self.index.get(key) {
+            Some(offset) => self.heap.update_in_place(offset, value),
+            None => {
+                let offset = self.heap.append(key, value);
+                let prev = self.index.insert(key, offset);
+                debug_assert!(prev.is_none());
+            }
+        }
+    }
+
+    /// Removes a key; returns whether it existed.
+    pub fn delete(&mut self, key: Key) -> bool {
+        match self.index.remove(key) {
+            Some(offset) => {
+                self.heap.mark_dead(offset);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<I: Index> ViperStore<I> {
+    /// Bulk-loads `data` (strictly ascending keys, all values `value_size`
+    /// bytes, provided by `value_of`), building the index with `build` —
+    /// how every learned index is initialised in the paper. Use this form
+    /// when the index type cannot implement [`BulkBuildIndex`] (e.g. a
+    /// runtime-selected enum of indexes).
+    pub fn bulk_load_with(
+        config: StoreConfig,
+        keys: &[Key],
+        mut value_of: impl FnMut(Key, &mut [u8]),
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Self {
+        let dev = Arc::new(NvmDevice::new(config.nvm));
+        let heap = RecordHeap::new(dev, config.layout);
+        let mut buf = vec![0u8; config.layout.value_size];
+        let mut pairs: Vec<KeyValue> = Vec::with_capacity(keys.len());
+        for &k in keys {
+            value_of(k, &mut buf);
+            let offset = heap.append(k, &buf);
+            pairs.push((k, offset));
+        }
+        // Keys were ascending, so pairs are ready for bulk build.
+        let index = build(&pairs);
+        ViperStore { heap, index }
+    }
+
+    /// Recovery with a caller-supplied index builder (see
+    /// [`ViperStore::bulk_load_with`]).
+    pub fn recover_with(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Self {
+        let (heap, mut live) = RecordHeap::recover(dev, layout);
+        live.sort_unstable();
+        let index = build(&live);
+        ViperStore { heap, index }
+    }
+}
+
+impl<I> ViperStore<I>
+where
+    I: Index + BulkBuildIndex,
+{
+    /// Bulk load with the index's own [`BulkBuildIndex`] constructor.
+    pub fn bulk_load(
+        config: StoreConfig,
+        keys: &[Key],
+        value_of: impl FnMut(Key, &mut [u8]),
+    ) -> Self {
+        Self::bulk_load_with(config, keys, value_of, I::build)
+    }
+
+    /// Recovers a store from a device after a crash/restart: scans the
+    /// record heap and rebuilds the DRAM index (Fig. 16's build path).
+    pub fn recover(dev: Arc<NvmDevice>, layout: RecordLayout) -> Self {
+        Self::recover_with(dev, layout, I::build)
+    }
+}
+
+impl<I: OrderedIndex> ViperStore<I> {
+    /// Range scan: returns up to `limit` records with key in `[lo, hi]`,
+    /// reading each value from NVM into `sink`.
+    pub fn scan(&self, lo: Key, hi: Key, limit: usize, sink: &mut dyn FnMut(Key, &[u8])) -> usize {
+        let mut pairs = Vec::new();
+        self.index.range(lo, hi, &mut pairs);
+        let mut buf = vec![0u8; self.heap.layout().value_size];
+        let mut n = 0;
+        for (k, offset) in pairs.into_iter().take(limit) {
+            let stored = self.heap.read(offset, &mut buf);
+            debug_assert_eq!(stored, k);
+            sink(k, &buf);
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Viper with a concurrency-safe index: `put`/`get`/`delete` all take
+/// `&self`, so any number of threads can mutate through an `Arc` — the
+/// setup of the multi-threaded write experiment (Fig. 14).
+///
+/// Writes to the *same key* are serialised by a striped lock (reads stay
+/// lock-free), Viper's fine-grained-locking discipline. Without it, two
+/// racing inserters of one key could leave a stale record offset alive
+/// while its slot is recycled for another key.
+pub struct ConcurrentViperStore<I> {
+    heap: RecordHeap,
+    index: I,
+    key_locks: Vec<parking_lot::Mutex<()>>,
+}
+
+const KEY_STRIPES: usize = 1024;
+
+impl<I: ConcurrentIndex> ConcurrentViperStore<I> {
+    pub fn new(config: StoreConfig, index: I) -> Self {
+        let dev = Arc::new(NvmDevice::new(config.nvm));
+        ConcurrentViperStore {
+            heap: RecordHeap::new(dev, config.layout),
+            index,
+            key_locks: (0..KEY_STRIPES).map(|_| parking_lot::Mutex::new(())).collect(),
+        }
+    }
+
+    #[inline]
+    fn key_lock(&self, key: Key) -> &parking_lot::Mutex<()> {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.key_locks[(h >> 54) as usize % KEY_STRIPES]
+    }
+
+    pub fn get(&self, key: Key, value_buf: &mut [u8]) -> bool {
+        match self.index.get(key) {
+            Some(offset) => {
+                self.heap.read(offset, value_buf);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts or updates through a shared reference.
+    pub fn put(&self, key: Key, value: &[u8]) {
+        let _guard = self.key_lock(key).lock();
+        match self.index.get(key) {
+            Some(offset) => self.heap.update_in_place(offset, value),
+            None => {
+                let offset = self.heap.append(key, value);
+                let prev = self.index.insert(key, offset);
+                debug_assert!(prev.is_none(), "same-key put raced despite striping");
+            }
+        }
+    }
+
+    pub fn delete(&self, key: Key) -> bool {
+        let _guard = self.key_lock(key).lock();
+        match self.index.remove(key) {
+            Some(offset) => {
+                self.heap.mark_dead(offset);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.len() == 0
+    }
+
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    pub fn heap(&self) -> &RecordHeap {
+        &self.heap
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A trivial reference index for exercising the store machinery.
+    #[derive(Default)]
+    pub(crate) struct MapIndex(BTreeMap<Key, u64>);
+
+    impl Index for MapIndex {
+        fn name(&self) -> &'static str {
+            "map"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn get(&self, key: Key) -> Option<u64> {
+            self.0.get(&key).copied()
+        }
+        fn index_size_bytes(&self) -> usize {
+            self.0.len() * 48
+        }
+        fn data_size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    impl UpdatableIndex for MapIndex {
+        fn insert(&mut self, key: Key, value: u64) -> Option<u64> {
+            self.0.insert(key, value)
+        }
+        fn remove(&mut self, key: Key) -> Option<u64> {
+            self.0.remove(&key)
+        }
+    }
+
+    impl OrderedIndex for MapIndex {
+        fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+            out.extend(self.0.range(lo..=hi).map(|(&k, &v)| (k, v)));
+        }
+    }
+
+    impl BulkBuildIndex for MapIndex {
+        fn build(data: &[KeyValue]) -> Self {
+            MapIndex(data.iter().copied().collect())
+        }
+    }
+
+    fn value_for(key: Key, buf: &mut [u8]) {
+        value_for_test(key, buf)
+    }
+
+    pub(crate) fn value_for_test(key: Key, buf: &mut [u8]) {
+        let b = (key % 251) as u8;
+        buf.fill(b);
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut store = ViperStore::new(StoreConfig::test(1_000), MapIndex::default());
+        let vs = store.heap().layout().value_size;
+        let mut buf = vec![0u8; vs];
+        let mut val = vec![0u8; vs];
+        for k in 0..500u64 {
+            value_for(k, &mut val);
+            store.put(k * 3, &val);
+        }
+        assert_eq!(store.len(), 500);
+        for k in 0..500u64 {
+            assert!(store.get(k * 3, &mut buf), "missing {k}");
+            value_for(k, &mut val);
+            assert_eq!(buf, val);
+            assert!(!store.get(k * 3 + 1, &mut buf));
+        }
+        assert!(store.delete(3));
+        assert!(!store.delete(3));
+        assert!(!store.get(3, &mut buf));
+        assert_eq!(store.len(), 499);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut store = ViperStore::new(StoreConfig::test(100), MapIndex::default());
+        let vs = store.heap().layout().value_size;
+        
+        store.put(7, &vec![1u8; vs]);
+        let used_before = store.heap().nvm_bytes_used();
+        store.put(7, &vec![2u8; vs]);
+        assert_eq!(store.heap().nvm_bytes_used(), used_before, "no new page for update");
+        let mut buf = vec![0u8; vs];
+        assert!(store.get(7, &mut buf));
+        assert_eq!(buf, vec![2u8; vs]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_then_scan() {
+        let keys: Vec<Key> = (0..1_000u64).map(|i| i * 2).collect();
+        let store: ViperStore<MapIndex> =
+            ViperStore::bulk_load(StoreConfig::test(1_000), &keys, value_for);
+        assert_eq!(store.len(), 1_000);
+        let mut got = Vec::new();
+        let n = store.scan(100, 120, 100, &mut |k, _v| got.push(k));
+        assert_eq!(n, 11);
+        assert_eq!(got, (50..=60).map(|i| i * 2).collect::<Vec<_>>());
+        // Limited scan.
+        let mut got2 = Vec::new();
+        let n2 = store.scan(0, u64::MAX, 5, &mut |k, _v| got2.push(k));
+        assert_eq!(n2, 5);
+        assert_eq!(got2, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn recover_equals_original() {
+        let keys: Vec<Key> = (0..800u64).map(|i| i * 5 + 1).collect();
+        let cfg = StoreConfig::test(1_000);
+        let layout = cfg.layout;
+        let mut store: ViperStore<MapIndex> = ViperStore::bulk_load(cfg, &keys, value_for);
+        store.delete(6); // key 6 = 1*5+1
+        store.put(10_000, &vec![9u8; layout.value_size]);
+        let expected_len = store.len();
+        let dev = store.into_device();
+        let recovered: ViperStore<MapIndex> = ViperStore::recover(dev, layout);
+        assert_eq!(recovered.len(), expected_len);
+        let mut buf = vec![0u8; layout.value_size];
+        assert!(!recovered.get(6, &mut buf));
+        assert!(recovered.get(10_000, &mut buf));
+        assert_eq!(buf, vec![9u8; layout.value_size]);
+        let mut val = vec![0u8; layout.value_size];
+        for &k in keys.iter().skip(2).step_by(17) {
+            assert!(recovered.get(k, &mut buf), "lost {k}");
+            value_for(k, &mut val);
+            assert_eq!(buf, val);
+        }
+    }
+
+    /// Concurrent index built on a mutex-wrapped map (reference impl).
+    #[derive(Default)]
+    struct LockedMap(parking_lot::RwLock<BTreeMap<Key, u64>>);
+
+    impl ConcurrentIndex for LockedMap {
+        fn get(&self, key: Key) -> Option<u64> {
+            self.0.read().get(&key).copied()
+        }
+        fn insert(&self, key: Key, value: u64) -> Option<u64> {
+            self.0.write().insert(key, value)
+        }
+        fn remove(&self, key: Key) -> Option<u64> {
+            self.0.write().remove(&key)
+        }
+        fn len(&self) -> usize {
+            self.0.read().len()
+        }
+    }
+
+    #[test]
+    fn concurrent_store_parallel_puts() {
+        let store = Arc::new(ConcurrentViperStore::new(
+            StoreConfig::test(20_000),
+            LockedMap::default(),
+        ));
+        let vs = store.heap().layout().value_size;
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut val = vec![0u8; vs];
+                for i in 0..1_000u64 {
+                    let k = t * 10_000 + i;
+                    value_for(k, &mut val);
+                    store.put(k, &val);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 8_000);
+        let mut buf = vec![0u8; vs];
+        let mut val = vec![0u8; vs];
+        for t in 0..8u64 {
+            for i in (0..1_000u64).step_by(53) {
+                let k = t * 10_000 + i;
+                assert!(store.get(k, &mut buf));
+                value_for(k, &mut val);
+                assert_eq!(buf, val);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_race() {
+        let store = Arc::new(ConcurrentViperStore::new(
+            StoreConfig::test(20_000),
+            LockedMap::default(),
+        ));
+        let vs = store.heap().layout().value_size;
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let val = vec![t as u8; vs];
+                for _ in 0..200 {
+                    store.put(777, &val);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 1);
+        let mut buf = vec![0u8; vs];
+        assert!(store.get(777, &mut buf));
+        // Value must be exactly one thread's value (no torn mix): all bytes
+        // equal.
+        assert!(buf.iter().all(|&b| b == buf[0]), "torn value {buf:?}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    use crate::store::tests::value_for_test as value_for;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn store_matches_hashmap(
+            ops in proptest::collection::vec((0u64..300, 0u8..3), 1..250),
+        ) {
+            let mut store =
+                ViperStore::new(StoreConfig::test(1_000), crate::store::tests::MapIndex::default());
+            let vs = store.heap().layout().value_size;
+            let mut oracle: HashMap<u64, u8> = HashMap::new();
+            let mut buf = vec![0u8; vs];
+            for &(k, op) in &ops {
+                match op {
+                    0 => {
+                        let b = (k % 251) as u8;
+                        store.put(k, &vec![b; vs]);
+                        oracle.insert(k, b);
+                    }
+                    1 => {
+                        let got = store.get(k, &mut buf);
+                        match oracle.get(&k) {
+                            Some(&b) => {
+                                prop_assert!(got);
+                                prop_assert!(buf.iter().all(|&x| x == b));
+                            }
+                            None => prop_assert!(!got),
+                        }
+                    }
+                    _ => {
+                        let got = store.delete(k);
+                        prop_assert_eq!(got, oracle.remove(&k).is_some());
+                    }
+                }
+            }
+            prop_assert_eq!(store.len(), oracle.len());
+            let _ = value_for;
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Key-set generators.
+//!
+//! The paper evaluates on YCSB-generated keys (normal distribution),
+//! OpenStreetMap cell ids and Facebook user ids. The latter two are
+//! proprietary/large downloads, so this module generates synthetic key
+//! sets engineered to have the *properties the paper's analysis relies
+//! on*:
+//!
+//! * `OsmLike` — a lumpy, multimodal CDF (many clusters of wildly varying
+//!   width) that needs far more PLA segments per key than YCSB, which is
+//!   exactly why the paper's learned indexes degrade on OSM (§III-B1,
+//!   Table II).
+//! * `FaceLike` — extreme skew: the vast majority of keys below 2^50 and a
+//!   thin spray up to 2^64, which disables RadixSpline's fixed r-bit
+//!   prefix table (§III-B1, Fig. 11).
+
+use li_core::Key;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Dataset selector matching the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Normal-distribution keys, as YCSB produces (§III-A3).
+    YcsbNormal,
+    /// Uniform random keys over the full 64-bit space.
+    Uniform,
+    /// Synthetic stand-in for OpenStreetMap cell ids (complex CDF).
+    OsmLike,
+    /// Synthetic stand-in for Facebook user ids (heavy skew).
+    FaceLike,
+}
+
+impl Dataset {
+    pub const ALL: [Dataset; 4] =
+        [Dataset::YcsbNormal, Dataset::Uniform, Dataset::OsmLike, Dataset::FaceLike];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::YcsbNormal => "YCSB",
+            Dataset::Uniform => "UNIFORM",
+            Dataset::OsmLike => "OSM",
+            Dataset::FaceLike => "FACE",
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand's distributions live in a separate
+/// crate that is out of our dependency budget).
+fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Generates exactly `n` strictly-ascending distinct keys of `dataset`,
+/// deterministically from `seed`.
+pub fn generate_keys(dataset: Dataset, n: usize, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut keys: Vec<Key> = Vec::with_capacity(n + n / 8 + 16);
+    // Generate with headroom, dedup, and top up until n distinct keys.
+    while keys.len() < n {
+        let want = (n - keys.len()) + (n / 16) + 16;
+        match dataset {
+            Dataset::YcsbNormal => {
+                // Center of the key space, sigma 1/16 of the space: almost
+                // all mass within the u64 range, shaped like YCSB's hashed
+                // keyspace CDF.
+                let center = (u64::MAX / 2) as f64;
+                let sigma = (u64::MAX / 16) as f64;
+                for _ in 0..want {
+                    let x = normal(&mut rng) * sigma + center;
+                    keys.push(x.clamp(0.0, u64::MAX as f64 / 2.0 * 1.999) as u64);
+                }
+            }
+            Dataset::Uniform => {
+                for _ in 0..want {
+                    keys.push(rng.random::<u64>());
+                }
+            }
+            Dataset::OsmLike => {
+                // Multimodal: clusters whose centers are uniform, whose
+                // widths span 6 orders of magnitude, and whose populations
+                // are heavily skewed. ~n/1000 clusters.
+                let clusters = (n / 1_000).max(8);
+                let mut centers = Vec::with_capacity(clusters);
+                let mut cluster_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+                for _ in 0..clusters {
+                    let center = cluster_rng.random::<u64>() >> 1;
+                    // Width: log-uniform in [2^8, 2^40].
+                    let w_exp = cluster_rng.random_range(8..40u32);
+                    centers.push((center, 1u64 << w_exp));
+                }
+                for _ in 0..want {
+                    // Zipf-ish cluster choice: square a uniform to skew.
+                    let u: f64 = rng.random::<f64>();
+                    let ci = ((u * u) * clusters as f64) as usize % clusters;
+                    let (c, w) = centers[ci];
+                    let off = (normal(&mut rng) * w as f64 / 4.0).abs() as u64 % w.max(1);
+                    keys.push(c.saturating_add(off));
+                }
+            }
+            Dataset::FaceLike => {
+                for _ in 0..want {
+                    if rng.random::<f64>() < 0.99 {
+                        // Bulk of ids below 2^50, denser toward zero.
+                        let r: f64 = rng.random::<f64>();
+                        keys.push(((r * r) * (1u64 << 50) as f64) as u64);
+                    } else {
+                        // Thin spray of huge ids up to 2^64.
+                        keys.push(rng.random::<u64>() | (1 << 59));
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    if keys.len() > n {
+        // Downsample evenly instead of truncating, which would chop off
+        // the top of the distribution (fatal for FACE's tail).
+        let m = keys.len();
+        let sampled: Vec<Key> = (0..n).map(|i| keys[i * m / n]).collect();
+        keys = sampled;
+    }
+    debug_assert_eq!(keys.len(), n);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_core::cdf::cdf_complexity;
+
+    #[test]
+    fn exact_count_sorted_distinct() {
+        for d in Dataset::ALL {
+            let keys = generate_keys(d, 10_000, 7);
+            assert_eq!(keys.len(), 10_000, "{}", d.name());
+            for w in keys.windows(2) {
+                assert!(w[0] < w[1], "{} not strictly ascending", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for d in Dataset::ALL {
+            let a = generate_keys(d, 5_000, 42);
+            let b = generate_keys(d, 5_000, 42);
+            let c = generate_keys(d, 5_000, 43);
+            assert_eq!(a, b, "{}", d.name());
+            assert_ne!(a, c, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn osm_is_harder_than_ycsb() {
+        // The property §III-B1 relies on: OSM's CDF needs more segments.
+        let ycsb = generate_keys(Dataset::YcsbNormal, 100_000, 1);
+        let osm = generate_keys(Dataset::OsmLike, 100_000, 1);
+        let cy = cdf_complexity(&ycsb, 32);
+        let co = cdf_complexity(&osm, 32);
+        assert!(
+            co > cy * 2.0,
+            "OSM complexity {co} should far exceed YCSB {cy}"
+        );
+    }
+
+    #[test]
+    fn face_is_skewed() {
+        // The property Fig. 11 relies on: almost all keys below 2^50, a few
+        // above 2^59, so high radix bits carry almost no information.
+        let keys = generate_keys(Dataset::FaceLike, 100_000, 1);
+        let below = keys.iter().filter(|&&k| k < (1 << 50)).count();
+        let above = keys.iter().filter(|&&k| k >= (1 << 59)).count();
+        assert!(below as f64 > 0.95 * keys.len() as f64);
+        assert!(above > 0, "needs a tail above 2^59");
+        assert!((above as f64) < 0.05 * keys.len() as f64);
+    }
+
+    #[test]
+    fn subset_prefix_property() {
+        // Growing n keeps the generator stable enough to be usable for
+        // scaling sweeps (not byte-identical, but same distribution).
+        let small = generate_keys(Dataset::Uniform, 1_000, 5);
+        assert_eq!(small.len(), 1_000);
+    }
+}

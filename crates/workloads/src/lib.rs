@@ -1,0 +1,18 @@
+//! # li-workloads — datasets and operation streams
+//!
+//! Reproduces the paper's evaluation inputs (§III-A3):
+//!
+//! * [`dataset`] — key distributions: YCSB (normal), uniform, and synthetic
+//!   stand-ins for the OSM and FACE real-world datasets (see DESIGN.md for
+//!   the substitution argument).
+//! * [`zipf`] — YCSB's Zipfian and "latest" request distributions.
+//! * [`ops`] — YCSB workload mixes A/B/C/D/F plus the paper's read-only /
+//!   write-only streams, generated deterministically from a seed.
+
+pub mod dataset;
+pub mod ops;
+pub mod zipf;
+
+pub use dataset::{generate_keys, Dataset};
+pub use ops::{generate_ops, split_load_insert, Op, WorkloadSpec};
+pub use zipf::{LatestGen, ZipfGen};

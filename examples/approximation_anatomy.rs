@@ -1,0 +1,86 @@
+//! Anatomy of the approximation algorithms — the dimension the paper
+//! concludes matters most (§IV-G).
+//!
+//! For each dataset this prints how many piecewise-linear segments each
+//! algorithm needs, the errors it achieves, and the two headline effects:
+//! Opt-PLA's optimality over greedy FSW, and LSA-gap breaking the
+//! error-vs-segments conflict by changing the stored distribution.
+//!
+//! Run with: `cargo run --release --example approximation_anatomy`
+
+use lip::core::approx::lsa_gap::lsa_gap_quality;
+use lip::core::approx::ApproxAlgorithm;
+use lip::core::cdf::{cdf_complexity, segmentation_quality};
+use lip::workloads::{generate_keys, Dataset};
+
+fn main() {
+    let n = 200_000;
+    println!("datasets ({n} keys each) and their CDF complexity");
+    println!("(Opt-PLA segments per million keys at eps=32 — higher = lumpier):\n");
+    for d in Dataset::ALL {
+        let keys = generate_keys(d, n, 7);
+        println!("  {:<8} complexity {:>8.0}", d.name(), cdf_complexity(&keys, 32));
+    }
+
+    for d in [Dataset::YcsbNormal, Dataset::OsmLike] {
+        let keys = generate_keys(d, n, 7);
+        println!("\n=== {} ===", d.name());
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            "algorithm", "param", "segments", "avg err", "max err"
+        );
+
+        // Bounded-error algorithms: same ε, different segment counts —
+        // Opt-PLA provably minimal.
+        for eps in [16u64, 64, 256] {
+            for algo in [
+                ApproxAlgorithm::OptPla { epsilon: eps },
+                ApproxAlgorithm::Fsw { epsilon: eps },
+            ] {
+                let segs = algo.segment(&keys);
+                let q =
+                    segmentation_quality(&keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+                println!(
+                    "{:<10} {:>10} {:>10} {:>10.1} {:>10.0}",
+                    algo.name(),
+                    format!("eps={eps}"),
+                    q.segments,
+                    q.avg_error,
+                    q.max_error
+                );
+            }
+        }
+        // Unbounded algorithms at fixed segment sizes.
+        for seg in [512usize, 4096] {
+            let algo = ApproxAlgorithm::Lsa { seg_size: seg };
+            let segs = algo.segment(&keys);
+            let q = segmentation_quality(&keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+            println!(
+                "{:<10} {:>10} {:>10} {:>10.1} {:>10.0}",
+                "LSA",
+                seg,
+                q.segments,
+                q.avg_error,
+                q.max_error
+            );
+            let g = lsa_gap_quality(&keys, seg, 0.7);
+            println!(
+                "{:<10} {:>10} {:>10} {:>10.1} {:>10.0}",
+                "LSA-gap",
+                seg,
+                g.segments,
+                g.avg_error,
+                g.max_error
+            );
+        }
+    }
+
+    println!(
+        "\ntakeaways (matching §IV-A): Opt-PLA ≤ FSW in segments at equal ε \
+         on both datasets; on YCSB, LSA-gap cuts LSA's error several-fold at \
+         identical segment counts by *changing the layout* instead of \
+         fitting harder. On the lumpy OSM CDF the per-segment gain narrows — \
+         no single line fits a lump, which is exactly why ALEX sizes its \
+         leaves by fit quality rather than by a fixed count."
+    );
+}

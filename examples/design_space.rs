@@ -1,0 +1,111 @@
+//! Exploring the paper's four design dimensions (§IV) with the pieces
+//! framework: assemble "brand new" learned indexes by combining any
+//! approximation algorithm × inner structure × insertion strategy ×
+//! retraining policy, and measure what each choice costs.
+//!
+//! This runs a miniature version of the paper's §IV analysis, including
+//! the combination §V speculates about (bounded-error segmentation + the
+//! asymmetric tree + gapped leaves).
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use std::time::Instant;
+
+use lip::core::approx::ApproxAlgorithm;
+use lip::core::pieces::assembled::{PiecewiseConfig, PiecewiseIndex};
+use lip::core::pieces::insertion::LeafKind;
+use lip::core::pieces::retrain::RetrainPolicy;
+use lip::core::pieces::structure::StructureKind;
+use lip::core::traits::{DepthStats, Index, UpdatableIndex};
+use lip::workloads::{generate_keys, Dataset};
+
+fn main() {
+    let n = 200_000;
+    let keys = generate_keys(Dataset::OsmLike, n, 42);
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let (loaded, inserts): (Vec<_>, Vec<_>) =
+        data.iter().partition(|kv| kv.1 % 5 != 0);
+
+    println!("design-space sweep over {n} OSM-like keys (hard CDF)");
+    println!(
+        "{:<10} {:<7} {:<9} {:<10} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "algo", "inner", "leaf", "retrain", "leaves", "depth", "build_ms", "get_ns", "ins_ns"
+    );
+
+    let algos = [
+        ApproxAlgorithm::Lsa { seg_size: 512 },
+        ApproxAlgorithm::OptPla { epsilon: 32 },
+        ApproxAlgorithm::Fsw { epsilon: 32 },
+    ];
+    let structures = StructureKind::ALL;
+    let leaves = [
+        LeafKind::Inplace { reserve: 64 },
+        LeafKind::Buffer { reserve: 64 },
+        LeafKind::Gapped { density: 0.7, max_density: 0.85 },
+    ];
+    let policies = [
+        RetrainPolicy::ResegmentLeaf,
+        RetrainPolicy::ExpandOrSplit { expand_factor: 1.5, split_error_threshold: 8.0 },
+    ];
+
+    let mut best: Option<(f64, String)> = None;
+    for algo in algos {
+        for structure in structures {
+            // Keep the table readable: one leaf/policy pairing per row
+            // family; the full cross product is exercised in the tests.
+            for (leaf, policy) in leaves.iter().zip(policies.iter().cycle()) {
+                let cfg = PiecewiseConfig { algo, structure, leaf: *leaf, policy: *policy };
+                let t0 = Instant::now();
+                let mut idx = PiecewiseIndex::build_with(cfg, &loaded);
+                let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+                // Point-lookup cost.
+                let t0 = Instant::now();
+                let mut hits = 0u64;
+                for kv in loaded.iter().step_by(7) {
+                    hits += idx.get(kv.0).is_some() as u64;
+                }
+                let get_ns = t0.elapsed().as_nanos() as f64 / (loaded.len() / 7) as f64;
+                assert_eq!(hits as usize, loaded.len().div_ceil(7));
+
+                // Insert cost.
+                let t0 = Instant::now();
+                for kv in &inserts {
+                    idx.insert(kv.0, kv.1);
+                }
+                let ins_ns = t0.elapsed().as_nanos() as f64 / inserts.len() as f64;
+
+                println!(
+                    "{:<10} {:<7} {:<9} {:<10} {:>7} {:>7.2} {:>9.1} {:>9.0} {:>9.0}",
+                    algo.name(),
+                    structure.name(),
+                    leaf.name(),
+                    policy.name(),
+                    idx.leaf_count(),
+                    idx.avg_depth(),
+                    build_ms,
+                    get_ns,
+                    ins_ns
+                );
+                let score = get_ns + ins_ns;
+                let label = format!(
+                    "{} + {} + {} + {}",
+                    algo.name(),
+                    structure.name(),
+                    leaf.name(),
+                    policy.name()
+                );
+                if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                    best = Some((score, label));
+                }
+            }
+        }
+    }
+
+    let (score, label) = best.unwrap();
+    println!("\nbest combined get+insert cost: {label} ({score:.0} ns)");
+    println!(
+        "(§V predicts bounded-error or gap-based approximation with the \
+         asymmetric tree should win on hard CDFs)"
+    );
+}

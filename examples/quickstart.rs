@@ -1,0 +1,58 @@
+//! Quickstart: build a learned index, query it, mutate it, and plug it
+//! into the NVM-backed Viper store.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lip::core::traits::{Index, OrderedIndex, UpdatableIndex};
+use lip::viper::{StoreConfig, ViperStore};
+use lip::{AnyIndex, IndexKind};
+
+fn main() {
+    // --- 1. A learned index over a sorted key/value array ----------------
+    let data: Vec<(u64, u64)> = (0..100_000u64).map(|i| (i * 10, i)).collect();
+
+    let mut alex = AnyIndex::build(IndexKind::Alex, &data);
+    println!("built {} over {} keys", alex.name(), alex.len());
+    println!("  index structure size: {} bytes", alex.index_size_bytes());
+    println!("  avg depth {:.2}, leaves {}", alex.avg_depth().unwrap(), alex.leaf_count().unwrap());
+
+    assert_eq!(alex.get(420), Some(42));
+    assert_eq!(alex.get(421), None);
+
+    // Updatable learned indexes take inserts directly.
+    alex.insert(421, 9_999);
+    assert_eq!(alex.get(421), Some(9_999));
+    let neighbourhood = alex.range_vec(400, 440);
+    println!("  range [400, 440]: {neighbourhood:?}");
+
+    // --- 2. The same index inside the Viper-style NVM store --------------
+    // Records (8-byte key + 200-byte value) live on simulated persistent
+    // memory; the index lives in DRAM and maps keys to record offsets.
+    let keys: Vec<u64> = data.iter().map(|kv| kv.0).collect();
+    let config = StoreConfig::paper(keys.len());
+    let mut store: ViperStore<lip::alex::Alex> =
+        ViperStore::bulk_load(config, &keys, |key, buf| {
+            buf.fill((key % 251) as u8);
+        });
+    println!("\nViper store loaded: {} records on simulated NVM", store.len());
+
+    let mut value = vec![0u8; store.heap().layout().value_size];
+    assert!(store.get(420, &mut value));
+    println!("  get(420) -> first value byte {}", value[0]);
+
+    store.put(421, &vec![7u8; value.len()]);
+    assert!(store.get(421, &mut value));
+    store.delete(421);
+    assert!(!store.get(421, &mut value));
+
+    let mut scanned = Vec::new();
+    store.scan(100, 200, 100, &mut |k, _v| scanned.push(k));
+    println!("  scan [100, 200]: {} records", scanned.len());
+
+    let traffic = store.heap().device().stats().snapshot();
+    println!(
+        "  NVM traffic: {} reads / {} writes / {} flushes",
+        traffic.reads, traffic.writes, traffic.flushes
+    );
+    println!("\nquickstart OK");
+}

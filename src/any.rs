@@ -1,0 +1,585 @@
+//! Runtime-selected index wrappers used by the end-to-end harness.
+
+use li_core::pieces::retrain::RetrainStats;
+use li_core::traits::{
+    BulkBuildIndex, Capabilities, ConcurrentIndex, DepthStats, Index, OrderedIndex,
+    UpdatableIndex,
+};
+use li_core::{Key, KeyValue, Value};
+
+/// Every index the paper evaluates (§III-A1), selectable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    // Traditional
+    BTree,
+    SkipList,
+    Cceh,
+    Art,
+    Wormhole,
+    BwTree,
+    // Learned, read-only
+    Rmi,
+    Rs,
+    // Learned, updatable
+    FitingInp,
+    FitingBuf,
+    Pgm,
+    Alex,
+    XIndex,
+    /// Bonus index: LIPP (§V-B1, not evaluable by the paper).
+    Lipp,
+}
+
+impl IndexKind {
+    pub const ALL: [IndexKind; 14] = [
+        IndexKind::BTree,
+        IndexKind::SkipList,
+        IndexKind::Cceh,
+        IndexKind::Art,
+        IndexKind::Wormhole,
+        IndexKind::BwTree,
+        IndexKind::Rmi,
+        IndexKind::Rs,
+        IndexKind::FitingInp,
+        IndexKind::FitingBuf,
+        IndexKind::Pgm,
+        IndexKind::Alex,
+        IndexKind::XIndex,
+        IndexKind::Lipp,
+    ];
+
+    /// The learned indexes only.
+    pub const LEARNED: [IndexKind; 8] = [
+        IndexKind::Rmi,
+        IndexKind::Rs,
+        IndexKind::FitingInp,
+        IndexKind::FitingBuf,
+        IndexKind::Pgm,
+        IndexKind::Alex,
+        IndexKind::XIndex,
+        IndexKind::Lipp,
+    ];
+
+    /// Indexes that accept inserts (write-capable lineup of Fig. 13/15).
+    pub const UPDATABLE: [IndexKind; 12] = [
+        IndexKind::BTree,
+        IndexKind::SkipList,
+        IndexKind::Cceh,
+        IndexKind::Art,
+        IndexKind::Wormhole,
+        IndexKind::BwTree,
+        IndexKind::FitingInp,
+        IndexKind::FitingBuf,
+        IndexKind::Pgm,
+        IndexKind::Alex,
+        IndexKind::XIndex,
+        IndexKind::Lipp,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::BTree => "BTree",
+            IndexKind::SkipList => "SkipList",
+            IndexKind::Cceh => "CCEH",
+            IndexKind::Art => "ART",
+            IndexKind::Wormhole => "Wormhole",
+            IndexKind::BwTree => "BwTree",
+            IndexKind::Rmi => "RMI",
+            IndexKind::Rs => "RS",
+            IndexKind::FitingInp => "FITing-tree-inp",
+            IndexKind::FitingBuf => "FITing-tree-buf",
+            IndexKind::Pgm => "PGM",
+            IndexKind::Alex => "ALEX",
+            IndexKind::XIndex => "XIndex",
+            IndexKind::Lipp => "LIPP",
+        }
+    }
+
+    pub fn is_learned(&self) -> bool {
+        IndexKind::LEARNED.contains(self)
+    }
+
+    pub fn supports_insert(&self) -> bool {
+        IndexKind::UPDATABLE.contains(self)
+    }
+
+    pub fn supports_range(&self) -> bool {
+        !matches!(self, IndexKind::Cceh)
+    }
+
+    /// The paper's Table I row for this index (learned indexes only).
+    pub fn capabilities(&self) -> Option<Capabilities> {
+        let cap = match self {
+            IndexKind::Rmi => Capabilities {
+                name: "RMI",
+                inner_node: "Linear models",
+                leaf_node: "Linear",
+                bounded_error: false,
+                approx_algorithm: "Machine learning (two-stage models)",
+                insertion: "-",
+                retraining: "-",
+                concurrent_writes: false,
+            },
+            IndexKind::Rs => Capabilities {
+                name: "RS",
+                inner_node: "Radix tab.",
+                leaf_node: "Spline",
+                bounded_error: false,
+                approx_algorithm: "One-pass spline",
+                insertion: "-",
+                retraining: "-",
+                concurrent_writes: false,
+            },
+            IndexKind::FitingInp => Capabilities {
+                name: "FITing-tree (inp)",
+                inner_node: "B+tree",
+                leaf_node: "Linear",
+                bounded_error: true,
+                approx_algorithm: "Opt-PLA (paper's substitution for greedy)",
+                insertion: "Inplace",
+                retraining: "Retrain one node",
+                concurrent_writes: false,
+            },
+            IndexKind::FitingBuf => Capabilities {
+                name: "FITing-tree (buf)",
+                inner_node: "B+tree",
+                leaf_node: "Linear",
+                bounded_error: true,
+                approx_algorithm: "Opt-PLA (paper's substitution for greedy)",
+                insertion: "Offsite",
+                retraining: "Retrain one node",
+                concurrent_writes: false,
+            },
+            IndexKind::Pgm => Capabilities {
+                name: "PGM-Index",
+                inner_node: "Recursive",
+                leaf_node: "Linear",
+                bounded_error: true,
+                approx_algorithm: "Optimal-PLA",
+                insertion: "Offsite",
+                retraining: "LSM-Tree",
+                concurrent_writes: false,
+            },
+            IndexKind::Alex => Capabilities {
+                name: "ALEX",
+                inner_node: "Asymmetric",
+                leaf_node: "Linear",
+                bounded_error: false,
+                approx_algorithm: "LSA+gap",
+                insertion: "Inplace (gapped)",
+                retraining: "Expand + retrain",
+                concurrent_writes: false,
+            },
+            IndexKind::Lipp => Capabilities {
+                name: "LIPP (bonus)",
+                inner_node: "Precise models",
+                leaf_node: "Precise",
+                bounded_error: true,
+                approx_algorithm: "Model-based precise placement (no search)",
+                insertion: "Inplace (precise)",
+                retraining: "Subtree adjust",
+                concurrent_writes: false,
+            },
+            IndexKind::XIndex => Capabilities {
+                name: "XIndex",
+                inner_node: "RMI",
+                leaf_node: "Linear",
+                bounded_error: false,
+                approx_algorithm: "LSA",
+                insertion: "Offsite",
+                retraining: "Retrain one node",
+                concurrent_writes: true,
+            },
+            _ => return None,
+        };
+        Some(cap)
+    }
+}
+
+/// A runtime-selected index instance.
+pub enum AnyIndex {
+    BTree(li_traditional::BPlusTree),
+    SkipList(li_traditional::SkipList),
+    Cceh(li_traditional::Cceh),
+    Art(li_traditional::Art),
+    Wormhole(li_traditional::Wormhole),
+    BwTree(li_traditional::BwTree),
+    Rmi(li_rmi::Rmi),
+    Rs(li_rs::RadixSpline),
+    Fiting(li_fiting::FitingTree),
+    Pgm(li_pgm::DynamicPgm),
+    Alex(li_alex::Alex),
+    XIndex(li_xindex::XIndex),
+    Lipp(li_lipp::Lipp),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $i:ident => $body:expr) => {
+        match $self {
+            AnyIndex::BTree($i) => $body,
+            AnyIndex::SkipList($i) => $body,
+            AnyIndex::Cceh($i) => $body,
+            AnyIndex::Art($i) => $body,
+            AnyIndex::Wormhole($i) => $body,
+            AnyIndex::BwTree($i) => $body,
+            AnyIndex::Rmi($i) => $body,
+            AnyIndex::Rs($i) => $body,
+            AnyIndex::Fiting($i) => $body,
+            AnyIndex::Pgm($i) => $body,
+            AnyIndex::Alex($i) => $body,
+            AnyIndex::XIndex($i) => $body,
+            AnyIndex::Lipp($i) => $body,
+        }
+    };
+}
+
+impl AnyIndex {
+    /// Bulk-builds an index of the given kind over sorted pairs.
+    pub fn build(kind: IndexKind, data: &[KeyValue]) -> Self {
+        match kind {
+            IndexKind::BTree => AnyIndex::BTree(li_traditional::BPlusTree::build(data)),
+            IndexKind::SkipList => AnyIndex::SkipList(li_traditional::SkipList::build(data)),
+            IndexKind::Cceh => AnyIndex::Cceh(li_traditional::Cceh::build(data)),
+            IndexKind::Art => AnyIndex::Art(li_traditional::Art::build(data)),
+            IndexKind::Wormhole => AnyIndex::Wormhole(li_traditional::Wormhole::build(data)),
+            IndexKind::BwTree => AnyIndex::BwTree(li_traditional::BwTree::build(data)),
+            IndexKind::Rmi => AnyIndex::Rmi(li_rmi::Rmi::build(data)),
+            IndexKind::Rs => AnyIndex::Rs(li_rs::RadixSpline::build(data)),
+            IndexKind::FitingInp => AnyIndex::Fiting(li_fiting::FitingTree::new_inplace(data)),
+            IndexKind::FitingBuf => AnyIndex::Fiting(li_fiting::FitingTree::new_buffered(data)),
+            IndexKind::Pgm => AnyIndex::Pgm(li_pgm::DynamicPgm::build(data)),
+            IndexKind::Alex => AnyIndex::Alex(li_alex::Alex::build(data)),
+            IndexKind::XIndex => AnyIndex::XIndex(li_xindex::XIndex::build(data)),
+            IndexKind::Lipp => AnyIndex::Lipp(li_lipp::Lipp::build(data)),
+        }
+    }
+
+    /// Mean root-to-leaf depth (Table II); None for indexes without the
+    /// notion (hash, skip list).
+    pub fn avg_depth(&self) -> Option<f64> {
+        match self {
+            AnyIndex::BTree(i) => Some(i.avg_depth()),
+            AnyIndex::Rmi(i) => Some(i.avg_depth()),
+            AnyIndex::Rs(i) => Some(i.avg_depth()),
+            AnyIndex::Fiting(i) => Some(i.avg_depth()),
+            AnyIndex::Pgm(i) => Some(i.avg_depth()),
+            AnyIndex::Alex(i) => Some(i.avg_depth()),
+            AnyIndex::XIndex(i) => Some(i.avg_depth()),
+            AnyIndex::Lipp(i) => Some(i.avg_depth()),
+            _ => None,
+        }
+    }
+
+    /// Leaf/segment/group count (Table II context).
+    pub fn leaf_count(&self) -> Option<usize> {
+        match self {
+            AnyIndex::BTree(i) => Some(i.leaf_count()),
+            AnyIndex::Rmi(i) => Some(i.leaf_count()),
+            AnyIndex::Rs(i) => Some(i.leaf_count()),
+            AnyIndex::Fiting(i) => Some(i.leaf_count()),
+            AnyIndex::Pgm(i) => Some(i.leaf_count()),
+            AnyIndex::Alex(i) => Some(i.leaf_count()),
+            AnyIndex::XIndex(i) => Some(i.leaf_count()),
+            AnyIndex::Lipp(i) => Some(i.leaf_count()),
+            _ => None,
+        }
+    }
+
+    /// Retrain counters where the index keeps them (Fig. 18).
+    pub fn retrain_stats(&self) -> Option<RetrainStats> {
+        match self {
+            AnyIndex::Fiting(i) => Some(i.stats()),
+            AnyIndex::Pgm(i) => Some(i.stats()),
+            AnyIndex::Alex(i) => Some(i.stats()),
+            AnyIndex::XIndex(i) => Some(i.stats()),
+            AnyIndex::Lipp(i) => Some(i.stats()),
+            _ => None,
+        }
+    }
+}
+
+impl Index for AnyIndex {
+    fn name(&self) -> &'static str {
+        dispatch!(self, i => i.name())
+    }
+
+    fn len(&self) -> usize {
+        dispatch!(self, i => Index::len(i))
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        dispatch!(self, i => Index::get(i, key))
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        dispatch!(self, i => i.index_size_bytes())
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        dispatch!(self, i => i.data_size_bytes())
+    }
+}
+
+impl OrderedIndex for AnyIndex {
+    /// Range scan; the hash index (CCEH) cannot scan and yields nothing —
+    /// callers should gate on [`IndexKind::supports_range`].
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        match self {
+            AnyIndex::BTree(i) => i.range(lo, hi, out),
+            AnyIndex::SkipList(i) => i.range(lo, hi, out),
+            AnyIndex::Cceh(_) => {}
+            AnyIndex::Art(i) => i.range(lo, hi, out),
+            AnyIndex::Wormhole(i) => i.range(lo, hi, out),
+            AnyIndex::BwTree(i) => i.range(lo, hi, out),
+            AnyIndex::Rmi(i) => i.range(lo, hi, out),
+            AnyIndex::Rs(i) => i.range(lo, hi, out),
+            AnyIndex::Fiting(i) => i.range(lo, hi, out),
+            AnyIndex::Pgm(i) => i.range(lo, hi, out),
+            AnyIndex::Alex(i) => i.range(lo, hi, out),
+            AnyIndex::XIndex(i) => i.range(lo, hi, out),
+            AnyIndex::Lipp(i) => i.range(lo, hi, out),
+        }
+    }
+}
+
+impl UpdatableIndex for AnyIndex {
+    /// Inserts; panics for the read-only indexes (RMI, RS) — gate on
+    /// [`IndexKind::supports_insert`].
+    fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+        match self {
+            AnyIndex::BTree(i) => i.insert(key, value),
+            AnyIndex::SkipList(i) => i.insert(key, value),
+            AnyIndex::Cceh(i) => i.insert(key, value),
+            AnyIndex::Art(i) => i.insert(key, value),
+            AnyIndex::Wormhole(i) => i.insert(key, value),
+            AnyIndex::BwTree(i) => i.insert(key, value),
+            AnyIndex::Rmi(_) => panic!("RMI is read-only (paper Table I)"),
+            AnyIndex::Rs(_) => panic!("RadixSpline is read-only (paper Table I)"),
+            AnyIndex::Fiting(i) => i.insert(key, value),
+            AnyIndex::Pgm(i) => i.insert(key, value),
+            AnyIndex::Alex(i) => i.insert(key, value),
+            AnyIndex::XIndex(i) => UpdatableIndex::insert(i, key, value),
+            AnyIndex::Lipp(i) => i.insert(key, value),
+        }
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        match self {
+            AnyIndex::BTree(i) => i.remove(key),
+            AnyIndex::SkipList(i) => i.remove(key),
+            AnyIndex::Cceh(i) => i.remove(key),
+            AnyIndex::Art(i) => i.remove(key),
+            AnyIndex::Wormhole(i) => i.remove(key),
+            AnyIndex::BwTree(i) => i.remove(key),
+            AnyIndex::Rmi(_) => panic!("RMI is read-only (paper Table I)"),
+            AnyIndex::Rs(_) => panic!("RadixSpline is read-only (paper Table I)"),
+            AnyIndex::Fiting(i) => i.remove(key),
+            AnyIndex::Pgm(i) => i.remove(key),
+            AnyIndex::Alex(i) => i.remove(key),
+            AnyIndex::XIndex(i) => UpdatableIndex::remove(i, key),
+            AnyIndex::Lipp(i) => i.remove(key),
+        }
+    }
+}
+
+/// Write-concurrent index selection for the multi-threaded experiments
+/// (Fig. 14): XIndex versus concurrent traditional baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcurrentKind {
+    XIndex,
+    ShardedCceh,
+    /// B+Tree behind one global RwLock (the "global latch" baseline).
+    LockedBTree,
+    /// Range-sharded B+Tree (16 shards).
+    ShardedBTree,
+    /// Range-sharded skip list (16 shards).
+    ShardedSkipList,
+    /// Range-sharded ART (16 shards).
+    ShardedArt,
+}
+
+impl ConcurrentKind {
+    pub const ALL: [ConcurrentKind; 6] = [
+        ConcurrentKind::XIndex,
+        ConcurrentKind::ShardedCceh,
+        ConcurrentKind::LockedBTree,
+        ConcurrentKind::ShardedBTree,
+        ConcurrentKind::ShardedSkipList,
+        ConcurrentKind::ShardedArt,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConcurrentKind::XIndex => "XIndex",
+            ConcurrentKind::ShardedCceh => "CCEH",
+            ConcurrentKind::LockedBTree => "BTree(lock)",
+            ConcurrentKind::ShardedBTree => "BTree(shard)",
+            ConcurrentKind::ShardedSkipList => "SkipList(shard)",
+            ConcurrentKind::ShardedArt => "ART(shard)",
+        }
+    }
+}
+
+/// A runtime-selected write-concurrent index.
+pub enum AnyConcurrentIndex {
+    XIndex(li_xindex::XIndex),
+    ShardedCceh(li_traditional::ShardedCceh),
+    LockedBTree(li_traditional::RwLocked<li_traditional::BPlusTree>),
+    ShardedBTree(li_traditional::Sharded<li_traditional::BPlusTree>),
+    ShardedSkipList(li_traditional::Sharded<li_traditional::SkipList>),
+    ShardedArt(li_traditional::Sharded<li_traditional::Art>),
+}
+
+impl AnyConcurrentIndex {
+    const SHARD_BITS: u32 = 4;
+
+    /// Bulk-builds a concurrent index over sorted pairs.
+    pub fn build(kind: ConcurrentKind, data: &[KeyValue]) -> Self {
+        match kind {
+            ConcurrentKind::XIndex => {
+                AnyConcurrentIndex::XIndex(li_xindex::XIndex::build(data))
+            }
+            ConcurrentKind::ShardedCceh => {
+                let c = li_traditional::ShardedCceh::new();
+                for &(k, v) in data {
+                    ConcurrentIndex::insert(&c, k, v);
+                }
+                AnyConcurrentIndex::ShardedCceh(c)
+            }
+            ConcurrentKind::LockedBTree => AnyConcurrentIndex::LockedBTree(
+                li_traditional::RwLocked::new(li_traditional::BPlusTree::build(data)),
+            ),
+            ConcurrentKind::ShardedBTree => AnyConcurrentIndex::ShardedBTree(
+                li_traditional::Sharded::build_sharded(Self::SHARD_BITS, data),
+            ),
+            ConcurrentKind::ShardedSkipList => AnyConcurrentIndex::ShardedSkipList(
+                li_traditional::Sharded::build_sharded(Self::SHARD_BITS, data),
+            ),
+            ConcurrentKind::ShardedArt => AnyConcurrentIndex::ShardedArt(
+                li_traditional::Sharded::build_sharded(Self::SHARD_BITS, data),
+            ),
+        }
+    }
+}
+
+macro_rules! cdispatch {
+    ($self:ident, $i:ident => $body:expr) => {
+        match $self {
+            AnyConcurrentIndex::XIndex($i) => $body,
+            AnyConcurrentIndex::ShardedCceh($i) => $body,
+            AnyConcurrentIndex::LockedBTree($i) => $body,
+            AnyConcurrentIndex::ShardedBTree($i) => $body,
+            AnyConcurrentIndex::ShardedSkipList($i) => $body,
+            AnyConcurrentIndex::ShardedArt($i) => $body,
+        }
+    };
+}
+
+impl ConcurrentIndex for AnyConcurrentIndex {
+    fn get(&self, key: Key) -> Option<Value> {
+        cdispatch!(self, i => ConcurrentIndex::get(i, key))
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Option<Value> {
+        cdispatch!(self, i => ConcurrentIndex::insert(i, key, value))
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        cdispatch!(self, i => ConcurrentIndex::remove(i, key))
+    }
+
+    fn len(&self) -> usize {
+        cdispatch!(self, i => ConcurrentIndex::len(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: u64) -> Vec<KeyValue> {
+        (0..n).map(|i| (i * 7 + 1, i)).collect()
+    }
+
+    #[test]
+    fn build_and_get_every_kind() {
+        let d = data(20_000);
+        for kind in IndexKind::ALL {
+            let idx = AnyIndex::build(kind, &d);
+            assert_eq!(idx.len(), d.len(), "{}", kind.name());
+            for &(k, v) in d.iter().step_by(173) {
+                assert_eq!(idx.get(k), Some(v), "{} key {k}", kind.name());
+                assert_eq!(idx.get(k + 1), None, "{} miss {}", kind.name(), k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn updatable_kinds_insert_remove() {
+        let d = data(5_000);
+        for kind in IndexKind::UPDATABLE {
+            let mut idx = AnyIndex::build(kind, &d);
+            assert_eq!(idx.insert(3, 999), None, "{}", kind.name());
+            assert_eq!(idx.get(3), Some(999));
+            assert_eq!(idx.insert(3, 1000), Some(999));
+            assert_eq!(idx.remove(3), Some(1000));
+            assert_eq!(idx.remove(3), None);
+            assert_eq!(idx.len(), d.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn rmi_insert_panics() {
+        let mut idx = AnyIndex::build(IndexKind::Rmi, &data(100));
+        idx.insert(1, 1);
+    }
+
+    #[test]
+    fn range_capable_kinds() {
+        let d = data(5_000);
+        for kind in IndexKind::ALL {
+            let idx = AnyIndex::build(kind, &d);
+            let got = idx.range_vec(8, 29);
+            if kind.supports_range() {
+                assert_eq!(got, vec![(8, 1), (15, 2), (22, 3), (29, 4)], "{}", kind.name());
+            } else {
+                assert!(got.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn learned_have_depth_stats() {
+        let d = data(50_000);
+        for kind in IndexKind::LEARNED {
+            let idx = AnyIndex::build(kind, &d);
+            assert!(idx.avg_depth().unwrap() >= 1.0, "{}", kind.name());
+            assert!(idx.leaf_count().unwrap() >= 1, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn capabilities_table_rows() {
+        let learned: Vec<_> = IndexKind::LEARNED
+            .iter()
+            .filter_map(|k| k.capabilities())
+            .collect();
+        assert_eq!(learned.len(), 8);
+        assert!(learned.iter().any(|c| c.concurrent_writes), "XIndex row");
+        assert!(IndexKind::BTree.capabilities().is_none());
+    }
+
+    #[test]
+    fn concurrent_kinds_build_and_operate() {
+        let d = data(10_000);
+        for kind in ConcurrentKind::ALL {
+            let idx = AnyConcurrentIndex::build(kind, &d);
+            assert_eq!(idx.len(), d.len(), "{}", kind.name());
+            assert_eq!(idx.get(8), Some(1), "{}", kind.name());
+            assert_eq!(idx.insert(2, 42), None);
+            assert_eq!(idx.get(2), Some(42));
+            assert_eq!(idx.remove(2), Some(42));
+        }
+    }
+}

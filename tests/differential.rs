@@ -1,0 +1,143 @@
+//! Differential testing: every index kind runs the same randomized op
+//! sequence over every dataset distribution; all must agree with the
+//! oracle (and therefore with each other). This is the cross-cutting net
+//! under the paper's "same environment, fair comparison" premise — if two
+//! indexes ever disagreed, the whole benchmark would be comparing apples
+//! to broken oranges.
+
+use std::collections::BTreeMap;
+
+use lip::core::traits::{Index, OrderedIndex, UpdatableIndex};
+use lip::workloads::{generate_keys, Dataset};
+use lip::{AnyIndex, IndexKind};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn churn(kind: IndexKind, dataset: Dataset, seed: u64, ops: usize) {
+    let keys = generate_keys(dataset, 3_000, seed);
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let mut idx = AnyIndex::build(kind, &data);
+    let mut oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+    for i in 0..ops as u64 {
+        // Mix of loaded keys, near-misses and fresh keys across the whole
+        // distribution's range.
+        let k = match rng.random_range(0..4) {
+            0 => keys[rng.random_range(0..keys.len())],
+            1 => keys[rng.random_range(0..keys.len())].wrapping_add(1),
+            2 => rng.random(),
+            _ => rng.random::<u64>() >> rng.random_range(0..48u32),
+        };
+        match rng.random_range(0..10) {
+            0..=3 => {
+                assert_eq!(
+                    idx.get(k),
+                    oracle.get(&k).copied(),
+                    "{} on {:?}: get({k}) diverged at op {i}",
+                    kind.name(),
+                    dataset
+                );
+            }
+            4..=7 => {
+                assert_eq!(
+                    idx.insert(k, i),
+                    oracle.insert(k, i),
+                    "{} on {:?}: insert({k}) diverged at op {i}",
+                    kind.name(),
+                    dataset
+                );
+            }
+            8 => {
+                assert_eq!(
+                    idx.remove(k),
+                    oracle.remove(&k),
+                    "{} on {:?}: remove({k}) diverged at op {i}",
+                    kind.name(),
+                    dataset
+                );
+            }
+            _ => {
+                if kind.supports_range() {
+                    let hi = k.saturating_add(rng.random::<u64>() >> 40);
+                    let got = idx.range_vec(k, hi);
+                    let expect: Vec<(u64, u64)> =
+                        oracle.range(k..=hi).map(|(&a, &b)| (a, b)).collect();
+                    assert_eq!(
+                        got,
+                        expect,
+                        "{} on {:?}: range({k}..={hi}) diverged at op {i}",
+                        kind.name(),
+                        dataset
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(idx.len(), oracle.len(), "{} on {:?}", kind.name(), dataset);
+}
+
+#[test]
+fn updatable_indexes_agree_on_every_distribution() {
+    for dataset in Dataset::ALL {
+        for kind in IndexKind::UPDATABLE {
+            churn(kind, dataset, 0xC0FFEE ^ dataset as u64, 3_000);
+        }
+    }
+}
+
+#[test]
+fn read_only_indexes_agree_on_every_distribution() {
+    for dataset in Dataset::ALL {
+        let keys = generate_keys(dataset, 20_000, 77);
+        let data: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
+        let indexes: Vec<AnyIndex> = IndexKind::ALL
+            .iter()
+            .map(|&kind| AnyIndex::build(kind, &data))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(78);
+        for _ in 0..20_000 {
+            let k: u64 = if rng.random_bool(0.5) {
+                keys[rng.random_range(0..keys.len())]
+            } else {
+                rng.random()
+            };
+            let expect = oracle.get(&k).copied();
+            for idx in &indexes {
+                assert_eq!(idx.get(k), expect, "{} on {:?}: get({k})", idx.name(), dataset);
+            }
+        }
+    }
+}
+
+#[test]
+fn lipp_and_apex_agree_with_alex_under_identical_churn() {
+    // The two extension indexes replay the exact op stream given to ALEX.
+    let keys = generate_keys(Dataset::OsmLike, 5_000, 5);
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let mut alex = lip::alex::Alex::build_with(Default::default(), &data);
+    let mut lipp = lip::lipp::Lipp::build_with(Default::default(), &data);
+    let dev = std::sync::Arc::new(lip::nvm::NvmDevice::new(lip::nvm::NvmConfig::fast(
+        4_000 * lip::apex::NODE_BYTES,
+    )));
+    let mut apex = lip::apex::Apex::build(dev, &data);
+
+    let mut rng = StdRng::seed_from_u64(6);
+    for i in 0..20_000u64 {
+        let k: u64 = rng.random();
+        if rng.random_bool(0.8) {
+            let a = alex.insert(k, i);
+            assert_eq!(lipp.insert(k, i), a, "insert {k}");
+            assert_eq!(apex.insert(k, i), a, "insert {k}");
+        } else {
+            let a = alex.remove(k);
+            assert_eq!(lipp.remove(k), a, "remove {k}");
+            assert_eq!(apex.remove(k), a, "remove {k}");
+        }
+    }
+    assert_eq!(alex.len(), lipp.len());
+    assert_eq!(alex.len(), apex.len());
+    let a = alex.range_vec(0, u64::MAX);
+    assert_eq!(a, lipp.range_vec(0, u64::MAX));
+    assert_eq!(a, apex.range_vec(0, u64::MAX));
+}

@@ -1,0 +1,121 @@
+//! Integration: device-level persistence semantics driven through the full
+//! store stack — failure injection beyond the per-crate unit tests.
+
+use std::sync::Arc;
+
+use lip::nvm::{DurabilityTracking, LatencyModel, NvmConfig, NvmDevice};
+use lip::viper::{RecordLayout, StoreConfig, ViperStore};
+use lip::{AnyIndex, IndexKind};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn crash_config(records: usize) -> StoreConfig {
+    let layout = RecordLayout::small();
+    let bytes = (records * 2 / layout.slots_per_page() + 16) * layout.page_size;
+    StoreConfig {
+        layout,
+        nvm: NvmConfig {
+            capacity: bytes,
+            latency: LatencyModel::dram_like(),
+            durability: DurabilityTracking::Shadow,
+        },
+    }
+}
+
+/// Randomised crash points: after every prefix of a random op stream, a
+/// crash must recover exactly the operations applied so far (the store
+/// persists synchronously, so nothing in flight can be lost).
+#[test]
+fn random_crash_points_recover_exact_state() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 0..5 {
+        let config = crash_config(4_000);
+        let layout = config.layout;
+        let mut store = ViperStore::bulk_load_with(config, &[], |_, _| {}, |pairs| {
+            AnyIndex::build(IndexKind::BTree, pairs)
+        });
+        let mut oracle = std::collections::HashMap::new();
+        let ops = 200 + round * 150;
+        for i in 0..ops {
+            let k = rng.random_range(0..500u64);
+            if rng.random_bool(0.8) {
+                let b = (i % 251) as u8;
+                store.put(k, &vec![b; layout.value_size]);
+                oracle.insert(k, b);
+            } else {
+                let existed = store.delete(k);
+                assert_eq!(existed, oracle.remove(&k).is_some());
+            }
+        }
+        // Crash.
+        let dev = store.into_device();
+        let mut dev = Arc::try_unwrap(dev).ok().expect("unique");
+        dev.crash();
+        let recovered = ViperStore::recover_with(Arc::new(dev), layout, |pairs| {
+            AnyIndex::build(IndexKind::BTree, pairs)
+        });
+        assert_eq!(recovered.len(), oracle.len(), "round {round}");
+        let mut buf = vec![0u8; layout.value_size];
+        for (&k, &b) in &oracle {
+            assert!(recovered.get(k, &mut buf), "round {round}: lost {k}");
+            assert!(buf.iter().all(|&x| x == b), "round {round}: wrong value for {k}");
+        }
+    }
+}
+
+/// Unflushed writes straight to the device must vanish at a crash while
+/// everything the store wrote (which always persists before publishing)
+/// survives — i.e. the store's publish protocol really is what saves it.
+#[test]
+fn tampering_without_flush_is_lost() {
+    let config = crash_config(1_000);
+    let layout = config.layout;
+    let keys: Vec<u64> = (0..500).map(|i| i * 7).collect();
+    let store = ViperStore::bulk_load_with(config, &keys, |k, buf| buf.fill((k % 251) as u8), |p| {
+        AnyIndex::build(IndexKind::Alex, p)
+    });
+    let dev = store.into_device();
+    // Scribble over a region far past the allocated pages without flushing.
+    let cap = dev.capacity();
+    dev.write(cap - 64, &[0xFFu8; 64]);
+    let mut dev = Arc::try_unwrap(dev).ok().expect("unique");
+    dev.crash();
+    let mut probe = [0u8; 64];
+    dev.read_into(cap - 64, &mut probe);
+    assert_eq!(probe, [0u8; 64], "unflushed scribble must be rolled back");
+    let recovered: ViperStore<AnyIndex> =
+        ViperStore::recover_with(Arc::new(dev), layout, |p| AnyIndex::build(IndexKind::Alex, p));
+    assert_eq!(recovered.len(), keys.len());
+}
+
+/// The latency model must actually charge time: an Optane-like device is
+/// measurably slower than a DRAM-like one for the same traffic.
+#[test]
+fn latency_model_is_enforced() {
+    use std::time::Instant;
+    let mk = |latency: LatencyModel| {
+        NvmDevice::new(NvmConfig { capacity: 1 << 20, latency, durability: DurabilityTracking::Disabled })
+    };
+    let fast = mk(LatencyModel::dram_like());
+    let slow = mk(LatencyModel::optane_like());
+    let mut buf = [0u8; 256];
+    let mut time = |dev: &NvmDevice| {
+        let t0 = Instant::now();
+        for i in 0..2_000usize {
+            dev.read_into((i * 256) % (1 << 19), &mut buf);
+        }
+        t0.elapsed()
+    };
+    let t_fast = time(&fast);
+    let t_slow = time(&slow);
+    // The spin-based model guarantees an absolute floor: 2000 single-block
+    // reads at 220 ns each. The relative check is kept loose because this
+    // test may share a core with sibling test binaries.
+    assert!(
+        t_slow.as_micros() >= 440,
+        "optane-like paid only {t_slow:?}, below the modelled floor"
+    );
+    assert!(
+        t_slow > t_fast,
+        "optane-like ({t_slow:?}) should be slower than dram-like ({t_fast:?})"
+    );
+}

@@ -1,0 +1,104 @@
+//! Integration: the full §IV design-space matrix — every approximation
+//! algorithm × inner structure × leaf kind × retraining policy assembled
+//! into a working index and validated against an oracle under churn.
+
+use std::collections::BTreeMap;
+
+use lip::core::approx::ApproxAlgorithm;
+use lip::core::pieces::assembled::{PiecewiseConfig, PiecewiseIndex};
+use lip::core::pieces::insertion::LeafKind;
+use lip::core::pieces::retrain::RetrainPolicy;
+use lip::core::pieces::structure::StructureKind;
+use lip::core::traits::{Index, OrderedIndex, UpdatableIndex};
+use lip::workloads::{generate_keys, Dataset};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn all_configs() -> Vec<PiecewiseConfig> {
+    let mut out = Vec::new();
+    for algo in [
+        ApproxAlgorithm::Lsa { seg_size: 128 },
+        ApproxAlgorithm::OptPla { epsilon: 16 },
+        ApproxAlgorithm::Fsw { epsilon: 16 },
+    ] {
+        for structure in StructureKind::ALL {
+            for leaf in [
+                LeafKind::Inplace { reserve: 24 },
+                LeafKind::Buffer { reserve: 24 },
+                LeafKind::Gapped { density: 0.7, max_density: 0.85 },
+            ] {
+                for policy in [
+                    RetrainPolicy::ResegmentLeaf,
+                    RetrainPolicy::ExpandOrSplit {
+                        expand_factor: 1.5,
+                        split_error_threshold: 8.0,
+                    },
+                ] {
+                    out.push(PiecewiseConfig { algo, structure, leaf, policy });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn all_72_combinations_survive_churn() {
+    let keys = generate_keys(Dataset::OsmLike, 4_000, 33);
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let configs = all_configs();
+    assert_eq!(configs.len(), 72);
+
+    for cfg in configs {
+        let mut idx = PiecewiseIndex::build_with(cfg, &data);
+        let mut oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..4_000u64 {
+            match rng.random_range(0..10) {
+                0..=5 => {
+                    let k: u64 = rng.random();
+                    assert_eq!(idx.insert(k, i), oracle.insert(k, i), "{cfg:?}");
+                }
+                6..=7 => {
+                    let k = *keys.get(rng.random_range(0..keys.len())).unwrap();
+                    assert_eq!(idx.get(k), oracle.get(&k).copied(), "{cfg:?}");
+                }
+                _ => {
+                    let k = *keys.get(rng.random_range(0..keys.len())).unwrap();
+                    assert_eq!(idx.remove(k), oracle.remove(&k), "{cfg:?}");
+                }
+            }
+        }
+        assert_eq!(idx.len(), oracle.len(), "{cfg:?}");
+        let got = idx.range_vec(0, u64::MAX);
+        let expect: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, expect, "{cfg:?}");
+    }
+}
+
+#[test]
+fn bounded_algos_beat_lsa_on_max_error() {
+    // The core claim of Fig. 17 (a): Opt-PLA/FSW guarantee max error,
+    // LSA does not.
+    let keys = generate_keys(Dataset::OsmLike, 100_000, 44);
+    let eps = 32u64;
+    for algo in [ApproxAlgorithm::OptPla { epsilon: eps }, ApproxAlgorithm::Fsw { epsilon: eps }] {
+        for seg in algo.segment(&keys) {
+            assert!(seg.max_error <= eps + 1, "{}: {}", algo.name(), seg.max_error);
+        }
+    }
+    let lsa = ApproxAlgorithm::Lsa { seg_size: 4096 }.segment(&keys);
+    let worst = lsa.iter().map(|s| s.max_error).max().unwrap();
+    assert!(worst > eps, "LSA should exceed the bound somewhere, worst {worst}");
+}
+
+#[test]
+fn optpla_fewest_segments_per_error_budget() {
+    // Fig. 17 (b): under the same max-error budget, Opt-PLA needs the
+    // fewest segments.
+    let keys = generate_keys(Dataset::OsmLike, 100_000, 55);
+    for eps in [16u64, 64, 256] {
+        let opt = ApproxAlgorithm::OptPla { epsilon: eps }.segment(&keys).len();
+        let fsw = ApproxAlgorithm::Fsw { epsilon: eps }.segment(&keys).len();
+        assert!(opt <= fsw, "eps {eps}: opt {opt} > fsw {fsw}");
+    }
+}

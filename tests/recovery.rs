@@ -1,0 +1,108 @@
+//! Integration: crash-recovery round trips (the availability analysis of
+//! §III-E2 / Fig. 16) for every index kind, including honest
+//! loss-of-unpersisted-data semantics.
+
+use std::sync::Arc;
+
+use lip::nvm::{DurabilityTracking, LatencyModel, NvmConfig};
+use lip::viper::{RecordLayout, StoreConfig, ViperStore};
+use lip::workloads::{generate_keys, Dataset};
+use lip::{AnyIndex, IndexKind};
+
+fn crash_config(n: usize) -> StoreConfig {
+    let layout = RecordLayout::small();
+    let bytes = (n * 2 / layout.slots_per_page() + 16) * layout.page_size;
+    StoreConfig {
+        layout,
+        nvm: NvmConfig {
+            capacity: bytes,
+            latency: LatencyModel::dram_like(),
+            durability: DurabilityTracking::Shadow,
+        },
+    }
+}
+
+fn value_of(key: u64, buf: &mut [u8]) {
+    buf.fill((key % 251) as u8);
+}
+
+#[test]
+fn recover_after_clean_shutdown_every_kind() {
+    let keys = generate_keys(Dataset::YcsbNormal, 10_000, 5);
+    for kind in IndexKind::ALL {
+        let config = crash_config(keys.len());
+        let layout = config.layout;
+        let store = ViperStore::bulk_load_with(config, &keys, value_of, |pairs| {
+            AnyIndex::build(kind, pairs)
+        });
+        let dev = store.into_device();
+        let recovered =
+            ViperStore::recover_with(dev, layout, |pairs| AnyIndex::build(kind, pairs));
+        assert_eq!(recovered.len(), keys.len(), "{}", kind.name());
+        let mut buf = vec![0u8; layout.value_size];
+        let mut expect = vec![0u8; layout.value_size];
+        for &k in keys.iter().step_by(37) {
+            assert!(recovered.get(k, &mut buf), "{}: lost {k}", kind.name());
+            value_of(k, &mut expect);
+            assert_eq!(buf, expect, "{}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn crash_preserves_all_published_records() {
+    let keys = generate_keys(Dataset::Uniform, 8_000, 6);
+    for kind in [IndexKind::Alex, IndexKind::Pgm, IndexKind::BTree, IndexKind::Cceh] {
+        let config = crash_config(keys.len() * 2);
+        let layout = config.layout;
+        let mut store = ViperStore::bulk_load_with(config, &keys, value_of, |pairs| {
+            AnyIndex::build(kind, pairs)
+        });
+        // Post-load mutations: updates, deletes, fresh inserts.
+        for &k in keys.iter().take(500) {
+            store.put(k, &vec![0xBBu8; layout.value_size]);
+        }
+        for &k in keys.iter().skip(500).take(250) {
+            store.delete(k);
+        }
+        for i in 0..500u64 {
+            // Fresh keys far outside the loaded set.
+            store.put(u64::MAX - 10_000 + i, &vec![0xCCu8; layout.value_size]);
+        }
+        let live = store.len();
+
+        let dev = store.into_device();
+        let mut dev = Arc::try_unwrap(dev).ok().expect("unique device");
+        dev.crash();
+        let recovered = ViperStore::recover_with(Arc::new(dev), layout, |pairs| {
+            AnyIndex::build(kind, pairs)
+        });
+        assert_eq!(recovered.len(), live, "{}", kind.name());
+
+        let mut buf = vec![0u8; layout.value_size];
+        assert!(recovered.get(keys[0], &mut buf), "{}", kind.name());
+        assert_eq!(buf, vec![0xBB; layout.value_size], "{}: update lost", kind.name());
+        assert!(!recovered.get(keys[600], &mut buf), "{}: delete lost", kind.name());
+        assert!(recovered.get(u64::MAX - 10_000, &mut buf), "{}: insert lost", kind.name());
+        assert_eq!(buf, vec![0xCC; layout.value_size], "{}", kind.name());
+    }
+}
+
+#[test]
+fn recovered_store_keeps_working() {
+    let keys = generate_keys(Dataset::OsmLike, 5_000, 9);
+    let config = crash_config(keys.len() * 2);
+    let layout = config.layout;
+    let store: ViperStore<lip::alex::Alex> = ViperStore::bulk_load(config, &keys, value_of);
+    let dev = store.into_device();
+    let mut recovered: ViperStore<lip::alex::Alex> = ViperStore::recover(dev, layout);
+
+    // The recovered store accepts further writes and reads.
+    let mut buf = vec![0u8; layout.value_size];
+    for i in 0..2_000u64 {
+        let k = u64::MAX / 2 + i * 3 + 1;
+        recovered.put(k, &vec![7u8; layout.value_size]);
+        assert!(recovered.get(k, &mut buf));
+    }
+    assert_eq!(recovered.len(), keys.len() + 2_000);
+}
