@@ -163,10 +163,8 @@ impl Alex {
             }
         }
         let bounds: Vec<Key> = runs.iter().map(|&(s, _)| keys[s]).collect();
-        let built: Vec<Node> = runs
-            .iter()
-            .map(|&(s, e)| Self::build_node(config, &data[s..e], depth + 1))
-            .collect();
+        let built: Vec<Node> =
+            runs.iter().map(|&(s, e)| Self::build_node(config, &data[s..e], depth + 1)).collect();
         let model = Self::fit_bounds_model(&bounds);
         Node::Internal { model, bounds, children: built }
     }
@@ -246,8 +244,7 @@ impl Alex {
                         // rebuild this slot as a locally deeper subtree
                         // whose leaves all fit well — the mechanism behind
                         // the asymmetric tree.
-                        if Alex::fits_leaf(config, &keys)
-                            && data.len() <= config.max_data_node_keys
+                        if Alex::fits_leaf(config, &keys) && data.len() <= config.max_data_node_keys
                         {
                             *node = Alex::make_leaf(config, &data);
                         } else {
@@ -347,8 +344,7 @@ impl Alex {
                     for (i, child) in children.iter().enumerate() {
                         // Child 0 may absorb keys below bounds[0].
                         let clo = if i == 0 { lo } else { Some(bounds[i]) };
-                        let chi =
-                            if i + 1 == children.len() { hi } else { Some(bounds[i + 1]) };
+                        let chi = if i + 1 == children.len() { hi } else { Some(bounds[i + 1]) };
                         rec(child, clo, chi);
                     }
                 }
@@ -615,10 +611,7 @@ mod tests {
         alex.check_invariants();
         let dense_depth = alex.descend_only(40_000);
         let sparse_depth = alex.descend_only((1u64 << 40) + (50 << 30));
-        assert!(
-            dense_depth >= sparse_depth,
-            "dense {dense_depth} sparse {sparse_depth}"
-        );
+        assert!(dense_depth >= sparse_depth, "dense {dense_depth} sparse {sparse_depth}");
         for &(k, v) in data.iter().step_by(499) {
             assert_eq!(alex.get(k), Some(v));
         }

@@ -210,19 +210,13 @@ impl Apex {
             nodes.push(m);
         }
         nodes.sort_by_key(|m| m.pivot);
-        let mut apex = Apex {
-            dev,
-            nodes,
-            free_pages,
-            next_page,
-            committed,
-            len: 0,
-            crash_split_after: None,
-        };
+        let mut apex =
+            Apex { dev, nodes, free_pages, next_page, committed, len: 0, crash_split_after: None };
         // Recompute occupancy (cheap: bitmap read per node) and len.
         let mut len = 0usize;
         for i in 0..apex.nodes.len() {
-            let occ = apex.read_bitmap(apex.nodes[i].offset).iter().map(|w| w.count_ones()).sum::<u32>();
+            let occ =
+                apex.read_bitmap(apex.nodes[i].offset).iter().map(|w| w.count_ones()).sum::<u32>();
             apex.nodes[i].occupied = occ;
             len += occ as usize;
         }
@@ -289,7 +283,13 @@ impl Apex {
 
     /// Writes a full node page: gapped layout of `data`, header, bitmap;
     /// persists everything except it does NOT touch the commit counter.
-    fn write_node(&mut self, node: usize, data: &[KeyValue], version: u64, replaces: u64) -> NodeMeta {
+    fn write_node(
+        &mut self,
+        node: usize,
+        data: &[KeyValue],
+        version: u64,
+        replaces: u64,
+    ) -> NodeMeta {
         use li_core::approx::lsa_gap::GappedLayout;
         let layout = GappedLayout::build_with_capacity(data, SLOTS);
         // Bitmap + slots.
@@ -736,10 +736,7 @@ mod tests {
         assert_eq!(recovered.len(), data.len());
         // Header + bitmap per node — far less than the full data pages.
         let full = recovered.node_count() * NODE_BYTES;
-        assert!(
-            (read as usize) < full / 10,
-            "recovery read {read} bytes of {full} stored"
-        );
+        assert!((read as usize) < full / 10, "recovery read {read} bytes of {full} stored");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Crash-torture driver: replays many seeded fault schedules against the
+//! Viper recovery path and reports oracle divergences (exit code 1 if any).
+//!
+//! ```text
+//! cargo run --release -p li-bench --bin torture -- \
+//!     [--seeds N] [--start-seed S] [--ops N] [--kinds btree,pgm,alex] \
+//!     [--in-place] [--no-verify]
+//! ```
+//!
+//! `--in-place` tortures the paper-default in-place update path instead of
+//! crash-safe out-of-place updates; `--no-verify` disables checksum
+//! quarantine at recovery (expect failures — that is the point of it).
+
+use std::process::ExitCode;
+
+use lip::torture::{torture_run, TortureConfig};
+use lip::IndexKind;
+
+fn parse_kind(name: &str) -> Option<IndexKind> {
+    IndexKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let mut seeds = 200u64;
+    let mut start_seed = 0u64;
+    let mut ops = 400usize;
+    let mut kinds = vec![IndexKind::BTree, IndexKind::Pgm, IndexKind::Alex];
+    let mut crash_safe = true;
+    let mut verify = true;
+
+    fn die(msg: String) -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: torture [--seeds N] [--start-seed S] [--ops N] [--kinds btree,pgm,alex] [--in-place] [--no-verify]");
+        std::process::exit(2);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| die(format!("{} needs a value", args[*i - 1]))).clone()
+        };
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds =
+                    value(&mut i).parse().unwrap_or_else(|_| die("--seeds needs a number".into()))
+            }
+            "--start-seed" => {
+                start_seed = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--start-seed needs a number".into()))
+            }
+            "--ops" => {
+                ops = value(&mut i).parse().unwrap_or_else(|_| die("--ops needs a number".into()))
+            }
+            "--kinds" => {
+                kinds = value(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        let kind = parse_kind(s.trim()).unwrap_or_else(|| {
+                            die(format!(
+                                "unknown kind {s:?}; known: {}",
+                                IndexKind::UPDATABLE.map(|k| k.name()).join(", ")
+                            ))
+                        });
+                        if !kind.supports_insert() {
+                            die(format!(
+                                "kind {} is read-only; torture needs an updatable index",
+                                kind.name()
+                            ));
+                        }
+                        kind
+                    })
+                    .collect();
+            }
+            "--in-place" => crash_safe = false,
+            "--no-verify" => verify = false,
+            other => die(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    println!(
+        "torture: {} seed(s) from {} x {} backend(s), {} ops each, updates={}, checksums={}",
+        seeds,
+        start_seed,
+        kinds.len(),
+        ops,
+        if crash_safe { "out-of-place" } else { "in-place" },
+        if verify { "verified" } else { "UNVERIFIED" },
+    );
+
+    let mut runs = 0u64;
+    let mut failed = 0u64;
+    let mut acked = 0u64;
+    let mut crashes = 0u64;
+    let mut torn = 0u64;
+    let mut dropped = 0u64;
+    let mut write_fails = 0u64;
+    let mut full = 0u64;
+    let mut quarantined = 0u64;
+    let mut duplicates = 0u64;
+    for &kind in &kinds {
+        let mut cfg = TortureConfig::quick(kind);
+        cfg.ops = ops;
+        cfg.crash_safe_updates = crash_safe;
+        cfg.verify_checksums = verify;
+        for seed in start_seed..start_seed + seeds {
+            let out = torture_run(seed, &cfg);
+            runs += 1;
+            acked += out.ops_acked as u64;
+            crashes += out.faults.crash_triggers;
+            torn += out.faults.torn_writes;
+            dropped += out.faults.dropped_flushes;
+            write_fails += out.faults.failed_writes;
+            full += out.faults.full_rejections;
+            quarantined += out.report.quarantined as u64;
+            duplicates += out.report.duplicates_dropped as u64;
+            if !out.passed() {
+                failed += 1;
+                println!("FAIL kind={} seed={}", kind.name(), out.seed);
+                for d in &out.divergences {
+                    println!("  - {d}");
+                }
+            }
+        }
+    }
+
+    println!("----");
+    println!("runs              {runs}");
+    println!("acked ops         {acked}");
+    println!("crash points      {crashes}");
+    println!("torn writes       {torn}");
+    println!("dropped flushes   {dropped}");
+    println!("failed writes     {write_fails}");
+    println!("full rejections   {full}");
+    println!("quarantined       {quarantined}");
+    println!("dup slots dropped {duplicates}");
+    if failed == 0 {
+        println!("all {runs} runs satisfied the oracle");
+        ExitCode::SUCCESS
+    } else {
+        println!("{failed}/{runs} runs DIVERGED from the oracle");
+        ExitCode::FAILURE
+    }
+}

@@ -46,8 +46,7 @@ fn hot_cache(cfg: &BenchConfig) {
     let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
     let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
     let mut zipf = ZipfGen::new(keys.len(), cfg.seed);
-    let probes: Vec<Key> =
-        (0..cfg.ops.max(50_000)).map(|_| keys[zipf.next_scrambled()]).collect();
+    let probes: Vec<Key> = (0..cfg.ops.max(50_000)).map(|_| keys[zipf.next_scrambled()]).collect();
 
     harness::header(&["config", "get ns", "hit rate"]);
     let plain = li_alex::Alex::build(&pairs);
@@ -59,10 +58,7 @@ fn hot_cache(cfg: &BenchConfig) {
     std::hint::black_box(acc);
     harness::row(
         "ALEX",
-        &[
-            format!("{:.0}", t0.elapsed().as_nanos() as f64 / probes.len() as f64),
-            "-".into(),
-        ],
+        &[format!("{:.0}", t0.elapsed().as_nanos() as f64 / probes.len() as f64), "-".into()],
     );
     let mut cached = HotCache::new(li_alex::Alex::build(&pairs), 4096);
     let t0 = Instant::now();
@@ -239,6 +235,7 @@ fn nvm_drag(cfg: &BenchConfig) {
                     latency,
                     durability: li_nvm::DurabilityTracking::Disabled,
                 },
+                crash_safe_updates: false,
             };
             let mut store = ViperStore::bulk_load_with(config, &keys, harness::value_of, |p| {
                 AnyIndex::build(kind, p)

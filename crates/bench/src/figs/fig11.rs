@@ -18,10 +18,7 @@ pub fn run(cfg: &BenchConfig) {
     for kind in IndexKind::ALL {
         let mut store = harness::build_store(kind, &keys);
         let m = harness::run_ops(kind.name(), &mut store, &ops);
-        harness::row(
-            kind.name(),
-            &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())],
-        );
+        harness::row(kind.name(), &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
     }
 
     // Mechanism probe: how many spline points must RS's segment search

@@ -49,10 +49,7 @@ pub fn run(cfg: &BenchConfig) {
             }
             let secs = start.elapsed().as_secs_f64();
             let m = Measurement { name: kind.name().into(), ops: chunk * threads, secs, hist };
-            harness::row(
-                kind.name(),
-                &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())],
-            );
+            harness::row(kind.name(), &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
         }
         println!();
     }

@@ -25,14 +25,17 @@ pub fn run(cfg: &BenchConfig) {
         let per_thread = (cfg.ops / threads).min(pool.len() / threads.max(1));
         for kind in ConcurrentKind::ALL {
             let store_cfg = StoreConfig::paper(keys.len() * 2 + 1024);
-            let store = Arc::new(ConcurrentViperStore::new(store_cfg, AnyConcurrentIndex::build(kind, &[])));
+            let store = Arc::new(ConcurrentViperStore::new(
+                store_cfg,
+                AnyConcurrentIndex::build(kind, &[]),
+            ));
             // Pre-load sequentially (bulk load API is single-writer).
             {
                 let vs = store.heap().layout().value_size;
                 let mut val = vec![0u8; vs];
                 for &(k, _) in &pairs {
                     harness::value_of(k, &mut val);
-                    store.put(k, &val);
+                    store.put(k, &val).expect("bench store put failed");
                 }
             }
             let vs = store.heap().layout().value_size;
@@ -48,7 +51,7 @@ pub fn run(cfg: &BenchConfig) {
                     for k in mine {
                         harness::value_of(k, &mut val);
                         let t0 = Instant::now();
-                        store.put(k, &val);
+                        store.put(k, &val).expect("bench store put failed");
                         hist.record(t0.elapsed().as_nanos() as u64);
                     }
                     hist
@@ -59,16 +62,8 @@ pub fn run(cfg: &BenchConfig) {
                 hist.merge(&h.join().expect("writer thread"));
             }
             let secs = start.elapsed().as_secs_f64();
-            let m = Measurement {
-                name: kind.name().into(),
-                ops: per_thread * threads,
-                secs,
-                hist,
-            };
-            harness::row(
-                kind.name(),
-                &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())],
-            );
+            let m = Measurement { name: kind.name().into(), ops: per_thread * threads, secs, hist };
+            harness::row(kind.name(), &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
         }
         println!();
     }

@@ -26,10 +26,7 @@ pub fn run(cfg: &BenchConfig) {
         for kind in IndexKind::UPDATABLE {
             let mut store = harness::build_store(kind, &loaded);
             let m = harness::run_ops(kind.name(), &mut store, &ops);
-            harness::row(
-                kind.name(),
-                &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())],
-            );
+            harness::row(kind.name(), &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
         }
         println!();
     }

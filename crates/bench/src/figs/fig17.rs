@@ -44,10 +44,7 @@ fn leaf_lookup_ns(keys: &[Key], segments: &[Segment], probes: usize, seed: u64) 
     let mut acc = 0usize;
     for &(k, s) in &pairs {
         let seg = &segments[s];
-        let p = seg
-            .model
-            .predict_clamped(k, keys.len())
-            .clamp(seg.start, seg.start + seg.len - 1);
+        let p = seg.model.predict_clamped(k, keys.len()).clamp(seg.start, seg.start + seg.len - 1);
         acc ^= bounded_last_le(keys, k, p, seg.max_error as usize + 1);
     }
     std::hint::black_box(acc);
@@ -154,7 +151,8 @@ fn part_c(cfg: &BenchConfig, keys: &[Key]) {
         let step = keys.len() / leaves;
         let first_keys: Vec<Key> = keys.iter().step_by(step).copied().collect();
         let mut cells = Vec::new();
-        for kind in [StructureKind::BTree, StructureKind::Rmi, StructureKind::Lrs, StructureKind::Ats]
+        for kind in
+            [StructureKind::BTree, StructureKind::Rmi, StructureKind::Lrs, StructureKind::Ats]
         {
             let s = kind.build_dyn(&first_keys);
             let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -179,8 +177,7 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
     let probes = (cfg.ops / 4).max(10_000);
     let pairs: Vec<(Key, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed + 9);
-    let probe_keys: Vec<Key> =
-        (0..probes).map(|_| keys[rng.random_range(0..keys.len())]).collect();
+    let probe_keys: Vec<Key> = (0..probes).map(|_| keys[rng.random_range(0..keys.len())]).collect();
 
     // Indexes exposing the two-phase lookup: time phase 1, then total.
     macro_rules! two_phase {

@@ -24,7 +24,10 @@ pub fn run(cfg: &BenchConfig) {
     println!("--- RMI: keys per second-stage model ---");
     harness::header(&["keys/model", "get ns", "models"]);
     for kpm in [256usize, 1024, 4096, 16384] {
-        let idx = li_rmi::Rmi::build_with(li_rmi::RmiConfig { keys_per_model: kpm, ..Default::default() }, &pairs);
+        let idx = li_rmi::Rmi::build_with(
+            li_rmi::RmiConfig { keys_per_model: kpm, ..Default::default() },
+            &pairs,
+        );
         harness::row(
             &kpm.to_string(),
             &[format!("{:.0}", time_gets(&idx, &probes)), idx.model_count().to_string()],

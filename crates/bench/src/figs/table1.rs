@@ -10,8 +10,14 @@ pub fn run(_cfg: &BenchConfig) {
     println!("== Table I: technology comparison of learned indexes ==\n");
     println!(
         "{:<20} {:<14} {:<8} {:<9} {:<40} {:<18} {:<18} {:<6}",
-        "Learned index", "Inner node", "Leaf", "Error", "Approximation algorithm", "Insertion",
-        "Retraining", "Conc."
+        "Learned index",
+        "Inner node",
+        "Leaf",
+        "Error",
+        "Approximation algorithm",
+        "Insertion",
+        "Retraining",
+        "Conc."
     );
     println!("{}", "-".repeat(136));
     for kind in IndexKind::LEARNED {

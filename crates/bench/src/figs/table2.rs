@@ -6,7 +6,9 @@ use lip::{AnyIndex, IndexKind};
 
 pub fn run(cfg: &BenchConfig) {
     println!("== Table II: average depth of learned indexes ==\n");
-    harness::header(&["dataset", "RMI", "RS", "FIT-inp", "FIT-buf", "PGM", "ALEX", "XIndex", "LIPP"]);
+    harness::header(&[
+        "dataset", "RMI", "RS", "FIT-inp", "FIT-buf", "PGM", "ALEX", "XIndex", "LIPP",
+    ]);
     for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
         let keys = harness::dataset(dataset, cfg.n, cfg.seed);
         let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
@@ -20,7 +22,9 @@ pub fn run(cfg: &BenchConfig) {
         harness::row(dataset.name(), &cells);
     }
     println!("\nleaf/segment counts for context:");
-    harness::header(&["dataset", "RMI", "RS", "FIT-inp", "FIT-buf", "PGM", "ALEX", "XIndex", "LIPP"]);
+    harness::header(&[
+        "dataset", "RMI", "RS", "FIT-inp", "FIT-buf", "PGM", "ALEX", "XIndex", "LIPP",
+    ]);
     for dataset in [Dataset::YcsbNormal, Dataset::OsmLike] {
         let keys = harness::dataset(dataset, cfg.n, cfg.seed);
         let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();

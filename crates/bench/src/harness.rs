@@ -25,27 +25,16 @@ pub struct BenchConfig {
 
 impl BenchConfig {
     pub fn from_env() -> Self {
-        let n = std::env::var("LIP_BENCH_N")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200_000);
-        let ops = std::env::var("LIP_BENCH_OPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(n / 2);
-        let max_threads = std::env::var("LIP_BENCH_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(8);
+        let n = std::env::var("LIP_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+        let ops = std::env::var("LIP_BENCH_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(n / 2);
+        let max_threads =
+            std::env::var("LIP_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
         BenchConfig { n, ops, max_threads, seed: 42 }
     }
 
     /// Thread counts swept by the multi-threaded figures.
     pub fn thread_counts(&self) -> Vec<usize> {
-        [1usize, 2, 4, 8, 16, 32]
-            .into_iter()
-            .filter(|&t| t <= self.max_threads)
-            .collect()
+        [1usize, 2, 4, 8, 16, 32].into_iter().filter(|&t| t <= self.max_threads).collect()
     }
 }
 
@@ -104,12 +93,12 @@ pub fn run_ops(
             }
             Op::Insert(k, v) | Op::Update(k, v) => {
                 val.fill(v as u8);
-                store.put(k, &val);
+                store.put(k, &val).expect("bench store put failed");
             }
             Op::ReadModifyWrite(k, v) => {
                 store.get(k, &mut buf);
                 val.fill(v as u8);
-                store.put(k, &val);
+                store.put(k, &val).expect("bench store put failed");
             }
             Op::Scan(k, len) => {
                 store.scan(k, u64::MAX, len, &mut |_, _| {});
@@ -131,7 +120,8 @@ pub fn read_ops(keys: &[Key], count: usize, seed: u64) -> Vec<Op> {
 /// falls back to updates once exhausted).
 pub fn write_setup(keys: &[Key], count: usize, seed: u64) -> (Vec<Key>, Vec<Op>) {
     let (loaded, pool) = split_load_insert(keys, 0.2);
-    let ops = generate_ops(&WorkloadSpec::write_only(), &loaded, &pool, count.min(pool.len()), seed);
+    let ops =
+        generate_ops(&WorkloadSpec::write_only(), &loaded, &pool, count.min(pool.len()), seed);
     (loaded, ops)
 }
 

@@ -27,19 +27,20 @@ pub fn segment_fsw(keys: &[Key], epsilon: u64) -> Vec<Segment> {
     let mut slope_lo = f64::NEG_INFINITY;
     let mut slope_hi = f64::INFINITY;
 
-    let close = |out: &mut Vec<Segment>, keys: &[Key], start: usize, end: usize, lo: f64, hi: f64| {
-        let slope = match (lo.is_finite(), hi.is_finite()) {
-            (true, true) => (lo + hi) / 2.0,
-            (true, false) => lo,
-            (false, true) => hi,
-            (false, false) => 0.0, // single-point segment
+    let close =
+        |out: &mut Vec<Segment>, keys: &[Key], start: usize, end: usize, lo: f64, hi: f64| {
+            let slope = match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => (lo + hi) / 2.0,
+                (true, false) => lo,
+                (false, true) => hi,
+                (false, false) => 0.0, // single-point segment
+            };
+            let model = LinearModel { x0: keys[start], slope, intercept: start as f64 };
+            out.push(
+                Segment { first_key: keys[start], start, len: end - start, model, max_error: 0 }
+                    .finish(keys),
+            );
         };
-        let model = LinearModel { x0: keys[start], slope, intercept: start as f64 };
-        out.push(
-            Segment { first_key: keys[start], start, len: end - start, model, max_error: 0 }
-                .finish(keys),
-        );
-    };
 
     let mut i = 1usize;
     while i < n {

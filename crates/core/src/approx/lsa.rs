@@ -20,9 +20,7 @@ pub fn segment_lsa(keys: &[Key], seg_size: usize) -> Vec<Segment> {
         // Fit local positions then shift to global.
         let local = LinearModel::fit_least_squares(chunk);
         let model = local.shifted(start as f64);
-        out.push(
-            Segment { first_key: keys[start], start, len, model, max_error: 0 }.finish(keys),
-        );
+        out.push(Segment { first_key: keys[start], start, len, model, max_error: 0 }.finish(keys));
         start += len;
     }
     out

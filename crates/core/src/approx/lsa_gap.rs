@@ -264,9 +264,7 @@ mod tests {
         keys.dedup();
         let lsa = crate::cdf::segmentation_quality(
             &keys,
-            crate::approx::lsa::segment_lsa(&keys, 1024)
-                .iter()
-                .map(|s| (s.start, s.len, s.model)),
+            crate::approx::lsa::segment_lsa(&keys, 1024).iter().map(|s| (s.start, s.len, s.model)),
         );
         let gap = lsa_gap_quality(&keys, 1024, 0.7);
         // The paper's headline: gaps lower the error dramatically for the

@@ -318,12 +318,7 @@ mod tests {
         for s in &segs {
             // The theoretical guarantee is ε; allow +1 for floating point
             // rounding of the final line (same tolerance PGM uses).
-            assert!(
-                s.max_error <= eps + 1,
-                "segment err {} > eps {}",
-                s.max_error,
-                eps
-            );
+            assert!(s.max_error <= eps + 1, "segment err {} > eps {}", s.max_error, eps);
         }
         segs
     }
@@ -398,9 +393,7 @@ mod tests {
 
     #[test]
     fn huge_key_magnitudes() {
-        let keys: Vec<Key> = (0..10_000u64)
-            .map(|i| (u64::MAX / 2) + i * (1 << 40))
-            .collect();
+        let keys: Vec<Key> = (0..10_000u64).map(|i| (u64::MAX / 2) + i * (1 << 40)).collect();
         check_epsilon(&keys, 16);
     }
 

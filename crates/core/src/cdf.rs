@@ -13,10 +13,7 @@ use crate::types::Key;
 /// Empirical CDF point: `(key, rank / n)`.
 pub fn empirical_cdf(keys: &[Key]) -> Vec<(Key, f64)> {
     let n = keys.len();
-    keys.iter()
-        .enumerate()
-        .map(|(i, &k)| (k, (i + 1) as f64 / n as f64))
-        .collect()
+    keys.iter().enumerate().map(|(i, &k)| (k, (i + 1) as f64 / n as f64)).collect()
 }
 
 /// Quality metrics of one piecewise-linear segmentation of a sorted key

@@ -210,7 +210,10 @@ mod tests {
         h.record(u64::MAX);
         h.record(1 << 45);
         assert_eq!(h.count(), 2);
-        assert!(h.percentile(1.0) <= u64::MAX);
+        // Top-bucket quantization may clamp huge values; the call just must
+        // not panic, and percentiles must stay monotone.
+        assert!(h.percentile(1.0) >= h.percentile(0.5));
+        assert_eq!(h.max(), u64::MAX);
     }
 
     #[test]

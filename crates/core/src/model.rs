@@ -114,11 +114,7 @@ impl LinearModel {
     /// trick of expanding a fitted model so the same keys spread over a
     /// larger, gap-containing array (§II-B3).
     pub fn scaled(&self, factor: f64) -> Self {
-        LinearModel {
-            x0: self.x0,
-            slope: self.slope * factor,
-            intercept: self.intercept * factor,
-        }
+        LinearModel { x0: self.x0, slope: self.slope * factor, intercept: self.intercept * factor }
     }
 
     /// Returns a copy whose predictions are shifted by `delta` positions
@@ -351,9 +347,8 @@ mod cubic_tests {
     fn fits_exact_cubic_cdf() {
         // Keys whose CDF (rank as a function of key) is a cubic:
         // key ∝ rank^(1/3) makes rank ∝ key³.
-        let keys: Vec<Key> = (0..1_000u64)
-            .map(|i| ((i as f64).powf(1.0 / 3.0) * 100_000.0) as u64 + i)
-            .collect();
+        let keys: Vec<Key> =
+            (0..1_000u64).map(|i| ((i as f64).powf(1.0 / 3.0) * 100_000.0) as u64 + i).collect();
         let m = CubicModel::fit(&keys);
         let (max, mean) = m.errors(&keys);
         assert!(mean < 2.0, "mean {mean}");

@@ -34,10 +34,7 @@ impl Default for PiecewiseConfig {
             algo: ApproxAlgorithm::OptPla { epsilon: 32 },
             structure: StructureKind::Ats,
             leaf: LeafKind::Gapped { density: 0.7, max_density: 0.85 },
-            policy: RetrainPolicy::ExpandOrSplit {
-                expand_factor: 1.5,
-                split_error_threshold: 8.0,
-            },
+            policy: RetrainPolicy::ExpandOrSplit { expand_factor: 1.5, split_error_threshold: 8.0 },
         }
     }
 }
@@ -69,7 +66,14 @@ impl PiecewiseIndex {
             first_keys.push(s.first_key);
         }
         let inner = cfg.structure.build_dyn(&first_keys);
-        PiecewiseIndex { cfg, leaves, first_keys, inner, len: data.len(), stats: RetrainStats::default() }
+        PiecewiseIndex {
+            cfg,
+            leaves,
+            first_keys,
+            inner,
+            len: data.len(),
+            stats: RetrainStats::default(),
+        }
     }
 
     /// The configuration this index was assembled from.

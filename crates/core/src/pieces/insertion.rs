@@ -857,12 +857,7 @@ mod tests {
             leaf.insert(7, 100); // between 3 and 13
             let mut out = Vec::new();
             leaf.range_into(3, 33, &mut out);
-            assert_eq!(
-                out,
-                vec![(3, 0), (7, 100), (13, 1), (23, 2), (33, 3)],
-                "{}",
-                kind.name()
-            );
+            assert_eq!(out, vec![(3, 0), (7, 100), (13, 1), (23, 2), (33, 3)], "{}", kind.name());
         }
     }
 

@@ -117,10 +117,7 @@ impl InnerStructure for BTreeInner {
 
     fn size_bytes(&self) -> usize {
         // Inner levels only; level 0 belongs to the leaves themselves.
-        self.levels[1..]
-            .iter()
-            .map(|l| l.len() * core::mem::size_of::<Key>())
-            .sum()
+        self.levels[1..].iter().map(|l| l.len() * core::mem::size_of::<Key>()).sum()
     }
 
     fn avg_depth(&self) -> f64 {
@@ -326,18 +323,13 @@ impl InnerStructure for LrsInner {
         for depth in (0..=top).rev() {
             let level = &self.levels[depth];
             let s = level.models[seg];
-            let below_keys: &[Key] = if depth == 0 {
-                &self.first_keys
-            } else {
-                &self.levels[depth - 1].seg_keys
-            };
+            let below_keys: &[Key] =
+                if depth == 0 { &self.first_keys } else { &self.levels[depth - 1].seg_keys };
             // Clamp the prediction into the segment's covered positions
             // (the answer lies there because the next segment's first key
             // exceeds `key`), then search a window of err + slack.
-            let p = s
-                .model
-                .predict_clamped(key, below_keys.len())
-                .clamp(s.start, s.start + s.len - 1);
+            let p =
+                s.model.predict_clamped(key, below_keys.len()).clamp(s.start, s.start + s.len - 1);
             let pos = bounded_last_le(below_keys, key, p, s.err + 4);
             if depth == 0 {
                 return pos;

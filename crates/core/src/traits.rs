@@ -127,10 +127,7 @@ mod tests {
             self.0.len()
         }
         fn get(&self, key: Key) -> Option<Value> {
-            self.0
-                .binary_search_by_key(&key, |kv| kv.0)
-                .ok()
-                .map(|i| self.0[i].1)
+            self.0.binary_search_by_key(&key, |kv| kv.0).ok().map(|i| self.0[i].1)
         }
         fn index_size_bytes(&self) -> usize {
             0

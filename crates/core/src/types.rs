@@ -63,18 +63,12 @@ mod tests {
 
     #[test]
     fn duplicate_rejected() {
-        assert_eq!(
-            check_sorted(&[(1, 0), (1, 1)]),
-            Err(IndexError::UnsortedInput { at: 1 })
-        );
+        assert_eq!(check_sorted(&[(1, 0), (1, 1)]), Err(IndexError::UnsortedInput { at: 1 }));
     }
 
     #[test]
     fn descending_rejected() {
-        assert_eq!(
-            check_sorted(&[(3, 0), (2, 0)]),
-            Err(IndexError::UnsortedInput { at: 1 })
-        );
+        assert_eq!(check_sorted(&[(3, 0), (2, 0)]), Err(IndexError::UnsortedInput { at: 1 }));
     }
 
     #[test]

@@ -78,7 +78,12 @@ impl Lipp {
     }
 
     pub fn with_config(config: LippConfig) -> Self {
-        Lipp { root: Self::build_node(&config, &[]), len: 0, config, stats: RetrainStats::default() }
+        Lipp {
+            root: Self::build_node(&config, &[]),
+            len: 0,
+            config,
+            stats: RetrainStats::default(),
+        }
     }
 
     pub fn build_with(config: LippConfig, data: &[KeyValue]) -> Self {
@@ -157,7 +162,13 @@ impl Lipp {
         }
     }
 
-    fn insert_rec(config: &LippConfig, node: &mut Node, key: Key, value: Value, stats: &mut RetrainStats) -> Option<Value> {
+    fn insert_rec(
+        config: &LippConfig,
+        node: &mut Node,
+        key: Key,
+        value: Value,
+        stats: &mut RetrainStats,
+    ) -> Option<Value> {
         // LIPP's adjustment: a subtree that has doubled since its build is
         // re-laid-out so precise placement (and depth) stays healthy.
         if node.size + 1
@@ -182,11 +193,8 @@ impl Lipp {
                     return Some(std::mem::replace(v, value));
                 }
                 // Collision: both keys move into a fresh child.
-                let pair = if *k < key {
-                    [(*k, *v), (key, value)]
-                } else {
-                    [(key, value), (*k, *v)]
-                };
+                let pair =
+                    if *k < key { [(*k, *v), (key, value)] } else { [(key, value), (*k, *v)] };
                 node.slots[s] = Entry::Child(Box::new(Self::build_node(config, &pair)));
                 node.size += 1;
                 None

@@ -2,8 +2,10 @@
 
 use parking_lot::Mutex;
 
+use crate::fault::{FaultCountersSnapshot, FaultInjector, FaultPlan, FlushOutcome, WriteOutcome};
 use crate::latency::{spin_ns, BandwidthLimiter, LatencyModel};
 use crate::stats::NvmStats;
+use crate::NvmError;
 
 /// Whether the device keeps a shadow image for crash simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,16 +109,16 @@ pub struct NvmDevice {
     limiter: Option<BandwidthLimiter>,
     stats: NvmStats,
     shadow: Option<Mutex<Shadow>>,
+    injector: Option<FaultInjector>,
 }
 
 impl NvmDevice {
     pub fn new(config: NvmConfig) -> Self {
         let shadow = match config.durability {
             DurabilityTracking::Disabled => None,
-            DurabilityTracking::Shadow => Some(Mutex::new(Shadow {
-                image: vec![0u8; config.capacity],
-                pending: Vec::new(),
-            })),
+            DurabilityTracking::Shadow => {
+                Some(Mutex::new(Shadow { image: vec![0u8; config.capacity], pending: Vec::new() }))
+            }
         };
         NvmDevice {
             mem: Arena::new(config.capacity),
@@ -124,7 +126,40 @@ impl NvmDevice {
             limiter: BandwidthLimiter::new(config.latency.bandwidth_bytes_per_us),
             stats: NvmStats::default(),
             shadow,
+            injector: None,
         }
+    }
+
+    /// A device that executes `plan` against its operation stream. Torn
+    /// writes and crash points only have observable effect with
+    /// [`DurabilityTracking::Shadow`] (there is no durable image to tear
+    /// or revert to otherwise).
+    pub fn with_faults(config: NvmConfig, plan: &FaultPlan) -> Self {
+        let mut dev = NvmDevice::new(config);
+        dev.injector = Some(FaultInjector::new(plan));
+        dev
+    }
+
+    /// The fault injector, if one was installed.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Injected-fault counters (zeros when no injector is installed).
+    pub fn fault_counters(&self) -> FaultCountersSnapshot {
+        self.injector.as_ref().map(|i| i.counters().snapshot()).unwrap_or_default()
+    }
+
+    /// True once a scheduled crash point has fired; the device rejects all
+    /// writes/flushes/fences until [`NvmDevice::crash`] is called.
+    pub fn has_crashed(&self) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.crashed())
+    }
+
+    /// True while the injector schedules a device-full window; callers
+    /// performing allocation should surface [`NvmError::DeviceFull`].
+    pub fn injected_device_full(&self) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.device_full_now())
     }
 
     /// Device capacity in bytes.
@@ -135,6 +170,13 @@ impl NvmDevice {
     /// Traffic counters.
     pub fn stats(&self) -> &NvmStats {
         &self.stats
+    }
+
+    /// Traffic counters plus injected-fault counters in one snapshot.
+    pub fn stats_snapshot(&self) -> crate::stats::NvmStatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.faults = self.fault_counters();
+        snap
     }
 
     #[inline]
@@ -169,15 +211,52 @@ impl NvmDevice {
     }
 
     /// Writes `data` starting at `offset`. Volatile until flushed+fenced.
+    ///
+    /// Infallible wrapper over [`NvmDevice::try_write`]; panics if a fault
+    /// plan injects a failure, so fault-injected workloads must use the
+    /// fallible API.
     #[inline]
     pub fn write(&self, offset: usize, data: &[u8]) {
+        self.try_write(offset, data).expect("injected NVM write fault; use try_write");
+    }
+
+    /// Writes `data` starting at `offset`, observing any installed fault
+    /// plan. Volatile until flushed+fenced. On [`NvmError::WriteFailed`]
+    /// nothing was applied and a retry may succeed; on
+    /// [`NvmError::Crashed`] the device is frozen until
+    /// [`NvmDevice::crash`].
+    #[inline]
+    pub fn try_write(&self, offset: usize, data: &[u8]) -> Result<(), NvmError> {
         self.check_range(offset, data.len());
+        let outcome = match &self.injector {
+            Some(inj) => inj.on_write(data.len()),
+            None => WriteOutcome::Proceed,
+        };
+        match outcome {
+            WriteOutcome::Crashed => return Err(NvmError::Crashed),
+            WriteOutcome::Fail => {
+                // Latency is charged — the program issued the stores even
+                // though the medium rejected them.
+                self.charge(offset, data.len(), self.latency.write_ns_per_block);
+                return Err(NvmError::WriteFailed);
+            }
+            WriteOutcome::Proceed | WriteOutcome::Torn { .. } => {}
+        }
         self.charge(offset, data.len(), self.latency.write_ns_per_block);
         self.stats.on_write(data.len());
         // SAFETY: see read_into.
         unsafe {
             core::ptr::copy_nonoverlapping(data.as_ptr(), self.mem.ptr.add(offset), data.len());
         }
+        if let WriteOutcome::Torn { prefix_len } = outcome {
+            // Model an unrequested cache-line eviction: an aligned prefix
+            // of the write becomes durable *now*, without flush or fence.
+            if let Some(shadow) = &self.shadow {
+                let mut s = shadow.lock();
+                s.image[offset..offset + prefix_len].copy_from_slice(&data[..prefix_len]);
+            }
+        }
+        Ok(())
     }
 
     /// Convenience: reads a little-endian u64.
@@ -196,11 +275,32 @@ impl NvmDevice {
 
     /// Flushes a written range toward persistence (clwb-like). The content
     /// captured *now* becomes durable at the next [`NvmDevice::fence`].
+    ///
+    /// Infallible wrapper over [`NvmDevice::try_flush`]; panics if the
+    /// fault plan has frozen the device.
     pub fn flush(&self, offset: usize, len: usize) {
+        self.try_flush(offset, len).expect("injected NVM flush fault; use try_flush");
+    }
+
+    /// Fallible flush observing any installed fault plan. A *dropped*
+    /// flush still returns `Ok` — the hardware acknowledged it — but the
+    /// range was not captured; that is precisely the fault the CRC path in
+    /// `li-viper` exists to catch.
+    pub fn try_flush(&self, offset: usize, len: usize) -> Result<(), NvmError> {
         self.check_range(offset, len);
+        let outcome = match &self.injector {
+            Some(inj) => inj.on_flush(),
+            None => FlushOutcome::Proceed,
+        };
+        if outcome == FlushOutcome::Crashed {
+            return Err(NvmError::Crashed);
+        }
         let lines = len.div_ceil(64).max(1) as u64;
         spin_ns(lines * self.latency.flush_ns);
         self.stats.flushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if outcome == FlushOutcome::Drop {
+            return Ok(());
+        }
         if let Some(shadow) = &self.shadow {
             let mut data = vec![0u8; len];
             // SAFETY: range checked; caller contract as in read_into.
@@ -209,10 +309,22 @@ impl NvmDevice {
             }
             shadow.lock().pending.push((offset, data));
         }
+        Ok(())
     }
 
     /// Store fence: all previously flushed ranges become durable.
+    ///
+    /// Infallible wrapper over [`NvmDevice::try_fence`]; panics if the
+    /// fault plan has frozen the device.
     pub fn fence(&self) {
+        self.try_fence().expect("injected NVM fence fault; use try_fence");
+    }
+
+    /// Fallible fence observing any installed fault plan.
+    pub fn try_fence(&self) -> Result<(), NvmError> {
+        if let Some(inj) = &self.injector {
+            inj.on_fence()?;
+        }
         spin_ns(self.latency.fence_ns);
         self.stats.fences.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(shadow) = &self.shadow {
@@ -222,6 +334,7 @@ impl NvmDevice {
                 s.image[offset..offset + data.len()].copy_from_slice(&data);
             }
         }
+        Ok(())
     }
 
     /// Flush + fence in one call.
@@ -230,21 +343,29 @@ impl NvmDevice {
         self.fence();
     }
 
+    /// Fallible flush + fence in one call.
+    pub fn try_persist(&self, offset: usize, len: usize) -> Result<(), NvmError> {
+        self.try_flush(offset, len)?;
+        self.try_fence()
+    }
+
     /// Simulates a power failure: the device content reverts to the last
     /// durable image (writes that were not flushed+fenced are lost).
     /// Requires [`DurabilityTracking::Shadow`].
     ///
     /// Takes `&mut self` so the borrow checker enforces quiescence.
     pub fn crash(&mut self) {
-        let shadow = self
-            .shadow
-            .as_ref()
-            .expect("crash() requires DurabilityTracking::Shadow");
+        let shadow = self.shadow.as_ref().expect("crash() requires DurabilityTracking::Shadow");
         let mut s = shadow.lock();
         s.pending.clear();
         // SAFETY: &mut self guarantees no concurrent access.
         unsafe {
             core::ptr::copy_nonoverlapping(s.image.as_ptr(), self.mem.ptr, self.mem.len);
+        }
+        drop(s);
+        // Power is back: un-freeze the injector so recovery can write.
+        if let Some(inj) = &self.injector {
+            inj.reset_crash();
         }
     }
 }
@@ -329,6 +450,90 @@ mod tests {
         dev.crash();
         dev.crash();
         assert_eq!(dev.read_u64(0), 7);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        use crate::fault::Fault;
+        let plan = FaultPlan { seed: 3, faults: vec![Fault::TornWrite { op: 0, granularity: 8 }] };
+        let mut dev = NvmDevice::with_faults(NvmConfig::fast_with_crash(4096), &plan);
+        let data = [0xabu8; 64];
+        dev.try_write(0, &data).unwrap();
+        // Program-visible immediately, in full.
+        let mut buf = [0u8; 64];
+        dev.read_into(0, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(dev.fault_counters().torn_writes, 1);
+        // After a crash (never flushed), exactly the torn prefix survives.
+        dev.crash();
+        dev.read_into(0, &mut buf);
+        let torn = buf.iter().filter(|&&b| b == 0xab).count();
+        assert!(torn < 64, "entire write survived an un-flushed crash");
+        assert_eq!(torn % 8, 0, "prefix not aligned to granularity");
+        assert!(buf[..torn].iter().all(|&b| b == 0xab));
+        assert!(buf[torn..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn dropped_flush_is_not_durable() {
+        use crate::fault::Fault;
+        let plan = FaultPlan { seed: 1, faults: vec![Fault::DroppedFlush { op: 1 }] };
+        let mut dev = NvmDevice::with_faults(NvmConfig::fast_with_crash(4096), &plan);
+        dev.try_write(0, &[7u8; 8]).unwrap(); // op 0
+        dev.try_flush(0, 8).unwrap(); // op 1: dropped, but acknowledged
+        dev.try_fence().unwrap(); // op 2
+        assert_eq!(dev.fault_counters().dropped_flushes, 1);
+        dev.crash();
+        assert_eq!(dev.read_u64(0), 0, "dropped flush must not persist");
+    }
+
+    #[test]
+    fn crash_point_freezes_then_crash_unfreezes() {
+        let plan = FaultPlan::crash_at(3);
+        let mut dev = NvmDevice::with_faults(NvmConfig::fast_with_crash(4096), &plan);
+        dev.try_write(0, &[1u8; 8]).unwrap(); // op 0
+        dev.try_persist(0, 8).unwrap(); // ops 1 (flush) + 2 (fence)
+        let err = dev.try_write(8, &[2u8; 8]).unwrap_err(); // op 3: crash
+        assert_eq!(err, NvmError::Crashed);
+        assert!(dev.has_crashed());
+        assert_eq!(dev.fault_counters().crash_triggers, 1);
+        dev.crash();
+        assert!(!dev.has_crashed());
+        // The fenced write survived; the rejected one never happened.
+        assert_eq!(dev.read_u64(0), u64::from_le_bytes([1; 8]));
+        assert_eq!(dev.read_u64(8), 0);
+        // The device accepts writes again.
+        dev.try_write(8, &[3u8; 8]).unwrap();
+        dev.try_persist(8, 8).unwrap();
+        assert_eq!(dev.read_u64(8), u64::from_le_bytes([3; 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected NVM fence fault")]
+    fn infallible_api_panics_on_injected_fault() {
+        let plan = FaultPlan::crash_at(0);
+        let dev = NvmDevice::with_faults(NvmConfig::fast_with_crash(64), &plan);
+        dev.fence();
+    }
+
+    #[test]
+    fn transient_write_failure_retry_succeeds() {
+        use crate::fault::Fault;
+        let plan = FaultPlan { seed: 0, faults: vec![Fault::FailedWrite { op: 0 }] };
+        let dev = NvmDevice::with_faults(NvmConfig::fast(4096), &plan);
+        assert_eq!(dev.try_write(0, &[9u8; 8]), Err(NvmError::WriteFailed));
+        assert_eq!(dev.read_u64(0), 0, "failed write must not apply");
+        dev.try_write(0, &[9u8; 8]).unwrap();
+        assert_eq!(dev.read_u64(0), u64::from_le_bytes([9; 8]));
+        assert_eq!(dev.fault_counters().failed_writes, 1);
+    }
+
+    #[test]
+    fn try_persist_on_crash_point_via_flush() {
+        let plan = FaultPlan::crash_at(1);
+        let dev = NvmDevice::with_faults(NvmConfig::fast_with_crash(4096), &plan);
+        dev.try_write(0, &[1u8; 8]).unwrap(); // op 0
+        assert_eq!(dev.try_persist(0, 8), Err(NvmError::Crashed));
     }
 
     #[test]

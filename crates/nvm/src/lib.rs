@@ -16,16 +16,22 @@
 //!   their range plus a `fence`; [`NvmDevice::crash`] discards everything
 //!   not yet durable, letting recovery tests (Fig. 16) verify honest
 //!   crash-consistency.
+//! * **Deterministic fault injection** — a seeded [`FaultPlan`] schedules
+//!   crash points, torn writes, dropped flushes, transient write failures
+//!   and device-full windows on the device's op counter ([`fault`]),
+//!   which is what the crash-torture harness replays.
 //!
 //! See DESIGN.md for why this substitution preserves the paper's
 //! conclusions.
 
 mod alloc;
 mod device;
+pub mod fault;
 mod latency;
 mod stats;
 
 pub use alloc::PageAllocator;
 pub use device::{DurabilityTracking, NvmConfig, NvmDevice};
+pub use fault::{Fault, FaultCountersSnapshot, FaultInjector, FaultPlan, NvmError};
 pub use latency::LatencyModel;
-pub use stats::NvmStats;
+pub use stats::{NvmStats, NvmStatsSnapshot};

@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::fault::FaultCountersSnapshot;
+
 /// Atomic counters of device traffic; cheap enough to stay enabled during
 /// benchmarks (one relaxed add per access).
 #[derive(Debug, Default)]
@@ -15,6 +17,10 @@ pub struct NvmStats {
 }
 
 /// Plain snapshot of [`NvmStats`].
+///
+/// `faults` is zero when taken through [`NvmStats::snapshot`]; use
+/// [`crate::NvmDevice::stats_snapshot`] to include the injected-fault
+/// counters of a fault-injected device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NvmStatsSnapshot {
     pub reads: u64,
@@ -23,6 +29,19 @@ pub struct NvmStatsSnapshot {
     pub bytes_written: u64,
     pub flushes: u64,
     pub fences: u64,
+    /// Counters of injected faults (torn writes, dropped flushes, …).
+    pub faults: FaultCountersSnapshot,
+}
+
+impl NvmStatsSnapshot {
+    /// Total faults of all kinds injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.torn_writes
+            + self.faults.dropped_flushes
+            + self.faults.failed_writes
+            + self.faults.crash_triggers
+            + self.faults.full_rejections
+    }
 }
 
 impl NvmStats {
@@ -34,6 +53,7 @@ impl NvmStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
+            faults: FaultCountersSnapshot::default(),
         }
     }
 

@@ -109,11 +109,8 @@ impl DynamicPgm {
         for i in 0..target {
             if let Some(level) = self.levels[i].take() {
                 keys_retrained += level.entries.len() as u64;
-                let older: Vec<(Key, Entry)> = level
-                    .pgm
-                    .iter()
-                    .map(|(k, pos)| (k, level.entries[pos as usize]))
-                    .collect();
+                let older: Vec<(Key, Entry)> =
+                    level.pgm.iter().map(|(k, pos)| (k, level.entries[pos as usize])).collect();
                 merged = merge_newest_wins(&merged, &older);
             }
         }
@@ -190,11 +187,7 @@ impl Index for DynamicPgm {
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.levels
-            .iter()
-            .flatten()
-            .map(|l| l.pgm.index_size_bytes())
-            .sum()
+        self.levels.iter().flatten().map(|l| l.pgm.index_size_bytes()).sum()
     }
 
     fn data_size_bytes(&self) -> usize {
@@ -260,8 +253,7 @@ impl BulkBuildIndex for DynamicPgm {
             target += 1;
         }
         d.levels.resize_with(target + 1, || None);
-        let pairs: Vec<(Key, Entry)> =
-            data.iter().map(|&(k, v)| (k, Entry::Live(v))).collect();
+        let pairs: Vec<(Key, Entry)> = data.iter().map(|&(k, v)| (k, Entry::Live(v))).collect();
         d.levels[target] = Some(d.build_level(pairs));
         d.len = data.len();
         d
@@ -276,10 +268,7 @@ impl DepthStats for DynamicPgm {
         }
         // Weighted by level size: expected PGM height consulted.
         let total: usize = occupied.iter().map(|l| l.entries.len()).sum();
-        occupied
-            .iter()
-            .map(|l| l.pgm.height() as f64 * l.entries.len() as f64)
-            .sum::<f64>()
+        occupied.iter().map(|l| l.pgm.height() as f64 * l.entries.len() as f64).sum::<f64>()
             / total as f64
     }
 

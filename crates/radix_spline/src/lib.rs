@@ -78,14 +78,7 @@ impl RadixSpline {
             }
         }
 
-        let mut rs = RadixSpline {
-            data: data.to_vec(),
-            spline,
-            radix,
-            shift,
-            min_key,
-            max_err: 0,
-        };
+        let mut rs = RadixSpline { data: data.to_vec(), spline, radix, shift, min_key, max_err: 0 };
         // Measure the true interpolation error with the exact lookup code
         // path, so bounded search windows are always correct.
         let mut max = 0u64;
@@ -371,10 +364,7 @@ mod tests {
         let rs_u = RadixSpline::build(&uniform);
         let uni_width: usize =
             (0..100).map(|i| radix_cell_width(&rs_u, uniform[i * 499].0)).max().unwrap();
-        assert!(
-            skew_width > uni_width.max(1) * 20,
-            "skew {skew_width} vs uniform {uni_width}"
-        );
+        assert!(skew_width > uni_width.max(1) * 20, "skew {skew_width} vs uniform {uni_width}");
     }
 
     #[test]

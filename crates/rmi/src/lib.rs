@@ -186,8 +186,8 @@ impl Index for Rmi {
         // Verify bracketing; a miss within a valid window is a genuine
         // miss, while an unbracketed window (foreign key routed to a
         // neighbouring model) needs the full-search fallback.
-        let bracketed = (i == 0 || self.data[i - 1].0 < key)
-            && (i == self.data.len() || self.data[i].0 >= key);
+        let bracketed =
+            (i == 0 || self.data[i - 1].0 < key) && (i == self.data.len() || self.data[i].0 >= key);
         let j = if bracketed { i } else { lower_bound_kv(&self.data, key) };
         match self.data.get(j) {
             Some(&(k, v)) if k == key => Some(v),
@@ -196,10 +196,8 @@ impl Index for Rmi {
     }
 
     fn index_size_bytes(&self) -> usize {
-        core::mem::size_of::<LinearModel>()
-            + self.second.len() * core::mem::size_of::<StageTwo>()
+        core::mem::size_of::<LinearModel>() + self.second.len() * core::mem::size_of::<StageTwo>()
     }
-
 
     fn data_size_bytes(&self) -> usize {
         self.data.len() * core::mem::size_of::<KeyValue>()
@@ -215,8 +213,8 @@ impl OrderedIndex for Rmi {
         let mut i = wlo + lower_bound_kv(&self.data[wlo..whi], lo);
         // Verify the window actually bracketed the lower bound; fall back
         // to a full binary search otherwise.
-        let bracketed = (i == 0 || self.data[i - 1].0 < lo)
-            && (i == self.data.len() || self.data[i].0 >= lo);
+        let bracketed =
+            (i == 0 || self.data[i - 1].0 < lo) && (i == self.data.len() || self.data[i].0 >= lo);
         if !bracketed {
             i = lower_bound_kv(&self.data, lo);
         }
@@ -293,10 +291,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..20_000 {
             let k: Key = rng.random();
-            let expect = data
-                .binary_search_by_key(&k, |kv| kv.0)
-                .ok()
-                .map(|i| data[i].1);
+            let expect = data.binary_search_by_key(&k, |kv| kv.0).ok().map(|i| data[i].1);
             assert_eq!(rmi.get(k), expect, "key {k}");
         }
         assert_eq!(rmi.get(0), None);
@@ -340,12 +335,13 @@ mod tests {
     #[test]
     fn small_models_lower_error() {
         let data = dataset(100_000, 3);
-        let coarse = Rmi::build_with(RmiConfig { keys_per_model: 16_384, ..RmiConfig::default() }, &data);
-        let fine = Rmi::build_with(RmiConfig { keys_per_model: 256, ..RmiConfig::default() }, &data);
+        let coarse =
+            Rmi::build_with(RmiConfig { keys_per_model: 16_384, ..RmiConfig::default() }, &data);
+        let fine =
+            Rmi::build_with(RmiConfig { keys_per_model: 256, ..RmiConfig::default() }, &data);
         assert!(fine.model_count() > coarse.model_count());
-        let avg_err = |r: &Rmi| {
-            r.second.iter().map(|s| s.err as f64).sum::<f64>() / r.second.len() as f64
-        };
+        let avg_err =
+            |r: &Rmi| r.second.iter().map(|s| s.err as f64).sum::<f64>() / r.second.len() as f64;
         assert!(avg_err(&fine) < avg_err(&coarse));
         for &(k, v) in data.iter().step_by(997) {
             assert_eq!(fine.get(k), Some(v));
@@ -357,9 +353,8 @@ mod tests {
     fn cubic_second_stage_correct_and_tighter_on_curved_cdf() {
         // A curved CDF (rank ~ key^3): cubic second stages fit much
         // tighter than linear ones (§V-A's nonlinear-model suggestion).
-        let mut keys: Vec<Key> = (0..80_000u64)
-            .map(|i| ((i as f64).powf(1.0 / 3.0) * 1e6) as u64 + i)
-            .collect();
+        let mut keys: Vec<Key> =
+            (0..80_000u64).map(|i| ((i as f64).powf(1.0 / 3.0) * 1e6) as u64 + i).collect();
         keys.dedup();
         let data: Vec<KeyValue> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
         let lin = Rmi::build_with(
@@ -370,9 +365,8 @@ mod tests {
             RmiConfig { keys_per_model: 8_192, second_stage: SecondStage::Cubic },
             &data,
         );
-        let avg_err = |r: &Rmi| {
-            r.second.iter().map(|s| s.err as f64).sum::<f64>() / r.second.len() as f64
-        };
+        let avg_err =
+            |r: &Rmi| r.second.iter().map(|s| s.err as f64).sum::<f64>() / r.second.len() as f64;
         assert!(
             avg_err(&cub) * 2.0 < avg_err(&lin),
             "cubic {} vs linear {}",

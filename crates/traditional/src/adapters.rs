@@ -53,10 +53,7 @@ pub struct Sharded<I> {
 impl<I: Default> Sharded<I> {
     pub fn new(bits: u32) -> Self {
         assert!(bits <= 12, "too many shards");
-        Sharded {
-            shards: (0..1usize << bits).map(|_| RwLock::new(I::default())).collect(),
-            bits,
-        }
+        Sharded { shards: (0..1usize << bits).map(|_| RwLock::new(I::default())).collect(), bits }
     }
 }
 

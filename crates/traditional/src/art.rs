@@ -54,12 +54,12 @@ impl Children {
 
     fn get(&self, byte: u8) -> Option<&Node> {
         match self {
-            Children::N4 { keys, ptrs, n } => (0..*n as usize)
-                .find(|&i| keys[i] == byte)
-                .and_then(|i| ptrs[i].as_deref()),
-            Children::N16 { keys, ptrs, n } => (0..*n as usize)
-                .find(|&i| keys[i] == byte)
-                .and_then(|i| ptrs[i].as_deref()),
+            Children::N4 { keys, ptrs, n } => {
+                (0..*n as usize).find(|&i| keys[i] == byte).and_then(|i| ptrs[i].as_deref())
+            }
+            Children::N16 { keys, ptrs, n } => {
+                (0..*n as usize).find(|&i| keys[i] == byte).and_then(|i| ptrs[i].as_deref())
+            }
             Children::N48 { index, ptrs, .. } => {
                 let slot = index[byte as usize];
                 if slot == N48_EMPTY {
@@ -143,8 +143,7 @@ impl Children {
                     return;
                 }
                 // Grow to N256.
-                let mut np: Box<[Option<Box<Node>>; 256]> =
-                    Box::new([const { None }; 256]);
+                let mut np: Box<[Option<Box<Node>>; 256]> = Box::new([const { None }; 256]);
                 for b in 0..256usize {
                     let slot = index[b];
                     if slot != N48_EMPTY {
@@ -313,8 +312,7 @@ impl Art {
                 let split_depth = depth + common;
                 debug_assert!(split_depth < KEY_LEN, "distinct keys must diverge");
                 let mut children = Children::n4();
-                let old_leaf =
-                    std::mem::replace(node.as_mut(), Node::Leaf { key: 0, value: 0 });
+                let old_leaf = std::mem::replace(node.as_mut(), Node::Leaf { key: 0, value: 0 });
                 children.add(lbytes[split_depth], Box::new(old_leaf));
                 children.add(bytes[split_depth], Box::new(Node::Leaf { key, value }));
                 **node = Node::Inner { prefix: bytes[depth..split_depth].to_vec(), children };
@@ -327,22 +325,15 @@ impl Art {
                     let rest = prefix.split_off(common + 1);
                     let split_byte_old = prefix.pop().expect("nonempty");
                     let old_prefix = std::mem::take(prefix);
-                    let old_inner = std::mem::replace(
-                        node.as_mut(),
-                        Node::Leaf { key: 0, value: 0 },
-                    );
+                    let old_inner =
+                        std::mem::replace(node.as_mut(), Node::Leaf { key: 0, value: 0 });
                     let old_inner = match old_inner {
-                        Node::Inner { children, .. } => {
-                            Node::Inner { prefix: rest, children }
-                        }
+                        Node::Inner { children, .. } => Node::Inner { prefix: rest, children },
                         Node::Leaf { .. } => unreachable!(),
                     };
                     let mut nc = Children::n4();
                     nc.add(split_byte_old, Box::new(old_inner));
-                    nc.add(
-                        bytes[depth + common],
-                        Box::new(Node::Leaf { key, value }),
-                    );
+                    nc.add(bytes[depth + common], Box::new(Node::Leaf { key, value }));
                     **node = Node::Inner { prefix: old_prefix, children: nc };
                     return None;
                 }
@@ -399,7 +390,13 @@ impl Art {
         }
     }
 
-    fn range_rec(node: &Node, depth_bytes: &mut Vec<u8>, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+    fn range_rec(
+        node: &Node,
+        depth_bytes: &mut Vec<u8>,
+        lo: Key,
+        hi: Key,
+        out: &mut Vec<KeyValue>,
+    ) {
         match node {
             Node::Leaf { key, value } => {
                 if *key >= lo && *key <= hi {
@@ -433,9 +430,7 @@ impl Art {
             Node::Leaf { .. } => core::mem::size_of::<Node>(),
             Node::Inner { prefix, children } => {
                 let child_overhead = match children {
-                    Children::N4 { ptrs, .. } => {
-                        core::mem::size_of_val(ptrs) + 4
-                    }
+                    Children::N4 { ptrs, .. } => core::mem::size_of_val(ptrs) + 4,
                     Children::N16 { ptrs, .. } => core::mem::size_of_val(ptrs) + 16,
                     Children::N48 { ptrs, .. } => ptrs.capacity() * 8 + 256,
                     Children::N256 { .. } => 256 * 8,
@@ -443,11 +438,7 @@ impl Art {
                 core::mem::size_of::<Node>()
                     + prefix.capacity()
                     + child_overhead
-                    + children
-                        .iter_sorted()
-                        .iter()
-                        .map(|(_, c)| Self::size_rec(c))
-                        .sum::<usize>()
+                    + children.iter_sorted().iter().map(|(_, c)| Self::size_rec(c)).sum::<usize>()
             }
         }
     }

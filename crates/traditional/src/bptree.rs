@@ -101,10 +101,9 @@ impl BPlusTree {
 
     fn remove_rec(node: &mut Node, key: Key) -> Option<Value> {
         match node {
-            Node::Leaf { data } => data
-                .binary_search_by_key(&key, |kv| kv.0)
-                .ok()
-                .map(|i| data.remove(i).1),
+            Node::Leaf { data } => {
+                data.binary_search_by_key(&key, |kv| kv.0).ok().map(|i| data.remove(i).1)
+            }
             Node::Inner { keys, children } => {
                 let c = Self::child_of(keys, key);
                 Self::remove_rec(&mut children[c], key)
@@ -203,10 +202,7 @@ impl Index for BPlusTree {
                     node = &children[Self::child_of(keys, key)];
                 }
                 Node::Leaf { data } => {
-                    return data
-                        .binary_search_by_key(&key, |kv| kv.0)
-                        .ok()
-                        .map(|i| data[i].1);
+                    return data.binary_search_by_key(&key, |kv| kv.0).ok().map(|i| data[i].1);
                 }
             }
         }
@@ -262,10 +258,8 @@ impl BulkBuildIndex for BPlusTree {
             return BPlusTree::new();
         }
         let fill = LEAF_CAP * 3 / 4; // leave insert headroom
-        let mut nodes: Vec<(Key, Node)> = data
-            .chunks(fill)
-            .map(|c| (c[0].0, Node::Leaf { data: c.to_vec() }))
-            .collect();
+        let mut nodes: Vec<(Key, Node)> =
+            data.chunks(fill).map(|c| (c[0].0, Node::Leaf { data: c.to_vec() })).collect();
         let mut depth = 1;
         while nodes.len() > 1 {
             let inner_fill = INNER_CAP * 3 / 4;

@@ -29,9 +29,15 @@ enum Delta {
     Insert(Key, Value),
     Delete(Key),
     /// This page was split: keys `>= sep` now live at `right`.
-    Split { sep: Key, right: PageId },
+    Split {
+        sep: Key,
+        right: PageId,
+    },
     /// (Inner pages) a new child `pid` covers keys `>= sep`.
-    IndexEntry { sep: Key, pid: PageId },
+    IndexEntry {
+        sep: Key,
+        pid: PageId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -39,7 +45,10 @@ enum Base {
     Leaf(Vec<KeyValue>),
     /// Sorted separators; `children[i]` covers keys in
     /// `[seps[i-1], seps[i])` with `seps[-1] = -inf`.
-    Inner { seps: Vec<Key>, children: Vec<PageId> },
+    Inner {
+        seps: Vec<Key>,
+        children: Vec<PageId>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -160,7 +169,9 @@ impl BwTree {
                                 map.remove(i);
                             }
                         }
-                        Delta::Split { sep, .. } => split = Some(split.map_or(sep, |s: Key| s.min(sep))),
+                        Delta::Split { sep, .. } => {
+                            split = Some(split.map_or(sep, |s: Key| s.min(sep)))
+                        }
                         Delta::IndexEntry { .. } => unreachable!("index entry on a leaf"),
                     }
                 }
@@ -317,9 +328,7 @@ impl Index for BwTree {
             .map(|p| {
                 let base = match &p.base {
                     Base::Leaf(d) => d.capacity() * core::mem::size_of::<KeyValue>(),
-                    Base::Inner { seps, children } => {
-                        seps.capacity() * 8 + children.capacity() * 4
-                    }
+                    Base::Inner { seps, children } => seps.capacity() * 8 + children.capacity() * 4,
                 };
                 base + p.deltas.capacity() * core::mem::size_of::<Delta>()
             })
@@ -407,10 +416,8 @@ impl BulkBuildIndex for BwTree {
                 .map(|group| {
                     let seps: Vec<Key> = group[1..].iter().map(|&(k, _)| k).collect();
                     let children: Vec<PageId> = group.iter().map(|&(_, p)| p).collect();
-                    let pid = t.alloc(Page {
-                        deltas: Vec::new(),
-                        base: Base::Inner { seps, children },
-                    });
+                    let pid =
+                        t.alloc(Page { deltas: Vec::new(), base: Base::Inner { seps, children } });
                     (group[0].0, pid)
                 })
                 .collect();
@@ -438,10 +445,7 @@ impl DepthStats for BwTree {
     }
 
     fn leaf_count(&self) -> usize {
-        self.mapping
-            .iter()
-            .filter(|p| matches!(p.base, Base::Leaf(_)))
-            .count()
+        self.mapping.iter().filter(|p| matches!(p.base, Base::Leaf(_))).count()
     }
 }
 

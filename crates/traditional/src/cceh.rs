@@ -40,11 +40,7 @@ struct Segment {
 
 impl Segment {
     fn new(local_depth: u32) -> Self {
-        Segment {
-            local_depth,
-            slots: vec![EMPTY; BUCKETS_PER_SEGMENT * BUCKET_SLOTS],
-            len: 0,
-        }
+        Segment { local_depth, slots: vec![EMPTY; BUCKETS_PER_SEGMENT * BUCKET_SLOTS], len: 0 }
     }
 
     #[inline]
@@ -127,12 +123,7 @@ impl Default for Cceh {
 
 impl Cceh {
     pub fn new() -> Self {
-        Cceh {
-            directory: vec![0],
-            segments: vec![Segment::new(0)],
-            global_depth: 0,
-            len: 0,
-        }
+        Cceh { directory: vec![0], segments: vec![Segment::new(0)], global_depth: 0, len: 0 }
     }
 
     #[inline]
@@ -180,8 +171,8 @@ impl Cceh {
         // Re-point the directory range that aliased the old segment: its
         // entries share the top `local_depth` hash bits and are contiguous.
         let shift = self.global_depth - local_depth; // log2(aliasing entries)
-        // dir_idx may be stale after doubling; recompute the group from any
-        // current entry pointing at seg_id.
+                                                     // dir_idx may be stale after doubling; recompute the group from any
+                                                     // current entry pointing at seg_id.
         let some_idx = self
             .directory
             .iter()
@@ -190,9 +181,8 @@ impl Cceh {
         let group_start = (some_idx >> shift) << shift;
         let group_len = 1usize << shift;
         let half = group_len / 2;
-        for (i, entry) in self.directory[group_start..group_start + group_len]
-            .iter_mut()
-            .enumerate()
+        for (i, entry) in
+            self.directory[group_start..group_start + group_len].iter_mut().enumerate()
         {
             debug_assert_eq!(*entry as usize, seg_id);
             *entry = if i < half { seg_id as u32 } else { right_id };

@@ -120,10 +120,7 @@ impl Index for SkipList {
 
     fn index_size_bytes(&self) -> usize {
         // Tower links are the structural overhead.
-        self.arena
-            .iter()
-            .map(|n| core::mem::size_of::<SkipNode>() + n.next.capacity() * 4)
-            .sum()
+        self.arena.iter().map(|n| core::mem::size_of::<SkipNode>() + n.next.capacity() * 4).sum()
     }
 
     fn data_size_bytes(&self) -> usize {

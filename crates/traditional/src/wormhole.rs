@@ -60,12 +60,7 @@ impl Default for Wormhole {
 
 impl Wormhole {
     pub fn new() -> Self {
-        Wormhole {
-            leaves: vec![Vec::new()],
-            anchors: vec![0],
-            meta: Default::default(),
-            len: 0,
-        }
+        Wormhole { leaves: vec![Vec::new()], anchors: vec![0], meta: Default::default(), len: 0 }
     }
 
     /// Rebuilds the prefix hash tables from the anchors. O(#leaves × 8);
@@ -169,10 +164,7 @@ impl Index for Wormhole {
     }
 
     fn data_size_bytes(&self) -> usize {
-        self.leaves
-            .iter()
-            .map(|l| l.capacity() * core::mem::size_of::<KeyValue>())
-            .sum()
+        self.leaves.iter().map(|l| l.capacity() * core::mem::size_of::<KeyValue>()).sum()
     }
 }
 

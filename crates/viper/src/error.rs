@@ -1,0 +1,69 @@
+//! Store-level error type.
+
+use std::fmt;
+
+use li_nvm::NvmError;
+
+/// Recoverable failures of Viper operations.
+///
+/// Historically the store panicked on device exhaustion
+/// (`alloc().expect("NVM device full")`); every mutating path now threads
+/// this enum instead so callers — and the crash-torture harness — can
+/// observe and react to injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViperError {
+    /// The device has no free page for a new record (real exhaustion or an
+    /// injected device-full window).
+    DeviceFull,
+    /// The store degraded to read-only after exhaustion and rejects writes.
+    ReadOnly,
+    /// The underlying device reported a fault (injected crash point,
+    /// unrecovered transient write failure, …).
+    Nvm(NvmError),
+}
+
+impl fmt::Display for ViperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViperError::DeviceFull => write!(f, "NVM device full"),
+            ViperError::ReadOnly => write!(f, "store is read-only (device exhausted)"),
+            ViperError::Nvm(e) => write!(f, "NVM fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ViperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ViperError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmError> for ViperError {
+    fn from(e: NvmError) -> Self {
+        match e {
+            NvmError::DeviceFull => ViperError::DeviceFull,
+            other => ViperError::Nvm(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvm_device_full_maps_to_device_full() {
+        assert_eq!(ViperError::from(NvmError::DeviceFull), ViperError::DeviceFull);
+        assert_eq!(ViperError::from(NvmError::Crashed), ViperError::Nvm(NvmError::Crashed));
+    }
+
+    #[test]
+    fn display_mentions_cause() {
+        assert!(ViperError::DeviceFull.to_string().contains("full"));
+        assert!(ViperError::ReadOnly.to_string().contains("read-only"));
+        assert!(ViperError::Nvm(NvmError::Crashed).to_string().contains("NVM fault"));
+    }
+}

@@ -3,14 +3,25 @@
 //! ```text
 //! page   := header(16B) slot*                 (fixed page size)
 //! header := magic(8B) _reserved(8B)
-//! slot   := key(8B) state(1B) value(value_size B)
+//! slot   := key(8B) seq(8B) state(1B) crc(4B) value(value_size B)
 //! state  := 0 free | 1 live | 2 dead
+//! crc    := CRC-32 (IEEE) over key ‖ seq ‖ value
 //! ```
 //!
 //! The layout is self-describing enough for recovery: a page is live iff
 //! its header carries [`PAGE_MAGIC`], and a slot's record is live iff its
-//! state byte is [`SLOT_LIVE`] — set only *after* key and value were
-//! flushed, so a crash mid-write never surfaces a half-written record.
+//! state byte is [`SLOT_LIVE`] — set only *after* key, seq, crc and value
+//! were flushed, so a crash mid-write never surfaces a half-written
+//! record **provided the device honoured the flush**. Against devices
+//! that lie (dropped flushes, spurious partial evictions — see
+//! `li_nvm::fault`), the per-record CRC is the second line of defence:
+//! recovery verifies it and quarantines any live-looking slot whose bytes
+//! do not hash to their recorded checksum.
+//!
+//! `seq` is a store-wide monotonically increasing publish sequence. It
+//! orders multiple live records of the same key, which exist transiently
+//! when an out-of-place update crashes between publishing the new record
+//! and retiring the old one; recovery keeps the highest sequence.
 
 use li_core::Key;
 
@@ -20,12 +31,84 @@ pub const PAGE_MAGIC: u64 = 0x5649_5045_525f_5047; // "VIPER_PG"
 /// Page header size in bytes.
 pub const PAGE_HEADER: usize = 16;
 
+/// Per-slot header size in bytes: key + seq + state + crc.
+pub const SLOT_HEADER: usize = 8 + 8 + 1 + 4;
+
 /// Slot state: never written.
 pub const SLOT_FREE: u8 = 0;
 /// Slot state: record is live.
 pub const SLOT_LIVE: u8 = 1;
 /// Slot state: record was deleted.
 pub const SLOT_DEAD: u8 = 2;
+
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ CRC_POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Streaming CRC-32 (IEEE 802.3) — dependency-free, table-driven.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32(0xffff_ffff)
+    }
+
+    #[inline]
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.0;
+        for &b in data {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+        }
+        self.0 = crc;
+    }
+
+    #[inline]
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// The checksum stored in a record slot: CRC-32 over key ‖ seq ‖ value
+/// (all little-endian).
+pub fn record_crc(key: Key, seq: u64, value: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&key.to_le_bytes());
+    crc.update(&seq.to_le_bytes());
+    crc.update(value);
+    crc.finish()
+}
+
+/// Decoded fixed-size prefix of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHeader {
+    pub key: Key,
+    pub seq: u64,
+    pub state: u8,
+    pub crc: u32,
+}
 
 /// Runtime layout parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,10 +130,10 @@ impl RecordLayout {
         RecordLayout { value_size: 16, page_size: 4096 }
     }
 
-    /// Bytes of one record slot: key + state + value.
+    /// Bytes of one record slot: header + value.
     #[inline]
     pub fn slot_size(&self) -> usize {
-        8 + 1 + self.value_size
+        SLOT_HEADER + self.value_size
     }
 
     /// Record slots per page.
@@ -66,31 +149,58 @@ impl RecordLayout {
         page_offset + PAGE_HEADER + slot * self.slot_size()
     }
 
+    /// Offset of the sequence number within a slot.
+    #[inline]
+    pub fn seq_offset(&self, slot_offset: usize) -> usize {
+        slot_offset + 8
+    }
+
     /// Offset of the state byte within a slot.
     #[inline]
     pub fn state_offset(&self, slot_offset: usize) -> usize {
-        slot_offset + 8
+        slot_offset + 16
+    }
+
+    /// Offset of the checksum within a slot.
+    #[inline]
+    pub fn crc_offset(&self, slot_offset: usize) -> usize {
+        slot_offset + 17
     }
 
     /// Offset of the value within a slot.
     #[inline]
     pub fn value_offset(&self, slot_offset: usize) -> usize {
-        slot_offset + 9
+        slot_offset + SLOT_HEADER
     }
 
-    /// Serialises a record into `buf` (which must be `slot_size` long).
-    pub fn encode_record(&self, key: Key, state: u8, value: &[u8], buf: &mut [u8]) {
+    /// Serialises a record into `buf` (which must be `slot_size` long),
+    /// computing and embedding its checksum.
+    pub fn encode_record(&self, key: Key, seq: u64, state: u8, value: &[u8], buf: &mut [u8]) {
         assert_eq!(value.len(), self.value_size, "value size mismatch");
         assert_eq!(buf.len(), self.slot_size());
         buf[..8].copy_from_slice(&key.to_le_bytes());
-        buf[8] = state;
-        buf[9..].copy_from_slice(value);
+        buf[8..16].copy_from_slice(&seq.to_le_bytes());
+        buf[16] = state;
+        buf[17..21].copy_from_slice(&record_crc(key, seq, value).to_le_bytes());
+        buf[SLOT_HEADER..].copy_from_slice(value);
     }
 
-    /// Reads `(key, state)` from an encoded slot prefix.
-    pub fn decode_header(buf: &[u8]) -> (Key, u8) {
-        let key = u64::from_le_bytes(buf[..8].try_into().expect("slot prefix"));
-        (key, buf[8])
+    /// Reads the fixed-size header from an encoded slot prefix (at least
+    /// [`SLOT_HEADER`] bytes).
+    pub fn decode_header(buf: &[u8]) -> SlotHeader {
+        SlotHeader {
+            key: u64::from_le_bytes(buf[..8].try_into().expect("slot prefix")),
+            seq: u64::from_le_bytes(buf[8..16].try_into().expect("slot prefix")),
+            state: buf[16],
+            crc: u32::from_le_bytes(buf[17..21].try_into().expect("slot prefix")),
+        }
+    }
+
+    /// Whether a full slot buffer's checksum matches its content.
+    pub fn verify_slot(&self, buf: &[u8]) -> bool {
+        debug_assert_eq!(buf.len(), self.slot_size());
+        let header = Self::decode_header(buf);
+        record_crc(header.key, header.seq, &buf[SLOT_HEADER..]) == header.crc
     }
 }
 
@@ -99,11 +209,24 @@ mod tests {
     use super::*;
 
     #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+        // Streaming in pieces gives the same result.
+        let mut crc = Crc32::new();
+        crc.update(b"1234");
+        crc.update(b"56789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
     fn paper_layout_capacity() {
         let l = RecordLayout::paper_default();
-        assert_eq!(l.slot_size(), 209);
-        assert_eq!(l.slots_per_page(), (64 * 1024 - 16) / 209);
-        assert!(l.slots_per_page() > 300);
+        assert_eq!(l.slot_size(), SLOT_HEADER + 200);
+        assert_eq!(l.slots_per_page(), (64 * 1024 - 16) / l.slot_size());
+        assert!(l.slots_per_page() > 290);
     }
 
     #[test]
@@ -124,11 +247,32 @@ mod tests {
         let l = RecordLayout::small();
         let mut buf = vec![0u8; l.slot_size()];
         let val = vec![7u8; l.value_size];
-        l.encode_record(0xabcdef, SLOT_LIVE, &val, &mut buf);
-        let (k, st) = RecordLayout::decode_header(&buf);
-        assert_eq!(k, 0xabcdef);
-        assert_eq!(st, SLOT_LIVE);
-        assert_eq!(&buf[9..], &val[..]);
+        l.encode_record(0xabcdef, 42, SLOT_LIVE, &val, &mut buf);
+        let h = RecordLayout::decode_header(&buf);
+        assert_eq!(h.key, 0xabcdef);
+        assert_eq!(h.seq, 42);
+        assert_eq!(h.state, SLOT_LIVE);
+        assert_eq!(h.crc, record_crc(0xabcdef, 42, &val));
+        assert_eq!(&buf[SLOT_HEADER..], &val[..]);
+        assert!(l.verify_slot(&buf));
+    }
+
+    #[test]
+    fn corruption_fails_verification() {
+        let l = RecordLayout::small();
+        let mut buf = vec![0u8; l.slot_size()];
+        let val = vec![9u8; l.value_size];
+        l.encode_record(77, 1, SLOT_LIVE, &val, &mut buf);
+        assert!(l.verify_slot(&buf));
+        for flip in [0usize, 8, 17, SLOT_HEADER, l.slot_size() - 1] {
+            let mut corrupt = buf.clone();
+            corrupt[flip] ^= 0x40;
+            assert!(!l.verify_slot(&corrupt), "bit flip at {flip} not caught");
+        }
+        // The state byte is *not* covered: publishing must not invalidate.
+        let mut published = buf.clone();
+        published[16] = SLOT_DEAD;
+        assert!(l.verify_slot(&published));
     }
 
     #[test]
@@ -136,6 +280,6 @@ mod tests {
     fn wrong_value_size_panics() {
         let l = RecordLayout::small();
         let mut buf = vec![0u8; l.slot_size()];
-        l.encode_record(1, SLOT_LIVE, &[1, 2, 3], &mut buf);
+        l.encode_record(1, 0, SLOT_LIVE, &[1, 2, 3], &mut buf);
     }
 }

@@ -7,17 +7,22 @@
 //! offset. Every index evaluated by the paper — learned or traditional —
 //! plugs into the same store, which is what makes the comparison fair.
 //!
-//! * [`layout`] — persistent record/page layout and its invariants.
+//! * [`layout`] — persistent record/page layout (with per-record CRC) and
+//!   its invariants.
 //! * [`heap`] — the record heap: slot allocation, persistence protocol
-//!   (write → flush → fence → publish), recovery scan.
+//!   (write → flush → fence → publish), checksum-verifying recovery scan.
 //! * [`store`] — [`store::ViperStore`] (single-writer) and
 //!   [`store::ConcurrentViperStore`] (shared-writer, for XIndex and the
 //!   concurrent traditional indexes).
+//! * [`error`] — [`ViperError`]: every mutating path is fallible; device
+//!   exhaustion degrades stores to read-only instead of panicking.
 
+pub mod error;
 pub mod heap;
 pub mod layout;
 pub mod store;
 
-pub use heap::RecordHeap;
+pub use error::ViperError;
+pub use heap::{RecordHeap, RecoverOptions, RecoveryReport};
 pub use layout::{RecordLayout, PAGE_MAGIC};
 pub use store::{ConcurrentViperStore, StoreConfig, ViperStore};

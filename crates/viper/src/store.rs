@@ -1,12 +1,14 @@
 //! The two store flavours: single-writer and shared-writer.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use li_core::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
 use li_core::{Key, KeyValue};
 use li_nvm::{NvmConfig, NvmDevice};
 
-use crate::heap::RecordHeap;
+use crate::error::ViperError;
+use crate::heap::{RecordHeap, RecoverOptions, RecoveryReport};
 use crate::layout::RecordLayout;
 
 /// Store construction parameters.
@@ -14,6 +16,13 @@ use crate::layout::RecordLayout;
 pub struct StoreConfig {
     pub layout: RecordLayout,
     pub nvm: NvmConfig,
+    /// Perform updates out of place (append + retire) instead of in place.
+    /// Out-of-place updates survive a crash mid-update — recovery keeps
+    /// either the complete old or the complete new record — at the cost of
+    /// extra NVM traffic. In-place updates (the default, matching the
+    /// paper's setup) can lose the record to quarantine if a crash tears
+    /// the value mid-write.
+    pub crash_safe_updates: bool,
 }
 
 impl StoreConfig {
@@ -21,17 +30,23 @@ impl StoreConfig {
     /// for `n` records (with 30% headroom).
     pub fn paper(n: usize) -> Self {
         let layout = RecordLayout::paper_default();
-        let bytes = (n + n / 3 + 1024) / layout.slots_per_page() * layout.page_size
-            + 64 * layout.page_size;
-        StoreConfig { layout, nvm: NvmConfig::optane(bytes) }
+        let bytes =
+            (n + n / 3 + 1024) / layout.slots_per_page() * layout.page_size + 64 * layout.page_size;
+        StoreConfig { layout, nvm: NvmConfig::optane(bytes), crash_safe_updates: false }
     }
 
     /// Small, latency-free store for tests.
     pub fn test(n: usize) -> Self {
         let layout = RecordLayout::small();
-        let bytes = (n + n / 2 + 64) / layout.slots_per_page() * layout.page_size
-            + 16 * layout.page_size;
-        StoreConfig { layout, nvm: NvmConfig::fast(bytes) }
+        let bytes =
+            (n + n / 2 + 64) / layout.slots_per_page() * layout.page_size + 16 * layout.page_size;
+        StoreConfig { layout, nvm: NvmConfig::fast(bytes), crash_safe_updates: false }
+    }
+
+    /// Switches update strategy (see [`StoreConfig::crash_safe_updates`]).
+    pub fn with_crash_safe_updates(mut self, on: bool) -> Self {
+        self.crash_safe_updates = on;
+        self
     }
 }
 
@@ -41,6 +56,8 @@ impl StoreConfig {
 pub struct ViperStore<I> {
     heap: RecordHeap,
     index: I,
+    crash_safe_updates: bool,
+    read_only: bool,
 }
 
 impl<I: Index> ViperStore<I> {
@@ -65,6 +82,13 @@ impl<I: Index> ViperStore<I> {
         self.index.len() == 0
     }
 
+    /// Whether the store degraded to read-only after device exhaustion.
+    /// Deletes are still accepted (they reclaim space and lift the
+    /// degradation); puts are rejected with [`ViperError::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
     /// The DRAM index (for stats like size/depth).
     pub fn index(&self) -> &I {
         &self.index
@@ -85,29 +109,60 @@ impl<I: Index + UpdatableIndex> ViperStore<I> {
     /// Creates an empty store with the given index.
     pub fn new(config: StoreConfig, index: I) -> Self {
         let dev = Arc::new(NvmDevice::new(config.nvm));
-        ViperStore { heap: RecordHeap::new(dev, config.layout), index }
-    }
-
-    /// Inserts or updates. Updates are in-place (same-size values).
-    pub fn put(&mut self, key: Key, value: &[u8]) {
-        match self.index.get(key) {
-            Some(offset) => self.heap.update_in_place(offset, value),
-            None => {
-                let offset = self.heap.append(key, value);
-                let prev = self.index.insert(key, offset);
-                debug_assert!(prev.is_none());
-            }
+        ViperStore {
+            heap: RecordHeap::new(dev, config.layout),
+            index,
+            crash_safe_updates: config.crash_safe_updates,
+            read_only: false,
         }
     }
 
-    /// Removes a key; returns whether it existed.
-    pub fn delete(&mut self, key: Key) -> bool {
+    /// Inserts or updates. Device exhaustion degrades the store to
+    /// read-only and surfaces [`ViperError::DeviceFull`]; subsequent puts
+    /// fail fast with [`ViperError::ReadOnly`] until a delete frees space.
+    pub fn put(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
+        if self.read_only {
+            return Err(ViperError::ReadOnly);
+        }
+        let result = match self.index.get(key) {
+            Some(offset) => {
+                if self.crash_safe_updates {
+                    match self.heap.replace(offset, key, value) {
+                        Ok(new_offset) => {
+                            self.index.insert(key, new_offset);
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    self.heap.update_in_place(offset, value)
+                }
+            }
+            None => match self.heap.append(key, value) {
+                Ok(offset) => {
+                    let prev = self.index.insert(key, offset);
+                    debug_assert!(prev.is_none());
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+        };
+        if result == Err(ViperError::DeviceFull) {
+            self.read_only = true;
+        }
+        result
+    }
+
+    /// Removes a key; returns whether it existed. Accepted even in
+    /// read-only degradation — reclaiming space lifts it.
+    pub fn delete(&mut self, key: Key) -> Result<bool, ViperError> {
         match self.index.remove(key) {
             Some(offset) => {
-                self.heap.mark_dead(offset);
-                true
+                self.heap.mark_dead(offset)?;
+                self.read_only = false;
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 }
@@ -118,37 +173,75 @@ impl<I: Index> ViperStore<I> {
     /// how every learned index is initialised in the paper. Use this form
     /// when the index type cannot implement [`BulkBuildIndex`] (e.g. a
     /// runtime-selected enum of indexes).
+    ///
+    /// Panics if the device cannot hold the data set — a sizing error of
+    /// the caller; use [`ViperStore::try_bulk_load_with`] to handle it.
     pub fn bulk_load_with(
+        config: StoreConfig,
+        keys: &[Key],
+        value_of: impl FnMut(Key, &mut [u8]),
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Self {
+        Self::try_bulk_load_with(config, keys, value_of, build)
+            .expect("device cannot hold bulk-loaded data set")
+    }
+
+    /// Fallible bulk load: surfaces device exhaustion / injected faults
+    /// instead of panicking.
+    pub fn try_bulk_load_with(
         config: StoreConfig,
         keys: &[Key],
         mut value_of: impl FnMut(Key, &mut [u8]),
         build: impl FnOnce(&[KeyValue]) -> I,
-    ) -> Self {
+    ) -> Result<Self, ViperError> {
         let dev = Arc::new(NvmDevice::new(config.nvm));
         let heap = RecordHeap::new(dev, config.layout);
         let mut buf = vec![0u8; config.layout.value_size];
         let mut pairs: Vec<KeyValue> = Vec::with_capacity(keys.len());
         for &k in keys {
             value_of(k, &mut buf);
-            let offset = heap.append(k, &buf);
+            let offset = heap.append(k, &buf)?;
             pairs.push((k, offset));
         }
         // Keys were ascending, so pairs are ready for bulk build.
         let index = build(&pairs);
-        ViperStore { heap, index }
+        Ok(ViperStore {
+            heap,
+            index,
+            crash_safe_updates: config.crash_safe_updates,
+            read_only: false,
+        })
     }
 
     /// Recovery with a caller-supplied index builder (see
-    /// [`ViperStore::bulk_load_with`]).
+    /// [`ViperStore::bulk_load_with`]). Verifies checksums and quarantines
+    /// corrupt records; use [`ViperStore::recover_with_options`] for the
+    /// full report or to alter verification.
     pub fn recover_with(
         dev: Arc<NvmDevice>,
         layout: RecordLayout,
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> Self {
-        let (heap, mut live) = RecordHeap::recover(dev, layout);
+        Self::recover_with_options(dev, layout, RecoverOptions::default(), build).0
+    }
+
+    /// Recovery with explicit options; also returns what the scan found.
+    pub fn recover_with_options(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> (Self, RecoveryReport) {
+        let (heap, mut live, report) = RecordHeap::recover_with_report(dev, layout, opts);
         live.sort_unstable();
         let index = build(&live);
-        ViperStore { heap, index }
+        (ViperStore { heap, index, crash_safe_updates: false, read_only: false }, report)
+    }
+
+    /// Switches update strategy after construction (recovery paths have no
+    /// [`StoreConfig`] to carry the flag).
+    pub fn set_crash_safe_updates(&mut self, on: bool) {
+        self.crash_safe_updates = on;
     }
 }
 
@@ -202,6 +295,8 @@ pub struct ConcurrentViperStore<I> {
     heap: RecordHeap,
     index: I,
     key_locks: Vec<parking_lot::Mutex<()>>,
+    crash_safe_updates: bool,
+    read_only: AtomicBool,
 }
 
 const KEY_STRIPES: usize = 1024;
@@ -213,6 +308,8 @@ impl<I: ConcurrentIndex> ConcurrentViperStore<I> {
             heap: RecordHeap::new(dev, config.layout),
             index,
             key_locks: (0..KEY_STRIPES).map(|_| parking_lot::Mutex::new(())).collect(),
+            crash_safe_updates: config.crash_safe_updates,
+            read_only: AtomicBool::new(false),
         }
     }
 
@@ -232,27 +329,56 @@ impl<I: ConcurrentIndex> ConcurrentViperStore<I> {
         }
     }
 
-    /// Inserts or updates through a shared reference.
-    pub fn put(&self, key: Key, value: &[u8]) {
-        let _guard = self.key_lock(key).lock();
-        match self.index.get(key) {
-            Some(offset) => self.heap.update_in_place(offset, value),
-            None => {
-                let offset = self.heap.append(key, value);
-                let prev = self.index.insert(key, offset);
-                debug_assert!(prev.is_none(), "same-key put raced despite striping");
-            }
-        }
+    /// Whether the store degraded to read-only after device exhaustion.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
     }
 
-    pub fn delete(&self, key: Key) -> bool {
+    /// Inserts or updates through a shared reference. Same degradation
+    /// contract as [`ViperStore::put`].
+    pub fn put(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
+        if self.is_read_only() {
+            return Err(ViperError::ReadOnly);
+        }
+        let _guard = self.key_lock(key).lock();
+        let result = match self.index.get(key) {
+            Some(offset) => {
+                if self.crash_safe_updates {
+                    match self.heap.replace(offset, key, value) {
+                        Ok(new_offset) => {
+                            self.index.insert(key, new_offset);
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    self.heap.update_in_place(offset, value)
+                }
+            }
+            None => match self.heap.append(key, value) {
+                Ok(offset) => {
+                    let prev = self.index.insert(key, offset);
+                    debug_assert!(prev.is_none(), "same-key put raced despite striping");
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+        };
+        if result == Err(ViperError::DeviceFull) {
+            self.read_only.store(true, Ordering::Release);
+        }
+        result
+    }
+
+    pub fn delete(&self, key: Key) -> Result<bool, ViperError> {
         let _guard = self.key_lock(key).lock();
         match self.index.remove(key) {
             Some(offset) => {
-                self.heap.mark_dead(offset);
-                true
+                self.heap.mark_dead(offset)?;
+                self.read_only.store(false, Ordering::Release);
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
@@ -338,7 +464,7 @@ pub(crate) mod tests {
         let mut val = vec![0u8; vs];
         for k in 0..500u64 {
             value_for(k, &mut val);
-            store.put(k * 3, &val);
+            store.put(k * 3, &val).unwrap();
         }
         assert_eq!(store.len(), 500);
         for k in 0..500u64 {
@@ -347,8 +473,8 @@ pub(crate) mod tests {
             assert_eq!(buf, val);
             assert!(!store.get(k * 3 + 1, &mut buf));
         }
-        assert!(store.delete(3));
-        assert!(!store.delete(3));
+        assert!(store.delete(3).unwrap());
+        assert!(!store.delete(3).unwrap());
         assert!(!store.get(3, &mut buf));
         assert_eq!(store.len(), 499);
     }
@@ -357,15 +483,61 @@ pub(crate) mod tests {
     fn update_in_place() {
         let mut store = ViperStore::new(StoreConfig::test(100), MapIndex::default());
         let vs = store.heap().layout().value_size;
-        
-        store.put(7, &vec![1u8; vs]);
+
+        store.put(7, &vec![1u8; vs]).unwrap();
         let used_before = store.heap().nvm_bytes_used();
-        store.put(7, &vec![2u8; vs]);
+        store.put(7, &vec![2u8; vs]).unwrap();
         assert_eq!(store.heap().nvm_bytes_used(), used_before, "no new page for update");
         let mut buf = vec![0u8; vs];
         assert!(store.get(7, &mut buf));
         assert_eq!(buf, vec![2u8; vs]);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn crash_safe_updates_mode() {
+        let mut store = ViperStore::new(
+            StoreConfig::test(100).with_crash_safe_updates(true),
+            MapIndex::default(),
+        );
+        let vs = store.heap().layout().value_size;
+        store.put(7, &vec![1u8; vs]).unwrap();
+        let off_before = store.index().get(7).unwrap();
+        store.put(7, &vec![2u8; vs]).unwrap();
+        let off_after = store.index().get(7).unwrap();
+        assert_ne!(off_before, off_after, "update must move the record");
+        let mut buf = vec![0u8; vs];
+        assert!(store.get(7, &mut buf));
+        assert_eq!(buf, vec![2u8; vs]);
+        assert_eq!(store.len(), 1);
+        // The retired slot is recyclable: a new key lands on it.
+        store.put(8, &vec![3u8; vs]).unwrap();
+        assert_eq!(store.index().get(8).unwrap(), off_before);
+    }
+
+    #[test]
+    fn exhaustion_degrades_to_read_only() {
+        let mut store = ViperStore::new(StoreConfig::test(0), MapIndex::default());
+        let vs = store.heap().layout().value_size;
+        let val = vec![1u8; vs];
+        let mut k = 0u64;
+        let err = loop {
+            match store.put(k, &val) {
+                Ok(()) => k += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ViperError::DeviceFull);
+        assert!(store.is_read_only());
+        assert!(k > 0);
+        // Fast-fail while degraded; reads unaffected.
+        assert_eq!(store.put(u64::MAX, &val), Err(ViperError::ReadOnly));
+        let mut buf = vec![0u8; vs];
+        assert!(store.get(0, &mut buf));
+        // A delete reclaims space and lifts the degradation.
+        assert!(store.delete(0).unwrap());
+        assert!(!store.is_read_only());
+        store.put(u64::MAX, &val).unwrap();
     }
 
     #[test]
@@ -386,13 +558,25 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn try_bulk_load_reports_exhaustion() {
+        let keys: Vec<Key> = (0..100_000u64).collect();
+        let result: Result<ViperStore<MapIndex>, _> = ViperStore::try_bulk_load_with(
+            StoreConfig::test(10),
+            &keys,
+            value_for,
+            MapIndex::build,
+        );
+        assert_eq!(result.err(), Some(ViperError::DeviceFull));
+    }
+
+    #[test]
     fn recover_equals_original() {
         let keys: Vec<Key> = (0..800u64).map(|i| i * 5 + 1).collect();
         let cfg = StoreConfig::test(1_000);
         let layout = cfg.layout;
         let mut store: ViperStore<MapIndex> = ViperStore::bulk_load(cfg, &keys, value_for);
-        store.delete(6); // key 6 = 1*5+1
-        store.put(10_000, &vec![9u8; layout.value_size]);
+        store.delete(6).unwrap(); // key 6 = 1*5+1
+        store.put(10_000, &vec![9u8; layout.value_size]).unwrap();
         let expected_len = store.len();
         let dev = store.into_device();
         let recovered: ViperStore<MapIndex> = ViperStore::recover(dev, layout);
@@ -407,6 +591,26 @@ pub(crate) mod tests {
             value_for(k, &mut val);
             assert_eq!(buf, val);
         }
+    }
+
+    #[test]
+    fn recover_reports_clean_scan() {
+        let keys: Vec<Key> = (0..100u64).collect();
+        let cfg = StoreConfig::test(200);
+        let store: ViperStore<MapIndex> = ViperStore::bulk_load(cfg, &keys, value_for);
+        let dev = store.into_device();
+        let (recovered, report) = ViperStore::<MapIndex>::recover_with_options(
+            dev,
+            cfg.layout,
+            RecoverOptions::default(),
+            MapIndex::build,
+        );
+        assert_eq!(recovered.len(), 100);
+        assert_eq!(report.live, 100);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.duplicates_dropped, 0);
+        assert!(report.pages_scanned > 0);
+        assert!(report.max_seq >= 100);
     }
 
     /// Concurrent index built on a mutex-wrapped map (reference impl).
@@ -430,10 +634,8 @@ pub(crate) mod tests {
 
     #[test]
     fn concurrent_store_parallel_puts() {
-        let store = Arc::new(ConcurrentViperStore::new(
-            StoreConfig::test(20_000),
-            LockedMap::default(),
-        ));
+        let store =
+            Arc::new(ConcurrentViperStore::new(StoreConfig::test(20_000), LockedMap::default()));
         let vs = store.heap().layout().value_size;
         let mut handles = Vec::new();
         for t in 0..8u64 {
@@ -443,7 +645,7 @@ pub(crate) mod tests {
                 for i in 0..1_000u64 {
                     let k = t * 10_000 + i;
                     value_for(k, &mut val);
-                    store.put(k, &val);
+                    store.put(k, &val).unwrap();
                 }
             }));
         }
@@ -465,10 +667,8 @@ pub(crate) mod tests {
 
     #[test]
     fn concurrent_same_key_race() {
-        let store = Arc::new(ConcurrentViperStore::new(
-            StoreConfig::test(20_000),
-            LockedMap::default(),
-        ));
+        let store =
+            Arc::new(ConcurrentViperStore::new(StoreConfig::test(20_000), LockedMap::default()));
         let vs = store.heap().layout().value_size;
         let mut handles = Vec::new();
         for t in 0..8u64 {
@@ -476,7 +676,7 @@ pub(crate) mod tests {
             handles.push(std::thread::spawn(move || {
                 let val = vec![t as u8; vs];
                 for _ in 0..200 {
-                    store.put(777, &val);
+                    store.put(777, &val).unwrap();
                 }
             }));
         }
@@ -515,7 +715,7 @@ mod proptests {
                 match op {
                     0 => {
                         let b = (k % 251) as u8;
-                        store.put(k, &vec![b; vs]);
+                        prop_assert!(store.put(k, &vec![b; vs]).is_ok());
                         oracle.insert(k, b);
                     }
                     1 => {
@@ -529,7 +729,7 @@ mod proptests {
                         }
                     }
                     _ => {
-                        let got = store.delete(k);
+                        let got = store.delete(k).unwrap();
                         prop_assert_eq!(got, oracle.remove(&k).is_some());
                     }
                 }

@@ -166,10 +166,7 @@ mod tests {
         let osm = generate_keys(Dataset::OsmLike, 100_000, 1);
         let cy = cdf_complexity(&ycsb, 32);
         let co = cdf_complexity(&osm, 32);
-        assert!(
-            co > cy * 2.0,
-            "OSM complexity {co} should far exceed YCSB {cy}"
-        );
+        assert!(co > cy * 2.0, "OSM complexity {co} should far exceed YCSB {cy}");
     }
 
     #[test]

@@ -167,10 +167,7 @@ pub fn generate_ops(
     count: usize,
     seed: u64,
 ) -> Vec<Op> {
-    assert!(
-        !loaded.is_empty() || spec.insert > 0.0,
-        "cannot generate reads over an empty key set"
-    );
+    assert!(!loaded.is_empty() || spec.insert > 0.0, "cannot generate reads over an empty key set");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51_7c_c1_b7);
     let mut zipf = ZipfGen::new(loaded.len().max(1), seed ^ 1);
     let mut latest = LatestGen::new(loaded.len().max(1), seed ^ 2);
@@ -182,9 +179,9 @@ pub fn generate_ops(
     let mut next_value: Value = 1;
 
     let pick_existing = |rng: &mut StdRng,
-                             zipf: &mut ZipfGen,
-                             latest: &mut LatestGen,
-                             inserted: &Vec<Key>|
+                         zipf: &mut ZipfGen,
+                         latest: &mut LatestGen,
+                         inserted: &Vec<Key>|
      -> Key {
         let visible = loaded.len() + inserted.len();
         match spec.dist {
@@ -330,10 +327,7 @@ mod tests {
         let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
         assert!(inserts > 1_000, "inserts {inserts}");
         // Reads should frequently hit keys from the insert pool (latest).
-        let pool_reads = ops
-            .iter()
-            .filter(|o| matches!(o, Op::Read(k) if *k >= 100_000))
-            .count();
+        let pool_reads = ops.iter().filter(|o| matches!(o, Op::Read(k) if *k >= 100_000)).count();
         assert!(pool_reads > 1_000, "reads of fresh keys: {pool_reads}");
     }
 

@@ -126,7 +126,10 @@ struct Group {
 
 impl Group {
     fn new(sorted: Vec<KeyValue>) -> Arc<Self> {
-        Arc::new(Group { data: RwLock::new(GroupData::build(sorted)), retired: AtomicBool::new(false) })
+        Arc::new(Group {
+            data: RwLock::new(GroupData::build(sorted)),
+            retired: AtomicBool::new(false),
+        })
     }
 }
 
@@ -172,9 +175,7 @@ impl XIndex {
         let (groups, pivots): (Vec<Arc<Group>>, Vec<Key>) = if data.is_empty() {
             (vec![Group::new(Vec::new())], vec![0])
         } else {
-            data.chunks(config.group_size.max(2))
-                .map(|c| (Group::new(c.to_vec()), c[0].0))
-                .unzip()
+            data.chunks(config.group_size.max(2)).map(|c| (Group::new(c.to_vec()), c[0].0)).unzip()
         };
         XIndex {
             snapshot: RwLock::new(Snapshot::build(groups, pivots)),
@@ -218,8 +219,7 @@ impl XIndex {
 
     fn record_retrain(&self, t0: Instant, keys: u64) {
         self.retrain_count.fetch_add(1, Ordering::Relaxed);
-        self.retrain_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.retrain_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.retrain_keys.fetch_add(keys, Ordering::Relaxed);
     }
 

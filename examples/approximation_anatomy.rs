@@ -33,13 +33,11 @@ fn main() {
         // Bounded-error algorithms: same ε, different segment counts —
         // Opt-PLA provably minimal.
         for eps in [16u64, 64, 256] {
-            for algo in [
-                ApproxAlgorithm::OptPla { epsilon: eps },
-                ApproxAlgorithm::Fsw { epsilon: eps },
-            ] {
+            for algo in
+                [ApproxAlgorithm::OptPla { epsilon: eps }, ApproxAlgorithm::Fsw { epsilon: eps }]
+            {
                 let segs = algo.segment(&keys);
-                let q =
-                    segmentation_quality(&keys, segs.iter().map(|s| (s.start, s.len, s.model)));
+                let q = segmentation_quality(&keys, segs.iter().map(|s| (s.start, s.len, s.model)));
                 println!(
                     "{:<10} {:>10} {:>10} {:>10.1} {:>10.0}",
                     algo.name(),
@@ -57,20 +55,12 @@ fn main() {
             let q = segmentation_quality(&keys, segs.iter().map(|s| (s.start, s.len, s.model)));
             println!(
                 "{:<10} {:>10} {:>10} {:>10.1} {:>10.0}",
-                "LSA",
-                seg,
-                q.segments,
-                q.avg_error,
-                q.max_error
+                "LSA", seg, q.segments, q.avg_error, q.max_error
             );
             let g = lsa_gap_quality(&keys, seg, 0.7);
             println!(
                 "{:<10} {:>10} {:>10} {:>10.1} {:>10.0}",
-                "LSA-gap",
-                seg,
-                g.segments,
-                g.avg_error,
-                g.max_error
+                "LSA-gap", seg, g.segments, g.avg_error, g.max_error
             );
         }
     }

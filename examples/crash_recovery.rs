@@ -27,6 +27,7 @@ fn main() {
             latency: lip::nvm::LatencyModel::dram_like(),
             durability: lip::nvm::DurabilityTracking::Shadow,
         },
+        crash_safe_updates: false,
     };
 
     println!("loading {n} records into the store (crash tracking on)...");
@@ -35,10 +36,10 @@ fn main() {
 
     // Updates + deletes after the load.
     for &k in keys.iter().take(1_000) {
-        store.put(k, &vec![0xAAu8; layout.value_size]);
+        store.put(k, &vec![0xAAu8; layout.value_size]).unwrap();
     }
     for &k in keys.iter().skip(1_000).take(500) {
-        store.delete(k);
+        store.delete(k).unwrap();
     }
     let live_before = store.len();
 
@@ -53,8 +54,7 @@ fn main() {
     // Recovery = scan NVM pages + rebuild the DRAM index (Fig. 16's build
     // operation). Compare a learned index against the B+Tree.
     let t0 = Instant::now();
-    let recovered: ViperStore<lip::pgm::DynamicPgm> =
-        ViperStore::recover(Arc::clone(&dev), layout);
+    let recovered: ViperStore<lip::pgm::DynamicPgm> = ViperStore::recover(Arc::clone(&dev), layout);
     let pgm_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(recovered.len(), live_before, "recovery lost records");
 

@@ -23,8 +23,7 @@ fn main() {
     let n = 200_000;
     let keys = generate_keys(Dataset::OsmLike, n, 42);
     let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
-    let (loaded, inserts): (Vec<_>, Vec<_>) =
-        data.iter().partition(|kv| kv.1 % 5 != 0);
+    let (loaded, inserts): (Vec<_>, Vec<_>) = data.iter().partition(|kv| kv.1 % 5 != 0);
 
     println!("design-space sweep over {n} OSM-like keys (hard CDF)");
     println!(

@@ -57,7 +57,7 @@ fn main() {
                             store.get(*k, &mut buf);
                         }
                         val.fill(*v as u8);
-                        store.put(*k, &val);
+                        store.put(*k, &val).unwrap();
                     }
                     Op::Scan(k, len) => {
                         store.scan(*k, u64::MAX, *len, &mut |_, _| {});

@@ -40,9 +40,9 @@ fn main() {
     assert!(store.get(420, &mut value));
     println!("  get(420) -> first value byte {}", value[0]);
 
-    store.put(421, &vec![7u8; value.len()]);
+    store.put(421, &vec![7u8; value.len()]).unwrap();
     assert!(store.get(421, &mut value));
-    store.delete(421);
+    store.delete(421).unwrap();
     assert!(!store.get(421, &mut value));
 
     let mut scanned = Vec::new();

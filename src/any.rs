@@ -2,8 +2,7 @@
 
 use li_core::pieces::retrain::RetrainStats;
 use li_core::traits::{
-    BulkBuildIndex, Capabilities, ConcurrentIndex, DepthStats, Index, OrderedIndex,
-    UpdatableIndex,
+    BulkBuildIndex, Capabilities, ConcurrentIndex, DepthStats, Index, OrderedIndex, UpdatableIndex,
 };
 use li_core::{Key, KeyValue, Value};
 
@@ -197,6 +196,10 @@ impl IndexKind {
 }
 
 /// A runtime-selected index instance.
+///
+/// Variant sizes differ widely by design — one instance exists per store,
+/// so boxing the large variants would only add a pointer chase.
+#[allow(clippy::large_enum_variant)]
 pub enum AnyIndex {
     BTree(li_traditional::BPlusTree),
     SkipList(li_traditional::SkipList),
@@ -436,9 +439,7 @@ impl AnyConcurrentIndex {
     /// Bulk-builds a concurrent index over sorted pairs.
     pub fn build(kind: ConcurrentKind, data: &[KeyValue]) -> Self {
         match kind {
-            ConcurrentKind::XIndex => {
-                AnyConcurrentIndex::XIndex(li_xindex::XIndex::build(data))
-            }
+            ConcurrentKind::XIndex => AnyConcurrentIndex::XIndex(li_xindex::XIndex::build(data)),
             ConcurrentKind::ShardedCceh => {
                 let c = li_traditional::ShardedCceh::new();
                 for &(k, v) in data {
@@ -561,10 +562,7 @@ mod tests {
 
     #[test]
     fn capabilities_table_rows() {
-        let learned: Vec<_> = IndexKind::LEARNED
-            .iter()
-            .filter_map(|k| k.capabilities())
-            .collect();
+        let learned: Vec<_> = IndexKind::LEARNED.iter().filter_map(|k| k.capabilities()).collect();
         assert_eq!(learned.len(), 8);
         assert!(learned.iter().any(|c| c.concurrent_writes), "XIndex row");
         assert!(IndexKind::BTree.capabilities().is_none());

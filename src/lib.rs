@@ -46,5 +46,6 @@ pub use li_workloads as workloads;
 pub use li_xindex as xindex;
 
 pub mod any;
+pub mod torture;
 
 pub use any::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};

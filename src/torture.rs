@@ -1,0 +1,331 @@
+//! Randomized crash-torture harness for the Viper recovery path.
+//!
+//! Each run derives everything — the operation stream *and* the injected
+//! device faults — from one `u64` seed, so a failing run is replayable
+//! from a single number. The flow:
+//!
+//! 1. Build an empty [`ViperStore`] over a fault-injected device
+//!    ([`FaultPlan::random`]): a scheduled crash point plus a few torn
+//!    writes, dropped flushes, transient write failures and device-full
+//!    windows.
+//! 2. Apply a seeded stream of puts/deletes, mirroring every *acked*
+//!    (fenced) operation into an in-DRAM oracle.
+//! 3. Pull the virtual power plug ([`li_nvm::NvmDevice::crash`]), recover
+//!    with checksum verification, and compare against the oracle.
+//!
+//! The oracle's contract (what "crash consistency" means here):
+//!
+//! * **No torn value ever surfaces.** Every recovered value must be
+//!   byte-identical to some value the workload actually wrote for that
+//!   key. This holds unconditionally — it is what the per-record CRC
+//!   buys — and a violation is always a hard failure.
+//! * **No unacked write surfaces.** A put/delete that returned an error
+//!   must not have its *new* state visible unless the operation provably
+//!   reached its publish point (tracked per in-flight op).
+//! * **Every acked write is present**, *except* that a device which
+//!   dropped flushes or tore writes may have lost the payload behind an
+//!   acked publish; such records are quarantined by recovery. The number
+//!   of missing/stale acked keys is therefore bounded by the injected
+//!   dropped-flush + torn-write counts plus the quarantine count — a
+//!   budget of zero means byte-exact recovery is required.
+//! * **A deleted key may resurrect only under a dropped flush** (the
+//!   state-byte retirement never became durable), bounded by the
+//!   dropped-flush count.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use li_nvm::{FaultCountersSnapshot, FaultPlan, NvmConfig, NvmDevice, NvmError};
+use li_viper::{RecordLayout, RecoverOptions, RecoveryReport, ViperError, ViperStore};
+
+use crate::{AnyIndex, IndexKind};
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const VALUE_SALT: u64 = 0x7e57_da7a_0dd5_eed5;
+
+/// Fills `buf` with the canonical value for `(key, version)`: the version
+/// in the first 8 bytes, a key/version-keyed pseudo-random pattern after.
+/// Self-describing, so the verifier can recover the version from bytes and
+/// detect any mix of two writes (a torn value matches no version).
+pub fn value_pattern(key: u64, version: u64, buf: &mut [u8]) {
+    assert!(buf.len() >= 8, "value too small to embed a version");
+    buf[..8].copy_from_slice(&version.to_le_bytes());
+    let mut s = key ^ version.rotate_left(32) ^ VALUE_SALT;
+    for chunk in buf[8..].chunks_mut(8) {
+        let x = splitmix64(&mut s).to_le_bytes();
+        chunk.copy_from_slice(&x[..chunk.len()]);
+    }
+}
+
+/// Inverse of [`value_pattern`]: the version iff `buf` is byte-exact for
+/// it, `None` for anything torn or foreign.
+pub fn decode_version(key: u64, buf: &[u8]) -> Option<u64> {
+    let version = u64::from_le_bytes(buf[..8].try_into().ok()?);
+    let mut expect = vec![0u8; buf.len()];
+    value_pattern(key, version, &mut expect);
+    (expect == buf).then_some(version)
+}
+
+/// Parameters of one torture run (the seed comes separately).
+#[derive(Debug, Clone, Copy)]
+pub struct TortureConfig {
+    /// DRAM index rebuilt at recovery.
+    pub kind: IndexKind,
+    /// Mutation attempts before the plug is pulled (a scheduled crash
+    /// point usually fires earlier).
+    pub ops: usize,
+    /// Keys are drawn uniformly from `[0, key_space)`.
+    pub key_space: u64,
+    /// Use crash-safe (out-of-place) updates instead of in-place ones.
+    pub crash_safe_updates: bool,
+    /// Verify checksums at recovery. Disabling reproduces the
+    /// pre-hardening store and makes injected payload corruption surface —
+    /// the harness exists to prove that happens.
+    pub verify_checksums: bool,
+}
+
+impl TortureConfig {
+    /// A fast configuration suitable for running hundreds of seeds in CI.
+    pub fn quick(kind: IndexKind) -> Self {
+        TortureConfig {
+            kind,
+            ops: 400,
+            key_space: 160,
+            crash_safe_updates: true,
+            verify_checksums: true,
+        }
+    }
+}
+
+/// What one torture run observed.
+#[derive(Debug)]
+pub struct TortureOutcome {
+    pub seed: u64,
+    pub kind: IndexKind,
+    /// Operations the store acknowledged (fenced) before the crash.
+    pub ops_acked: usize,
+    /// Whether a scheduled crash point fired mid-run.
+    pub crashed_mid_run: bool,
+    pub report: RecoveryReport,
+    pub faults: FaultCountersSnapshot,
+    /// Oracle violations; an empty list is a pass.
+    pub divergences: Vec<String>,
+}
+
+impl TortureOutcome {
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// The op that was in flight when the device froze; its effects may be
+/// partially durable, so both its before- and after-state are legal.
+enum InFlight {
+    Put { key: u64, version: u64 },
+    Delete { key: u64 },
+}
+
+/// Runs one seeded crash schedule and checks recovery against the oracle.
+pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
+    let layout = RecordLayout::small();
+    let spp = layout.slots_per_page();
+    // Capacity: live set + out-of-place churn + headroom. Quarantined
+    // slots are never reused, but a single run recovers only once.
+    let pages = (cfg.key_space as usize * 3) / spp + 8;
+    let nvm = NvmConfig::fast_with_crash(pages * layout.page_size);
+    // Horizon ≈ device ops the workload will issue (≤ 9 per put).
+    let plan = FaultPlan::random(seed, cfg.ops as u64 * 7);
+    let dev = Arc::new(NvmDevice::with_faults(nvm, &plan));
+
+    let kind = cfg.kind;
+    let (mut store, _) = ViperStore::recover_with_options(
+        Arc::clone(&dev),
+        layout,
+        RecoverOptions::default(),
+        |pairs| AnyIndex::build(kind, pairs),
+    );
+    store.set_crash_safe_updates(cfg.crash_safe_updates);
+    drop(dev); // store's clone is now unique again after into_device()
+
+    // Oracle state.
+    let mut acked: HashMap<u64, u64> = HashMap::new(); // key -> latest acked version
+    let mut history: HashMap<u64, HashSet<u64>> = HashMap::new(); // key -> every acked version
+    let mut touched: HashSet<u64> = HashSet::new();
+    let mut in_flight: Option<InFlight> = None;
+    let mut ops_acked = 0usize;
+    let mut crashed_mid_run = false;
+
+    let mut s = seed ^ 0x0b5e_55ed_0b5e_55ed;
+    let mut val = vec![0u8; layout.value_size];
+    for i in 0..cfg.ops {
+        let r = splitmix64(&mut s);
+        let key = r % cfg.key_space;
+        touched.insert(key);
+        if r >> 61 != 0 {
+            // ~7/8 puts, 1/8 deletes.
+            let version = (i + 1) as u64;
+            value_pattern(key, version, &mut val);
+            match store.put(key, &val) {
+                Ok(()) => {
+                    acked.insert(key, version);
+                    history.entry(key).or_default().insert(version);
+                    ops_acked += 1;
+                }
+                Err(ViperError::Nvm(NvmError::Crashed)) => {
+                    // Partial effects legal; record both possibilities.
+                    history.entry(key).or_default().insert(version);
+                    in_flight = Some(InFlight::Put { key, version });
+                    crashed_mid_run = true;
+                    break;
+                }
+                // Device-full windows / exhausted retries: op not applied.
+                Err(_) => {}
+            }
+        } else {
+            match store.delete(key) {
+                Ok(existed) => {
+                    if existed {
+                        acked.remove(&key);
+                    }
+                    ops_acked += 1;
+                }
+                Err(ViperError::Nvm(NvmError::Crashed)) => {
+                    in_flight = Some(InFlight::Delete { key });
+                    crashed_mid_run = true;
+                    break;
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    // Pull the plug: unpersisted state vanishes, the device un-freezes.
+    let dev = store.into_device();
+    let mut dev = Arc::try_unwrap(dev).ok().expect("store torn down, device unique");
+    dev.crash();
+    let faults = dev.fault_counters();
+    let dev = Arc::new(dev);
+
+    let (recovered, report) = ViperStore::recover_with_options(
+        dev,
+        layout,
+        RecoverOptions { verify_checksums: cfg.verify_checksums },
+        |pairs| AnyIndex::build(kind, pairs),
+    );
+
+    // --- Verify against the oracle -------------------------------------
+    let mut divergences = Vec::new();
+    let mut missing_or_stale = 0u64;
+    let mut resurrected = 0u64;
+    let mut present = 0usize;
+    let mut buf = vec![0u8; layout.value_size];
+    for &key in &touched {
+        // Legal versions for this key; None in `expected` marks "absent is
+        // legal".
+        let mut legal: HashSet<u64> = HashSet::new();
+        let mut absent_ok = !acked.contains_key(&key);
+        if let Some(&v) = acked.get(&key) {
+            legal.insert(v);
+        }
+        match &in_flight {
+            Some(InFlight::Put { key: k, version }) if *k == key => {
+                // The crashed put may have published (out-of-place update
+                // appends before retiring) or not; an in-place update torn
+                // mid-write is quarantined, so absence is legal too.
+                legal.insert(*version);
+                absent_ok = true;
+            }
+            Some(InFlight::Delete { key: k }) if *k == key => {
+                // The crashed delete may or may not have retired the slot.
+                absent_ok = true;
+            }
+            _ => {}
+        }
+
+        if recovered.get(key, &mut buf) {
+            present += 1;
+            match decode_version(key, &buf) {
+                None => divergences.push(format!(
+                    "key {key}: TORN value surfaced ({} bytes match no version)",
+                    buf.len()
+                )),
+                Some(v) if legal.contains(&v) => {}
+                Some(v) => {
+                    let ever_acked = history.get(&key).is_some_and(|h| h.contains(&v));
+                    if !ever_acked {
+                        divergences.push(format!("key {key}: UNACKED version {v} surfaced"));
+                    } else if absent_ok && legal.is_empty() {
+                        resurrected += 1; // deleted key came back with an old value
+                    } else {
+                        missing_or_stale += 1; // acked update lost, older value survived
+                    }
+                }
+            }
+        } else if !absent_ok {
+            missing_or_stale += 1; // acked key vanished
+        }
+    }
+    if recovered.len() > present {
+        divergences.push(format!(
+            "{} record(s) under keys the workload never wrote",
+            recovered.len() - present
+        ));
+    }
+
+    // Lost/stale acked writes are legal only up to the byzantine-fault
+    // budget; a fault-free schedule must recover byte-exactly.
+    let budget = faults.dropped_flushes + faults.torn_writes + report.quarantined as u64;
+    if missing_or_stale > budget {
+        divergences.push(format!(
+            "{missing_or_stale} acked key(s) missing/stale exceeds fault budget {budget}"
+        ));
+    }
+    if resurrected > faults.dropped_flushes {
+        divergences.push(format!(
+            "{resurrected} deleted key(s) resurrected exceeds dropped-flush count {}",
+            faults.dropped_flushes
+        ));
+    }
+
+    TortureOutcome { seed, kind: cfg.kind, ops_acked, crashed_mid_run, report, faults, divergences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_pattern_roundtrip_and_tear_detection() {
+        let mut buf = vec![0u8; 16];
+        value_pattern(42, 7, &mut buf);
+        assert_eq!(decode_version(42, &buf), Some(7));
+        // Wrong key: same bytes are not a valid value for another key.
+        assert_eq!(decode_version(43, &buf), None);
+        // A torn mix of two versions matches neither.
+        let mut newer = vec![0u8; 16];
+        value_pattern(42, 8, &mut newer);
+        let mut torn = newer.clone();
+        torn[12..].copy_from_slice(&buf[12..]);
+        assert_eq!(decode_version(42, &torn), None);
+    }
+
+    #[test]
+    fn fault_free_seed_recovers_exactly() {
+        // ops small enough that the crash point (scheduled in the back
+        // half of the horizon) fires after the workload finished: every
+        // acked op must then be recovered byte-exactly.
+        let mut cfg = TortureConfig::quick(IndexKind::BTree);
+        cfg.ops = 30;
+        let out = torture_run(3, &cfg);
+        assert!(out.passed(), "divergences: {:?}", out.divergences);
+        assert!(out.ops_acked > 0);
+    }
+}

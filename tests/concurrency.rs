@@ -47,10 +47,8 @@ fn concurrent_writes_every_concurrent_kind() {
     let keys = generate_keys(Dataset::Uniform, 10_000, 22);
     for kind in ConcurrentKind::ALL {
         let config = StoreConfig::test(keys.len() + 40_000);
-        let store = Arc::new(ConcurrentViperStore::new(
-            config,
-            AnyConcurrentIndex::build(kind, &[]),
-        ));
+        let store =
+            Arc::new(ConcurrentViperStore::new(config, AnyConcurrentIndex::build(kind, &[])));
         let vs = store.heap().layout().value_size;
 
         // Phase 1: concurrent load of disjoint key ranges.
@@ -62,7 +60,7 @@ fn concurrent_writes_every_concurrent_kind() {
                 for i in 0..2_000u64 {
                     let k = (t << 40) | (i * 7 + 1);
                     value_of(k, &mut val);
-                    store.put(k, &val);
+                    store.put(k, &val).unwrap();
                 }
             }));
         }
@@ -89,7 +87,7 @@ fn concurrent_writes_every_concurrent_kind() {
                 let val = vec![t as u8 + 1; vs];
                 for i in 0..1_000u64 {
                     let k = (t << 40) | (i * 7 + 1);
-                    store.put(k, &val); // in-place updates
+                    store.put(k, &val).unwrap(); // in-place updates
                 }
             }));
         }

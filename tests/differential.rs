@@ -88,13 +88,10 @@ fn updatable_indexes_agree_on_every_distribution() {
 fn read_only_indexes_agree_on_every_distribution() {
     for dataset in Dataset::ALL {
         let keys = generate_keys(dataset, 20_000, 77);
-        let data: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
         let oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
-        let indexes: Vec<AnyIndex> = IndexKind::ALL
-            .iter()
-            .map(|&kind| AnyIndex::build(kind, &data))
-            .collect();
+        let indexes: Vec<AnyIndex> =
+            IndexKind::ALL.iter().map(|&kind| AnyIndex::build(kind, &data)).collect();
         let mut rng = StdRng::seed_from_u64(78);
         for _ in 0..20_000 {
             let k: u64 = if rng.random_bool(0.5) {

@@ -37,8 +37,7 @@ fn run_workload(kind: IndexKind, spec: WorkloadSpec, n: usize, dataset: Dataset)
         ViperStore::bulk_load_with(config, &loaded, value_of, |pairs| AnyIndex::build(kind, pairs));
 
     // Oracle: key -> Some(latest op value) or None for the loaded default.
-    let mut oracle: BTreeMap<u64, Option<u64>> =
-        loaded.iter().map(|&k| (k, None)).collect();
+    let mut oracle: BTreeMap<u64, Option<u64>> = loaded.iter().map(|&k| (k, None)).collect();
     let mut buf = vec![0u8; vs];
 
     for op in &ops {
@@ -59,12 +58,12 @@ fn run_workload(kind: IndexKind, spec: WorkloadSpec, n: usize, dataset: Dataset)
                 }
             }
             Op::Insert(k, v) | Op::Update(k, v) => {
-                store.put(k, &vec![v as u8; vs]);
+                store.put(k, &vec![v as u8; vs]).unwrap();
                 oracle.insert(k, Some(v));
             }
             Op::ReadModifyWrite(k, v) => {
                 store.get(k, &mut buf);
-                store.put(k, &vec![v as u8; vs]);
+                store.put(k, &vec![v as u8; vs]).unwrap();
                 oracle.insert(k, Some(v));
             }
             Op::Scan(k, len) => {
@@ -134,12 +133,12 @@ fn deletes_roundtrip_through_store() {
         });
         let mut buf = vec![0u8; vs];
         for &k in keys.iter().step_by(3) {
-            assert!(store.delete(k), "{}: delete {k}", kind.name());
-            assert!(!store.delete(k));
+            assert!(store.delete(k).unwrap(), "{}: delete {k}", kind.name());
+            assert!(!store.delete(k).unwrap());
             assert!(!store.get(k, &mut buf));
         }
         // Reinsert a deleted key.
-        store.put(keys[0], &vec![9u8; vs]);
+        store.put(keys[0], &vec![9u8; vs]).unwrap();
         assert!(store.get(keys[0], &mut buf));
         assert_eq!(buf, vec![9u8; vs], "{}", kind.name());
     }

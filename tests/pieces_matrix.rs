@@ -28,10 +28,7 @@ fn all_configs() -> Vec<PiecewiseConfig> {
             ] {
                 for policy in [
                     RetrainPolicy::ResegmentLeaf,
-                    RetrainPolicy::ExpandOrSplit {
-                        expand_factor: 1.5,
-                        split_error_threshold: 8.0,
-                    },
+                    RetrainPolicy::ExpandOrSplit { expand_factor: 1.5, split_error_threshold: 8.0 },
                 ] {
                     out.push(PiecewiseConfig { algo, structure, leaf, policy });
                 }

@@ -19,6 +19,7 @@ fn crash_config(n: usize) -> StoreConfig {
             latency: LatencyModel::dram_like(),
             durability: DurabilityTracking::Shadow,
         },
+        crash_safe_updates: false,
     }
 }
 
@@ -36,8 +37,7 @@ fn recover_after_clean_shutdown_every_kind() {
             AnyIndex::build(kind, pairs)
         });
         let dev = store.into_device();
-        let recovered =
-            ViperStore::recover_with(dev, layout, |pairs| AnyIndex::build(kind, pairs));
+        let recovered = ViperStore::recover_with(dev, layout, |pairs| AnyIndex::build(kind, pairs));
         assert_eq!(recovered.len(), keys.len(), "{}", kind.name());
         let mut buf = vec![0u8; layout.value_size];
         let mut expect = vec![0u8; layout.value_size];
@@ -60,23 +60,22 @@ fn crash_preserves_all_published_records() {
         });
         // Post-load mutations: updates, deletes, fresh inserts.
         for &k in keys.iter().take(500) {
-            store.put(k, &vec![0xBBu8; layout.value_size]);
+            store.put(k, &vec![0xBBu8; layout.value_size]).unwrap();
         }
         for &k in keys.iter().skip(500).take(250) {
-            store.delete(k);
+            store.delete(k).unwrap();
         }
         for i in 0..500u64 {
             // Fresh keys far outside the loaded set.
-            store.put(u64::MAX - 10_000 + i, &vec![0xCCu8; layout.value_size]);
+            store.put(u64::MAX - 10_000 + i, &vec![0xCCu8; layout.value_size]).unwrap();
         }
         let live = store.len();
 
         let dev = store.into_device();
         let mut dev = Arc::try_unwrap(dev).ok().expect("unique device");
         dev.crash();
-        let recovered = ViperStore::recover_with(Arc::new(dev), layout, |pairs| {
-            AnyIndex::build(kind, pairs)
-        });
+        let recovered =
+            ViperStore::recover_with(Arc::new(dev), layout, |pairs| AnyIndex::build(kind, pairs));
         assert_eq!(recovered.len(), live, "{}", kind.name());
 
         let mut buf = vec![0u8; layout.value_size];
@@ -101,7 +100,7 @@ fn recovered_store_keeps_working() {
     let mut buf = vec![0u8; layout.value_size];
     for i in 0..2_000u64 {
         let k = u64::MAX / 2 + i * 3 + 1;
-        recovered.put(k, &vec![7u8; layout.value_size]);
+        recovered.put(k, &vec![7u8; layout.value_size]).unwrap();
         assert!(recovered.get(k, &mut buf));
     }
     assert_eq!(recovered.len(), keys.len() + 2_000);
