@@ -1,0 +1,5 @@
+//! Shard-count scaling sweep (see crates/bench/src/figs/scale.rs).
+fn main() {
+    let cfg = li_bench::BenchConfig::from_env();
+    li_bench::figs::scale::run(&cfg);
+}

@@ -4,9 +4,11 @@
 //! ```text
 //! cargo run --release -p li-bench --bin torture -- \
 //!     [--seeds N] [--start-seed S] [--ops N] [--kinds btree,pgm,alex] \
-//!     [--in-place] [--no-verify]
+//!     [--shards N] [--in-place] [--no-verify]
 //! ```
 //!
+//! `--shards N` drives the shared-writer store over a range-sharded index
+//! with N shards (0, the default, tortures the single-writer store);
 //! `--in-place` tortures the paper-default in-place update path instead of
 //! crash-safe out-of-place updates; `--no-verify` disables checksum
 //! quarantine at recovery (expect failures — that is the point of it).
@@ -27,10 +29,11 @@ fn main() -> ExitCode {
     let mut kinds = vec![IndexKind::BTree, IndexKind::Pgm, IndexKind::Alex];
     let mut crash_safe = true;
     let mut verify = true;
+    let mut shards = 0usize;
 
     fn die(msg: String) -> ! {
         eprintln!("{msg}");
-        eprintln!("usage: torture [--seeds N] [--start-seed S] [--ops N] [--kinds btree,pgm,alex] [--in-place] [--no-verify]");
+        eprintln!("usage: torture [--seeds N] [--start-seed S] [--ops N] [--kinds btree,pgm,alex] [--shards N] [--in-place] [--no-verify]");
         std::process::exit(2);
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +76,10 @@ fn main() -> ExitCode {
                     })
                     .collect();
             }
+            "--shards" => {
+                shards =
+                    value(&mut i).parse().unwrap_or_else(|_| die("--shards needs a number".into()))
+            }
             "--in-place" => crash_safe = false,
             "--no-verify" => verify = false,
             other => die(format!("unknown flag {other}")),
@@ -81,11 +88,12 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "torture: {} seed(s) from {} x {} backend(s), {} ops each, updates={}, checksums={}",
+        "torture: {} seed(s) from {} x {} backend(s), {} ops each, store={}, updates={}, checksums={}",
         seeds,
         start_seed,
         kinds.len(),
         ops,
+        if shards == 0 { "single-writer".to_string() } else { format!("sharded x{shards}") },
         if crash_safe { "out-of-place" } else { "in-place" },
         if verify { "verified" } else { "UNVERIFIED" },
     );
@@ -105,6 +113,7 @@ fn main() -> ExitCode {
         cfg.ops = ops;
         cfg.crash_safe_updates = crash_safe;
         cfg.verify_checksums = verify;
+        cfg.shards = shards;
         for seed in start_seed..start_seed + seeds {
             let out = torture_run(seed, &cfg);
             runs += 1;

@@ -1,69 +1,70 @@
 //! Fig. 14 — multi-threaded write-only evaluation.
 //!
-//! XIndex (the only learned index with concurrent writes, Table I) versus
-//! the concurrent traditional baselines, each thread inserting a disjoint
-//! slice of fresh keys through the shared store.
+//! The paper could only run XIndex here (the sole learned index with
+//! concurrent writes, Table I). The unified store lifts *every* updatable
+//! index into concurrent service — natively for XIndex, by range sharding
+//! for the rest — so the full write-capable lineup runs at every thread
+//! count, each thread inserting a disjoint slice of fresh keys through the
+//! shared store.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::harness::{self, BenchConfig, Measurement};
 use li_core::hist::LatencyHistogram;
-use li_viper::{ConcurrentViperStore, StoreConfig};
+use li_viper::ConcurrentViperStore;
 use li_workloads::{split_load_insert, Dataset};
 use lip::{AnyConcurrentIndex, ConcurrentKind};
 
+/// One measured cell: `threads` writers insert disjoint slices of `pool`
+/// into a store pre-loaded with `loaded`.
+pub fn measure(
+    kind: ConcurrentKind,
+    store: Arc<ConcurrentViperStore<AnyConcurrentIndex>>,
+    pool: &[u64],
+    threads: usize,
+    per_thread: usize,
+) -> Measurement {
+    let vs = store.heap().layout().value_size;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(&store);
+        let mine: Vec<u64> =
+            pool.iter().skip(t).step_by(threads).take(per_thread).copied().collect();
+        handles.push(std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            let mut val = vec![0u8; vs];
+            for k in mine {
+                harness::value_of(k, &mut val);
+                let t0 = Instant::now();
+                store.put(k, &val).expect("bench store put failed");
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            hist
+        }));
+    }
+    let mut hist = LatencyHistogram::new();
+    for h in handles {
+        hist.merge(&h.join().expect("writer thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement { name: kind.name(), ops: per_thread * threads, secs, hist }
+}
+
 pub fn run(cfg: &BenchConfig) {
-    println!("== Fig. 14: write-only, multi-threaded ==\n");
+    println!("== Fig. 14: write-only, multi-threaded (full updatable lineup) ==\n");
     let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
     let (loaded, pool) = split_load_insert(&keys, 0.2);
-    let pairs: Vec<(u64, u64)> = loaded.iter().map(|&k| (k, 0)).collect();
 
     for threads in cfg.thread_counts() {
         println!("--- {threads} thread(s) ---");
         harness::header(&["index", "Mops/s", "p99.9 us"]);
         let per_thread = (cfg.ops / threads).min(pool.len() / threads.max(1));
-        for kind in ConcurrentKind::ALL {
-            let store_cfg = StoreConfig::paper(keys.len() * 2 + 1024);
-            let store = Arc::new(ConcurrentViperStore::new(
-                store_cfg,
-                AnyConcurrentIndex::build(kind, &[]),
-            ));
-            // Pre-load sequentially (bulk load API is single-writer).
-            {
-                let vs = store.heap().layout().value_size;
-                let mut val = vec![0u8; vs];
-                for &(k, _) in &pairs {
-                    harness::value_of(k, &mut val);
-                    store.put(k, &val).expect("bench store put failed");
-                }
-            }
-            let vs = store.heap().layout().value_size;
-            let start = Instant::now();
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let store = Arc::clone(&store);
-                let mine: Vec<u64> =
-                    pool.iter().skip(t).step_by(threads).take(per_thread).copied().collect();
-                handles.push(std::thread::spawn(move || {
-                    let mut hist = LatencyHistogram::new();
-                    let mut val = vec![0u8; vs];
-                    for k in mine {
-                        harness::value_of(k, &mut val);
-                        let t0 = Instant::now();
-                        store.put(k, &val).expect("bench store put failed");
-                        hist.record(t0.elapsed().as_nanos() as u64);
-                    }
-                    hist
-                }));
-            }
-            let mut hist = LatencyHistogram::new();
-            for h in handles {
-                hist.merge(&h.join().expect("writer thread"));
-            }
-            let secs = start.elapsed().as_secs_f64();
-            let m = Measurement { name: kind.name().into(), ops: per_thread * threads, secs, hist };
-            harness::row(kind.name(), &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
+        for kind in ConcurrentKind::all() {
+            let store = Arc::new(harness::build_concurrent_store(kind, &loaded));
+            let m = measure(kind, store, &pool, threads, per_thread);
+            harness::row(&m.name, &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
         }
         println!();
     }

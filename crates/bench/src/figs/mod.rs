@@ -11,6 +11,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod hyper;
+pub mod scale;
 pub mod scan;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,52 @@
+//! Shard-count sweep — beyond the paper.
+//!
+//! How many range shards does a single-writer index need before its lifted
+//! concurrent throughput stops improving? Sweeps shard counts for a few
+//! representative sharded indexes at the maximum thread count, with
+//! natively-concurrent XIndex as the lock-free reference line.
+
+use std::sync::Arc;
+
+use crate::figs::fig14;
+use crate::harness::{self, BenchConfig};
+use li_workloads::{split_load_insert, Dataset};
+use lip::{ConcurrentKind, IndexKind};
+
+/// Shard counts swept (1 = the global-latch degenerate case).
+pub const SHARD_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The sharded indexes swept: a traditional baseline, the paper's two
+/// best-updating learned indexes, and a buffered learned index.
+pub const SWEPT: [IndexKind; 4] =
+    [IndexKind::BTree, IndexKind::Pgm, IndexKind::Alex, IndexKind::FitingBuf];
+
+pub fn run(cfg: &BenchConfig) {
+    println!("== Shard scaling: write-only at {} thread(s) ==\n", cfg.max_threads);
+    let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
+    let (loaded, pool) = split_load_insert(&keys, 0.2);
+    let threads = cfg.max_threads.max(1);
+    let per_thread = (cfg.ops / threads).min(pool.len() / threads);
+
+    let mut cols: Vec<String> = vec!["index".into()];
+    cols.extend(SHARD_COUNTS.iter().map(|s| format!("{s} shard")));
+    harness::header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for kind in SWEPT {
+        let kind = ConcurrentKind::of(kind).expect("swept kinds are updatable");
+        let mut cells = Vec::new();
+        for shards in SHARD_COUNTS {
+            let store = Arc::new(harness::build_concurrent_store_sharded(kind, shards, &loaded));
+            let m = fig14::measure(kind, store, &pool, threads, per_thread);
+            cells.push(format!("{:.3}", m.mops()));
+        }
+        harness::row(&kind.name(), &cells);
+    }
+
+    // Reference: XIndex takes concurrent writes natively — no shards at all.
+    let xkind = ConcurrentKind::of(IndexKind::XIndex).expect("XIndex is updatable");
+    let store = Arc::new(harness::build_concurrent_store(xkind, &loaded));
+    let m = fig14::measure(xkind, store, &pool, threads, per_thread);
+    let mut cells = vec!["-".to_string(); SHARD_COUNTS.len() - 1];
+    cells.push(format!("{:.3}", m.mops()));
+    harness::row("XIndex(native)", &cells);
+}

@@ -4,9 +4,9 @@ use std::time::Instant;
 
 use li_core::hist::LatencyHistogram;
 use li_core::Key;
-use li_viper::{StoreConfig, ViperStore};
+use li_viper::{ConcurrentViperStore, StoreConfig, ViperStore};
 use li_workloads::{generate_ops, split_load_insert, Dataset, Op, WorkloadSpec};
-use lip::{AnyIndex, IndexKind};
+use lip::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
 
 /// Scale and repetition knobs, read from the environment so every binary
 /// accepts the same controls:
@@ -70,6 +70,29 @@ impl Measurement {
 pub fn build_store(kind: IndexKind, keys: &[Key]) -> ViperStore<AnyIndex> {
     let config = StoreConfig::paper(keys.len() * 2 + 1024);
     ViperStore::bulk_load_with(config, keys, value_of, |pairs| AnyIndex::build(kind, pairs))
+}
+
+/// Builds a loaded shared-writer store for a concurrent kind over `keys`
+/// (the default shard count) — the one construction path every
+/// multi-threaded figure uses.
+pub fn build_concurrent_store(
+    kind: ConcurrentKind,
+    keys: &[Key],
+) -> ConcurrentViperStore<AnyConcurrentIndex> {
+    build_concurrent_store_sharded(kind, ConcurrentKind::DEFAULT_SHARDS, keys)
+}
+
+/// [`build_concurrent_store`] with an explicit shard count (the `scale`
+/// binary's sweep knob).
+pub fn build_concurrent_store_sharded(
+    kind: ConcurrentKind,
+    shards: usize,
+    keys: &[Key],
+) -> ConcurrentViperStore<AnyConcurrentIndex> {
+    let config = StoreConfig::paper(keys.len() * 2 + 1024);
+    ConcurrentViperStore::bulk_load_shared(config, keys, value_of, |pairs| {
+        AnyConcurrentIndex::build_with_shards(kind, shards, pairs)
+    })
 }
 
 /// Executes an op stream against a store, recording per-op latency.
@@ -176,6 +199,20 @@ mod tests {
         assert!(m.secs > 0.0);
         assert!(m.mops() > 0.0);
         assert!(m.hist.count() == 2_000);
+    }
+
+    #[test]
+    fn concurrent_store_builds_loaded() {
+        let keys: Vec<Key> = (0..4_000u64).map(|i| i * 3).collect();
+        let kind = ConcurrentKind::of(IndexKind::Pgm).unwrap();
+        let store = build_concurrent_store(kind, &keys);
+        assert_eq!(store.len(), keys.len());
+        let vs = store.heap().layout().value_size;
+        let mut buf = vec![0u8; vs];
+        assert!(store.get(300, &mut buf));
+        store.put(301, &vec![9u8; vs]).unwrap();
+        assert!(store.get(301, &mut buf));
+        assert_eq!(buf, vec![9u8; vs]);
     }
 
     #[test]

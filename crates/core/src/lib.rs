@@ -33,11 +33,13 @@ pub mod hot;
 pub mod model;
 pub mod pieces;
 pub mod search;
+pub mod shard;
 pub mod traits;
 pub mod types;
 
 pub use hot::HotCache;
 pub use model::LinearModel;
+pub use shard::{Native, Sharded};
 pub use traits::{
     BulkBuildIndex, ConcurrentIndex, DepthStats, Index, OrderedIndex, TwoPhaseLookup,
     UpdatableIndex,

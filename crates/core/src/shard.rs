@@ -1,0 +1,431 @@
+//! Range sharding: lift any single-writer index into concurrent service.
+//!
+//! The paper's multi-threaded write experiment (Fig. 14, §III-C2) could
+//! only run XIndex because it is the sole learned index with native
+//! concurrent writes (Table I). [`Sharded`] removes that limitation: the
+//! key space is cut into contiguous ranges at CDF-balanced boundaries
+//! (equal key mass per shard, estimated from the bulk-load keys), each
+//! range served by an independent copy of the wrapped index behind its own
+//! reader-writer lock. Writers touching different shards never contend;
+//! readers never block each other.
+//!
+//! [`Native`] is the bridge for indexes that are already write-concurrent
+//! (XIndex): it satisfies the same trait surface with zero added locking,
+//! so a runtime-selected lineup can mix both routes behind one type.
+
+use parking_lot::RwLock;
+
+use crate::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
+use crate::types::{Key, KeyValue, Value};
+
+/// A range-partitioned router over `2..=MAX_SHARDS` (or one) instances of a
+/// single-writer index, giving it a [`ConcurrentIndex`] face plus ordered
+/// range scans.
+///
+/// Shard `s` owns keys in `[lower[s], lower[s+1])`; `lower[0] == 0` and the
+/// last shard extends to [`Key::MAX`], so every key routes to exactly one
+/// shard — no gaps, no overlaps (property-tested below).
+pub struct Sharded<I> {
+    /// Strictly increasing lower bounds, one per shard; `lower[0] == 0`.
+    lower: Vec<Key>,
+    shards: Vec<RwLock<I>>,
+}
+
+/// Hard cap on shard count — beyond this the boundary table itself starts
+/// to cost a cache line per probe for no extra parallelism on any machine
+/// this runs on.
+pub const MAX_SHARDS: usize = 4096;
+
+impl<I> Sharded<I> {
+    /// Builds a sharded index from strictly-ascending `(key, value)` pairs,
+    /// constructing each shard with `build` over its slice of the input.
+    ///
+    /// Boundaries are CDF-balanced: each shard receives an equal count of
+    /// the bulk-load keys, so a skewed distribution still spreads load. If
+    /// `data` has fewer keys than requested shards (including the empty
+    /// bulk load of a store that starts cold), boundaries fall back to a
+    /// uniform split of the whole key domain.
+    pub fn build_with(
+        shards: usize,
+        data: &[KeyValue],
+        mut build: impl FnMut(&[KeyValue]) -> I,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(shards <= MAX_SHARDS, "too many shards ({shards} > {MAX_SHARDS})");
+        debug_assert!(data.windows(2).all(|w| w[0].0 < w[1].0), "bulk load keys must ascend");
+        let mut lower: Vec<Key> = vec![0];
+        if data.len() >= shards {
+            for s in 1..shards {
+                let b = data[s * data.len() / shards].0;
+                // Collapse duplicate boundaries (possible under extreme
+                // skew); the shard count shrinks rather than leaving an
+                // empty zero-width range.
+                if b > *lower.last().expect("non-empty") {
+                    lower.push(b);
+                }
+            }
+        } else if shards > 1 {
+            // Too few keys to estimate a CDF: split the domain uniformly.
+            let step = Key::MAX / shards as Key;
+            lower.extend((1..shards).map(|s| s as Key * step));
+        }
+        let mut built = Vec::with_capacity(lower.len());
+        let mut start = 0usize;
+        for s in 0..lower.len() {
+            let end = match lower.get(s + 1) {
+                Some(&hi) => start + data[start..].partition_point(|kv| kv.0 < hi),
+                None => data.len(),
+            };
+            built.push(RwLock::new(build(&data[start..end])));
+            start = end;
+        }
+        Sharded { lower, shards: built }
+    }
+
+    /// Number of shards actually created (may be below the request when the
+    /// bulk-load keys could not support that many distinct boundaries).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The strictly-increasing lower bound of each shard's key range;
+    /// `boundaries()[0] == 0` and the last shard extends to [`Key::MAX`].
+    pub fn boundaries(&self) -> &[Key] {
+        &self.lower
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        // lower[0] == 0 <= key always, so the partition point is >= 1.
+        self.lower.partition_point(|&b| b <= key) - 1
+    }
+
+    /// Runs `f` on the shard owning `key` under its read lock.
+    pub fn with_shard<R>(&self, key: Key, f: impl FnOnce(&I) -> R) -> R {
+        f(&self.shards[self.shard_of(key)].read())
+    }
+}
+
+impl<I: BulkBuildIndex> Sharded<I> {
+    /// [`Sharded::build_with`] using the index's own bulk constructor.
+    pub fn build(shards: usize, data: &[KeyValue]) -> Self {
+        Self::build_with(shards, data, I::build)
+    }
+}
+
+impl<I: Index> Index for Sharded<I> {
+    fn name(&self) -> &'static str {
+        self.shards[0].read().name()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(key)].read().get(key)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.lower.len() * core::mem::size_of::<Key>()
+            + self.shards.iter().map(|s| s.read().index_size_bytes()).sum::<usize>()
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().data_size_bytes()).sum()
+    }
+}
+
+impl<I: OrderedIndex> OrderedIndex for Sharded<I> {
+    /// Scans shard by shard in boundary order; per-shard output is ordered
+    /// and shards partition the key space, so the result is globally
+    /// ordered. Locks are taken one shard at a time — a scan never holds
+    /// more than one read lock.
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        for s in self.shard_of(lo)..self.shards.len() {
+            if self.lower[s] > hi {
+                break;
+            }
+            self.shards[s].read().range(lo, hi, out);
+        }
+    }
+}
+
+impl<I: Index + UpdatableIndex> ConcurrentIndex for Sharded<I> {
+    fn get(&self, key: Key) -> Option<Value> {
+        Index::get(self, key)
+    }
+
+    fn insert(&self, key: Key, value: Value) -> Option<Value> {
+        self.shards[self.shard_of(key)].write().insert(key, value)
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        self.shards[self.shard_of(key)].write().remove(key)
+    }
+
+    fn len(&self) -> usize {
+        Index::len(self)
+    }
+}
+
+/// Lock-free bridge for natively write-concurrent indexes (XIndex): the
+/// same trait surface [`Sharded`] provides, with every call passed straight
+/// through — no router, no locks.
+pub struct Native<C>(pub C);
+
+impl<C> Native<C> {
+    pub fn into_inner(self) -> C {
+        self.0
+    }
+}
+
+impl<C> core::ops::Deref for Native<C> {
+    type Target = C;
+    fn deref(&self) -> &C {
+        &self.0
+    }
+}
+
+impl<C: Index> Index for Native<C> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.0.get(key)
+    }
+    fn index_size_bytes(&self) -> usize {
+        self.0.index_size_bytes()
+    }
+    fn data_size_bytes(&self) -> usize {
+        self.0.data_size_bytes()
+    }
+}
+
+impl<C: OrderedIndex> OrderedIndex for Native<C> {
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        self.0.range(lo, hi, out)
+    }
+}
+
+impl<C: ConcurrentIndex> ConcurrentIndex for Native<C> {
+    fn get(&self, key: Key) -> Option<Value> {
+        ConcurrentIndex::get(&self.0, key)
+    }
+    fn insert(&self, key: Key, value: Value) -> Option<Value> {
+        ConcurrentIndex::insert(&self.0, key, value)
+    }
+    fn remove(&self, key: Key) -> Option<Value> {
+        ConcurrentIndex::remove(&self.0, key)
+    }
+    fn len(&self) -> usize {
+        ConcurrentIndex::len(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// Minimal single-writer index for exercising the router.
+    #[derive(Default)]
+    struct MapIndex(BTreeMap<Key, Value>);
+
+    impl Index for MapIndex {
+        fn name(&self) -> &'static str {
+            "map"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.get(&key).copied()
+        }
+        fn index_size_bytes(&self) -> usize {
+            self.0.len() * 48
+        }
+        fn data_size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    impl UpdatableIndex for MapIndex {
+        fn insert(&mut self, key: Key, value: Value) -> Option<Value> {
+            self.0.insert(key, value)
+        }
+        fn remove(&mut self, key: Key) -> Option<Value> {
+            self.0.remove(&key)
+        }
+    }
+
+    impl OrderedIndex for MapIndex {
+        fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+            out.extend(self.0.range(lo..=hi).map(|(&k, &v)| (k, v)));
+        }
+    }
+
+    impl BulkBuildIndex for MapIndex {
+        fn build(data: &[KeyValue]) -> Self {
+            MapIndex(data.iter().copied().collect())
+        }
+    }
+
+    #[test]
+    fn cdf_balanced_boundaries_balance_skew() {
+        // 90% of keys in [0, 1000), the rest spread to u64::MAX: an MSB
+        // split would put 90% of keys in shard 0.
+        let mut data: Vec<KeyValue> = (0..900u64).map(|i| (i, i)).collect();
+        data.extend((1..=100u64).map(|i| (i << 40, i)));
+        let idx = Sharded::<MapIndex>::build(8, &data);
+        assert_eq!(Index::len(&idx), 1_000);
+        let max_shard = (0..idx.shard_count()).map(|s| idx.shards[s].read().len()).max().unwrap();
+        assert!(max_shard <= 2 * 1_000 / idx.shard_count(), "unbalanced: {max_shard}");
+    }
+
+    #[test]
+    fn routes_every_key_to_the_shard_that_built_it() {
+        let data: Vec<KeyValue> = (0..5_000u64).map(|i| (i * 97 + 3, i)).collect();
+        let idx = Sharded::<MapIndex>::build(16, &data);
+        for &(k, v) in data.iter().step_by(53) {
+            assert_eq!(Index::get(&idx, k), Some(v));
+            assert_eq!(Index::get(&idx, k + 1), None);
+        }
+        assert_eq!(Index::get(&idx, Key::MAX), None);
+        assert_eq!(Index::get(&idx, 0), None);
+    }
+
+    #[test]
+    fn empty_bulk_load_still_shards_the_domain() {
+        let idx = Sharded::<MapIndex>::build(8, &[]);
+        assert_eq!(idx.shard_count(), 8);
+        assert_eq!(ConcurrentIndex::insert(&idx, 5, 50), None);
+        assert_eq!(ConcurrentIndex::insert(&idx, Key::MAX, 1), None);
+        assert_eq!(ConcurrentIndex::get(&idx, 5), Some(50));
+        assert_eq!(ConcurrentIndex::len(&idx), 2);
+        // The two keys landed on different shards of the uniform split.
+        assert_ne!(idx.shard_of(5), idx.shard_of(Key::MAX));
+    }
+
+    #[test]
+    fn range_scans_cross_shard_boundaries_in_order() {
+        let data: Vec<KeyValue> = (0..2_000u64).map(|i| (i * 10, i)).collect();
+        let idx = Sharded::<MapIndex>::build(7, &data);
+        let got = idx.range_vec(995, 10_255);
+        let expect: Vec<KeyValue> =
+            data.iter().copied().filter(|&(k, _)| (995..=10_255).contains(&k)).collect();
+        assert_eq!(got, expect);
+        assert_eq!(idx.range_vec(0, Key::MAX).len(), 2_000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let data: Vec<KeyValue> = (0..8_000u64).map(|i| (i * 8, 0)).collect();
+        let idx = Arc::new(Sharded::<MapIndex>::build(16, &data));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    // Own every key ≡ t (mod 8): updates of loaded keys and
+                    // inserts of fresh ones, interleaved across all shards.
+                    let k = i * 64 + t;
+                    ConcurrentIndex::insert(&*idx, k, t + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ConcurrentIndex::len(&*idx), 8_000 + 7_000);
+        assert_eq!(ConcurrentIndex::get(&*idx, 64 + 1), Some(2));
+    }
+
+    #[test]
+    fn native_bridge_passes_through() {
+        #[derive(Default)]
+        struct CountingMap(parking_lot::Mutex<BTreeMap<Key, Value>>);
+        impl ConcurrentIndex for CountingMap {
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0.lock().get(&key).copied()
+            }
+            fn insert(&self, key: Key, value: Value) -> Option<Value> {
+                self.0.lock().insert(key, value)
+            }
+            fn remove(&self, key: Key) -> Option<Value> {
+                self.0.lock().remove(&key)
+            }
+            fn len(&self) -> usize {
+                self.0.lock().len()
+            }
+        }
+        let n = Native(CountingMap::default());
+        assert_eq!(ConcurrentIndex::insert(&n, 1, 10), None);
+        assert_eq!(ConcurrentIndex::get(&n, 1), Some(10));
+        assert_eq!(ConcurrentIndex::remove(&n, 1), Some(10));
+        assert_eq!(ConcurrentIndex::len(&n), 0);
+    }
+
+    mod boundary_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Shard boundary selection covers the full key domain with no
+            /// gaps and no overlaps, for any bulk-load key set and shard
+            /// count.
+            #[test]
+            fn boundaries_partition_the_domain(
+                mut keys in proptest::collection::vec(0u64..u64::MAX, 0..400),
+                shards in 1usize..40,
+            ) {
+                keys.sort_unstable();
+                keys.dedup();
+                let data: Vec<KeyValue> = keys.iter().map(|&k| (k, k)).collect();
+                let idx = Sharded::<MapIndex>::build(shards, &data);
+
+                // Structure: first bound is 0, bounds strictly increase, and
+                // no more shards exist than requested.
+                let lower = idx.boundaries();
+                prop_assert_eq!(lower[0], 0);
+                prop_assert!(lower.windows(2).all(|w| w[0] < w[1]));
+                prop_assert_eq!(lower.len(), idx.shard_count());
+                prop_assert!(idx.shard_count() <= shards);
+
+                // Coverage: the domain extremes and every boundary's
+                // neighbourhood route to exactly one in-range shard, and
+                // routing is monotone (no overlap between ranges).
+                let mut probes = vec![0u64, u64::MAX];
+                for &b in lower {
+                    probes.push(b);
+                    probes.push(b.saturating_sub(1));
+                    probes.push(b.saturating_add(1));
+                }
+                probes.extend(keys.iter().copied());
+                probes.sort_unstable();
+                let mut last_shard = 0usize;
+                for &p in &probes {
+                    let s = idx.shard_of(p);
+                    prop_assert!(s < idx.shard_count());
+                    prop_assert!(p >= lower[s], "key below its shard's range");
+                    if let Some(&hi) = lower.get(s + 1) {
+                        prop_assert!(p < hi, "key above its shard's range");
+                    }
+                    prop_assert!(s >= last_shard, "routing must be monotone");
+                    last_shard = s;
+                }
+
+                // Every bulk-loaded key is findable after the build.
+                for &(k, v) in data.iter().step_by(7) {
+                    prop_assert_eq!(Index::get(&idx, k), Some(v));
+                }
+                prop_assert_eq!(Index::len(&idx), data.len());
+            }
+        }
+    }
+}

@@ -15,11 +15,11 @@
 //! | Masstree | trie of B+trees | [`Art`] (for fixed 8-byte keys a Masstree
 //!   degenerates to one trie layer; ART is the closest faithful structure) |
 //!
-//! [`adapters`] provides coarse- and sharded-lock wrappers giving any
-//! single-writer index a [`li_core::ConcurrentIndex`] face for the
-//! multi-threaded experiments.
+//! For the multi-threaded experiments every single-writer index here is
+//! lifted to a [`li_core::ConcurrentIndex`] by range sharding
+//! (`li_core::shard::Sharded`); only [`ShardedCceh`] carries its own
+//! internal concurrency (per-directory-stripe locking).
 
-pub mod adapters;
 pub mod art;
 pub mod bptree;
 pub mod bwtree;
@@ -27,7 +27,6 @@ pub mod cceh;
 pub mod skiplist;
 pub mod wormhole;
 
-pub use adapters::{RwLocked, Sharded};
 pub use art::Art;
 pub use bptree::BPlusTree;
 pub use bwtree::BwTree;

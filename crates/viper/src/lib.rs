@@ -11,9 +11,11 @@
 //!   its invariants.
 //! * [`heap`] — the record heap: slot allocation, persistence protocol
 //!   (write → flush → fence → publish), checksum-verifying recovery scan.
-//! * [`store`] — [`store::ViperStore`] (single-writer) and
-//!   [`store::ConcurrentViperStore`] (shared-writer, for XIndex and the
-//!   concurrent traditional indexes).
+//! * [`store`] — [`store::ViperStore`], one store type generic over its
+//!   [`store::WriteModel`]: single-writer (`&mut self` mutation, the
+//!   default) or shared-writer (`&self` mutation for XIndex and any index
+//!   lifted by `li_core::shard::Sharded`;
+//!   [`store::ConcurrentViperStore`] is the alias).
 //! * [`error`] — [`ViperError`]: every mutating path is fallible; device
 //!   exhaustion degrades stores to read-only instead of panicking.
 
@@ -25,4 +27,6 @@ pub mod store;
 pub use error::ViperError;
 pub use heap::{RecordHeap, RecoverOptions, RecoveryReport};
 pub use layout::{RecordLayout, PAGE_MAGIC};
-pub use store::{ConcurrentViperStore, StoreConfig, ViperStore};
+pub use store::{
+    ConcurrentViperStore, SharedWriter, SingleWriter, StoreConfig, ViperStore, WriteModel,
+};

@@ -1,4 +1,21 @@
-//! The two store flavours: single-writer and shared-writer.
+//! The Viper store, generic over its *write model*.
+//!
+//! One store type serves both concurrency regimes:
+//!
+//! * [`ViperStore<I>`] (= [`ViperStore<I, SingleWriter>`]) — mutation takes
+//!   `&mut self`; reads (`get`, `scan`) take `&self` and are safe to share
+//!   across threads, which is how the multi-threaded read-only experiment
+//!   (Fig. 12) runs.
+//! * [`ConcurrentViperStore<I>`] (= [`ViperStore<I, SharedWriter>`]) —
+//!   `put`/`delete` take `&self`, so any number of threads can mutate
+//!   through an `Arc` — the setup of the multi-threaded write experiment
+//!   (Fig. 14). Same-key writes are serialised by a striped lock; reads
+//!   stay lock-free at this layer.
+//!
+//! The put/delete/degradation logic exists exactly once ([`put_core`],
+//! [`delete_core`]); the write models differ only in how they reach the
+//! DRAM index (`&mut I` via [`UpdatableIndex`] versus `&I` via
+//! [`ConcurrentIndex`]) and in whether a key-stripe lock is taken.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,20 +43,33 @@ pub struct StoreConfig {
 }
 
 impl StoreConfig {
+    /// Device bytes needed for `n` records under `layout`, with headroom
+    /// `n / headroom_div` plus `pad` records of rounding slack and
+    /// `slack_pages` whole pages for allocator breathing room — the one
+    /// sizing formula every config flavour shares.
+    fn bytes_for(
+        layout: RecordLayout,
+        n: usize,
+        headroom_div: usize,
+        pad: usize,
+        slack_pages: usize,
+    ) -> usize {
+        (n + n / headroom_div + pad) / layout.slots_per_page() * layout.page_size
+            + slack_pages * layout.page_size
+    }
+
     /// Paper-style store: 200-byte values on an Optane-like device sized
     /// for `n` records (with 30% headroom).
     pub fn paper(n: usize) -> Self {
         let layout = RecordLayout::paper_default();
-        let bytes =
-            (n + n / 3 + 1024) / layout.slots_per_page() * layout.page_size + 64 * layout.page_size;
+        let bytes = Self::bytes_for(layout, n, 3, 1024, 64);
         StoreConfig { layout, nvm: NvmConfig::optane(bytes), crash_safe_updates: false }
     }
 
-    /// Small, latency-free store for tests.
+    /// Small, latency-free store for tests (50% headroom).
     pub fn test(n: usize) -> Self {
         let layout = RecordLayout::small();
-        let bytes =
-            (n + n / 2 + 64) / layout.slots_per_page() * layout.page_size + 16 * layout.page_size;
+        let bytes = Self::bytes_for(layout, n, 2, 64, 16);
         StoreConfig { layout, nvm: NvmConfig::fast(bytes), crash_safe_updates: false }
     }
 
@@ -50,23 +80,192 @@ impl StoreConfig {
     }
 }
 
-/// Viper with a single-writer index (everything except XIndex).
-/// Reads (`get`, `scan`) take `&self` and are safe to share across threads
-/// — that is how the multi-threaded read-only experiment (Fig. 12) runs.
-pub struct ViperStore<I> {
-    heap: RecordHeap,
-    index: I,
-    crash_safe_updates: bool,
-    read_only: bool,
+/// How writers reach the store: exclusively (`&mut self`) or shared
+/// (`&self`). Implemented by [`SingleWriter`] and [`SharedWriter`] only.
+pub trait WriteModel {
+    /// Per-key write serialisation state; empty for the single-writer
+    /// model, a striped lock table for the shared-writer model.
+    type KeyLocks: Default + Send + Sync;
+    /// Whether writers run concurrently with readers (`&self` mutation).
+    const SHARED: bool;
 }
 
-impl<I: Index> ViperStore<I> {
+/// Exclusive mutation through [`UpdatableIndex`] — every index kind.
+pub enum SingleWriter {}
+
+impl WriteModel for SingleWriter {
+    type KeyLocks = ();
+    const SHARED: bool = false;
+}
+
+/// Shared mutation through [`ConcurrentIndex`] — natively concurrent
+/// indexes (XIndex) and anything lifted via `li_core::shard::Sharded`.
+pub enum SharedWriter {}
+
+impl WriteModel for SharedWriter {
+    type KeyLocks = KeyStripes;
+    const SHARED: bool = true;
+}
+
+/// Striped same-key write locks, Viper's fine-grained-locking discipline.
+/// Without them, two racing inserters of one key could leave a stale
+/// record offset alive while its slot is recycled for another key.
+pub struct KeyStripes(Vec<parking_lot::Mutex<()>>);
+
+const KEY_STRIPES: usize = 1024;
+
+impl Default for KeyStripes {
+    fn default() -> Self {
+        KeyStripes((0..KEY_STRIPES).map(|_| parking_lot::Mutex::new(())).collect())
+    }
+}
+
+impl KeyStripes {
+    #[inline]
+    fn lock(&self, key: Key) -> parking_lot::MutexGuard<'_, ()> {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0[(h >> 54) as usize % KEY_STRIPES].lock()
+    }
+}
+
+/// Uniform index-mutation surface over the two write models (internal —
+/// this is what lets [`put_core`]/[`delete_core`] exist exactly once).
+trait WriteAccess {
+    fn lookup(&self, key: Key) -> Option<u64>;
+    fn publish(&mut self, key: Key, offset: u64) -> Option<u64>;
+    fn unpublish(&mut self, key: Key) -> Option<u64>;
+}
+
+/// Exclusive access: `&mut I` through [`UpdatableIndex`].
+struct Excl<'a, I>(&'a mut I);
+
+impl<I: Index + UpdatableIndex> WriteAccess for Excl<'_, I> {
+    fn lookup(&self, key: Key) -> Option<u64> {
+        Index::get(self.0, key)
+    }
+    fn publish(&mut self, key: Key, offset: u64) -> Option<u64> {
+        UpdatableIndex::insert(self.0, key, offset)
+    }
+    fn unpublish(&mut self, key: Key) -> Option<u64> {
+        UpdatableIndex::remove(self.0, key)
+    }
+}
+
+/// Shared access: `&I` through [`ConcurrentIndex`].
+struct Shared<'a, I>(&'a I);
+
+impl<I: ConcurrentIndex> WriteAccess for Shared<'_, I> {
+    fn lookup(&self, key: Key) -> Option<u64> {
+        ConcurrentIndex::get(self.0, key)
+    }
+    fn publish(&mut self, key: Key, offset: u64) -> Option<u64> {
+        ConcurrentIndex::insert(self.0, key, offset)
+    }
+    fn unpublish(&mut self, key: Key) -> Option<u64> {
+        ConcurrentIndex::remove(self.0, key)
+    }
+}
+
+/// The one implementation of insert-or-update + read-only degradation.
+/// Device exhaustion flips the store to read-only and surfaces
+/// [`ViperError::DeviceFull`]; subsequent puts fail fast with
+/// [`ViperError::ReadOnly`] until a delete frees space.
+fn put_core(
+    heap: &RecordHeap,
+    crash_safe_updates: bool,
+    read_only: &AtomicBool,
+    mut index: impl WriteAccess,
+    key: Key,
+    value: &[u8],
+) -> Result<(), ViperError> {
+    if read_only.load(Ordering::Acquire) {
+        return Err(ViperError::ReadOnly);
+    }
+    let result = match index.lookup(key) {
+        Some(offset) => {
+            if crash_safe_updates {
+                match heap.replace(offset, key, value) {
+                    Ok(new_offset) => {
+                        index.publish(key, new_offset);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            } else {
+                heap.update_in_place(offset, value)
+            }
+        }
+        None => match heap.append(key, value) {
+            Ok(offset) => {
+                let prev = index.publish(key, offset);
+                debug_assert!(prev.is_none(), "same-key put raced despite serialisation");
+                Ok(())
+            }
+            Err(e) => Err(e),
+        },
+    };
+    if result == Err(ViperError::DeviceFull) {
+        read_only.store(true, Ordering::Release);
+    }
+    result
+}
+
+/// The one implementation of delete. Accepted even in read-only
+/// degradation — reclaiming space lifts it.
+fn delete_core(
+    heap: &RecordHeap,
+    read_only: &AtomicBool,
+    mut index: impl WriteAccess,
+    key: Key,
+) -> Result<bool, ViperError> {
+    match index.unpublish(key) {
+        Some(offset) => {
+            heap.mark_dead(offset)?;
+            read_only.store(false, Ordering::Release);
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Viper: fixed-size record pages on (simulated) NVM plus a volatile,
+/// pluggable DRAM index mapping each key to its record offset. Generic
+/// over the index `I` and the [`WriteModel`] `M` (see module docs).
+pub struct ViperStore<I, M: WriteModel = SingleWriter> {
+    heap: RecordHeap,
+    index: I,
+    key_locks: M::KeyLocks,
+    crash_safe_updates: bool,
+    read_only: AtomicBool,
+}
+
+/// The shared-writer store flavour (kept as an alias so pre-unification
+/// call sites keep compiling).
+pub type ConcurrentViperStore<I> = ViperStore<I, SharedWriter>;
+
+impl<I: Index, M: WriteModel> ViperStore<I, M> {
+    fn with_parts(heap: RecordHeap, index: I, crash_safe_updates: bool) -> Self {
+        ViperStore {
+            heap,
+            index,
+            key_locks: M::KeyLocks::default(),
+            crash_safe_updates,
+            read_only: AtomicBool::new(false),
+        }
+    }
+
     /// Point lookup: index probe + one NVM record read.
     pub fn get(&self, key: Key, value_buf: &mut [u8]) -> bool {
         match self.index.get(key) {
             Some(offset) => {
                 let stored = self.heap.read(offset, value_buf);
-                debug_assert_eq!(stored, key, "index pointed at wrong record");
+                // Under a shared writer a racing crash-safe update may
+                // relocate the record between probe and read, so the
+                // stored-key invariant only holds for exclusive writers.
+                if !M::SHARED {
+                    debug_assert_eq!(stored, key, "index pointed at wrong record");
+                }
+                let _ = stored;
                 true
             }
             None => false,
@@ -86,7 +285,7 @@ impl<I: Index> ViperStore<I> {
     /// Deletes are still accepted (they reclaim space and lift the
     /// degradation); puts are rejected with [`ViperError::ReadOnly`].
     pub fn is_read_only(&self) -> bool {
-        self.read_only
+        self.read_only.load(Ordering::Acquire)
     }
 
     /// The DRAM index (for stats like size/depth).
@@ -103,71 +302,53 @@ impl<I: Index> ViperStore<I> {
     pub fn into_device(self) -> Arc<NvmDevice> {
         self.heap.into_device()
     }
-}
 
-impl<I: Index + UpdatableIndex> ViperStore<I> {
-    /// Creates an empty store with the given index.
-    pub fn new(config: StoreConfig, index: I) -> Self {
+    /// Switches update strategy after construction (recovery paths have no
+    /// [`StoreConfig`] to carry the flag).
+    pub fn set_crash_safe_updates(&mut self, on: bool) {
+        self.crash_safe_updates = on;
+    }
+
+    /// The one bulk-load implementation both write models construct through.
+    fn try_bulk_load_parts(
+        config: StoreConfig,
+        keys: &[Key],
+        mut value_of: impl FnMut(Key, &mut [u8]),
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Result<Self, ViperError> {
         let dev = Arc::new(NvmDevice::new(config.nvm));
-        ViperStore {
-            heap: RecordHeap::new(dev, config.layout),
-            index,
-            crash_safe_updates: config.crash_safe_updates,
-            read_only: false,
+        let heap = RecordHeap::new(dev, config.layout);
+        let mut buf = vec![0u8; config.layout.value_size];
+        let mut pairs: Vec<KeyValue> = Vec::with_capacity(keys.len());
+        for &k in keys {
+            value_of(k, &mut buf);
+            let offset = heap.append(k, &buf)?;
+            pairs.push((k, offset));
         }
+        // Keys were ascending, so pairs are ready for bulk build.
+        let index = build(&pairs);
+        Ok(Self::with_parts(heap, index, config.crash_safe_updates))
     }
 
-    /// Inserts or updates. Device exhaustion degrades the store to
-    /// read-only and surfaces [`ViperError::DeviceFull`]; subsequent puts
-    /// fail fast with [`ViperError::ReadOnly`] until a delete frees space.
-    pub fn put(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
-        if self.read_only {
-            return Err(ViperError::ReadOnly);
-        }
-        let result = match self.index.get(key) {
-            Some(offset) => {
-                if self.crash_safe_updates {
-                    match self.heap.replace(offset, key, value) {
-                        Ok(new_offset) => {
-                            self.index.insert(key, new_offset);
-                            Ok(())
-                        }
-                        Err(e) => Err(e),
-                    }
-                } else {
-                    self.heap.update_in_place(offset, value)
-                }
-            }
-            None => match self.heap.append(key, value) {
-                Ok(offset) => {
-                    let prev = self.index.insert(key, offset);
-                    debug_assert!(prev.is_none());
-                    Ok(())
-                }
-                Err(e) => Err(e),
-            },
-        };
-        if result == Err(ViperError::DeviceFull) {
-            self.read_only = true;
-        }
-        result
-    }
-
-    /// Removes a key; returns whether it existed. Accepted even in
-    /// read-only degradation — reclaiming space lifts it.
-    pub fn delete(&mut self, key: Key) -> Result<bool, ViperError> {
-        match self.index.remove(key) {
-            Some(offset) => {
-                self.heap.mark_dead(offset)?;
-                self.read_only = false;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+    /// The one recovery implementation both write models construct through.
+    fn recover_parts(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> (Self, RecoveryReport) {
+        let (heap, mut live, report) = RecordHeap::recover_with_report(dev, layout, opts);
+        live.sort_unstable();
+        let index = build(&live);
+        (Self::with_parts(heap, index, false), report)
     }
 }
 
-impl<I: Index> ViperStore<I> {
+// Construction entry points live on the single-writer flavour only, so the
+// common `ViperStore::bulk_load(..)` spelling (write model elided, defaulted
+// to [`SingleWriter`]) stays inferable. The shared-writer flavour has its
+// own, distinctly named entry points below.
+impl<I: Index> ViperStore<I, SingleWriter> {
     /// Bulk-loads `data` (strictly ascending keys, all values `value_size`
     /// bytes, provided by `value_of`), building the index with `build` —
     /// how every learned index is initialised in the paper. Use this form
@@ -191,26 +372,10 @@ impl<I: Index> ViperStore<I> {
     pub fn try_bulk_load_with(
         config: StoreConfig,
         keys: &[Key],
-        mut value_of: impl FnMut(Key, &mut [u8]),
+        value_of: impl FnMut(Key, &mut [u8]),
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> Result<Self, ViperError> {
-        let dev = Arc::new(NvmDevice::new(config.nvm));
-        let heap = RecordHeap::new(dev, config.layout);
-        let mut buf = vec![0u8; config.layout.value_size];
-        let mut pairs: Vec<KeyValue> = Vec::with_capacity(keys.len());
-        for &k in keys {
-            value_of(k, &mut buf);
-            let offset = heap.append(k, &buf)?;
-            pairs.push((k, offset));
-        }
-        // Keys were ascending, so pairs are ready for bulk build.
-        let index = build(&pairs);
-        Ok(ViperStore {
-            heap,
-            index,
-            crash_safe_updates: config.crash_safe_updates,
-            read_only: false,
-        })
+        Self::try_bulk_load_parts(config, keys, value_of, build)
     }
 
     /// Recovery with a caller-supplied index builder (see
@@ -232,23 +397,11 @@ impl<I: Index> ViperStore<I> {
         opts: RecoverOptions,
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> (Self, RecoveryReport) {
-        let (heap, mut live, report) = RecordHeap::recover_with_report(dev, layout, opts);
-        live.sort_unstable();
-        let index = build(&live);
-        (ViperStore { heap, index, crash_safe_updates: false, read_only: false }, report)
-    }
-
-    /// Switches update strategy after construction (recovery paths have no
-    /// [`StoreConfig`] to carry the flag).
-    pub fn set_crash_safe_updates(&mut self, on: bool) {
-        self.crash_safe_updates = on;
+        Self::recover_parts(dev, layout, opts, build)
     }
 }
 
-impl<I> ViperStore<I>
-where
-    I: Index + BulkBuildIndex,
-{
+impl<I: Index + BulkBuildIndex> ViperStore<I, SingleWriter> {
     /// Bulk load with the index's own [`BulkBuildIndex`] constructor.
     pub fn bulk_load(
         config: StoreConfig,
@@ -265,7 +418,7 @@ where
     }
 }
 
-impl<I: OrderedIndex> ViperStore<I> {
+impl<I: OrderedIndex, M: WriteModel> ViperStore<I, M> {
     /// Range scan: returns up to `limit` records with key in `[lo, hi]`,
     /// reading each value from NVM into `sink`.
     pub fn scan(&self, lo: Key, hi: Key, limit: usize, sink: &mut dyn FnMut(Key, &[u8])) -> usize {
@@ -283,119 +436,99 @@ impl<I: OrderedIndex> ViperStore<I> {
     }
 }
 
-/// Viper with a concurrency-safe index: `put`/`get`/`delete` all take
-/// `&self`, so any number of threads can mutate through an `Arc` — the
-/// setup of the multi-threaded write experiment (Fig. 14).
-///
-/// Writes to the *same key* are serialised by a striped lock (reads stay
-/// lock-free), Viper's fine-grained-locking discipline. Without it, two
-/// racing inserters of one key could leave a stale record offset alive
-/// while its slot is recycled for another key.
-pub struct ConcurrentViperStore<I> {
-    heap: RecordHeap,
-    index: I,
-    key_locks: Vec<parking_lot::Mutex<()>>,
-    crash_safe_updates: bool,
-    read_only: AtomicBool,
-}
-
-const KEY_STRIPES: usize = 1024;
-
-impl<I: ConcurrentIndex> ConcurrentViperStore<I> {
+impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
+    /// Creates an empty single-writer store with the given index.
     pub fn new(config: StoreConfig, index: I) -> Self {
         let dev = Arc::new(NvmDevice::new(config.nvm));
-        ConcurrentViperStore {
-            heap: RecordHeap::new(dev, config.layout),
-            index,
-            key_locks: (0..KEY_STRIPES).map(|_| parking_lot::Mutex::new(())).collect(),
-            crash_safe_updates: config.crash_safe_updates,
-            read_only: AtomicBool::new(false),
-        }
+        Self::with_parts(RecordHeap::new(dev, config.layout), index, config.crash_safe_updates)
     }
 
-    #[inline]
-    fn key_lock(&self, key: Key) -> &parking_lot::Mutex<()> {
-        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        &self.key_locks[(h >> 54) as usize % KEY_STRIPES]
+    /// Inserts or updates (degradation contract: see [`put_core`]).
+    pub fn put(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
+        put_core(
+            &self.heap,
+            self.crash_safe_updates,
+            &self.read_only,
+            Excl(&mut self.index),
+            key,
+            value,
+        )
     }
 
-    pub fn get(&self, key: Key, value_buf: &mut [u8]) -> bool {
-        match self.index.get(key) {
-            Some(offset) => {
-                self.heap.read(offset, value_buf);
-                true
-            }
-            None => false,
-        }
+    /// Removes a key; returns whether it existed.
+    pub fn delete(&mut self, key: Key) -> Result<bool, ViperError> {
+        delete_core(&self.heap, &self.read_only, Excl(&mut self.index), key)
     }
+}
 
-    /// Whether the store degraded to read-only after device exhaustion.
-    pub fn is_read_only(&self) -> bool {
-        self.read_only.load(Ordering::Acquire)
+impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
+    /// Creates an empty shared-writer store with the given index.
+    pub fn new(config: StoreConfig, index: I) -> Self {
+        let dev = Arc::new(NvmDevice::new(config.nvm));
+        Self::with_parts(RecordHeap::new(dev, config.layout), index, config.crash_safe_updates)
     }
 
     /// Inserts or updates through a shared reference. Same degradation
-    /// contract as [`ViperStore::put`].
+    /// contract as the single-writer put; same-key races are serialised by
+    /// the stripe lock.
     pub fn put(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
-        if self.is_read_only() {
-            return Err(ViperError::ReadOnly);
-        }
-        let _guard = self.key_lock(key).lock();
-        let result = match self.index.get(key) {
-            Some(offset) => {
-                if self.crash_safe_updates {
-                    match self.heap.replace(offset, key, value) {
-                        Ok(new_offset) => {
-                            self.index.insert(key, new_offset);
-                            Ok(())
-                        }
-                        Err(e) => Err(e),
-                    }
-                } else {
-                    self.heap.update_in_place(offset, value)
-                }
-            }
-            None => match self.heap.append(key, value) {
-                Ok(offset) => {
-                    let prev = self.index.insert(key, offset);
-                    debug_assert!(prev.is_none(), "same-key put raced despite striping");
-                    Ok(())
-                }
-                Err(e) => Err(e),
-            },
-        };
-        if result == Err(ViperError::DeviceFull) {
-            self.read_only.store(true, Ordering::Release);
-        }
-        result
+        let _guard = self.key_locks.lock(key);
+        put_core(
+            &self.heap,
+            self.crash_safe_updates,
+            &self.read_only,
+            Shared(&self.index),
+            key,
+            value,
+        )
     }
 
+    /// Removes a key through a shared reference.
     pub fn delete(&self, key: Key) -> Result<bool, ViperError> {
-        let _guard = self.key_lock(key).lock();
-        match self.index.remove(key) {
-            Some(offset) => {
-                self.heap.mark_dead(offset)?;
-                self.read_only.store(false, Ordering::Release);
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        let _guard = self.key_locks.lock(key);
+        delete_core(&self.heap, &self.read_only, Shared(&self.index), key)
     }
 
-    pub fn len(&self) -> usize {
-        self.index.len()
+    /// Shared-writer twin of [`ViperStore::bulk_load_with`]. Named
+    /// distinctly so the single-writer spellings stay inferable with the
+    /// write model elided.
+    pub fn bulk_load_shared(
+        config: StoreConfig,
+        keys: &[Key],
+        value_of: impl FnMut(Key, &mut [u8]),
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Self {
+        Self::try_bulk_load_shared(config, keys, value_of, build)
+            .expect("device cannot hold bulk-loaded data set")
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.index.len() == 0
+    /// Shared-writer twin of [`ViperStore::try_bulk_load_with`].
+    pub fn try_bulk_load_shared(
+        config: StoreConfig,
+        keys: &[Key],
+        value_of: impl FnMut(Key, &mut [u8]),
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Result<Self, ViperError> {
+        Self::try_bulk_load_parts(config, keys, value_of, build)
     }
 
-    pub fn index(&self) -> &I {
-        &self.index
+    /// Shared-writer twin of [`ViperStore::recover_with`].
+    pub fn recover_shared(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> Self {
+        Self::recover_shared_with_options(dev, layout, RecoverOptions::default(), build).0
     }
 
-    pub fn heap(&self) -> &RecordHeap {
-        &self.heap
+    /// Shared-writer twin of [`ViperStore::recover_with_options`].
+    pub fn recover_shared_with_options(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> (Self, RecoveryReport) {
+        Self::recover_parts(dev, layout, opts, build)
     }
 }
 
@@ -458,7 +591,7 @@ pub(crate) mod tests {
 
     #[test]
     fn put_get_delete() {
-        let mut store = ViperStore::new(StoreConfig::test(1_000), MapIndex::default());
+        let mut store = ViperStore::<MapIndex>::new(StoreConfig::test(1_000), MapIndex::default());
         let vs = store.heap().layout().value_size;
         let mut buf = vec![0u8; vs];
         let mut val = vec![0u8; vs];
@@ -481,7 +614,7 @@ pub(crate) mod tests {
 
     #[test]
     fn update_in_place() {
-        let mut store = ViperStore::new(StoreConfig::test(100), MapIndex::default());
+        let mut store = ViperStore::<MapIndex>::new(StoreConfig::test(100), MapIndex::default());
         let vs = store.heap().layout().value_size;
 
         store.put(7, &vec![1u8; vs]).unwrap();
@@ -496,7 +629,7 @@ pub(crate) mod tests {
 
     #[test]
     fn crash_safe_updates_mode() {
-        let mut store = ViperStore::new(
+        let mut store = ViperStore::<MapIndex>::new(
             StoreConfig::test(100).with_crash_safe_updates(true),
             MapIndex::default(),
         );
@@ -517,7 +650,7 @@ pub(crate) mod tests {
 
     #[test]
     fn exhaustion_degrades_to_read_only() {
-        let mut store = ViperStore::new(StoreConfig::test(0), MapIndex::default());
+        let mut store = ViperStore::<MapIndex>::new(StoreConfig::test(0), MapIndex::default());
         let vs = store.heap().layout().value_size;
         let val = vec![1u8; vs];
         let mut k = 0u64;
@@ -613,9 +746,27 @@ pub(crate) mod tests {
         assert!(report.max_seq >= 100);
     }
 
-    /// Concurrent index built on a mutex-wrapped map (reference impl).
+    /// Concurrent index built on a lock-wrapped map (reference impl).
     #[derive(Default)]
     struct LockedMap(parking_lot::RwLock<BTreeMap<Key, u64>>);
+
+    impl Index for LockedMap {
+        fn name(&self) -> &'static str {
+            "locked-map"
+        }
+        fn len(&self) -> usize {
+            self.0.read().len()
+        }
+        fn get(&self, key: Key) -> Option<u64> {
+            self.0.read().get(&key).copied()
+        }
+        fn index_size_bytes(&self) -> usize {
+            self.0.read().len() * 48
+        }
+        fn data_size_bytes(&self) -> usize {
+            0
+        }
+    }
 
     impl ConcurrentIndex for LockedMap {
         fn get(&self, key: Key) -> Option<u64> {
@@ -690,6 +841,60 @@ pub(crate) mod tests {
         // equal.
         assert!(buf.iter().all(|&b| b == buf[0]), "torn value {buf:?}");
     }
+
+    #[test]
+    fn shared_writer_store_scans_and_recovers() {
+        // The unified store gives the shared-writer flavour everything the
+        // single-writer one had: bulk load, ordered scans, recovery.
+        let keys: Vec<Key> = (0..500u64).map(|i| i * 4).collect();
+        let cfg = StoreConfig::test(1_000);
+        let store: ConcurrentViperStore<li_core::shard::Sharded<MapIndex>> =
+            ConcurrentViperStore::bulk_load_shared(cfg, &keys, value_for, |pairs| {
+                li_core::shard::Sharded::build(4, pairs)
+            });
+        assert_eq!(store.len(), 500);
+        let vs = cfg.layout.value_size;
+        store.put(2, &vec![7u8; vs]).unwrap();
+        assert!(store.delete(0).unwrap());
+        let mut got = Vec::new();
+        store.scan(0, 40, 100, &mut |k, _| got.push(k));
+        assert_eq!(got, vec![2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40]);
+
+        let dev = store.into_device();
+        let (recovered, report) =
+            ConcurrentViperStore::<li_core::shard::Sharded<MapIndex>>::recover_shared_with_options(
+                dev,
+                cfg.layout,
+                RecoverOptions::default(),
+                |pairs| li_core::shard::Sharded::build(4, pairs),
+            );
+        assert_eq!(recovered.len(), 500);
+        assert_eq!(report.quarantined, 0);
+        let mut buf = vec![0u8; vs];
+        assert!(recovered.get(2, &mut buf));
+        assert_eq!(buf, vec![7u8; vs]);
+        assert!(!recovered.get(0, &mut buf));
+    }
+
+    #[test]
+    fn shared_writer_exhaustion_degrades_and_recovers_capacity() {
+        let store = ConcurrentViperStore::new(StoreConfig::test(0), LockedMap::default());
+        let vs = store.heap().layout().value_size;
+        let val = vec![1u8; vs];
+        let mut k = 0u64;
+        let err = loop {
+            match store.put(k, &val) {
+                Ok(()) => k += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ViperError::DeviceFull);
+        assert!(store.is_read_only());
+        assert_eq!(store.put(u64::MAX, &val), Err(ViperError::ReadOnly));
+        assert!(store.delete(0).unwrap());
+        assert!(!store.is_read_only());
+        store.put(u64::MAX, &val).unwrap();
+    }
 }
 
 #[cfg(test)]
@@ -707,7 +912,10 @@ mod proptests {
             ops in proptest::collection::vec((0u64..300, 0u8..3), 1..250),
         ) {
             let mut store =
-                ViperStore::new(StoreConfig::test(1_000), crate::store::tests::MapIndex::default());
+                ViperStore::<crate::store::tests::MapIndex>::new(
+                    StoreConfig::test(1_000),
+                    crate::store::tests::MapIndex::default(),
+                );
             let vs = store.heap().layout().value_size;
             let mut oracle: HashMap<u64, u8> = HashMap::new();
             let mut buf = vec![0u8; vs];

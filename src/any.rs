@@ -106,6 +106,13 @@ impl IndexKind {
         !matches!(self, IndexKind::Cceh)
     }
 
+    /// Whether the index takes concurrent writes natively (`&self`
+    /// mutation, Table I's "concurrent writes" column) rather than needing
+    /// the range-sharding lift.
+    pub fn concurrent_native(&self) -> bool {
+        matches!(self, IndexKind::XIndex)
+    }
+
     /// The paper's Table I row for this index (learned indexes only).
     pub fn capabilities(&self) -> Option<Capabilities> {
         let cap = match self {
@@ -385,80 +392,107 @@ impl UpdatableIndex for AnyIndex {
     }
 }
 
-/// Write-concurrent index selection for the multi-threaded experiments
-/// (Fig. 14): XIndex versus concurrent traditional baselines.
+/// How an [`IndexKind`] reaches write-concurrent service (Fig. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ConcurrentKind {
-    XIndex,
-    ShardedCceh,
-    /// B+Tree behind one global RwLock (the "global latch" baseline).
-    LockedBTree,
-    /// Range-sharded B+Tree (16 shards).
-    ShardedBTree,
-    /// Range-sharded skip list (16 shards).
-    ShardedSkipList,
-    /// Range-sharded ART (16 shards).
-    ShardedArt,
+pub enum ConcurrentVia {
+    /// The index is internally thread-safe (`&self` writes): XIndex.
+    Native,
+    /// Range-sharded behind per-shard RwLocks (`li_core::shard::Sharded`).
+    Sharded,
+    /// One shard — every operation funnels through a single global latch.
+    /// The degenerate sharding the paper's latch-based baselines model.
+    GlobalLock,
+}
+
+/// A write-concurrent configuration of one updatable index: which index,
+/// and how it is lifted into concurrent service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrentKind {
+    pub index: IndexKind,
+    pub via: ConcurrentVia,
 }
 
 impl ConcurrentKind {
-    pub const ALL: [ConcurrentKind; 6] = [
-        ConcurrentKind::XIndex,
-        ConcurrentKind::ShardedCceh,
-        ConcurrentKind::LockedBTree,
-        ConcurrentKind::ShardedBTree,
-        ConcurrentKind::ShardedSkipList,
-        ConcurrentKind::ShardedArt,
-    ];
+    /// Default shard count for the sharded route (≥ the largest thread
+    /// count the harness drives, so disjoint writers rarely collide).
+    pub const DEFAULT_SHARDS: usize = 16;
 
-    pub fn name(&self) -> &'static str {
-        match self {
-            ConcurrentKind::XIndex => "XIndex",
-            ConcurrentKind::ShardedCceh => "CCEH",
-            ConcurrentKind::LockedBTree => "BTree(lock)",
-            ConcurrentKind::ShardedBTree => "BTree(shard)",
-            ConcurrentKind::ShardedSkipList => "SkipList(shard)",
-            ConcurrentKind::ShardedArt => "ART(shard)",
+    /// The preferred concurrent route for `kind`: native where the index
+    /// supports `&self` writes, range sharding for every other updatable
+    /// index, `None` for read-only indexes (RMI, RS).
+    pub fn of(kind: IndexKind) -> Option<Self> {
+        if !kind.supports_insert() {
+            return None;
+        }
+        let via =
+            if kind.concurrent_native() { ConcurrentVia::Native } else { ConcurrentVia::Sharded };
+        Some(ConcurrentKind { index: kind, via })
+    }
+
+    /// The full write-concurrent lineup: every updatable index, each by
+    /// its preferred route.
+    pub fn all() -> Vec<ConcurrentKind> {
+        IndexKind::UPDATABLE.iter().filter_map(|&k| ConcurrentKind::of(k)).collect()
+    }
+
+    /// `kind` behind one global latch (the lock-coupling baseline).
+    pub fn global_lock(kind: IndexKind) -> Option<Self> {
+        if !kind.supports_insert() {
+            return None;
+        }
+        Some(ConcurrentKind { index: kind, via: ConcurrentVia::GlobalLock })
+    }
+
+    pub fn name(&self) -> String {
+        match self.via {
+            ConcurrentVia::Native => self.index.name().to_string(),
+            ConcurrentVia::Sharded => format!("{}(shard)", self.index.name()),
+            ConcurrentVia::GlobalLock => format!("{}(lock)", self.index.name()),
         }
     }
 }
 
-/// A runtime-selected write-concurrent index.
+/// A runtime-selected write-concurrent index: either a natively concurrent
+/// index passed through lock-free, or any updatable [`AnyIndex`] lifted by
+/// range sharding.
 pub enum AnyConcurrentIndex {
-    XIndex(li_xindex::XIndex),
-    ShardedCceh(li_traditional::ShardedCceh),
-    LockedBTree(li_traditional::RwLocked<li_traditional::BPlusTree>),
-    ShardedBTree(li_traditional::Sharded<li_traditional::BPlusTree>),
-    ShardedSkipList(li_traditional::Sharded<li_traditional::SkipList>),
-    ShardedArt(li_traditional::Sharded<li_traditional::Art>),
+    Native(li_core::shard::Native<li_xindex::XIndex>),
+    Sharded(li_core::shard::Sharded<AnyIndex>),
 }
 
 impl AnyConcurrentIndex {
-    const SHARD_BITS: u32 = 4;
-
-    /// Bulk-builds a concurrent index over sorted pairs.
+    /// Bulk-builds a concurrent index over sorted pairs with the default
+    /// shard count.
     pub fn build(kind: ConcurrentKind, data: &[KeyValue]) -> Self {
-        match kind {
-            ConcurrentKind::XIndex => AnyConcurrentIndex::XIndex(li_xindex::XIndex::build(data)),
-            ConcurrentKind::ShardedCceh => {
-                let c = li_traditional::ShardedCceh::new();
-                for &(k, v) in data {
-                    ConcurrentIndex::insert(&c, k, v);
-                }
-                AnyConcurrentIndex::ShardedCceh(c)
+        Self::build_with_shards(kind, ConcurrentKind::DEFAULT_SHARDS, data)
+    }
+
+    /// Bulk-builds with an explicit shard count (ignored by the native
+    /// route; forced to 1 by the global-lock route).
+    pub fn build_with_shards(kind: ConcurrentKind, shards: usize, data: &[KeyValue]) -> Self {
+        match kind.via {
+            ConcurrentVia::Native => {
+                debug_assert_eq!(kind.index, IndexKind::XIndex);
+                AnyConcurrentIndex::Native(li_core::shard::Native(li_xindex::XIndex::build(data)))
             }
-            ConcurrentKind::LockedBTree => AnyConcurrentIndex::LockedBTree(
-                li_traditional::RwLocked::new(li_traditional::BPlusTree::build(data)),
+            ConcurrentVia::Sharded => AnyConcurrentIndex::Sharded(
+                li_core::shard::Sharded::build_with(shards, data, |chunk| {
+                    AnyIndex::build(kind.index, chunk)
+                }),
             ),
-            ConcurrentKind::ShardedBTree => AnyConcurrentIndex::ShardedBTree(
-                li_traditional::Sharded::build_sharded(Self::SHARD_BITS, data),
-            ),
-            ConcurrentKind::ShardedSkipList => AnyConcurrentIndex::ShardedSkipList(
-                li_traditional::Sharded::build_sharded(Self::SHARD_BITS, data),
-            ),
-            ConcurrentKind::ShardedArt => AnyConcurrentIndex::ShardedArt(
-                li_traditional::Sharded::build_sharded(Self::SHARD_BITS, data),
-            ),
+            ConcurrentVia::GlobalLock => {
+                AnyConcurrentIndex::Sharded(li_core::shard::Sharded::build_with(1, data, |chunk| {
+                    AnyIndex::build(kind.index, chunk)
+                }))
+            }
+        }
+    }
+
+    /// Shard count backing this instance (1 for the native route).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            AnyConcurrentIndex::Native(_) => 1,
+            AnyConcurrentIndex::Sharded(s) => s.shard_count(),
         }
     }
 }
@@ -466,14 +500,40 @@ impl AnyConcurrentIndex {
 macro_rules! cdispatch {
     ($self:ident, $i:ident => $body:expr) => {
         match $self {
-            AnyConcurrentIndex::XIndex($i) => $body,
-            AnyConcurrentIndex::ShardedCceh($i) => $body,
-            AnyConcurrentIndex::LockedBTree($i) => $body,
-            AnyConcurrentIndex::ShardedBTree($i) => $body,
-            AnyConcurrentIndex::ShardedSkipList($i) => $body,
-            AnyConcurrentIndex::ShardedArt($i) => $body,
+            AnyConcurrentIndex::Native($i) => $body,
+            AnyConcurrentIndex::Sharded($i) => $body,
         }
     };
+}
+
+impl Index for AnyConcurrentIndex {
+    fn name(&self) -> &'static str {
+        cdispatch!(self, i => Index::name(i))
+    }
+
+    fn len(&self) -> usize {
+        cdispatch!(self, i => Index::len(i))
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        cdispatch!(self, i => Index::get(i, key))
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        cdispatch!(self, i => i.index_size_bytes())
+    }
+
+    fn data_size_bytes(&self) -> usize {
+        cdispatch!(self, i => i.data_size_bytes())
+    }
+}
+
+impl OrderedIndex for AnyConcurrentIndex {
+    /// Range scan; a sharded CCEH still cannot scan (the underlying
+    /// [`AnyIndex`] yields nothing) — gate on [`IndexKind::supports_range`].
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
+        cdispatch!(self, i => i.range(lo, hi, out))
+    }
 }
 
 impl ConcurrentIndex for AnyConcurrentIndex {
@@ -571,13 +631,53 @@ mod tests {
     #[test]
     fn concurrent_kinds_build_and_operate() {
         let d = data(10_000);
-        for kind in ConcurrentKind::ALL {
+        let lineup = ConcurrentKind::all();
+        assert_eq!(lineup.len(), IndexKind::UPDATABLE.len());
+        for kind in lineup {
             let idx = AnyConcurrentIndex::build(kind, &d);
-            assert_eq!(idx.len(), d.len(), "{}", kind.name());
-            assert_eq!(idx.get(8), Some(1), "{}", kind.name());
-            assert_eq!(idx.insert(2, 42), None);
-            assert_eq!(idx.get(2), Some(42));
+            assert_eq!(ConcurrentIndex::len(&idx), d.len(), "{}", kind.name());
+            assert_eq!(ConcurrentIndex::get(&idx, 8), Some(1), "{}", kind.name());
+            assert_eq!(idx.insert(2, 42), None, "{}", kind.name());
+            assert_eq!(ConcurrentIndex::get(&idx, 2), Some(42));
             assert_eq!(idx.remove(2), Some(42));
+        }
+    }
+
+    #[test]
+    fn concurrent_routes() {
+        assert_eq!(ConcurrentKind::of(IndexKind::XIndex).unwrap().via, ConcurrentVia::Native);
+        assert_eq!(ConcurrentKind::of(IndexKind::Alex).unwrap().via, ConcurrentVia::Sharded);
+        assert!(ConcurrentKind::of(IndexKind::Rmi).is_none());
+        assert!(ConcurrentKind::of(IndexKind::Rs).is_none());
+        assert_eq!(ConcurrentKind::of(IndexKind::Pgm).unwrap().name(), "PGM(shard)");
+        assert_eq!(ConcurrentKind::global_lock(IndexKind::BTree).unwrap().name(), "BTree(lock)");
+        assert_eq!(ConcurrentKind::of(IndexKind::XIndex).unwrap().name(), "XIndex");
+
+        let d = data(4_000);
+        let lock =
+            AnyConcurrentIndex::build(ConcurrentKind::global_lock(IndexKind::BTree).unwrap(), &d);
+        assert_eq!(lock.shard_count(), 1);
+        let shard = AnyConcurrentIndex::build_with_shards(
+            ConcurrentKind::of(IndexKind::Pgm).unwrap(),
+            8,
+            &d,
+        );
+        assert_eq!(shard.shard_count(), 8);
+        let native = AnyConcurrentIndex::build(ConcurrentKind::of(IndexKind::XIndex).unwrap(), &d);
+        assert_eq!(native.shard_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_index_scans_through_shards() {
+        let d = data(5_000);
+        for kind in [
+            ConcurrentKind::of(IndexKind::BTree).unwrap(),
+            ConcurrentKind::of(IndexKind::XIndex).unwrap(),
+        ] {
+            let idx = AnyConcurrentIndex::build(kind, &d);
+            let mut out = Vec::new();
+            idx.range(8, 29, &mut out);
+            assert_eq!(out, vec![(8, 1), (15, 2), (22, 3), (29, 4)], "{}", kind.name());
         }
     }
 }

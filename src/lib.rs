@@ -48,4 +48,4 @@ pub use li_xindex as xindex;
 pub mod any;
 pub mod torture;
 
-pub use any::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
+pub use any::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, ConcurrentVia, IndexKind};

@@ -35,8 +35,11 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use li_core::Sharded;
 use li_nvm::{FaultCountersSnapshot, FaultPlan, NvmConfig, NvmDevice, NvmError};
-use li_viper::{RecordLayout, RecoverOptions, RecoveryReport, ViperError, ViperStore};
+use li_viper::{
+    ConcurrentViperStore, RecordLayout, RecoverOptions, RecoveryReport, ViperError, ViperStore,
+};
 
 use crate::{AnyIndex, IndexKind};
 
@@ -90,6 +93,10 @@ pub struct TortureConfig {
     /// pre-hardening store and makes injected payload corruption surface —
     /// the harness exists to prove that happens.
     pub verify_checksums: bool,
+    /// `0` tortures the single-writer store; any other value drives the
+    /// shared-writer store over a range-sharded index with this many
+    /// shards, so crash schedules also cover the concurrent publish path.
+    pub shards: usize,
 }
 
 impl TortureConfig {
@@ -101,6 +108,87 @@ impl TortureConfig {
             key_space: 160,
             crash_safe_updates: true,
             verify_checksums: true,
+            shards: 0,
+        }
+    }
+
+    /// [`TortureConfig::quick`] against the shared-writer sharded store.
+    pub fn quick_sharded(kind: IndexKind) -> Self {
+        TortureConfig { shards: 4, ..TortureConfig::quick(kind) }
+    }
+}
+
+/// The store under torture: the one [`ViperStore`] in either write model,
+/// so a crash schedule can target a `Sharded<AnyIndex>` backend as easily
+/// as the single-writer paper configuration.
+#[allow(clippy::large_enum_variant)] // one driver per run; no point boxing
+enum Driver {
+    Single(ViperStore<AnyIndex>),
+    Sharded(ConcurrentViperStore<Sharded<AnyIndex>>),
+}
+
+impl Driver {
+    fn recover(
+        cfg: &TortureConfig,
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+    ) -> (Self, RecoveryReport) {
+        let kind = cfg.kind;
+        if cfg.shards == 0 {
+            let (store, report) = ViperStore::recover_with_options(dev, layout, opts, |pairs| {
+                AnyIndex::build(kind, pairs)
+            });
+            (Driver::Single(store), report)
+        } else {
+            let shards = cfg.shards;
+            let (store, report) =
+                ConcurrentViperStore::recover_shared_with_options(dev, layout, opts, |pairs| {
+                    Sharded::build_with(shards, pairs, |chunk| AnyIndex::build(kind, chunk))
+                });
+            (Driver::Sharded(store), report)
+        }
+    }
+
+    fn set_crash_safe_updates(&mut self, on: bool) {
+        match self {
+            Driver::Single(s) => s.set_crash_safe_updates(on),
+            Driver::Sharded(s) => s.set_crash_safe_updates(on),
+        }
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<(), ViperError> {
+        match self {
+            Driver::Single(s) => s.put(key, value),
+            Driver::Sharded(s) => s.put(key, value),
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, ViperError> {
+        match self {
+            Driver::Single(s) => s.delete(key),
+            Driver::Sharded(s) => s.delete(key),
+        }
+    }
+
+    fn get(&self, key: u64, buf: &mut [u8]) -> bool {
+        match self {
+            Driver::Single(s) => s.get(key, buf),
+            Driver::Sharded(s) => s.get(key, buf),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Driver::Single(s) => s.len(),
+            Driver::Sharded(s) => s.len(),
+        }
+    }
+
+    fn into_device(self) -> Arc<NvmDevice> {
+        match self {
+            Driver::Single(s) => s.into_device(),
+            Driver::Sharded(s) => s.into_device(),
         }
     }
 }
@@ -145,13 +233,7 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     let plan = FaultPlan::random(seed, cfg.ops as u64 * 7);
     let dev = Arc::new(NvmDevice::with_faults(nvm, &plan));
 
-    let kind = cfg.kind;
-    let (mut store, _) = ViperStore::recover_with_options(
-        Arc::clone(&dev),
-        layout,
-        RecoverOptions::default(),
-        |pairs| AnyIndex::build(kind, pairs),
-    );
+    let (mut store, _) = Driver::recover(cfg, Arc::clone(&dev), layout, RecoverOptions::default());
     store.set_crash_safe_updates(cfg.crash_safe_updates);
     drop(dev); // store's clone is now unique again after into_device()
 
@@ -214,11 +296,11 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     let faults = dev.fault_counters();
     let dev = Arc::new(dev);
 
-    let (recovered, report) = ViperStore::recover_with_options(
+    let (recovered, report) = Driver::recover(
+        cfg,
         dev,
         layout,
         RecoverOptions { verify_checksums: cfg.verify_checksums },
-        |pairs| AnyIndex::build(kind, pairs),
     );
 
     // --- Verify against the oracle -------------------------------------
@@ -323,6 +405,17 @@ mod tests {
         // half of the horizon) fires after the workload finished: every
         // acked op must then be recovered byte-exactly.
         let mut cfg = TortureConfig::quick(IndexKind::BTree);
+        cfg.ops = 30;
+        let out = torture_run(3, &cfg);
+        assert!(out.passed(), "divergences: {:?}", out.divergences);
+        assert!(out.ops_acked > 0);
+    }
+
+    #[test]
+    fn sharded_driver_satisfies_oracle() {
+        // Same schedule, but through the shared-writer store over a
+        // range-sharded index.
+        let mut cfg = TortureConfig::quick_sharded(IndexKind::BTree);
         cfg.ops = 30;
         let out = torture_run(3, &cfg);
         assert!(out.passed(), "divergences: {:?}", out.divergences);

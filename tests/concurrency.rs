@@ -44,21 +44,26 @@ fn concurrent_reads_every_index() {
 
 #[test]
 fn concurrent_writes_every_concurrent_kind() {
-    let keys = generate_keys(Dataset::Uniform, 10_000, 22);
-    for kind in ConcurrentKind::ALL {
-        let config = StoreConfig::test(keys.len() + 40_000);
+    // Every updatable index — native (XIndex) or lifted by range sharding —
+    // serves concurrent writers through the one shared-writer store.
+    let initial: Vec<u64> = (0..8_000u64).map(|i| i * 97 + 5).collect();
+    for kind in ConcurrentKind::all() {
+        let config = StoreConfig::test(initial.len() + 40_000);
         let store =
-            Arc::new(ConcurrentViperStore::new(config, AnyConcurrentIndex::build(kind, &[])));
+            Arc::new(ConcurrentViperStore::bulk_load_shared(config, &initial, value_of, |pairs| {
+                AnyConcurrentIndex::build(kind, pairs)
+            }));
         let vs = store.heap().layout().value_size;
 
-        // Phase 1: concurrent load of disjoint key ranges.
+        // Phase 1: concurrent inserts of disjoint fresh keys, interleaved
+        // across the key domain so all shards take writes.
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let store = Arc::clone(&store);
             handles.push(std::thread::spawn(move || {
                 let mut val = vec![0u8; vs];
                 for i in 0..2_000u64 {
-                    let k = (t << 40) | (i * 7 + 1);
+                    let k = (i * 8 + t) * 97 + 6;
                     value_of(k, &mut val);
                     store.put(k, &val).unwrap();
                 }
@@ -67,16 +72,16 @@ fn concurrent_writes_every_concurrent_kind() {
         for h in handles {
             h.join().unwrap_or_else(|_| panic!("{}", kind.name()));
         }
-        assert_eq!(store.len(), 16_000, "{}", kind.name());
+        assert_eq!(store.len(), 24_000, "{}", kind.name());
 
         // Phase 2: mixed readers + writers on overlapping ranges.
         let mut handles = Vec::new();
         for t in 0..4u64 {
             let store = Arc::clone(&store);
+            let initial = initial.clone();
             handles.push(std::thread::spawn(move || {
                 let mut buf = vec![0u8; vs];
-                for i in 0..2_000u64 {
-                    let k = ((i % 8) << 40) | ((i % 2_000) * 7 + 1);
+                for &k in initial.iter().skip(t as usize).step_by(7) {
                     assert!(store.get(k, &mut buf), "reader {t}: lost {k}");
                 }
             }));
@@ -86,7 +91,7 @@ fn concurrent_writes_every_concurrent_kind() {
             handles.push(std::thread::spawn(move || {
                 let val = vec![t as u8 + 1; vs];
                 for i in 0..1_000u64 {
-                    let k = (t << 40) | (i * 7 + 1);
+                    let k = (i * 8 + t) * 97 + 6;
                     store.put(k, &val).unwrap(); // in-place updates
                 }
             }));
@@ -94,12 +99,12 @@ fn concurrent_writes_every_concurrent_kind() {
         for h in handles {
             h.join().unwrap_or_else(|_| panic!("{}", kind.name()));
         }
-        assert_eq!(store.len(), 16_000, "{}", kind.name());
+        assert_eq!(store.len(), 24_000, "{}", kind.name());
 
         // Updated values must be untorn: all bytes identical.
         let mut buf = vec![0u8; vs];
         for t in 0..4u64 {
-            let k = (t << 40) | 1;
+            let k = t * 97 + 6;
             assert!(store.get(k, &mut buf));
             assert!(buf.iter().all(|&b| b == buf[0]), "{}: torn value", kind.name());
         }

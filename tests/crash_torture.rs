@@ -51,6 +51,33 @@ fn hundred_plus_seeds_across_three_backends() {
     let _ = quarantined;
 }
 
+/// The same crash schedules must hold when the store under torture is the
+/// shared-writer flavour over a range-sharded index — the publish path the
+/// multi-threaded figures run through.
+#[test]
+fn sharded_store_survives_torture() {
+    let kinds = [IndexKind::BTree, IndexKind::Pgm, IndexKind::Alex];
+    let mut crashes = 0u64;
+    let mut failures = Vec::new();
+    for &kind in &kinds {
+        let cfg = TortureConfig::quick_sharded(kind);
+        for seed in 200..220u64 {
+            let out = torture_run(seed, &cfg);
+            crashes += out.faults.crash_triggers;
+            if !out.passed() {
+                failures.push(format!(
+                    "kind={} seed={}: {:?}",
+                    kind.name(),
+                    out.seed,
+                    out.divergences
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "oracle divergences:\n{}", failures.join("\n"));
+    assert!(crashes > 30, "only {crashes} crash points fired across 60 sharded runs");
+}
+
 /// In-place updates are the paper's (and real Viper's) fast path; the
 /// oracle must hold for them too — a torn in-place update may cost that
 /// one record (quarantine) but can never surface a torn value.

@@ -8,7 +8,9 @@
 //! for this codebase (no lock here guards data whose invariants break on
 //! unwind mid-critical-section in a way the tests rely on).
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+// Guard types are std's; re-exported because the real `parking_lot`
+// exposes them at the crate root.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Non-poisoning mutex with `parking_lot`'s `lock() -> guard` signature.
 #[derive(Debug, Default)]
