@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use li_core::pieces::insertion::{GappedLeaf, InsertOutcome, LeafStorage};
 use li_core::pieces::retrain::RetrainStats;
+use li_core::telemetry::{Event, OpKind, Recorder};
 use li_core::traits::{BulkBuildIndex, DepthStats, Index, OrderedIndex, UpdatableIndex};
 use li_core::{Key, KeyValue, LinearModel, Value};
 
@@ -67,6 +68,7 @@ pub struct Alex {
     len: usize,
     config: AlexConfig,
     stats: RetrainStats,
+    recorder: Recorder,
 }
 
 impl Alex {
@@ -80,13 +82,20 @@ impl Alex {
             len: 0,
             config,
             stats: RetrainStats::default(),
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Bulk build with explicit configuration.
     pub fn build_with(config: AlexConfig, data: &[KeyValue]) -> Self {
         let root = Self::build_node(&config, data, 0);
-        Alex { root, len: data.len(), config, stats: RetrainStats::default() }
+        Alex {
+            root,
+            len: data.len(),
+            config,
+            stats: RetrainStats::default(),
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Retrain/insert counters (Figs. 18 (b)–(d)).
@@ -226,6 +235,7 @@ impl Alex {
             value: Value,
             config: &AlexConfig,
             stats: &mut RetrainStats,
+            recorder: &Recorder,
         ) -> Option<Value> {
             match node {
                 Node::Data(leaf) => match leaf.insert(key, value) {
@@ -233,7 +243,8 @@ impl Alex {
                     InsertOutcome::Replaced(old) => Some(old),
                     InsertOutcome::NeedsRetrain => {
                         let t0 = Instant::now();
-                        stats.insert_moves += leaf.moves();
+                        let retired_moves = leaf.moves();
+                        stats.insert_moves += retired_moves;
                         let mut data = leaf.to_sorted_vec();
                         let pos = data.partition_point(|kv| kv.0 < key);
                         data.insert(pos, (key, value));
@@ -247,23 +258,33 @@ impl Alex {
                         if Alex::fits_leaf(config, &keys) && data.len() <= config.max_data_node_keys
                         {
                             *node = Alex::make_leaf(config, &data);
+                            recorder.event(Event::ExpandNode);
                         } else {
                             *node = Alex::build_node(config, &data, 0);
+                            recorder.event(Event::SplitNode);
                         }
-                        stats.record_retrain(t0.elapsed(), data.len() as u64);
+                        let elapsed = t0.elapsed();
+                        stats.record_retrain(elapsed, data.len() as u64);
+                        recorder.event(Event::Retrain);
+                        recorder.event_n(Event::KeyShift, retired_moves);
+                        recorder.record_ns(
+                            OpKind::Retrain,
+                            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                        );
                         None
                     }
                 },
                 Node::Internal { model, bounds, children } => {
                     let i = Alex::route(model, bounds, key);
-                    rec(&mut children[i], key, value, config, stats)
+                    rec(&mut children[i], key, value, config, stats, recorder)
                 }
             }
         }
 
         let config = self.config;
+        let recorder = self.recorder.clone();
         let mut stats = std::mem::take(&mut self.stats);
-        let out = rec(&mut self.root, key, value, &config, &mut stats);
+        let out = rec(&mut self.root, key, value, &config, &mut stats, &recorder);
         self.stats = stats;
         out
     }
@@ -386,6 +407,10 @@ impl Index for Alex {
         Self::size_rec(&self.root, &mut i, &mut d);
         d
     }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
 }
 
 impl UpdatableIndex for Alex {
@@ -396,7 +421,10 @@ impl UpdatableIndex for Alex {
         if old.is_none() {
             self.len += 1;
         }
-        self.stats.insert_time += t0.elapsed();
+        let elapsed = t0.elapsed();
+        self.stats.insert_time += elapsed;
+        self.recorder
+            .record_ns(OpKind::Insert, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
         old
     }
 

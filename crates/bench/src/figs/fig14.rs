@@ -54,6 +54,7 @@ pub fn measure(
 
 pub fn run(cfg: &BenchConfig) {
     println!("== Fig. 14: write-only, multi-threaded (full updatable lineup) ==\n");
+    let sink = harness::TelemetrySink::new(cfg, "fig14");
     let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
     let (loaded, pool) = split_load_insert(&keys, 0.2);
 
@@ -62,8 +63,21 @@ pub fn run(cfg: &BenchConfig) {
         harness::header(&["index", "Mops/s", "p99.9 us"]);
         let per_thread = (cfg.ops / threads).min(pool.len() / threads.max(1));
         for kind in ConcurrentKind::all() {
-            let store = Arc::new(harness::build_concurrent_store(kind, &loaded));
-            let m = measure(kind, store, &pool, threads, per_thread);
+            // A fresh recorder per (threads, kind) cell: its `Put`
+            // histogram, shard routing counters and structural events are
+            // this cell's alone.
+            let rec = sink.recorder();
+            let mut store = harness::build_concurrent_store(kind, &loaded);
+            if rec.is_enabled() {
+                store.set_recorder(rec.clone());
+            }
+            let store = Arc::new(store);
+            let m = measure(kind, Arc::clone(&store), &pool, threads, per_thread);
+            if rec.is_enabled() {
+                let mut snap = rec.snapshot();
+                snap.nvm = store.heap().device().stats_snapshot().to_telemetry();
+                sink.write(&format!("t{threads}_{}", kind.name()), &snap);
+            }
             harness::row(&m.name, &[format!("{:.3}", m.mops()), format!("{:.2}", m.p999_us())]);
         }
         println!();

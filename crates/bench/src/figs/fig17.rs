@@ -14,6 +14,7 @@ use li_core::approx::{ApproxAlgorithm, Segment};
 use li_core::cdf::segmentation_quality;
 use li_core::pieces::structure::StructureKind;
 use li_core::search::bounded_last_le;
+use li_core::telemetry::{OpKind, Recorder};
 use li_core::traits::{BulkBuildIndex, Index, TwoPhaseLookup};
 use li_core::Key;
 use li_workloads::Dataset;
@@ -21,16 +22,27 @@ use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 pub fn run(cfg: &BenchConfig) {
     println!("== Fig. 17: approximation algorithms & inner structures ==\n");
+    // In telemetry mode parts (a)/(c)/(d) additionally record *per-probe*
+    // `Get` latencies (p50/p99/p999 in the JSON). The extra clock reads
+    // inflate the printed averages slightly, so compare printed numbers
+    // only between runs with the same telemetry setting.
+    let sink = harness::TelemetrySink::new(cfg, "fig17");
     let keys = harness::dataset(Dataset::YcsbNormal, cfg.n, cfg.seed);
-    part_a(cfg, &keys);
+    part_a(cfg, &keys, &sink);
     part_b(cfg, &keys);
-    part_c(cfg, &keys);
-    part_d(cfg, &keys);
+    part_c(cfg, &keys, &sink);
+    part_d(cfg, &keys, &sink);
 }
 
 /// Times bounded-search lookups *within* segments (leaf phase only — the
 /// segment for each probe key is precomputed).
-fn leaf_lookup_ns(keys: &[Key], segments: &[Segment], probes: usize, seed: u64) -> f64 {
+fn leaf_lookup_ns(
+    keys: &[Key],
+    segments: &[Segment],
+    probes: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     // Precompute (key, segment) probe pairs.
     let pairs: Vec<(Key, usize)> = (0..probes)
@@ -43,16 +55,25 @@ fn leaf_lookup_ns(keys: &[Key], segments: &[Segment], probes: usize, seed: u64) 
     let t0 = Instant::now();
     let mut acc = 0usize;
     for &(k, s) in &pairs {
+        let t = rec.start();
         let seg = &segments[s];
         let p = seg.model.predict_clamped(k, keys.len()).clamp(seg.start, seg.start + seg.len - 1);
         acc ^= bounded_last_le(keys, k, p, seg.max_error as usize + 1);
+        rec.finish(OpKind::Get, t);
     }
     std::hint::black_box(acc);
     t0.elapsed().as_nanos() as f64 / probes as f64
 }
 
 /// Times lookups in model-based gapped layouts (LSA-gap's leaf phase).
-fn gapped_lookup_ns(keys: &[Key], seg_size: usize, density: f64, probes: usize, seed: u64) -> f64 {
+fn gapped_lookup_ns(
+    keys: &[Key],
+    seg_size: usize,
+    density: f64,
+    probes: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> f64 {
     let layouts: Vec<GappedLayout> = keys
         .chunks(seg_size)
         .map(|c| {
@@ -70,37 +91,45 @@ fn gapped_lookup_ns(keys: &[Key], seg_size: usize, density: f64, probes: usize, 
     let t0 = Instant::now();
     let mut acc = 0u64;
     for &(k, l) in &pairs {
+        let t = rec.start();
         acc ^= layouts[l].get(k).unwrap_or(1);
+        rec.finish(OpKind::Get, t);
     }
     std::hint::black_box(acc);
     t0.elapsed().as_nanos() as f64 / probes as f64
 }
 
-fn part_a(cfg: &BenchConfig, keys: &[Key]) {
+fn part_a(cfg: &BenchConfig, keys: &[Key], sink: &harness::TelemetrySink) {
     println!("--- (a) avg error vs in-leaf query time ---");
     harness::header(&["algorithm", "param", "avg err", "leaf ns"]);
     let probes = (cfg.ops / 4).max(10_000);
     for seg_size in [256usize, 1024, 4096] {
+        let rec = sink.recorder();
         let segs = ApproxAlgorithm::Lsa { seg_size }.segment(keys);
         let q = segmentation_quality(keys, segs.iter().map(|s| (s.start, s.len, s.model)));
-        let ns = leaf_lookup_ns(keys, &segs, probes, cfg.seed);
+        let ns = leaf_lookup_ns(keys, &segs, probes, cfg.seed, &rec);
+        sink.write(&format!("a_LSA_{seg_size}"), &rec.snapshot());
         harness::row(
             "LSA",
             &[seg_size.to_string(), format!("{:.1}", q.avg_error), format!("{ns:.0}")],
         );
     }
     for eps in [16u64, 64, 256] {
+        let rec = sink.recorder();
         let segs = ApproxAlgorithm::OptPla { epsilon: eps }.segment(keys);
         let q = segmentation_quality(keys, segs.iter().map(|s| (s.start, s.len, s.model)));
-        let ns = leaf_lookup_ns(keys, &segs, probes, cfg.seed);
+        let ns = leaf_lookup_ns(keys, &segs, probes, cfg.seed, &rec);
+        sink.write(&format!("a_OptPLA_eps{eps}"), &rec.snapshot());
         harness::row(
             "Opt-PLA",
             &[format!("eps={eps}"), format!("{:.1}", q.avg_error), format!("{ns:.0}")],
         );
     }
     for seg_size in [256usize, 1024, 4096] {
+        let rec = sink.recorder();
         let q = lsa_gap_quality(keys, seg_size, 0.7);
-        let ns = gapped_lookup_ns(keys, seg_size, 0.7, probes, cfg.seed);
+        let ns = gapped_lookup_ns(keys, seg_size, 0.7, probes, cfg.seed, &rec);
+        sink.write(&format!("a_LSAgap_{seg_size}"), &rec.snapshot());
         harness::row(
             "LSA-gap",
             &[seg_size.to_string(), format!("{:.2}", q.avg_error), format!("{ns:.0}")],
@@ -139,7 +168,7 @@ fn part_b(cfg: &BenchConfig, keys: &[Key]) {
     println!("(LSA-gap: low error AND few leaves simultaneously — §IV-A's conclusion)\n");
 }
 
-fn part_c(cfg: &BenchConfig, keys: &[Key]) {
+fn part_c(cfg: &BenchConfig, keys: &[Key], sink: &harness::TelemetrySink) {
     println!("--- (c) inner-structure query time vs number of leaves ---");
     harness::header(&["#leaves", "BTREE ns", "RMI ns", "LRS ns", "ATS ns"]);
     let probes = (cfg.ops / 4).max(10_000);
@@ -154,6 +183,7 @@ fn part_c(cfg: &BenchConfig, keys: &[Key]) {
         for kind in
             [StructureKind::BTree, StructureKind::Rmi, StructureKind::Lrs, StructureKind::Ats]
         {
+            let rec = sink.recorder();
             let s = kind.build_dyn(&first_keys);
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             let probe_keys: Vec<Key> =
@@ -161,17 +191,20 @@ fn part_c(cfg: &BenchConfig, keys: &[Key]) {
             let t0 = Instant::now();
             let mut acc = 0usize;
             for &k in &probe_keys {
+                let t = rec.start();
                 acc ^= s.locate(k);
+                rec.finish(OpKind::Get, t);
             }
             std::hint::black_box(acc);
             cells.push(format!("{:.0}", t0.elapsed().as_nanos() as f64 / probes as f64));
+            sink.write(&format!("c_{kind:?}_{}", first_keys.len()), &rec.snapshot());
         }
         harness::row(&first_keys.len().to_string(), &cells);
     }
     println!();
 }
 
-fn part_d(cfg: &BenchConfig, keys: &[Key]) {
+fn part_d(cfg: &BenchConfig, keys: &[Key], sink: &harness::TelemetrySink) {
     println!("--- (d) structure cost vs leaf cost per learned index ---");
     harness::header(&["index", "struct ns", "leaf ns", "total ns"]);
     let probes = (cfg.ops / 4).max(10_000);
@@ -180,9 +213,12 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
     let probe_keys: Vec<Key> = (0..probes).map(|_| keys[rng.random_range(0..keys.len())]).collect();
 
     // Indexes exposing the two-phase lookup: time phase 1, then total.
+    // Per-probe `Get` latency of the total phase goes to the telemetry
+    // sink, one snapshot per index.
     macro_rules! two_phase {
         ($name:expr, $idx:expr) => {{
             let idx = $idx;
+            let rec = sink.recorder();
             let t0 = Instant::now();
             let mut acc = 0usize;
             for &k in &probe_keys {
@@ -193,10 +229,13 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
             let t0 = Instant::now();
             let mut acc = 0u64;
             for &k in &probe_keys {
+                let t = rec.start();
                 acc ^= Index::get(&idx, k).unwrap_or(1);
+                rec.finish(OpKind::Get, t);
             }
             std::hint::black_box(acc);
             let total_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+            sink.write(&format!("d_{}", $name), &rec.snapshot());
             harness::row(
                 $name,
                 &[
@@ -216,6 +255,7 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
     // ALEX and XIndex expose dedicated structure probes.
     {
         let alex = li_alex::Alex::build(&pairs);
+        let rec = sink.recorder();
         let t0 = Instant::now();
         let mut acc = 0usize;
         for &k in &probe_keys {
@@ -226,10 +266,13 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
         let t0 = Instant::now();
         let mut acc = 0u64;
         for &k in &probe_keys {
+            let t = rec.start();
             acc ^= alex.get(k).unwrap_or(1);
+            rec.finish(OpKind::Get, t);
         }
         std::hint::black_box(acc);
         let total_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        sink.write("d_ALEX", &rec.snapshot());
         harness::row(
             "ALEX",
             &[
@@ -241,6 +284,7 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
     }
     {
         let x = li_xindex::XIndex::build(&pairs);
+        let rec = sink.recorder();
         let t0 = Instant::now();
         let mut acc = 0usize;
         for &k in &probe_keys {
@@ -251,10 +295,13 @@ fn part_d(cfg: &BenchConfig, keys: &[Key]) {
         let t0 = Instant::now();
         let mut acc = 0u64;
         for &k in &probe_keys {
+            let t = rec.start();
             acc ^= Index::get(&x, k).unwrap_or(1);
+            rec.finish(OpKind::Get, t);
         }
         std::hint::black_box(acc);
         let total_ns = t0.elapsed().as_nanos() as f64 / probes as f64;
+        sink.write("d_XIndex", &rec.snapshot());
         harness::row(
             "XIndex",
             &[

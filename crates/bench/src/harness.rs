@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use li_core::hist::LatencyHistogram;
+use li_core::telemetry::{Recorder, TelemetrySnapshot};
 use li_core::Key;
 use li_viper::{ConcurrentViperStore, StoreConfig, ViperStore};
 use li_workloads::{generate_ops, split_load_insert, Dataset, Op, WorkloadSpec};
@@ -15,12 +16,18 @@ use lip::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
 ///   200 000 000).
 /// * `LIP_BENCH_OPS` — operations per measurement (default `N / 2`).
 /// * `LIP_BENCH_THREADS` — max thread count for Figs. 12/14 (default 8).
+/// * `--telemetry` (any binary) or `LIP_BENCH_TELEMETRY=1` — attach an
+///   always-on recorder per phase and write JSON snapshots under
+///   `results/telemetry/<fig>/`.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchConfig {
     pub n: usize,
     pub ops: usize,
     pub max_threads: usize,
     pub seed: u64,
+    /// Emit per-phase telemetry snapshots (latency histograms, structural
+    /// events, NVM counters) next to the printed tables.
+    pub telemetry: bool,
 }
 
 impl BenchConfig {
@@ -29,7 +36,9 @@ impl BenchConfig {
         let ops = std::env::var("LIP_BENCH_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(n / 2);
         let max_threads =
             std::env::var("LIP_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
-        BenchConfig { n, ops, max_threads, seed: 42 }
+        let telemetry = std::env::args().any(|a| a == "--telemetry")
+            || std::env::var("LIP_BENCH_TELEMETRY").is_ok_and(|v| v != "0" && !v.is_empty());
+        BenchConfig { n, ops, max_threads, seed: 42, telemetry }
     }
 
     /// Thread counts swept by the multi-threaded figures.
@@ -41,6 +50,62 @@ impl BenchConfig {
 /// Default record value: every byte is `key % 251`.
 pub fn value_of(key: Key, buf: &mut [u8]) {
     buf.fill((key % 251) as u8);
+}
+
+/// Per-figure telemetry output: one JSON file per measurement phase under
+/// `results/telemetry/<fig>/`, written only when the config asked for it.
+/// Each phase uses a *fresh* [`Recorder`], so snapshots are per-phase
+/// absolutes — no delta bookkeeping for consumers.
+pub struct TelemetrySink {
+    dir: Option<std::path::PathBuf>,
+}
+
+impl TelemetrySink {
+    pub fn new(cfg: &BenchConfig, fig: &str) -> Self {
+        if !cfg.telemetry {
+            return TelemetrySink { dir: None };
+        }
+        let dir = std::path::Path::new("results").join("telemetry").join(fig);
+        match std::fs::create_dir_all(&dir) {
+            Ok(()) => TelemetrySink { dir: Some(dir) },
+            Err(e) => {
+                eprintln!("telemetry: cannot create {}: {e} (snapshots disabled)", dir.display());
+                TelemetrySink { dir: None }
+            }
+        }
+    }
+
+    /// Whether snapshots will actually be written — gate per-op recording
+    /// overhead on this, not on `BenchConfig::telemetry` alone.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// A recorder for one phase: enabled when the sink is, inert otherwise
+    /// (so call sites thread it unconditionally).
+    pub fn recorder(&self) -> Recorder {
+        if self.enabled() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Writes one phase snapshot as `<phase>.json` (non-path characters in
+    /// the phase name become `_`). No-op when disabled.
+    pub fn write(&self, phase: &str, snap: &TelemetrySnapshot) {
+        let Some(dir) = &self.dir else { return };
+        let file: String = phase
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{file}.json"));
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("telemetry: cannot write {}: {e}", path.display());
+        } else {
+            println!("[telemetry] {}", path.display());
+        }
+    }
 }
 
 /// One measured cell: throughput + latency distribution.

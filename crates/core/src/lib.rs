@@ -37,6 +37,10 @@ pub mod shard;
 pub mod traits;
 pub mod types;
 
+/// Re-export of the observability crate so index crates reach it through
+/// their existing `li-core` dependency (`li_core::telemetry::Recorder`).
+pub use li_telemetry as telemetry;
+
 pub use hot::HotCache;
 pub use model::LinearModel;
 pub use shard::{Native, Sharded};

@@ -16,6 +16,7 @@ use crate::pieces::retrain::{RetrainPolicy, RetrainStats};
 use crate::pieces::structure::{InnerStructure, StructureKind};
 use crate::traits::{DepthStats, Index, OrderedIndex, TwoPhaseLookup, UpdatableIndex};
 use crate::types::{Key, KeyValue, Value};
+use li_telemetry::{Event, OpKind, Recorder};
 
 /// Configuration choosing one point in the paper's design space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,7 @@ pub struct PiecewiseIndex {
     inner: Box<dyn InnerStructure>,
     len: usize,
     stats: RetrainStats,
+    recorder: Recorder,
 }
 
 impl PiecewiseIndex {
@@ -73,6 +75,7 @@ impl PiecewiseIndex {
             inner,
             len: data.len(),
             stats: RetrainStats::default(),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -100,7 +103,8 @@ impl PiecewiseIndex {
     fn retrain_leaf(&mut self, li: usize, pending: KeyValue) {
         let t0 = Instant::now();
         let old = &self.leaves[li];
-        self.stats.insert_moves += old.moves();
+        let retired_moves = old.moves();
+        self.stats.insert_moves += retired_moves;
         let mut data = old.to_sorted_vec();
         let pos = data.partition_point(|kv| kv.0 < pending.0);
         debug_assert!(data.get(pos).is_none_or(|kv| kv.0 != pending.0));
@@ -131,7 +135,24 @@ impl PiecewiseIndex {
         if structural_change {
             self.inner = self.cfg.structure.build_dyn(&self.first_keys);
         }
-        self.stats.record_retrain(t0.elapsed(), keys_involved);
+        let elapsed = t0.elapsed();
+        self.stats.record_retrain(elapsed, keys_involved);
+
+        // Telemetry: every retrain leaves a strategy-specific fingerprint.
+        self.recorder.event(Event::Retrain);
+        self.recorder
+            .record_ns(OpKind::Retrain, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.recorder.event_n(Event::KeyShift, retired_moves);
+        if matches!(self.cfg.leaf, LeafKind::Buffer { .. }) {
+            // The retired leaf's off-site buffer was merged into the
+            // rebuilt base model.
+            self.recorder.event(Event::BufferFlush);
+        }
+        if structural_change {
+            self.recorder.event(Event::SplitNode);
+        } else if matches!(self.cfg.policy, RetrainPolicy::ExpandOrSplit { .. }) {
+            self.recorder.event(Event::ExpandNode);
+        }
     }
 
     /// FITing-tree / XIndex style: re-run the approximation algorithm over
@@ -217,6 +238,10 @@ impl Index for PiecewiseIndex {
     fn data_size_bytes(&self) -> usize {
         self.leaves.iter().map(|l| l.data_size_bytes()).sum()
     }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
 }
 
 impl OrderedIndex for PiecewiseIndex {
@@ -250,7 +275,10 @@ impl UpdatableIndex for PiecewiseIndex {
             self.first_keys.push(key);
             self.inner = self.cfg.structure.build_dyn(&self.first_keys);
             self.len = 1;
-            self.stats.insert_time += t0.elapsed();
+            let elapsed = t0.elapsed();
+            self.stats.insert_time += elapsed;
+            self.recorder
+                .record_ns(OpKind::Insert, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
             return None;
         }
         let li = self.leaf_for(key);
@@ -266,7 +294,10 @@ impl UpdatableIndex for PiecewiseIndex {
                 None
             }
         };
-        self.stats.insert_time += t0.elapsed();
+        let elapsed = t0.elapsed();
+        self.stats.insert_time += elapsed;
+        self.recorder
+            .record_ns(OpKind::Insert, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
         out
     }
 

@@ -5,6 +5,7 @@
 //! fair comparison" (§III) possible.
 
 use crate::types::{Key, KeyValue, Value};
+use li_telemetry::Recorder;
 
 /// Read-side interface common to all indexes.
 pub trait Index: Send + Sync {
@@ -31,6 +32,13 @@ pub trait Index: Send + Sync {
     /// buffers, gaps). Together with [`Index::index_size_bytes`] this forms
     /// the "Index+key size" column of Table III.
     fn data_size_bytes(&self) -> usize;
+
+    /// Attaches a telemetry [`Recorder`]. The default implementation drops
+    /// it, so instrumentation is strictly opt-in per index: uninstrumented
+    /// indexes keep compiling and simply emit nothing. Wrappers
+    /// (`Sharded`, `Native`, `AnyIndex`, `ViperStore`) forward the
+    /// recorder to whatever they contain.
+    fn set_recorder(&mut self, _recorder: Recorder) {}
 }
 
 /// Indexes that support ordered range scans (every index in the paper except

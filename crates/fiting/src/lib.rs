@@ -143,6 +143,10 @@ impl Index for FitingTree {
     fn data_size_bytes(&self) -> usize {
         self.inner.data_size_bytes()
     }
+
+    fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
+        self.inner.set_recorder(recorder)
+    }
 }
 
 impl OrderedIndex for FitingTree {

@@ -42,10 +42,30 @@ impl NvmStatsSnapshot {
             + self.faults.crash_triggers
             + self.faults.full_rejections
     }
+
+    /// Folds the device counters into the telemetry snapshot format, so
+    /// stores and benches report NVM traffic and index events together.
+    pub fn to_telemetry(&self) -> li_telemetry::NvmCounters {
+        li_telemetry::NvmCounters {
+            reads: self.reads,
+            writes: self.writes,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            flushes: self.flushes,
+            fences: self.fences,
+            faults_injected: self.faults_injected(),
+        }
+    }
 }
 
 impl NvmStats {
     pub fn snapshot(&self) -> NvmStatsSnapshot {
+        // A single acquire fence orders every load below after all device
+        // ops whose counter updates were visible when the snapshot began.
+        // Concurrent torture readers thus observe a consistent frontier —
+        // e.g. never a `bytes_written` that lags the `writes` increment of
+        // the same completed op — instead of six independently torn loads.
+        std::sync::atomic::fence(Ordering::Acquire);
         NvmStatsSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),

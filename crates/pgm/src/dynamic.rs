@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use li_core::pieces::retrain::RetrainStats;
+use li_core::telemetry::{Event, OpKind, Recorder};
 use li_core::traits::{BulkBuildIndex, DepthStats, Index, OrderedIndex, UpdatableIndex};
 use li_core::{Key, KeyValue, Value};
 
@@ -47,6 +48,7 @@ pub struct DynamicPgm {
     config: PgmConfig,
     len: usize,
     stats: RetrainStats,
+    recorder: Recorder,
 }
 
 impl Default for DynamicPgm {
@@ -61,7 +63,13 @@ impl DynamicPgm {
     }
 
     pub fn with_config(config: PgmConfig) -> Self {
-        DynamicPgm { levels: Vec::new(), config, len: 0, stats: RetrainStats::default() }
+        DynamicPgm {
+            levels: Vec::new(),
+            config,
+            len: 0,
+            stats: RetrainStats::default(),
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Retrain counters (Fig. 18 (b)).
@@ -124,7 +132,15 @@ impl DynamicPgm {
         if !merged.is_empty() {
             self.levels[target] = Some(self.build_level(merged));
         }
-        self.stats.record_retrain(t0.elapsed(), keys_retrained);
+        let elapsed = t0.elapsed();
+        self.stats.record_retrain(elapsed, keys_retrained);
+        self.recorder.event(Event::Retrain);
+        self.recorder
+            .record_ns(OpKind::Retrain, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        if keys_retrained > 1 {
+            // Existing levels were combined LSM-style, not just placed.
+            self.recorder.event(Event::DeltaMerge);
+        }
     }
 
     fn lookup_entry(&self, key: Key) -> Option<Entry> {
@@ -196,6 +212,10 @@ impl Index for DynamicPgm {
             .flatten()
             .map(|l| l.pgm.data_size_bytes() + l.entries.len() * core::mem::size_of::<Entry>())
             .sum()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

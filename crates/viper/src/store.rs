@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use li_core::telemetry::{Event, OpKind, Recorder};
 use li_core::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
 use li_core::{Key, KeyValue};
 use li_nvm::{NvmConfig, NvmDevice};
@@ -237,6 +238,7 @@ pub struct ViperStore<I, M: WriteModel = SingleWriter> {
     key_locks: M::KeyLocks,
     crash_safe_updates: bool,
     read_only: AtomicBool,
+    recorder: Recorder,
 }
 
 /// The shared-writer store flavour (kept as an alias so pre-unification
@@ -251,12 +253,28 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
             key_locks: M::KeyLocks::default(),
             crash_safe_updates,
             read_only: AtomicBool::new(false),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder to the store *and* its DRAM index, so
+    /// store-level op latencies (`Put`/`Delete`/`Get`/`Scan`/`Recovery`)
+    /// and index-level structural events land in one metrics sink.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.index.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The telemetry recorder attached via [`ViperStore::set_recorder`]
+    /// (disabled by default — snapshots of a disabled recorder are empty).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Point lookup: index probe + one NVM record read.
     pub fn get(&self, key: Key, value_buf: &mut [u8]) -> bool {
-        match self.index.get(key) {
+        let t = self.recorder.start();
+        let found = match self.index.get(key) {
             Some(offset) => {
                 let stored = self.heap.read(offset, value_buf);
                 // Under a shared writer a racing crash-safe update may
@@ -269,7 +287,9 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
                 true
             }
             None => false,
-        }
+        };
+        self.recorder.finish(OpKind::Get, t);
+        found
     }
 
     /// Number of live records.
@@ -331,16 +351,26 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
     }
 
     /// The one recovery implementation both write models construct through.
+    /// The recorder times the whole scan-and-rebuild as one
+    /// [`OpKind::Recovery`] op, emits one [`Event::QuarantineSlot`] per
+    /// record the scan quarantined (the causal counter the crash-torture
+    /// harness asserts against), and stays attached to the rebuilt store.
     fn recover_parts(
         dev: Arc<NvmDevice>,
         layout: RecordLayout,
         opts: RecoverOptions,
+        recorder: Recorder,
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> (Self, RecoveryReport) {
+        let t = recorder.start();
         let (heap, mut live, report) = RecordHeap::recover_with_report(dev, layout, opts);
         live.sort_unstable();
         let index = build(&live);
-        (Self::with_parts(heap, index, false), report)
+        recorder.event_n(Event::QuarantineSlot, report.quarantined as u64);
+        recorder.finish(OpKind::Recovery, t);
+        let mut store = Self::with_parts(heap, index, false);
+        store.set_recorder(recorder);
+        (store, report)
     }
 }
 
@@ -397,7 +427,22 @@ impl<I: Index> ViperStore<I, SingleWriter> {
         opts: RecoverOptions,
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> (Self, RecoveryReport) {
-        Self::recover_parts(dev, layout, opts, build)
+        Self::recover_parts(dev, layout, opts, Recorder::disabled(), build)
+    }
+
+    /// [`ViperStore::recover_with_options`] with telemetry: the recorder
+    /// times the scan-and-rebuild ([`OpKind::Recovery`]), counts one
+    /// [`Event::QuarantineSlot`] per quarantined record, and remains
+    /// attached to the recovered store. (`RecoverOptions` stays a plain
+    /// `Copy` options struct; the recorder travels as a parameter.)
+    pub fn recover_recorded(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        recorder: Recorder,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> (Self, RecoveryReport) {
+        Self::recover_parts(dev, layout, opts, recorder, build)
     }
 }
 
@@ -422,6 +467,7 @@ impl<I: OrderedIndex, M: WriteModel> ViperStore<I, M> {
     /// Range scan: returns up to `limit` records with key in `[lo, hi]`,
     /// reading each value from NVM into `sink`.
     pub fn scan(&self, lo: Key, hi: Key, limit: usize, sink: &mut dyn FnMut(Key, &[u8])) -> usize {
+        let t = self.recorder.start();
         let mut pairs = Vec::new();
         self.index.range(lo, hi, &mut pairs);
         let mut buf = vec![0u8; self.heap.layout().value_size];
@@ -432,6 +478,7 @@ impl<I: OrderedIndex, M: WriteModel> ViperStore<I, M> {
             sink(k, &buf);
             n += 1;
         }
+        self.recorder.finish(OpKind::Scan, t);
         n
     }
 }
@@ -445,19 +492,25 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
 
     /// Inserts or updates (degradation contract: see [`put_core`]).
     pub fn put(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
-        put_core(
+        let t = self.recorder.start();
+        let r = put_core(
             &self.heap,
             self.crash_safe_updates,
             &self.read_only,
             Excl(&mut self.index),
             key,
             value,
-        )
+        );
+        self.recorder.finish(OpKind::Put, t);
+        r
     }
 
     /// Removes a key; returns whether it existed.
     pub fn delete(&mut self, key: Key) -> Result<bool, ViperError> {
-        delete_core(&self.heap, &self.read_only, Excl(&mut self.index), key)
+        let t = self.recorder.start();
+        let r = delete_core(&self.heap, &self.read_only, Excl(&mut self.index), key);
+        self.recorder.finish(OpKind::Delete, t);
+        r
     }
 }
 
@@ -472,21 +525,27 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
     /// contract as the single-writer put; same-key races are serialised by
     /// the stripe lock.
     pub fn put(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
+        let t = self.recorder.start();
         let _guard = self.key_locks.lock(key);
-        put_core(
+        let r = put_core(
             &self.heap,
             self.crash_safe_updates,
             &self.read_only,
             Shared(&self.index),
             key,
             value,
-        )
+        );
+        self.recorder.finish(OpKind::Put, t);
+        r
     }
 
     /// Removes a key through a shared reference.
     pub fn delete(&self, key: Key) -> Result<bool, ViperError> {
+        let t = self.recorder.start();
         let _guard = self.key_locks.lock(key);
-        delete_core(&self.heap, &self.read_only, Shared(&self.index), key)
+        let r = delete_core(&self.heap, &self.read_only, Shared(&self.index), key);
+        self.recorder.finish(OpKind::Delete, t);
+        r
     }
 
     /// Shared-writer twin of [`ViperStore::bulk_load_with`]. Named
@@ -528,7 +587,18 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
         opts: RecoverOptions,
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> (Self, RecoveryReport) {
-        Self::recover_parts(dev, layout, opts, build)
+        Self::recover_parts(dev, layout, opts, Recorder::disabled(), build)
+    }
+
+    /// Shared-writer twin of [`ViperStore::recover_recorded`].
+    pub fn recover_shared_recorded(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        recorder: Recorder,
+        build: impl FnOnce(&[KeyValue]) -> I,
+    ) -> (Self, RecoveryReport) {
+        Self::recover_parts(dev, layout, opts, recorder, build)
     }
 }
 

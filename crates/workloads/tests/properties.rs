@@ -1,0 +1,112 @@
+//! Property tests for the workload generators: the distributional
+//! guarantees every figure silently relies on, checked over randomized
+//! (but deterministically seeded) parameter choices rather than the one
+//! hand-picked configuration the unit tests pin down.
+
+use li_workloads::{generate_keys, Dataset, LatestGen, ZipfGen};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zipfian frequency is monotone in rank: across the whole supported
+    /// skew range, rank 0 is sampled (much) more often than rank 4, which
+    /// beats rank 32 — the property that makes "hot key" workloads hot.
+    #[test]
+    fn zipf_frequency_decreases_with_rank(
+        theta_pct in 60u32..100,
+        n in 64usize..2048,
+        seed in 0u64..u64::MAX,
+    ) {
+        let theta = theta_pct as f64 / 100.0;
+        let mut g = ZipfGen::with_theta(n, theta, seed);
+        let mut counts = vec![0u32; n];
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            let r = g.next();
+            prop_assert!(r < n, "rank {r} outside 0..{n}");
+            counts[r] += 1;
+        }
+        // Wide rank gaps + 20k draws keep these ordering margins far
+        // outside sampling noise for every theta in range.
+        prop_assert!(
+            counts[0] > counts[4],
+            "rank0 {} not hotter than rank4 {} (theta {theta})",
+            counts[0], counts[4]
+        );
+        prop_assert!(
+            counts[4] > counts[32],
+            "rank4 {} not hotter than rank32 {} (theta {theta})",
+            counts[4], counts[32]
+        );
+        // The head must dominate far beyond its uniform share (8/n of the
+        // draws): YCSB's definition of skew. At the flattest corner
+        // (theta 0.6, n 2048) the head still takes ~7% of draws; uniform
+        // would give it ~0.4%.
+        let head: u32 = counts[..8].iter().sum();
+        prop_assert!(head > DRAWS / 25, "top-8 ranks drew only {head}/{DRAWS}");
+    }
+
+    /// The scrambled variant permutes ranks but must preserve the domain.
+    #[test]
+    fn zipf_scrambled_stays_in_domain(n in 2usize..2048, seed in 0u64..u64::MAX) {
+        let mut g = ZipfGen::new(n, seed);
+        for _ in 0..2_000 {
+            prop_assert!(g.next_scrambled() < n);
+        }
+    }
+
+    /// "Latest" sampling always lands in `0..current` and concentrates on
+    /// the most recent items, for any population size.
+    #[test]
+    fn latest_in_range_and_recent_heavy(current in 100usize..5_000, seed in 0u64..u64::MAX) {
+        let mut g = LatestGen::new(current, seed);
+        let mut newest_decile = 0u32;
+        const DRAWS: u32 = 5_000;
+        for _ in 0..DRAWS {
+            let i = g.next(current);
+            prop_assert!(i < current);
+            if i >= current - current.div_ceil(10) {
+                newest_decile += 1;
+            }
+        }
+        prop_assert!(
+            newest_decile > DRAWS / 4,
+            "only {newest_decile}/{DRAWS} draws hit the newest 10%"
+        );
+    }
+
+    /// `osm_like` (and every other dataset) yields an exact-count,
+    /// strictly-ascending key set — i.e. a monotone CDF with no duplicate
+    /// steps — deterministic in the seed.
+    #[test]
+    fn generated_keys_form_a_monotone_cdf(
+        n in 100usize..4_000,
+        seed in 0u64..u64::MAX,
+        which in 0usize..4,
+    ) {
+        let dataset = Dataset::ALL[which];
+        let keys = generate_keys(dataset, n, seed);
+        prop_assert_eq!(keys.len(), n, "{} must honour the requested count", dataset.name());
+        for w in keys.windows(2) {
+            prop_assert!(w[0] < w[1], "{}: CDF step not strictly ascending", dataset.name());
+        }
+        let again = generate_keys(dataset, n, seed);
+        prop_assert_eq!(keys.clone(), again, "{} must be seed-deterministic", dataset.name());
+    }
+
+    /// The OSM-like CDF covers a wide key domain: cluster centers are
+    /// spread over the u64 space, so the generated set must span far more
+    /// than any single cluster's width. (A collapsed domain would quietly
+    /// turn the paper's hardest dataset into an easy one.)
+    #[test]
+    fn osm_like_covers_a_wide_domain(n in 1_000usize..4_000, seed in 0u64..u64::MAX) {
+        let keys = generate_keys(Dataset::OsmLike, n, seed);
+        let span = keys[keys.len() - 1] - keys[0];
+        prop_assert!(span > 1u64 << 40, "domain span {span} too narrow");
+        // Coverage is multimodal, not one lump: at least two well-separated
+        // clusters must appear (a gap wider than 2^32 somewhere).
+        let widest_gap = keys.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        prop_assert!(widest_gap > 1u64 << 32, "no inter-cluster gap (max {widest_gap})");
+    }
+}

@@ -22,6 +22,7 @@ use std::time::Instant;
 use li_core::pieces::retrain::RetrainStats;
 use li_core::pieces::structure::{InnerStructure, RmiInner};
 use li_core::search::lower_bound_kv;
+use li_core::telemetry::{Event, OpKind, Recorder};
 use li_core::traits::{
     BulkBuildIndex, ConcurrentIndex, DepthStats, Index, OrderedIndex, UpdatableIndex,
 };
@@ -168,6 +169,7 @@ pub struct XIndex {
     retrain_count: AtomicU64,
     retrain_ns: AtomicU64,
     retrain_keys: AtomicU64,
+    recorder: Recorder,
 }
 
 impl XIndex {
@@ -185,6 +187,7 @@ impl XIndex {
             retrain_count: AtomicU64::new(0),
             retrain_ns: AtomicU64::new(0),
             retrain_keys: AtomicU64::new(0),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -218,9 +221,12 @@ impl XIndex {
     }
 
     fn record_retrain(&self, t0: Instant, keys: u64) {
+        let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         self.retrain_count.fetch_add(1, Ordering::Relaxed);
-        self.retrain_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.retrain_ns.fetch_add(ns, Ordering::Relaxed);
         self.retrain_keys.fetch_add(keys, Ordering::Relaxed);
+        self.recorder.event(Event::Retrain);
+        self.recorder.record_ns(OpKind::Retrain, ns);
     }
 
     /// Splits `group` (found in the current snapshot) in two and installs
@@ -262,6 +268,7 @@ impl XIndex {
         let next = Snapshot::build(groups, pivots);
         *self.snapshot.write() = next;
         self.record_retrain(t0, keys);
+        self.recorder.event(Event::SplitNode);
     }
 
     fn insert_impl(&self, key: Key, value: Value) -> Option<Value> {
@@ -288,6 +295,7 @@ impl XIndex {
                             let n = d.len() as u64;
                             d.compact();
                             self.record_retrain(t0, n);
+                            self.recorder.event(Event::BufferFlush);
                         }
                         if d.sorted.len() + d.buffer.len() > self.config.max_group_size {
                             split_needed = true;
@@ -387,6 +395,10 @@ impl Index for XIndex {
             .iter()
             .map(|g| g.data.read().sorted.capacity() * core::mem::size_of::<KeyValue>())
             .sum()
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

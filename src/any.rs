@@ -328,6 +328,13 @@ impl Index for AnyIndex {
     fn data_size_bytes(&self) -> usize {
         dispatch!(self, i => i.data_size_bytes())
     }
+
+    /// Forwards the recorder to the selected index. Kinds that are not
+    /// instrumented (traditional, read-only learned, LIPP) keep the
+    /// default drop-it behaviour.
+    fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
+        dispatch!(self, i => i.set_recorder(recorder))
+    }
 }
 
 impl OrderedIndex for AnyIndex {
@@ -525,6 +532,13 @@ impl Index for AnyConcurrentIndex {
 
     fn data_size_bytes(&self) -> usize {
         cdispatch!(self, i => i.data_size_bytes())
+    }
+
+    /// Forwards the recorder through the concurrent wrapper: `Native`
+    /// hands it to the inner index, `Sharded` clones it into every shard
+    /// (so per-shard routing counters share one sink).
+    fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
+        cdispatch!(self, i => i.set_recorder(recorder))
     }
 }
 

@@ -35,6 +35,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use li_core::telemetry::{Recorder, TelemetrySnapshot};
 use li_core::Sharded;
 use li_nvm::{FaultCountersSnapshot, FaultPlan, NvmConfig, NvmDevice, NvmError};
 use li_viper::{
@@ -133,19 +134,24 @@ impl Driver {
         dev: Arc<NvmDevice>,
         layout: RecordLayout,
         opts: RecoverOptions,
+        recorder: Recorder,
     ) -> (Self, RecoveryReport) {
         let kind = cfg.kind;
         if cfg.shards == 0 {
-            let (store, report) = ViperStore::recover_with_options(dev, layout, opts, |pairs| {
-                AnyIndex::build(kind, pairs)
-            });
+            let (store, report) =
+                ViperStore::recover_recorded(dev, layout, opts, recorder, |pairs| {
+                    AnyIndex::build(kind, pairs)
+                });
             (Driver::Single(store), report)
         } else {
             let shards = cfg.shards;
-            let (store, report) =
-                ConcurrentViperStore::recover_shared_with_options(dev, layout, opts, |pairs| {
-                    Sharded::build_with(shards, pairs, |chunk| AnyIndex::build(kind, chunk))
-                });
+            let (store, report) = ConcurrentViperStore::recover_shared_recorded(
+                dev,
+                layout,
+                opts,
+                recorder,
+                |pairs| Sharded::build_with(shards, pairs, |chunk| AnyIndex::build(kind, chunk)),
+            );
             (Driver::Sharded(store), report)
         }
     }
@@ -204,6 +210,12 @@ pub struct TortureOutcome {
     pub crashed_mid_run: bool,
     pub report: RecoveryReport,
     pub faults: FaultCountersSnapshot,
+    /// Telemetry captured across the whole run (workload + recovery): op
+    /// latency histograms, index structural events, the recovery's
+    /// `QuarantineSlot` count, and the device traffic counters as of the
+    /// crash point. Crash tests assert causality against `faults` — every
+    /// quarantined slot must trace back to an injected fault.
+    pub telemetry: TelemetrySnapshot,
     /// Oracle violations; an empty list is a pass.
     pub divergences: Vec<String>,
 }
@@ -233,7 +245,13 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     let plan = FaultPlan::random(seed, cfg.ops as u64 * 7);
     let dev = Arc::new(NvmDevice::with_faults(nvm, &plan));
 
-    let (mut store, _) = Driver::recover(cfg, Arc::clone(&dev), layout, RecoverOptions::default());
+    // One always-on recorder spans the whole run: workload put/delete
+    // latencies, index structural events, and the recovery scan. The
+    // initial recover scans a blank device, so every `QuarantineSlot` it
+    // accumulates comes from the post-crash recovery alone.
+    let recorder = Recorder::enabled();
+    let (mut store, _) =
+        Driver::recover(cfg, Arc::clone(&dev), layout, RecoverOptions::default(), recorder.clone());
     store.set_crash_safe_updates(cfg.crash_safe_updates);
     drop(dev); // store's clone is now unique again after into_device()
 
@@ -294,6 +312,7 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     let mut dev = Arc::try_unwrap(dev).ok().expect("store torn down, device unique");
     dev.crash();
     let faults = dev.fault_counters();
+    let nvm_at_crash = dev.stats_snapshot();
     let dev = Arc::new(dev);
 
     let (recovered, report) = Driver::recover(
@@ -301,6 +320,7 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
         dev,
         layout,
         RecoverOptions { verify_checksums: cfg.verify_checksums },
+        recorder.clone(),
     );
 
     // --- Verify against the oracle -------------------------------------
@@ -377,7 +397,19 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
         ));
     }
 
-    TortureOutcome { seed, kind: cfg.kind, ops_acked, crashed_mid_run, report, faults, divergences }
+    let mut telemetry = recorder.snapshot();
+    telemetry.nvm = nvm_at_crash.to_telemetry();
+
+    TortureOutcome {
+        seed,
+        kind: cfg.kind,
+        ops_acked,
+        crashed_mid_run,
+        report,
+        faults,
+        telemetry,
+        divergences,
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +441,13 @@ mod tests {
         let out = torture_run(3, &cfg);
         assert!(out.passed(), "divergences: {:?}", out.divergences);
         assert!(out.ops_acked > 0);
+        // Telemetry causality: quarantine events mirror the report, both
+        // recoveries were timed, and the workload's puts have latencies.
+        use li_core::telemetry::{Event, OpKind};
+        assert_eq!(out.telemetry.event(Event::QuarantineSlot), out.report.quarantined as u64);
+        assert_eq!(out.telemetry.op(OpKind::Recovery).count, 2);
+        assert!(out.telemetry.op(OpKind::Put).count > 0);
+        assert!(out.telemetry.nvm.writes > 0);
     }
 
     #[test]

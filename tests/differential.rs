@@ -7,9 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use lip::core::traits::{Index, OrderedIndex, UpdatableIndex};
+use lip::core::traits::{ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
 use lip::workloads::{generate_keys, Dataset};
-use lip::{AnyIndex, IndexKind};
+use lip::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 fn churn(kind: IndexKind, dataset: Dataset, seed: u64, ops: usize) {
@@ -103,6 +103,128 @@ fn read_only_indexes_agree_on_every_distribution() {
             for idx in &indexes {
                 assert_eq!(idx.get(k), expect, "{} on {:?}: get({k})", idx.name(), dataset);
             }
+        }
+    }
+}
+
+/// Replays one seeded churn stream through a concurrent route (via
+/// [`ConcurrentIndex`]'s shared-reference API) against the oracle.
+fn churn_concurrent(kind: ConcurrentKind, seed: u64, ops: usize) {
+    let keys = generate_keys(Dataset::OsmLike, 3_000, seed);
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let idx = AnyConcurrentIndex::build(kind, &data);
+    let mut oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+    for i in 0..ops as u64 {
+        let k = match rng.random_range(0..4) {
+            0 => keys[rng.random_range(0..keys.len())],
+            1 => keys[rng.random_range(0..keys.len())].wrapping_add(1),
+            2 => rng.random(),
+            _ => rng.random::<u64>() >> rng.random_range(0..48u32),
+        };
+        match rng.random_range(0..10) {
+            0..=3 => {
+                assert_eq!(
+                    ConcurrentIndex::get(&idx, k),
+                    oracle.get(&k).copied(),
+                    "{}: get({k}) diverged at op {i}",
+                    kind.name()
+                );
+            }
+            4..=7 => {
+                assert_eq!(
+                    ConcurrentIndex::insert(&idx, k, i),
+                    oracle.insert(k, i),
+                    "{}: insert({k}) diverged at op {i}",
+                    kind.name()
+                );
+            }
+            _ => {
+                assert_eq!(
+                    ConcurrentIndex::remove(&idx, k),
+                    oracle.remove(&k),
+                    "{}: remove({k}) diverged at op {i}",
+                    kind.name()
+                );
+            }
+        }
+    }
+    assert_eq!(ConcurrentIndex::len(&idx), oracle.len(), "{}", kind.name());
+}
+
+#[test]
+fn concurrent_routes_agree_with_oracle() {
+    // All three routing strategies — Native (XIndex's own concurrency),
+    // Sharded (range sharding over a single-writer index) and GlobalLock
+    // (one shard) — must be behaviorally identical to the sequential
+    // oracle; concurrency is a transport, never a semantic.
+    let routes = [
+        ConcurrentKind::of(IndexKind::XIndex).unwrap(), // Native
+        ConcurrentKind::of(IndexKind::Alex).unwrap(),   // Sharded
+        ConcurrentKind::of(IndexKind::Pgm).unwrap(),    // Sharded
+        ConcurrentKind::of(IndexKind::FitingBuf).unwrap(), // Sharded
+        ConcurrentKind::global_lock(IndexKind::BTree).unwrap(),
+        ConcurrentKind::global_lock(IndexKind::FitingBuf).unwrap(),
+    ];
+    for kind in routes {
+        churn_concurrent(kind, 0xBEEF, 4_000);
+    }
+}
+
+#[test]
+fn concurrent_routes_agree_under_parallel_disjoint_writers() {
+    // Four writers insert disjoint key sets through a shared reference;
+    // the end state must equal the sequentially-built oracle. Exercises
+    // the actual locking of each route, not just its single-thread path.
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 2_000;
+    let keys = generate_keys(Dataset::OsmLike, 3_000, 17);
+    let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    for kind in [
+        ConcurrentKind::of(IndexKind::XIndex).unwrap(),
+        ConcurrentKind::of(IndexKind::BTree).unwrap(),
+        ConcurrentKind::global_lock(IndexKind::Pgm).unwrap(),
+    ] {
+        let idx = AnyConcurrentIndex::build(kind, &data);
+        std::thread::scope(|s| {
+            for t in 0..WRITERS {
+                let idx = &idx;
+                let keys = &keys;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + t);
+                    for i in 0..PER_WRITER {
+                        // Fresh keys land in writer-disjoint residue
+                        // classes; loaded keys are only read.
+                        let k = (rng.random::<u64>() / WRITERS) * WRITERS + t;
+                        ConcurrentIndex::insert(idx, k, t * PER_WRITER + i);
+                        let probe = keys[rng.random_range(0..keys.len())];
+                        assert!(
+                            ConcurrentIndex::get(idx, probe).is_some(),
+                            "{}: loaded {probe} vanished",
+                            kind.name()
+                        );
+                    }
+                });
+            }
+        });
+        // Sequential oracle replay of the same four deterministic streams.
+        let mut oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
+        for t in 0..WRITERS {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            for i in 0..PER_WRITER {
+                let k = (rng.random::<u64>() / WRITERS) * WRITERS + t;
+                oracle.insert(k, t * PER_WRITER + i);
+                let _ = rng.random_range(0..keys.len());
+            }
+        }
+        assert_eq!(ConcurrentIndex::len(&idx), oracle.len(), "{}", kind.name());
+        for (&k, &v) in &oracle {
+            assert_eq!(
+                ConcurrentIndex::get(&idx, k),
+                Some(v),
+                "{}: get({k}) after parallel load",
+                kind.name()
+            );
         }
     }
 }

@@ -1,0 +1,386 @@
+//! Counter causality: telemetry is only trustworthy if every counter can
+//! be traced back to the structural mechanism that claims to emit it.
+//! These tests drive seeded workloads through the pieces matrix, the
+//! concrete indexes, the concurrent routes and the crash-torture harness,
+//! and assert the invariants that make snapshots assertable evidence:
+//!
+//! * no retraining ⇒ `Retrain == 0` (a read-only run emits *nothing*);
+//! * delta-buffer insertion ⇒ `BufferFlush > 0`, and only there;
+//! * every strategy's event fingerprint is distinguishable from the rest;
+//! * the three concurrent routes are tellable apart from shard banks;
+//! * every `QuarantineSlot` in crash torture has a matching injected
+//!   fault (or an in-flight op cut by the crash) to blame.
+
+use std::collections::BTreeMap;
+
+use lip::core::approx::ApproxAlgorithm;
+use lip::core::pieces::assembled::{PiecewiseConfig, PiecewiseIndex};
+use lip::core::pieces::insertion::LeafKind;
+use lip::core::pieces::retrain::RetrainPolicy;
+use lip::core::pieces::structure::StructureKind;
+use lip::core::telemetry::{Event, OpKind, Recorder};
+use lip::core::traits::{ConcurrentIndex, Index, UpdatableIndex};
+use lip::torture::{torture_run, TortureConfig};
+use lip::workloads::{generate_keys, Dataset};
+use lip::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn seed_data(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let keys = generate_keys(Dataset::OsmLike, n, seed);
+    keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect()
+}
+
+/// Builds a piecewise index with an attached enabled recorder and churns
+/// `inserts` seeded random keys through it.
+fn churned_pieces(
+    leaf: LeafKind,
+    policy: RetrainPolicy,
+    inserts: usize,
+) -> (PiecewiseIndex, Recorder) {
+    let cfg = PiecewiseConfig {
+        algo: ApproxAlgorithm::OptPla { epsilon: 16 },
+        structure: StructureKind::BTree,
+        leaf,
+        policy,
+    };
+    let mut idx = PiecewiseIndex::build_with(cfg, &seed_data(4_000, 33));
+    let rec = Recorder::enabled();
+    idx.set_recorder(rec.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..inserts as u64 {
+        idx.insert(rng.random(), i);
+    }
+    (idx, rec)
+}
+
+const LEAVES: [LeafKind; 3] = [
+    LeafKind::Inplace { reserve: 24 },
+    LeafKind::Buffer { reserve: 24 },
+    LeafKind::Gapped { density: 0.7, max_density: 0.85 },
+];
+
+const POLICIES: [RetrainPolicy; 2] = [
+    RetrainPolicy::ResegmentLeaf,
+    RetrainPolicy::ExpandOrSplit { expand_factor: 1.5, split_error_threshold: 8.0 },
+];
+
+#[test]
+fn pieces_matrix_retrain_counter_matches_stats() {
+    // The telemetry Retrain counter and the index's own RetrainStats are
+    // maintained at the same site; they must never drift apart.
+    for leaf in LEAVES {
+        for policy in POLICIES {
+            let (idx, rec) = churned_pieces(leaf, policy, 4_000);
+            let snap = rec.snapshot();
+            assert_eq!(
+                snap.event(Event::Retrain),
+                idx.stats().count,
+                "{leaf:?}/{policy:?}: telemetry vs stats retrain count"
+            );
+            assert_eq!(
+                snap.op(OpKind::Retrain).count,
+                idx.stats().count,
+                "{leaf:?}/{policy:?}: every retrain must be timed"
+            );
+            assert!(idx.stats().count > 0, "{leaf:?}/{policy:?}: churn must retrain");
+        }
+    }
+}
+
+#[test]
+fn buffer_flush_fires_iff_delta_buffer_leaf() {
+    for leaf in LEAVES {
+        for policy in POLICIES {
+            let (_, rec) = churned_pieces(leaf, policy, 4_000);
+            let flushes = rec.event_count(Event::BufferFlush);
+            if matches!(leaf, LeafKind::Buffer { .. }) {
+                assert!(flushes > 0, "{leaf:?}/{policy:?}: buffer leaf must flush");
+            } else {
+                assert_eq!(flushes, 0, "{leaf:?}/{policy:?}: no buffer, no flush");
+            }
+        }
+    }
+}
+
+#[test]
+fn expand_node_only_under_expand_or_split_policy() {
+    for leaf in LEAVES {
+        let (_, rec) = churned_pieces(leaf, RetrainPolicy::ResegmentLeaf, 4_000);
+        assert_eq!(
+            rec.event_count(Event::ExpandNode),
+            0,
+            "{leaf:?}: ResegmentLeaf never expands in place"
+        );
+    }
+}
+
+#[test]
+fn read_only_run_emits_no_events() {
+    // No retraining ⇒ Retrain == 0, and a pure-read run emits nothing on
+    // any counter: the always-on layer must be silent when nothing moves.
+    let cfg = PiecewiseConfig {
+        algo: ApproxAlgorithm::OptPla { epsilon: 16 },
+        structure: StructureKind::BTree,
+        leaf: LeafKind::Buffer { reserve: 24 },
+        policy: RetrainPolicy::ResegmentLeaf,
+    };
+    let data = seed_data(4_000, 33);
+    let mut idx = PiecewiseIndex::build_with(cfg, &data);
+    let rec = Recorder::enabled();
+    idx.set_recorder(rec.clone());
+    for &(k, v) in data.iter().step_by(7) {
+        assert_eq!(idx.get(k), Some(v));
+    }
+    let snap = rec.snapshot();
+    for e in Event::ALL {
+        assert_eq!(snap.event(e), 0, "read-only run emitted {}", e.name());
+    }
+    assert_eq!(snap.op(OpKind::Insert).count, 0);
+    assert_eq!(snap.op(OpKind::Retrain).count, 0);
+}
+
+#[test]
+fn inplace_shifts_more_keys_than_gapped() {
+    // Fig. 18 (a)'s mechanism, visible through KeyShift: inplace leaves
+    // shift stored keys on every crowded insert, model-made gaps mostly
+    // absorb them.
+    let policy = RetrainPolicy::ResegmentLeaf;
+    let (_, inp) = churned_pieces(LeafKind::Inplace { reserve: 24 }, policy, 4_000);
+    let (_, gap) =
+        churned_pieces(LeafKind::Gapped { density: 0.7, max_density: 0.85 }, policy, 4_000);
+    let (mi, mg) = (inp.event_count(Event::KeyShift), gap.event_count(Event::KeyShift));
+    assert!(mi > mg, "inplace shifts {mi} <= gapped shifts {mg}");
+}
+
+/// Churns seeded random inserts through one [`AnyIndex`] kind with an
+/// attached recorder and returns the recorder.
+fn churned_any(kind: IndexKind, inserts: usize) -> Recorder {
+    let mut idx = AnyIndex::build(kind, &seed_data(4_000, 33));
+    let rec = Recorder::enabled();
+    idx.set_recorder(rec.clone());
+    let mut rng = StdRng::seed_from_u64(9);
+    for i in 0..inserts as u64 {
+        idx.insert(rng.random(), i);
+    }
+    rec
+}
+
+#[test]
+fn index_fingerprints_are_distinguishable() {
+    // Each retraining/insertion strategy leaves a distinct event shape —
+    // the property that lets a snapshot identify the strategy blind.
+    let fiting = churned_any(IndexKind::FitingBuf, 8_000).snapshot();
+    assert!(fiting.event(Event::Retrain) > 0);
+    assert!(fiting.event(Event::BufferFlush) > 0, "FITing-buf flushes its leaf buffers");
+    assert_eq!(fiting.event(Event::DeltaMerge), 0);
+
+    let pgm = churned_any(IndexKind::Pgm, 8_000).snapshot();
+    assert!(pgm.event(Event::Retrain) > 0);
+    assert!(pgm.event(Event::DeltaMerge) > 0, "PGM's LSM levels must merge");
+    assert_eq!(pgm.event(Event::BufferFlush), 0);
+    assert_eq!(pgm.event(Event::SplitNode), 0);
+    assert_eq!(pgm.event(Event::ExpandNode), 0);
+
+    let alex = churned_any(IndexKind::Alex, 8_000).snapshot();
+    assert!(alex.event(Event::Retrain) > 0);
+    assert!(
+        alex.event(Event::ExpandNode) + alex.event(Event::SplitNode) > 0,
+        "ALEX retrains via expansion or splitting"
+    );
+    assert_eq!(alex.event(Event::DeltaMerge), 0);
+    assert_eq!(alex.event(Event::BufferFlush), 0);
+
+    let xindex = churned_any(IndexKind::XIndex, 8_000).snapshot();
+    assert!(xindex.event(Event::Retrain) > 0);
+    assert!(xindex.event(Event::BufferFlush) > 0, "XIndex compaction merges its delta buffer");
+    assert_eq!(xindex.event(Event::DeltaMerge), 0);
+    assert_eq!(xindex.event(Event::ExpandNode), 0);
+}
+
+#[test]
+fn insert_latency_histograms_populate() {
+    for kind in [IndexKind::FitingBuf, IndexKind::Alex] {
+        let rec = churned_any(kind, 2_000);
+        let snap = rec.snapshot();
+        let h = snap.op(OpKind::Insert);
+        assert_eq!(h.count, 2_000, "{}: every insert timed", kind.name());
+        assert!(h.max >= h.p999 && h.p999 >= h.p50, "{}: ordered percentiles", kind.name());
+    }
+}
+
+#[test]
+fn concurrent_routes_are_distinguishable_from_shard_banks() {
+    let data = seed_data(6_000, 11);
+    let drive = |kind: ConcurrentKind| {
+        let mut idx = AnyConcurrentIndex::build(kind, &data);
+        let rec = Recorder::enabled();
+        idx.set_recorder(rec.clone());
+        let mut rng = StdRng::seed_from_u64(13);
+        for i in 0..1_000u64 {
+            let k: u64 = rng.random();
+            idx.insert(k, i);
+            ConcurrentIndex::get(&idx, k);
+        }
+        rec.snapshot()
+    };
+
+    // Native (XIndex): no sharding layer, so no shard banks at all.
+    let native = drive(ConcurrentKind::of(IndexKind::XIndex).unwrap());
+    assert_eq!(native.shards.len(), 0, "native route has no shard banks");
+
+    // GlobalLock: exactly one bank funnels everything.
+    let lock = drive(ConcurrentKind::global_lock(IndexKind::BTree).unwrap());
+    assert_eq!(lock.active_shards(), 1, "global lock is one shard");
+
+    // Sharded: uniform random keys hit many banks.
+    let shard = drive(ConcurrentKind::of(IndexKind::BTree).unwrap());
+    assert!(shard.active_shards() > 1, "sharded route spreads over banks");
+
+    // Single-threaded driving can never contend the shard locks.
+    for (name, snap) in [("native", &native), ("lock", &lock), ("shard", &shard)] {
+        assert_eq!(
+            snap.event(Event::ShardLockWait),
+            0,
+            "{name}: single-threaded run saw lock contention"
+        );
+        assert_eq!(snap.total_lock_waits(), 0, "{name}");
+    }
+}
+
+#[test]
+fn viper_store_ops_and_recovery_are_counted() {
+    let keys: Vec<u64> = (0..600u64).map(|i| i * 3 + 1).collect();
+    let cfg = lip::viper::StoreConfig::test(1_000);
+    let mut store = lip::viper::ViperStore::bulk_load_with(
+        cfg,
+        &keys,
+        |k, buf| buf.fill((k % 251) as u8),
+        |pairs| AnyIndex::build(IndexKind::BTree, pairs),
+    );
+    let rec = Recorder::enabled();
+    store.set_recorder(rec.clone());
+
+    let vs = cfg.layout.value_size;
+    let val = vec![7u8; vs];
+    let mut buf = vec![0u8; vs];
+    for k in 0..100u64 {
+        store.put(k * 5 + 2, &val).unwrap();
+    }
+    for k in 0..40u64 {
+        store.get(k * 3 + 1, &mut buf);
+    }
+    for k in 0..10u64 {
+        store.delete(k * 3 + 1).unwrap();
+    }
+    store.scan(0, 500, 64, &mut |_, _| {});
+
+    let snap = rec.snapshot();
+    assert_eq!(snap.op(OpKind::Put).count, 100);
+    assert_eq!(snap.op(OpKind::Get).count, 40);
+    assert_eq!(snap.op(OpKind::Delete).count, 10);
+    assert_eq!(snap.op(OpKind::Scan).count, 1);
+
+    // Clean-device recovery: timed once, zero quarantine events.
+    let dev = store.into_device();
+    let rec2 = Recorder::enabled();
+    let (recovered, report) = lip::viper::ViperStore::recover_recorded(
+        dev,
+        cfg.layout,
+        lip::viper::RecoverOptions::default(),
+        rec2.clone(),
+        |pairs| AnyIndex::build(IndexKind::BTree, pairs),
+    );
+    assert_eq!(report.quarantined, 0);
+    let snap2 = rec2.snapshot();
+    assert_eq!(snap2.op(OpKind::Recovery).count, 1);
+    assert_eq!(snap2.event(Event::QuarantineSlot), 0);
+    assert!(snap2.op(OpKind::Recovery).max > 0, "recovery latency recorded");
+    // The recorder stays attached: post-recovery ops keep counting.
+    let mut recovered = recovered;
+    recovered.put(1, &val).unwrap();
+    assert_eq!(rec2.op_count(OpKind::Put), 1);
+}
+
+#[test]
+fn every_torture_quarantine_has_a_matching_fault() {
+    // ~40 seeded schedules: the QuarantineSlot counter must equal the
+    // recovery report exactly, and any quarantine must be attributable to
+    // an injected fault or the op the crash cut mid-flight.
+    let cfg = TortureConfig::quick(IndexKind::BTree);
+    let mut quarantined_total = 0u64;
+    for seed in 0..40u64 {
+        let out = torture_run(seed, &cfg);
+        assert!(out.passed(), "seed {seed}: {:?}", out.divergences);
+        let q = out.telemetry.event(Event::QuarantineSlot);
+        assert_eq!(
+            q, out.report.quarantined as u64,
+            "seed {seed}: telemetry vs report quarantine count"
+        );
+        if q > 0 {
+            let injected = out.faults.torn_writes + out.faults.dropped_flushes;
+            assert!(
+                injected > 0 || out.crashed_mid_run,
+                "seed {seed}: {q} quarantined slot(s) with no fault to blame"
+            );
+        }
+        // Both recoveries (pre-run + post-crash) are always timed.
+        assert_eq!(out.telemetry.op(OpKind::Recovery).count, 2, "seed {seed}");
+        quarantined_total += q;
+    }
+    // The sweep must actually exercise the quarantine path somewhere;
+    // otherwise this test proves nothing. Seeds are fixed, so this is
+    // deterministic, not flaky.
+    assert!(quarantined_total > 0, "no seed exercised quarantine — widen the sweep");
+}
+
+#[test]
+fn concurrent_routes_agree_with_oracle_and_record_writes() {
+    // Differential + telemetry in one: each route replays the same seeded
+    // stream against a BTreeMap oracle, and its write counters must equal
+    // the number of mutations issued.
+    let data = seed_data(3_000, 21);
+    for kind in [
+        ConcurrentKind::of(IndexKind::XIndex).unwrap(),
+        ConcurrentKind::of(IndexKind::Alex).unwrap(),
+        ConcurrentKind::global_lock(IndexKind::Pgm).unwrap(),
+    ] {
+        let mut idx = AnyConcurrentIndex::build(kind, &data);
+        let rec = Recorder::enabled();
+        idx.set_recorder(rec.clone());
+        let mut oracle: BTreeMap<u64, u64> = data.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut writes = 0u64;
+        for i in 0..2_000u64 {
+            let k: u64 = rng.random::<u64>() >> rng.random_range(0..32u32);
+            match rng.random_range(0..3) {
+                0 => {
+                    assert_eq!(
+                        ConcurrentIndex::get(&idx, k),
+                        oracle.get(&k).copied(),
+                        "{}: get({k})",
+                        kind.name()
+                    );
+                }
+                1 => {
+                    assert_eq!(
+                        idx.insert(k, i),
+                        oracle.insert(k, i),
+                        "{}: insert({k})",
+                        kind.name()
+                    );
+                    writes += 1;
+                }
+                _ => {
+                    assert_eq!(idx.remove(k), oracle.remove(&k), "{}: remove({k})", kind.name());
+                    writes += 1;
+                }
+            }
+        }
+        assert_eq!(ConcurrentIndex::len(&idx), oracle.len(), "{}", kind.name());
+        let snap = rec.snapshot();
+        let recorded: u64 = snap.shards.iter().map(|s| s.writes).sum();
+        if !snap.shards.is_empty() {
+            assert_eq!(recorded, writes, "{}: recorded writes vs issued mutations", kind.name());
+        }
+    }
+}

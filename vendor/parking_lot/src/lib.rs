@@ -68,8 +68,26 @@ impl<T: ?Sized> RwLock<T> {
     }
 
     #[inline]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[inline]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     #[inline]
@@ -100,6 +118,22 @@ mod tests {
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(7);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer blocked by reader");
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "reader blocked by writer");
+            assert!(l.try_write().is_none(), "second writer blocked");
+        }
+        assert!(l.try_write().is_some());
     }
 
     #[test]
