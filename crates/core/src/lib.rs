@@ -43,7 +43,7 @@ pub use li_telemetry as telemetry;
 
 pub use hot::HotCache;
 pub use model::LinearModel;
-pub use shard::{Native, Sharded};
+pub use shard::{Admission, AdmissionGuard, Native, Saturated, Sharded};
 pub use traits::{
     BulkBuildIndex, ConcurrentIndex, DepthStats, Index, OrderedIndex, TwoPhaseLookup,
     UpdatableIndex,

@@ -7,6 +7,7 @@
 //! ALEX), and novel combinations the paper speculates about in §V (e.g.
 //! Opt-PLA + ATS + Gapped) can be built and measured directly.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use crate::approx::ApproxAlgorithm;
@@ -53,6 +54,15 @@ pub struct PiecewiseIndex {
     len: usize,
     stats: RetrainStats,
     recorder: Recorder,
+    /// Deferred-retrain mode: inserts that would trigger a retrain park
+    /// the key in `overflow` and enqueue the leaf instead of blocking.
+    defer_retrains: bool,
+    /// Keys awaiting a background retrain. Invariant: a key is never in
+    /// both a leaf and the overflow buffer, so reads stay exact.
+    overflow: BTreeMap<Key, Value>,
+    /// Routing boundaries (`first_keys[li]` at enqueue time) of leaves
+    /// with parked keys — the retrain work queue.
+    pending_leaves: BTreeSet<Key>,
 }
 
 impl PiecewiseIndex {
@@ -76,6 +86,9 @@ impl PiecewiseIndex {
             len: data.len(),
             stats: RetrainStats::default(),
             recorder: Recorder::disabled(),
+            defer_retrains: false,
+            overflow: BTreeMap::new(),
+            pending_leaves: BTreeSet::new(),
         }
     }
 
@@ -101,14 +114,26 @@ impl PiecewiseIndex {
     /// process. May replace the leaf with several leaves (split) and
     /// rebuild the inner structure.
     fn retrain_leaf(&mut self, li: usize, pending: KeyValue) {
+        self.retrain_leaf_with(li, &[pending]);
+    }
+
+    /// Like [`Self::retrain_leaf`] but merges a sorted batch of pending
+    /// keys (none of which may already live in the leaf) — the drain path
+    /// of deferred retraining.
+    fn retrain_leaf_with(&mut self, li: usize, pending: &[KeyValue]) {
         let t0 = Instant::now();
         let old = &self.leaves[li];
         let retired_moves = old.moves();
         self.stats.insert_moves += retired_moves;
         let mut data = old.to_sorted_vec();
-        let pos = data.partition_point(|kv| kv.0 < pending.0);
-        debug_assert!(data.get(pos).is_none_or(|kv| kv.0 != pending.0));
-        data.insert(pos, pending);
+        for &kv in pending {
+            let pos = data.partition_point(|x| x.0 < kv.0);
+            debug_assert!(data.get(pos).is_none_or(|x| x.0 != kv.0));
+            data.insert(pos, kv);
+        }
+        if data.is_empty() {
+            return;
+        }
         let keys_involved = data.len() as u64;
 
         let mut new_leaves: Vec<(Key, Leaf)> = match self.cfg.policy {
@@ -228,7 +253,7 @@ impl Index for PiecewiseIndex {
         if self.leaves.is_empty() {
             return None;
         }
-        self.leaves[self.leaf_for(key)].get(key)
+        self.leaves[self.leaf_for(key)].get(key).or_else(|| self.overflow.get(&key).copied())
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -236,7 +261,8 @@ impl Index for PiecewiseIndex {
     }
 
     fn data_size_bytes(&self) -> usize {
-        self.leaves.iter().map(|l| l.data_size_bytes()).sum()
+        self.leaves.iter().map(|l| l.data_size_bytes()).sum::<usize>()
+            + self.overflow.len() * core::mem::size_of::<KeyValue>()
     }
 
     fn set_recorder(&mut self, recorder: Recorder) {
@@ -253,6 +279,7 @@ impl OrderedIndex for PiecewiseIndex {
         // a retrained leaf that kept an older boundary) can hold keys
         // below its routing key, so `first_keys[start] > hi` does not
         // imply emptiness of the requested range.
+        let appended_at = out.len();
         let start = self.leaf_for(lo);
         let mut li = start;
         while li < self.leaves.len() {
@@ -261,6 +288,30 @@ impl OrderedIndex for PiecewiseIndex {
             }
             self.leaves[li].range_into(lo, hi, out);
             li += 1;
+        }
+        if !self.overflow.is_empty() {
+            let extra: Vec<KeyValue> =
+                self.overflow.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            if !extra.is_empty() {
+                // Merge the parked keys into what this call appended; the
+                // two runs are sorted and key-disjoint.
+                let tail = out.split_off(appended_at);
+                let (mut a, mut b) = (tail.into_iter().peekable(), extra.into_iter().peekable());
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => {
+                            if x.0 < y.0 {
+                                out.push(a.next().unwrap());
+                            } else {
+                                out.push(b.next().unwrap());
+                            }
+                        }
+                        (Some(_), None) => out.push(a.next().unwrap()),
+                        (None, Some(_)) => out.push(b.next().unwrap()),
+                        (None, None) => break,
+                    }
+                }
+            }
         }
     }
 }
@@ -281,6 +332,16 @@ impl UpdatableIndex for PiecewiseIndex {
                 .record_ns(OpKind::Insert, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
             return None;
         }
+        // A parked key must be updated in place: letting it re-enter a
+        // leaf would leave a stale twin in the overflow buffer.
+        if self.defer_retrains && self.overflow.contains_key(&key) {
+            let out = self.overflow.insert(key, value);
+            let elapsed = t0.elapsed();
+            self.stats.insert_time += elapsed;
+            self.recorder
+                .record_ns(OpKind::Insert, elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+            return out;
+        }
         let li = self.leaf_for(key);
         let out = match self.leaves[li].insert(key, value) {
             InsertOutcome::Inserted => {
@@ -289,7 +350,13 @@ impl UpdatableIndex for PiecewiseIndex {
             }
             InsertOutcome::Replaced(old) => Some(old),
             InsertOutcome::NeedsRetrain => {
-                self.retrain_leaf(li, (key, value));
+                if self.defer_retrains {
+                    self.overflow.insert(key, value);
+                    self.pending_leaves.insert(self.first_keys[li]);
+                    self.recorder.event(Event::RetrainDeferred);
+                } else {
+                    self.retrain_leaf(li, (key, value));
+                }
                 self.len += 1;
                 None
             }
@@ -302,6 +369,12 @@ impl UpdatableIndex for PiecewiseIndex {
     }
 
     fn remove(&mut self, key: Key) -> Option<Value> {
+        if !self.overflow.is_empty() {
+            if let Some(old) = self.overflow.remove(&key) {
+                self.len -= 1;
+                return Some(old);
+            }
+        }
         if self.leaves.is_empty() {
             return None;
         }
@@ -311,6 +384,68 @@ impl UpdatableIndex for PiecewiseIndex {
             self.len -= 1;
         }
         old
+    }
+
+    fn set_defer_retrains(&mut self, on: bool) -> bool {
+        if !on && self.defer_retrains {
+            // Leaving deferred mode flushes all parked work so the index
+            // returns to its fully-trained invariant.
+            self.run_pending_retrains(usize::MAX);
+        }
+        self.defer_retrains = on;
+        true
+    }
+
+    fn pending_retrains(&self) -> usize {
+        self.pending_leaves.len()
+    }
+
+    fn run_pending_retrains(&mut self, budget: usize) -> usize {
+        let mut done = 0;
+        while done < budget {
+            let Some(&boundary) = self.pending_leaves.iter().next() else { break };
+            self.pending_leaves.remove(&boundary);
+            if !self.drain_leaf_at(boundary) {
+                continue; // already drained via a sibling marker
+            }
+            done += 1;
+        }
+        // Belt-and-braces: overflow keys can outlive their marker if a
+        // sibling drain restructured routing first; sweep them too.
+        while done < budget && self.pending_leaves.is_empty() && !self.overflow.is_empty() {
+            let &straggler = self.overflow.keys().next().unwrap();
+            if self.drain_leaf_at(straggler) {
+                done += 1;
+            } else {
+                break;
+            }
+        }
+        done
+    }
+}
+
+impl PiecewiseIndex {
+    /// Drains every parked key currently routed to `probe`'s leaf into a
+    /// single batched retrain. Returns false when nothing was parked there.
+    fn drain_leaf_at(&mut self, probe: Key) -> bool {
+        if self.leaves.is_empty() {
+            return false;
+        }
+        let li = self.leaf_for(probe);
+        let pending: Vec<KeyValue> = self
+            .overflow
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .filter(|kv| self.leaf_for(kv.0) == li)
+            .collect();
+        if pending.is_empty() {
+            return false;
+        }
+        for kv in &pending {
+            self.overflow.remove(&kv.0);
+        }
+        self.retrain_leaf_with(li, &pending);
+        true
     }
 }
 
@@ -498,6 +633,44 @@ mod tests {
         assert_eq!(idx.range_vec(100, 500), vec![(123, 9), (456, 8)]);
         assert_eq!(idx.range_vec(0, 10), vec![]);
         assert_eq!(idx.get(123), Some(9));
+    }
+
+    #[test]
+    fn deferred_retrains_stay_correct_and_drain() {
+        let data = sorted_data(500, 10, 0);
+        let mut idx = PiecewiseIndex::build_with(PiecewiseConfig::default(), &data);
+        let mut model: BTreeMap<Key, Value> = data.iter().copied().collect();
+        let r = li_telemetry::Recorder::enabled();
+        idx.set_recorder(r.clone());
+        assert!(idx.set_defer_retrains(true));
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in 0..20_000u64 {
+            let k = rng.random_range(0..20_000u64);
+            if rng.random_bool(0.8) {
+                assert_eq!(idx.insert(k, n), model.insert(k, n), "insert {k}");
+            } else {
+                assert_eq!(idx.remove(k), model.remove(&k), "remove {k}");
+            }
+            if n % 4096 == 0 {
+                idx.run_pending_retrains(2);
+            }
+            if n % 997 == 0 {
+                assert_eq!(idx.get(k), model.get(&k).copied(), "get {k}");
+            }
+        }
+        assert!(r.event_count(Event::RetrainDeferred) > 0, "defer mode never deferred");
+        assert_eq!(idx.len(), model.len());
+        // Reads and scans see parked keys exactly.
+        let expect: Vec<KeyValue> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(idx.range_vec(0, u64::MAX), expect);
+        // Leaving deferred mode flushes the queue and stays correct.
+        assert!(idx.set_defer_retrains(false));
+        assert_eq!(idx.pending_retrains(), 0);
+        assert_eq!(idx.range_vec(0, u64::MAX), expect);
+        for (&k, &v) in model.iter().step_by(13) {
+            assert_eq!(idx.get(k), Some(v));
+        }
+        assert!(r.event_count(Event::Retrain) > 0);
     }
 
     #[test]

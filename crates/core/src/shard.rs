@@ -13,11 +13,94 @@
 //! (XIndex): it satisfies the same trait surface with zero added locking,
 //! so a runtime-selected lineup can mix both routes behind one type.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
 use parking_lot::{RwLock, RwLockWriteGuard};
 
 use crate::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
 use crate::types::{Key, KeyValue, Value};
 use li_telemetry::Recorder;
+
+/// Returned when an [`Admission`] lane stayed saturated for the whole
+/// bounded wait — the `WouldBlock`-style rung of the overload ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Saturated;
+
+/// Bounded admission: at most `limit` callers inside each lane at once.
+///
+/// This is the first rung of the overload ladder: writers queue *here*,
+/// in a cheap spin/yield wait with a deadline, instead of piling onto a
+/// shard's write lock without bound. A lane is whatever granularity the
+/// caller picks — one per shard for [`Sharded`], a single global lane for
+/// a store-level gate.
+#[derive(Debug)]
+pub struct Admission {
+    limit: usize,
+    lanes: Vec<AtomicUsize>,
+}
+
+impl Admission {
+    pub fn new(lanes: usize, limit: usize) -> Self {
+        assert!(lanes >= 1 && limit >= 1);
+        Admission { limit, lanes: (0..lanes).map(|_| AtomicUsize::new(0)).collect() }
+    }
+
+    /// Concurrent-entrant cap per lane.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Callers currently inside `lane`.
+    pub fn in_flight(&self, lane: usize) -> usize {
+        self.lanes[lane % self.lanes.len()].load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking admission attempt.
+    pub fn try_enter(&self, lane: usize) -> Option<AdmissionGuard<'_>> {
+        let slot = &self.lanes[lane % self.lanes.len()];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                return None;
+            }
+            match slot.compare_exchange_weak(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed) {
+                Ok(_) => return Some(AdmissionGuard { slot }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Admission with a bounded short wait; `Err(Saturated)` after
+    /// `max_wait` of yielding without a free slot.
+    pub fn enter(&self, lane: usize, max_wait: Duration) -> Result<AdmissionGuard<'_>, Saturated> {
+        if let Some(g) = self.try_enter(lane) {
+            return Ok(g);
+        }
+        let t0 = Instant::now();
+        loop {
+            std::thread::yield_now();
+            if let Some(g) = self.try_enter(lane) {
+                return Ok(g);
+            }
+            if t0.elapsed() >= max_wait {
+                return Err(Saturated);
+            }
+        }
+    }
+}
+
+/// RAII token for one admitted caller; leaving the scope frees the slot.
+#[derive(Debug)]
+pub struct AdmissionGuard<'a> {
+    slot: &'a AtomicUsize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.fetch_sub(1, Ordering::Release);
+    }
+}
 
 /// A range-partitioned router over `2..=MAX_SHARDS` (or one) instances of a
 /// single-writer index, giving it a [`ConcurrentIndex`] face plus ordered
@@ -31,6 +114,11 @@ pub struct Sharded<I> {
     lower: Vec<Key>,
     shards: Vec<RwLock<I>>,
     recorder: Recorder,
+    /// Optional per-shard admission gate (overload backpressure).
+    admission: Option<Admission>,
+    /// Deadline for the gate's short wait before a writer proceeds (or,
+    /// via [`Sharded::try_insert`], is rejected with [`Saturated`]).
+    admission_wait: Duration,
 }
 
 /// Hard cap on shard count — beyond this the boundary table itself starts
@@ -81,7 +169,37 @@ impl<I> Sharded<I> {
             built.push(RwLock::new(build(&data[start..end])));
             start = end;
         }
-        Sharded { lower, shards: built, recorder: Recorder::disabled() }
+        Sharded {
+            lower,
+            shards: built,
+            recorder: Recorder::disabled(),
+            admission: None,
+            admission_wait: Duration::from_micros(200),
+        }
+    }
+
+    /// Enables bounded per-shard admission: at most `per_shard` writers
+    /// queued into any one shard; further writers short-wait up to
+    /// `max_wait` (and [`Sharded::try_insert`] rejects with [`Saturated`]
+    /// instead of waiting past the deadline).
+    pub fn set_admission(&mut self, per_shard: usize, max_wait: Duration) {
+        self.admission = Some(Admission::new(self.shards.len(), per_shard));
+        self.admission_wait = max_wait;
+    }
+
+    /// `WouldBlock`-style write: admission failure after the short wait
+    /// surfaces as `Err(Saturated)` rather than unbounded queueing.
+    pub fn try_insert(&self, key: Key, value: Value) -> Result<Option<Value>, Saturated>
+    where
+        I: Index + UpdatableIndex,
+    {
+        let s = self.shard_of(key);
+        let _admit = match &self.admission {
+            Some(gate) => Some(gate.enter(s, self.admission_wait)?),
+            None => None,
+        };
+        self.recorder.shard_write(s);
+        Ok(self.write_shard(s).insert(key, value))
     }
 
     /// Number of shards actually created (may be below the request when the
@@ -186,6 +304,23 @@ impl<I: OrderedIndex> OrderedIndex for Sharded<I> {
     }
 }
 
+impl<I> Sharded<I> {
+    /// Blocking admission for the infallible `ConcurrentIndex` surface:
+    /// short-waits in rounds until admitted, charging each saturated
+    /// round to the lock-wait telemetry so overload is visible.
+    fn admit(&self, s: usize) -> Option<AdmissionGuard<'_>> {
+        let gate = self.admission.as_ref()?;
+        loop {
+            match gate.enter(s, self.admission_wait) {
+                Ok(g) => return Some(g),
+                Err(Saturated) => {
+                    self.recorder.shard_lock_wait(s, self.admission_wait.as_nanos() as u64);
+                }
+            }
+        }
+    }
+}
+
 impl<I: Index + UpdatableIndex> ConcurrentIndex for Sharded<I> {
     fn get(&self, key: Key) -> Option<Value> {
         Index::get(self, key)
@@ -193,18 +328,51 @@ impl<I: Index + UpdatableIndex> ConcurrentIndex for Sharded<I> {
 
     fn insert(&self, key: Key, value: Value) -> Option<Value> {
         let s = self.shard_of(key);
+        let _admit = self.admit(s);
         self.recorder.shard_write(s);
         self.write_shard(s).insert(key, value)
     }
 
     fn remove(&self, key: Key) -> Option<Value> {
         let s = self.shard_of(key);
+        let _admit = self.admit(s);
         self.recorder.shard_write(s);
         self.write_shard(s).remove(key)
     }
 
     fn len(&self) -> usize {
         Index::len(self)
+    }
+
+    /// Forwards deferral into every shard (under its write lock); true
+    /// when any shard supports it.
+    fn set_defer_retrains(&self, on: bool) -> bool {
+        let mut any = false;
+        for s in &self.shards {
+            any |= s.write().set_defer_retrains(on);
+        }
+        any
+    }
+
+    fn pending_retrains(&self) -> usize {
+        self.shards.iter().map(|s| s.read().pending_retrains()).sum()
+    }
+
+    /// Drains queued retrains shard by shard, never holding more than one
+    /// write lock, so foreground writers only contend for the shard
+    /// actually being maintained.
+    fn run_pending_retrains(&self, budget: usize) -> usize {
+        let mut done = 0;
+        for s in &self.shards {
+            if done >= budget {
+                break;
+            }
+            if s.read().pending_retrains() == 0 {
+                continue;
+            }
+            done += s.write().run_pending_retrains(budget - done);
+        }
+        done
     }
 }
 
@@ -265,6 +433,15 @@ impl<C: ConcurrentIndex> ConcurrentIndex for Native<C> {
     }
     fn len(&self) -> usize {
         ConcurrentIndex::len(&self.0)
+    }
+    fn set_defer_retrains(&self, on: bool) -> bool {
+        self.0.set_defer_retrains(on)
+    }
+    fn pending_retrains(&self) -> usize {
+        self.0.pending_retrains()
+    }
+    fn run_pending_retrains(&self, budget: usize) -> usize {
+        self.0.run_pending_retrains(budget)
     }
 }
 
@@ -385,6 +562,91 @@ mod tests {
         }
         assert_eq!(ConcurrentIndex::len(&*idx), 8_000 + 7_000);
         assert_eq!(ConcurrentIndex::get(&*idx, 64 + 1), Some(2));
+    }
+
+    #[test]
+    fn admission_caps_in_flight_writers() {
+        let gate = Arc::new(Admission::new(1, 2));
+        let g1 = gate.try_enter(0).unwrap();
+        let _g2 = gate.try_enter(0).unwrap();
+        assert!(gate.try_enter(0).is_none(), "third entrant must be rejected");
+        assert_eq!(gate.enter(0, Duration::from_millis(1)).err(), Some(Saturated));
+        assert_eq!(gate.in_flight(0), 2);
+        drop(g1);
+        assert!(gate.try_enter(0).is_some(), "slot frees on guard drop");
+
+        // Concurrent hammering never observes more than `limit` inside.
+        let gate = Arc::new(Admission::new(4, 3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let gate = Arc::clone(&gate);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for i in 0..500usize {
+                        let lane = (t + i) % 4;
+                        let _g = loop {
+                            if let Some(g) = gate.try_enter(lane) {
+                                break g;
+                            }
+                            std::thread::yield_now();
+                        };
+                        peak.fetch_max(gate.in_flight(lane), Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 3, "admission bound violated");
+        for lane in 0..4 {
+            assert_eq!(gate.in_flight(lane), 0, "all slots released");
+        }
+    }
+
+    #[test]
+    fn sharded_insert_respects_admission_and_try_insert_rejects() {
+        let data: Vec<KeyValue> = (0..1_000u64).map(|i| (i * 8, i)).collect();
+        let mut idx = Sharded::<MapIndex>::build(4, &data);
+        idx.set_admission(1, Duration::from_millis(1));
+        // Uncontended: the gate is invisible.
+        assert_eq!(ConcurrentIndex::insert(&idx, 3, 30), None);
+        assert_eq!(idx.try_insert(3, 31).unwrap(), Some(30));
+        // Saturate the lane by hand: try_insert must reject, not queue.
+        let lane = idx.shard_of(3);
+        let gate = idx.admission.as_ref().unwrap();
+        let _hold = gate.try_enter(lane).unwrap();
+        assert_eq!(idx.try_insert(3, 32), Err(Saturated));
+        assert_eq!(Index::get(&idx, 3), Some(31), "rejected write must not apply");
+    }
+
+    #[test]
+    fn sharded_forwards_deferred_retraining() {
+        use crate::pieces::assembled::{PiecewiseConfig, PiecewiseIndex};
+
+        let data: Vec<KeyValue> = (0..20_000u64).map(|i| (i * 4, i)).collect();
+        let idx = Sharded::build_with(8, &data, |chunk| {
+            PiecewiseIndex::build_with(PiecewiseConfig::default(), chunk)
+        });
+        assert!(ConcurrentIndex::set_defer_retrains(&idx, true));
+        let mut model: BTreeMap<Key, Value> = data.iter().copied().collect();
+        for n in 0..30_000u64 {
+            let k = (n.wrapping_mul(0x9e3779b97f4a7c15) >> 16) % 100_000;
+            assert_eq!(ConcurrentIndex::insert(&idx, k, n), model.insert(k, n), "insert {k}");
+        }
+        let parked = ConcurrentIndex::pending_retrains(&idx);
+        assert!(parked > 0, "heavy churn must park retrains");
+        // Budgeted drain makes progress without clearing everything.
+        let ran = ConcurrentIndex::run_pending_retrains(&idx, 1);
+        assert_eq!(ran, 1);
+        // Full drain empties the queue; correctness holds throughout.
+        while ConcurrentIndex::run_pending_retrains(&idx, 64) > 0 {}
+        assert_eq!(ConcurrentIndex::pending_retrains(&idx), 0);
+        assert_eq!(ConcurrentIndex::len(&idx), model.len());
+        for (&k, &v) in model.iter().step_by(37) {
+            assert_eq!(ConcurrentIndex::get(&idx, k), Some(v));
+        }
     }
 
     #[test]

@@ -62,6 +62,26 @@ pub trait UpdatableIndex: Index {
 
     /// Removes a key; returns its value if present.
     fn remove(&mut self, key: Key) -> Option<Value>;
+
+    /// Switches the index into (or out of) deferred-retrain mode: inserts
+    /// that would trigger a structural retrain park the key in an overflow
+    /// buffer and enqueue the leaf for background work instead of blocking.
+    /// Returns `true` iff the index supports deferral; the default keeps
+    /// every existing index compiling with foreground retraining.
+    fn set_defer_retrains(&mut self, _on: bool) -> bool {
+        false
+    }
+
+    /// Retrain-queue depth: structural work currently parked for
+    /// background maintenance (0 for indexes without deferral).
+    fn pending_retrains(&self) -> usize {
+        0
+    }
+
+    /// Runs up to `budget` queued retrain units; returns how many ran.
+    fn run_pending_retrains(&mut self, _budget: usize) -> usize {
+        0
+    }
 }
 
 /// Indexes supporting concurrent mutation through a shared reference
@@ -78,6 +98,22 @@ pub trait ConcurrentIndex: Send + Sync {
     /// True when no keys are present.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Shared-reference twin of [`UpdatableIndex::set_defer_retrains`];
+    /// wrappers (e.g. `Sharded`) forward it under their write locks.
+    fn set_defer_retrains(&self, _on: bool) -> bool {
+        false
+    }
+
+    /// Shared-reference twin of [`UpdatableIndex::pending_retrains`].
+    fn pending_retrains(&self) -> usize {
+        0
+    }
+
+    /// Shared-reference twin of [`UpdatableIndex::run_pending_retrains`].
+    fn run_pending_retrains(&self, _budget: usize) -> usize {
+        0
     }
 }
 

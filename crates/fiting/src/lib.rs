@@ -163,6 +163,18 @@ impl UpdatableIndex for FitingTree {
     fn remove(&mut self, key: Key) -> Option<Value> {
         self.inner.remove(key)
     }
+
+    fn set_defer_retrains(&mut self, on: bool) -> bool {
+        self.inner.set_defer_retrains(on)
+    }
+
+    fn pending_retrains(&self) -> usize {
+        self.inner.pending_retrains()
+    }
+
+    fn run_pending_retrains(&mut self, budget: usize) -> usize {
+        self.inner.run_pending_retrains(budget)
+    }
 }
 
 impl BulkBuildIndex for FitingTree {

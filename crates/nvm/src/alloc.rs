@@ -66,6 +66,12 @@ impl PageAllocator {
         self.free.lock().push(page);
     }
 
+    /// Whether another [`PageAllocator::alloc`] would currently succeed
+    /// (bump headroom remains or a freed page awaits reuse).
+    pub fn has_capacity(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.total_pages || !self.free.lock().is_empty()
+    }
+
     /// Byte offset of a page on the device.
     #[inline]
     pub fn page_offset(&self, page: usize) -> usize {
@@ -101,11 +107,16 @@ mod tests {
     #[test]
     fn exhaustion_returns_none() {
         let a = PageAllocator::new(2048, 1024);
+        assert!(a.has_capacity());
         assert!(a.alloc().is_some());
         assert!(a.alloc().is_some());
+        assert!(!a.has_capacity());
         assert!(a.alloc().is_none());
         assert!(a.alloc().is_none());
         assert_eq!(a.allocated_pages(), 2);
+        a.free(0);
+        assert!(a.has_capacity(), "freed page restores capacity");
+        assert_eq!(a.alloc(), Some(0));
     }
 
     #[test]

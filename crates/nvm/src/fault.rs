@@ -55,6 +55,19 @@ impl std::fmt::Display for NvmError {
 
 impl std::error::Error for NvmError {}
 
+impl NvmError {
+    /// Fault-class taxonomy: transient errors are worth a bounded retry
+    /// (the fault may pass on its own — a failed write line, a device-full
+    /// window — or be cleared by maintenance); `Crashed` is terminal until
+    /// the driver calls [`crate::NvmDevice::crash`] and recovers.
+    pub const fn is_transient(self) -> bool {
+        match self {
+            NvmError::WriteFailed | NvmError::DeviceFull => true,
+            NvmError::Crashed => false,
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -135,6 +148,33 @@ impl FaultPlan {
         if splitmix64(&mut s).is_multiple_of(4) {
             let from = splitmix64(&mut s) % crash_op;
             faults.push(Fault::FullWindow { from, until: from + 1 + splitmix64(&mut s) % 16 });
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// Derives a crash-free "transient storm" plan from `seed`: bursts of
+    /// *consecutive* failed writes (long enough that some bursts exhaust
+    /// the heap's immediate retry budget and surface to the store's
+    /// backoff layer) plus one or two device-full windows. Because there
+    /// is no crash point, volatile state stays trustworthy — a store
+    /// driven under this plan must match its oracle exactly once every op
+    /// has either been acked or returned an error.
+    pub fn transient_storm(seed: u64, horizon: u64) -> Self {
+        let horizon = horizon.max(64);
+        let mut s = seed ^ 0xdead_beef_0bad_f00d;
+        let mut faults = Vec::new();
+        let n_bursts = 2 + (splitmix64(&mut s) % 3) as usize;
+        for _ in 0..n_bursts {
+            let start = splitmix64(&mut s) % horizon;
+            let len = 4 + splitmix64(&mut s) % 20;
+            for op in start..start + len {
+                faults.push(Fault::FailedWrite { op });
+            }
+        }
+        let n_windows = 1 + (splitmix64(&mut s) % 2) as usize;
+        for _ in 0..n_windows {
+            let from = splitmix64(&mut s) % horizon;
+            faults.push(Fault::FullWindow { from, until: from + 8 + splitmix64(&mut s) % 32 });
         }
         FaultPlan { seed, faults }
     }
@@ -394,6 +434,37 @@ mod tests {
         let snap = inj.counters().snapshot();
         assert_eq!(snap.failed_writes, 1);
         assert_eq!(snap.dropped_flushes, 1);
+    }
+
+    #[test]
+    fn transient_storm_is_crash_free_and_bursty() {
+        for seed in 0..20u64 {
+            let p = FaultPlan::transient_storm(seed, 1_000);
+            assert_eq!(p, FaultPlan::transient_storm(seed, 1_000), "replayable");
+            assert!(!p.faults.iter().any(|f| matches!(f, Fault::CrashAt { .. })));
+            assert!(p.faults.iter().any(|f| matches!(f, Fault::FullWindow { .. })));
+            let mut failed: Vec<u64> = p
+                .faults
+                .iter()
+                .filter_map(|f| match f {
+                    Fault::FailedWrite { op } => Some(*op),
+                    _ => None,
+                })
+                .collect();
+            failed.sort_unstable();
+            failed.dedup();
+            // At least one run of >= 4 consecutive failed writes.
+            let mut best = 1;
+            let mut run = 1;
+            for w in failed.windows(2) {
+                run = if w[1] == w[0] + 1 { run + 1 } else { 1 };
+                best = best.max(run);
+            }
+            assert!(best >= 4, "seed {seed}: longest burst {best}");
+        }
+        assert!(NvmError::WriteFailed.is_transient());
+        assert!(NvmError::DeviceFull.is_transient());
+        assert!(!NvmError::Crashed.is_transient());
     }
 
     #[test]

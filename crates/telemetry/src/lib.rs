@@ -52,11 +52,28 @@ pub enum Event {
     ShardLockWait,
     /// Keys physically moved to make room for an insert (shift count).
     KeyShift,
+    /// A transient write failure was observed and the write re-attempted
+    /// (one event per injected `WriteFailed` consumed by the store).
+    Retry,
+    /// A store-level retry slept through a seeded exponential backoff.
+    BackoffWait,
+    /// The overload circuit breaker tripped open (writes shed).
+    CircuitOpen,
+    /// The overload circuit breaker closed again (writes admitted).
+    CircuitClose,
+    /// Maintenance re-resolved a quarantined slot that a later write had
+    /// superseded; the slot was reclaimed with no data loss.
+    RepairedSlot,
+    /// Page GC returned a fully-dead page to the allocator.
+    PageReclaimed,
+    /// A retrain trigger was queued for background maintenance instead
+    /// of blocking the foreground insert.
+    RetrainDeferred,
 }
 
 impl Event {
     /// All variants, in counter-array order.
-    pub const ALL: [Event; 8] = [
+    pub const ALL: [Event; 15] = [
         Event::Retrain,
         Event::SplitNode,
         Event::ExpandNode,
@@ -65,6 +82,13 @@ impl Event {
         Event::QuarantineSlot,
         Event::ShardLockWait,
         Event::KeyShift,
+        Event::Retry,
+        Event::BackoffWait,
+        Event::CircuitOpen,
+        Event::CircuitClose,
+        Event::RepairedSlot,
+        Event::PageReclaimed,
+        Event::RetrainDeferred,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -84,6 +108,13 @@ impl Event {
             Event::QuarantineSlot => "quarantine_slot",
             Event::ShardLockWait => "shard_lock_wait",
             Event::KeyShift => "key_shift",
+            Event::Retry => "retry",
+            Event::BackoffWait => "backoff_wait",
+            Event::CircuitOpen => "circuit_open",
+            Event::CircuitClose => "circuit_close",
+            Event::RepairedSlot => "repaired_slot",
+            Event::PageReclaimed => "page_reclaimed",
+            Event::RetrainDeferred => "retrain_deferred",
         }
     }
 }
@@ -100,10 +131,16 @@ pub enum OpKind {
     Recovery,
     Retrain,
     LockWait,
+    /// One background maintenance pass (retrain drain + repair + GC).
+    Maintenance,
+    /// Attempts-per-retried-op histogram (unit: attempts, not ns).
+    RetryAttempts,
+    /// Time spent sleeping in retry backoff (ns).
+    BackoffWait,
 }
 
 impl OpKind {
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 12] = [
         OpKind::Get,
         OpKind::Insert,
         OpKind::Remove,
@@ -113,6 +150,9 @@ impl OpKind {
         OpKind::Recovery,
         OpKind::Retrain,
         OpKind::LockWait,
+        OpKind::Maintenance,
+        OpKind::RetryAttempts,
+        OpKind::BackoffWait,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -133,6 +173,9 @@ impl OpKind {
             OpKind::Recovery => "recovery",
             OpKind::Retrain => "retrain",
             OpKind::LockWait => "lock_wait",
+            OpKind::Maintenance => "maintenance",
+            OpKind::RetryAttempts => "retry_attempts",
+            OpKind::BackoffWait => "backoff_wait",
         }
     }
 }

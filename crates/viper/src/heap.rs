@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use li_core::telemetry::{Event, Recorder};
 use li_core::Key;
 use li_nvm::{NvmDevice, NvmError, PageAllocator};
 use parking_lot::Mutex;
@@ -91,6 +92,19 @@ pub struct RecordHeap {
     /// Store-wide publish sequence; recovery resumes it past the highest
     /// sequence found on the device.
     next_seq: AtomicU64,
+    /// Slot offsets recovery quarantined (published state, failing CRC).
+    /// Withheld from reuse until a repair pass proves them superseded or
+    /// writes their payload off as lost; see
+    /// [`RecordHeap::reclaim_quarantined`].
+    quarantined: Mutex<Vec<usize>>,
+    /// Live slots whose retirement hit a transient fault inside
+    /// [`RecordHeap::replace`]. The record they hold is superseded by a
+    /// higher-sequence one, so they waste space but cannot corrupt reads;
+    /// the maintenance sweep re-validates and retires them.
+    stale: Mutex<Vec<usize>>,
+    /// Emits [`Event::Retry`] for every transient write failure observed
+    /// (and re-attempted) by [`RecordHeap::write_retry`].
+    recorder: Recorder,
 }
 
 impl RecordHeap {
@@ -105,7 +119,16 @@ impl RecordHeap {
             free_slots: Mutex::new(Vec::new()),
             update_locks: (0..UPDATE_STRIPES).map(|_| Mutex::new(())).collect(),
             next_seq: AtomicU64::new(1),
+            quarantined: Mutex::new(Vec::new()),
+            stale: Mutex::new(Vec::new()),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; every transient write failure the
+    /// heap rides out is counted as an [`Event::Retry`].
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     pub fn layout(&self) -> RecordLayout {
@@ -127,12 +150,20 @@ impl RecordHeap {
         &self.update_locks[(offset / self.layout.slot_size()) % UPDATE_STRIPES]
     }
 
-    /// Writes with bounded retry of injected transient failures.
+    /// Writes with bounded retry of injected transient failures. One
+    /// [`Event::Retry`] is emitted per failure observed — including the
+    /// final one when the budget is exhausted — so with a recorder
+    /// attached, `Retry` events equal the device's `failed_writes` fault
+    /// counter as long as nothing bypasses this path (recovery healing
+    /// writes directly and is accounted separately via `pages_healed`).
     fn write_retry(&self, offset: usize, data: &[u8]) -> Result<(), ViperError> {
         for _ in 0..WRITE_RETRIES {
             match self.dev.try_write(offset, data) {
                 Ok(()) => return Ok(()),
-                Err(NvmError::WriteFailed) => continue,
+                Err(NvmError::WriteFailed) => {
+                    self.recorder.event(Event::Retry);
+                    continue;
+                }
                 Err(e) => return Err(e.into()),
             }
         }
@@ -224,9 +255,22 @@ impl RecordHeap {
     /// with a higher sequence, then retires the old slot. Returns the new
     /// offset. A crash in between leaves two live records; recovery keeps
     /// the higher sequence.
+    ///
+    /// A *transient* retirement failure after the successful append is
+    /// swallowed: the new record is already durably published, so the
+    /// update has happened — surfacing an error here would report a put as
+    /// failed that recovery (higher sequence wins) would resurrect, the
+    /// exact torn state the torture oracle flags. The un-retired slot is
+    /// parked on the stale list for [`RecordHeap::sweep_stale`] instead.
+    /// `Crashed` still propagates; an in-flight op at crash time may
+    /// legally land either way.
     pub fn replace(&self, old_offset: u64, key: Key, value: &[u8]) -> Result<u64, ViperError> {
         let new_off = self.append(key, value)?;
-        self.mark_dead(old_offset)?;
+        match self.mark_dead(old_offset) {
+            Ok(()) => {}
+            Err(e) if e.is_transient() => self.stale.lock().push(old_offset as usize),
+            Err(e) => return Err(e),
+        }
         Ok(new_off)
     }
 
@@ -286,6 +330,7 @@ impl RecordHeap {
         let spp = layout.slots_per_page();
         let mut report = RecoveryReport::default();
         let mut free = Vec::new();
+        let mut quarantined = Vec::new();
         // key -> (seq, offset) of the best live record seen so far.
         let mut best: HashMap<Key, (u64, u64)> = HashMap::new();
         let total_pages = heap.alloc.total_pages();
@@ -341,8 +386,11 @@ impl RecordHeap {
                         if opts.verify_checksums && !crc_ok {
                             // Published but not matching its own checksum:
                             // the device lied about a flush or tore the
-                            // payload. Skip, count, never reuse.
+                            // payload. Skip, count, withhold from reuse —
+                            // and remember the offset so the online repair
+                            // pass can resolve it later.
                             report.quarantined += 1;
+                            quarantined.push(off);
                             continue;
                         }
                         match best.entry(header.key) {
@@ -370,6 +418,7 @@ impl RecordHeap {
         report.live = live.len();
         heap.alloc.assume_allocated(pages_allocated);
         *heap.free_slots.lock() = free;
+        *heap.quarantined.lock() = quarantined;
         heap.next_seq.store(report.max_seq + 1, Ordering::Relaxed);
         // All recovered pages are fully accounted for (their free slots are
         // in the free list), so no open page is needed.
@@ -379,6 +428,131 @@ impl RecordHeap {
     /// Approximate bytes of NVM in use (allocated pages).
     pub fn nvm_bytes_used(&self) -> usize {
         self.alloc.allocated_pages() * self.layout.page_size
+    }
+
+    /// State byte of the slot at `offset` as currently visible.
+    pub fn slot_state(&self, offset: u64) -> u8 {
+        let mut b = [0u8; 1];
+        self.dev.read_into(self.layout.state_offset(offset as usize), &mut b);
+        b[0]
+    }
+
+    /// Whether an append could make progress right now: a recycled slot,
+    /// headroom in the open page, or an allocatable page — and no injected
+    /// device-full window. Probing does not advance the device's op
+    /// clock, so polling this is free under fault injection.
+    pub fn has_free_capacity(&self) -> bool {
+        if self.dev.injected_device_full() {
+            return false;
+        }
+        if !self.free_slots.lock().is_empty() {
+            return true;
+        }
+        {
+            let open = self.open.lock();
+            if open.page_offset.is_some() && open.next_slot < self.layout.slots_per_page() {
+                return true;
+            }
+        }
+        self.alloc.has_capacity()
+    }
+
+    /// Offsets of slots recovery quarantined, still awaiting repair.
+    pub fn quarantined_slots(&self) -> Vec<u64> {
+        self.quarantined.lock().iter().map(|&o| o as u64).collect()
+    }
+
+    /// Number of slots still quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.lock().len()
+    }
+
+    /// Releases a quarantined slot back into circulation after the repair
+    /// pass resolved it (superseded by a live record, or its payload
+    /// written off as lost): marks it dead durably and recycles it.
+    /// Returns `false` when `offset` is not quarantined. On failure the
+    /// slot goes back into quarantine so a later pass retries.
+    pub fn reclaim_quarantined(&self, offset: u64) -> Result<bool, ViperError> {
+        let off = offset as usize;
+        {
+            let mut q = self.quarantined.lock();
+            let Some(pos) = q.iter().position(|&o| o == off) else {
+                return Ok(false);
+            };
+            q.swap_remove(pos);
+        }
+        match self.mark_dead(offset) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                self.quarantined.lock().push(off);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of superseded-but-unretired slots awaiting the sweep.
+    pub fn stale_count(&self) -> usize {
+        self.stale.lock().len()
+    }
+
+    /// Retires slots parked by [`RecordHeap::replace`] after a transient
+    /// retirement failure. `still_current(key, offset)` must return
+    /// whether the index still maps `key` to this exact slot — a candidate
+    /// the index still references is kept for a later sweep (the parked
+    /// entry may race the caller's index update), everything else is
+    /// marked dead and recycled. Returns the number of slots retired.
+    pub fn sweep_stale(&self, still_current: impl Fn(Key, u64) -> bool) -> usize {
+        let candidates = std::mem::take(&mut *self.stale.lock());
+        let mut retired = 0;
+        for off in candidates {
+            let offset = off as u64;
+            if self.slot_state(offset) != SLOT_LIVE {
+                continue; // already retired by a competing path
+            }
+            let key = self.read_key(offset);
+            if still_current(key, offset) {
+                self.stale.lock().push(off);
+                continue;
+            }
+            match self.mark_dead(offset) {
+                Ok(()) => retired += 1,
+                Err(_) => self.stale.lock().push(off),
+            }
+        }
+        retired
+    }
+
+    /// Page-granular garbage collection: returns pages whose every slot
+    /// sits in the free list to the page allocator, so a store driven to
+    /// exhaustion can regain whole-page headroom from deletes. The open
+    /// page and any page holding a quarantined slot are never eligible
+    /// (quarantined slots are withheld from the free list). Returns the
+    /// number of pages reclaimed.
+    pub fn reclaim_dead_pages(&self) -> usize {
+        let spp = self.layout.slots_per_page();
+        let open_page = self.open.lock().page_offset.map(|po| po / self.layout.page_size);
+        let mut free = self.free_slots.lock();
+        let mut per_page: HashMap<usize, usize> = HashMap::new();
+        for &off in free.iter() {
+            *per_page.entry(off / self.layout.page_size).or_insert(0) += 1;
+        }
+        let victims: Vec<usize> = per_page
+            .into_iter()
+            .filter(|&(page, n)| n == spp && Some(page) != open_page)
+            .map(|(page, _)| page)
+            .collect();
+        if victims.is_empty() {
+            return 0;
+        }
+        // Remove the victims' slots while still holding the free-list lock
+        // so no concurrent alloc can pop one mid-reclaim.
+        let victim_set: std::collections::HashSet<usize> = victims.iter().copied().collect();
+        free.retain(|&off| !victim_set.contains(&(off / self.layout.page_size)));
+        drop(free);
+        for &page in &victims {
+            self.alloc.free(page);
+        }
+        victims.len()
     }
 }
 
@@ -612,6 +786,186 @@ mod tests {
         // Deleting makes room again: exhaustion is recoverable, not fatal.
         h.mark_dead(offs[0]).unwrap();
         assert!(h.append(u64::MAX, &val(&l, 1)).is_ok());
+    }
+
+    #[test]
+    fn replace_swallows_transient_retirement_failure() {
+        use li_nvm::{Fault, FaultPlan};
+        // Dry run on a clean device to find the op-counter position where
+        // replace()'s internal append ends and mark_dead begins.
+        let l = RecordLayout::small();
+        let ops_before_retire = {
+            let dev = Arc::new(NvmDevice::new(NvmConfig::fast(1 << 20)));
+            let h = RecordHeap::new(Arc::clone(&dev), l);
+            h.append(1, &val(&l, 1)).unwrap();
+            h.append(1, &val(&l, 2)).unwrap();
+            let s = dev.stats().snapshot();
+            s.writes + s.flushes + s.fences
+        };
+        // Real run: a write-failure burst wide enough to cover mark_dead's
+        // whole retry budget even if the measured position is off by two.
+        let mut plan = FaultPlan::none();
+        for op in ops_before_retire.saturating_sub(2)..ops_before_retire + 10 {
+            plan = plan.with(Fault::FailedWrite { op });
+        }
+        let dev = Arc::new(NvmDevice::with_faults(NvmConfig::fast(1 << 20), &plan));
+        let h = RecordHeap::new(Arc::clone(&dev), l);
+        let old = h.append(1, &val(&l, 1)).unwrap();
+        let new = h.replace(old, 1, &val(&l, 2)).expect("transient retirement must be swallowed");
+        assert_ne!(old, new);
+        assert_eq!(h.stale_count(), 1, "un-retired slot parked for the sweep");
+        assert!(dev.fault_counters().failed_writes >= 8, "burst must exhaust the retry budget");
+        let mut buf = vec![0u8; l.value_size];
+        assert_eq!(h.read(new, &mut buf), 1);
+        assert_eq!(buf, val(&l, 2));
+        // The sweep retires the stale slot once the burst has passed. The
+        // "index" maps key 1 to the new offset, so the old one is fair game.
+        assert_eq!(h.sweep_stale(|k, off| k == 1 && off == new), 1);
+        assert_eq!(h.stale_count(), 0);
+        assert_eq!(h.slot_state(old), SLOT_DEAD);
+        // Recovery agrees with the swallowed result: the put happened.
+        drop(h);
+        let (_, live, report) = RecordHeap::recover_with_report(dev, l, RecoverOptions::default());
+        assert_eq!(live, vec![(1, new)]);
+        assert_eq!(report.quarantined, 0);
+    }
+
+    #[test]
+    fn replace_without_sweep_still_recovers_to_new_value() {
+        use li_nvm::{Fault, FaultPlan};
+        let l = RecordLayout::small();
+        let ops_before_retire = {
+            let dev = Arc::new(NvmDevice::new(NvmConfig::fast(1 << 20)));
+            let h = RecordHeap::new(Arc::clone(&dev), l);
+            h.append(1, &val(&l, 1)).unwrap();
+            h.append(1, &val(&l, 2)).unwrap();
+            let s = dev.stats().snapshot();
+            s.writes + s.flushes + s.fences
+        };
+        let mut plan = FaultPlan::none();
+        for op in ops_before_retire.saturating_sub(2)..ops_before_retire + 10 {
+            plan = plan.with(Fault::FailedWrite { op });
+        }
+        let dev = Arc::new(NvmDevice::with_faults(NvmConfig::fast(1 << 20), &plan));
+        let h = RecordHeap::new(Arc::clone(&dev), l);
+        let old = h.append(1, &val(&l, 1)).unwrap();
+        let new = h.replace(old, 1, &val(&l, 2)).unwrap();
+        // No sweep: the old slot stays live. Duplicate-by-seq resolution
+        // must still surface only the acknowledged (newer) record.
+        drop(h);
+        let (_, live, report) = RecordHeap::recover_with_report(dev, l, RecoverOptions::default());
+        assert_eq!(live, vec![(1, new)]);
+        assert_eq!(report.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn retry_events_match_observed_failed_writes() {
+        use li_core::telemetry::{Event, Recorder};
+        use li_nvm::{Fault, FaultPlan};
+        // Faults only fire when their op lands on a write, so schedule
+        // short bursts (< the in-heap retry budget): once a write hits the
+        // head of a burst, its retries walk through the rest of it.
+        let mut plan = FaultPlan::none();
+        for op in [3u64, 4, 5, 30, 31, 32] {
+            plan = plan.with(Fault::FailedWrite { op });
+        }
+        let dev = Arc::new(NvmDevice::with_faults(NvmConfig::fast(1 << 20), &plan));
+        let l = RecordLayout::small();
+        let mut h = RecordHeap::new(Arc::clone(&dev), l);
+        let rec = Recorder::enabled();
+        h.set_recorder(rec.clone());
+        for k in 0..50u64 {
+            h.append(k, &val(&l, k as u8)).unwrap();
+        }
+        let observed = dev.fault_counters().failed_writes;
+        assert!(observed >= 3, "at least the op-3 burst must land on a write");
+        assert_eq!(rec.snapshot().event(Event::Retry), observed);
+    }
+
+    #[test]
+    fn page_gc_reclaims_fully_dead_pages() {
+        let h = heap(1 << 20);
+        let l = h.layout();
+        let spp = l.slots_per_page();
+        let offs: Vec<u64> =
+            (0..3 * spp as u64).map(|k| h.append(k, &val(&l, 1)).unwrap()).collect();
+        let used_before = h.nvm_bytes_used();
+        // Retire every record of the first page; the page becomes
+        // reclaimable as a whole.
+        for &off in &offs[..spp] {
+            h.mark_dead(off).unwrap();
+        }
+        assert_eq!(h.reclaim_dead_pages(), 1);
+        assert_eq!(h.nvm_bytes_used(), used_before - l.page_size);
+        assert_eq!(h.reclaim_dead_pages(), 0, "nothing left to reclaim");
+        // The reclaimed page is re-allocatable; survivors are untouched.
+        let mut buf = vec![0u8; l.value_size];
+        for k in 0..spp as u64 {
+            h.append(10_000 + k, &val(&l, 2)).unwrap();
+        }
+        assert_eq!(h.nvm_bytes_used(), used_before, "page was reused, not re-bumped");
+        for &off in &offs[spp..] {
+            let k = h.read(off, &mut buf);
+            assert_eq!(buf, val(&l, 1), "survivor {k} clobbered by page reuse");
+        }
+    }
+
+    #[test]
+    fn page_gc_skips_partially_live_and_open_pages() {
+        let h = heap(1 << 20);
+        let l = h.layout();
+        let spp = l.slots_per_page();
+        // Page 0 keeps one live record; page 1 is the open page.
+        let offs: Vec<u64> =
+            (0..spp as u64 + 1).map(|k| h.append(k, &val(&l, 1)).unwrap()).collect();
+        for &off in &offs[1..spp] {
+            h.mark_dead(off).unwrap();
+        }
+        assert_eq!(h.reclaim_dead_pages(), 0, "one slot still live");
+        h.mark_dead(offs[0]).unwrap();
+        assert_eq!(h.reclaim_dead_pages(), 1);
+    }
+
+    #[test]
+    fn exhausted_heap_regains_whole_pages() {
+        let h = heap(8 * 1024);
+        let l = h.layout();
+        let mut offs = Vec::new();
+        while let Ok(off) = h.append(offs.len() as u64, &val(&l, 0)) {
+            offs.push(off);
+        }
+        assert!(!h.has_free_capacity());
+        let spp = l.slots_per_page();
+        for &off in &offs[..spp] {
+            h.mark_dead(off).unwrap();
+        }
+        assert!(h.has_free_capacity(), "recycled slots count as capacity");
+        assert_eq!(h.reclaim_dead_pages(), 1);
+        assert!(h.has_free_capacity(), "a whole page is back");
+        assert!(h.append(u64::MAX, &val(&l, 1)).is_ok());
+    }
+
+    #[test]
+    fn quarantined_slots_are_retained_and_reclaimable() {
+        let dev = Arc::new(NvmDevice::new(NvmConfig::fast(1 << 20)));
+        let l = RecordLayout::small();
+        let h = RecordHeap::new(Arc::clone(&dev), l);
+        let off_good = h.append(1, &val(&l, 1)).unwrap();
+        let off_bad = h.append(2, &val(&l, 2)).unwrap();
+        drop(h);
+        dev.write(l.value_offset(off_bad as usize), &val(&l, 0xAA));
+        let (h2, live, report) = RecordHeap::recover_with_report(dev, l, RecoverOptions::default());
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(h2.quarantined_slots(), vec![off_bad]);
+        assert_eq!(live, vec![(1, off_good)]);
+        // Unknown offsets are refused; the real one reclaims exactly once.
+        assert_eq!(h2.reclaim_quarantined(off_good), Ok(false));
+        assert_eq!(h2.reclaim_quarantined(off_bad), Ok(true));
+        assert_eq!(h2.quarantined_count(), 0);
+        assert_eq!(h2.reclaim_quarantined(off_bad), Ok(false));
+        assert_eq!(h2.slot_state(off_bad), SLOT_DEAD);
+        // The reclaimed slot re-enters circulation.
+        assert_eq!(h2.append(3, &val(&l, 3)).unwrap(), off_bad);
     }
 
     #[test]

@@ -18,15 +18,28 @@
 //!   [`store::ConcurrentViperStore`] is the alias).
 //! * [`error`] — [`ViperError`]: every mutating path is fallible; device
 //!   exhaustion degrades stores to read-only instead of panicking.
+//! * [`retry`] — bounded, seeded-backoff retry of transient faults (the
+//!   first rung of the self-healing ladder).
+//! * [`maintenance`] — the background [`MaintenanceWorker`] (deferred
+//!   retraining, quarantine repair, page GC, read-only lift, stall
+//!   watchdog) and the overload [`CircuitBreaker`].
 
 pub mod error;
 pub mod heap;
 pub mod layout;
+pub mod maintenance;
+pub mod retry;
 pub mod store;
 
 pub use error::ViperError;
 pub use heap::{RecordHeap, RecoverOptions, RecoveryReport};
 pub use layout::{RecordLayout, PAGE_MAGIC};
+pub use maintenance::{
+    BreakerConfig, CircuitBreaker, MaintenanceConfig, MaintenancePass, MaintenanceStats,
+    MaintenanceWorker,
+};
+pub use retry::RetryPolicy;
 pub use store::{
-    ConcurrentViperStore, SharedWriter, SingleWriter, StoreConfig, ViperStore, WriteModel,
+    ConcurrentViperStore, RepairOutcome, SharedWriter, SingleWriter, StoreConfig, ViperStore,
+    WriteModel,
 };

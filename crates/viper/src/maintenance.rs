@@ -1,0 +1,515 @@
+//! Background self-healing: the maintenance worker, its stall watchdog,
+//! and the overload circuit breaker.
+//!
+//! The degradation ladder (DESIGN.md) in one place:
+//!
+//! 1. **Retry** — transient faults are re-attempted inline with seeded
+//!    backoff ([`crate::RetryPolicy`]).
+//! 2. **Backpressure** — an admission gate bounds in-flight puts; a
+//!    saturated gate sheds with [`crate::ViperError::Backpressure`].
+//! 3. **Circuit breaker** — sustained overload (deep retrain queue, p999
+//!    put latency past its bound) opens the [`CircuitBreaker`]; puts shed
+//!    immediately until maintenance catches up and the breaker closes.
+//! 4. **Repair** — the [`MaintenanceWorker`] drains deferred retrains,
+//!    retires stale slots, re-resolves quarantined slots, reclaims dead
+//!    pages, and lifts read-only degradation — all off the foreground
+//!    path, watched by a stall watchdog.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use li_core::telemetry::{Event, OpKind, Recorder};
+use li_core::traits::{ConcurrentIndex, Index};
+
+use crate::store::{RepairOutcome, SharedWriter, ViperStore};
+
+/// What one `run_maintenance` pass accomplished.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenancePass {
+    /// Deferred leaf retrains drained this pass.
+    pub retrains_run: usize,
+    /// Superseded-but-unretired slots swept dead.
+    pub stale_retired: usize,
+    /// Quarantined-slot resolution (superseded vs. lost).
+    pub repair: RepairOutcome,
+    /// Fully dead pages returned to the allocator.
+    pub pages_reclaimed: usize,
+    /// Whether this pass lifted read-only degradation.
+    pub lifted_read_only: bool,
+}
+
+impl MaintenancePass {
+    /// Whether the pass changed anything at all.
+    pub fn did_work(&self) -> bool {
+        self.retrains_run > 0
+            || self.stale_retired > 0
+            || self.repair.superseded > 0
+            || !self.repair.lost.is_empty()
+            || self.pages_reclaimed > 0
+            || self.lifted_read_only
+    }
+}
+
+/// When the [`CircuitBreaker`] opens and closes.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Retrain-queue depth at or above which a tick counts as overloaded.
+    pub depth_open: usize,
+    /// Depth at or below which an open breaker closes again.
+    pub depth_close: usize,
+    /// Consecutive overloaded ticks required before opening — a single
+    /// spike never trips it.
+    pub sustain_ticks: u32,
+    /// Put p999 latency (ns) at or above which a tick also counts as
+    /// overloaded; `0` disables the latency trigger. Note the close path
+    /// looks at queue depth only: the put histogram is cumulative, so a
+    /// past latency spike would otherwise hold the breaker open forever.
+    pub p999_open_ns: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { depth_open: 1024, depth_close: 128, sustain_ticks: 3, p999_open_ns: 0 }
+    }
+}
+
+/// Overload circuit breaker: rung three of the degradation ladder.
+///
+/// Fed one observation per maintenance tick; opens after
+/// `sustain_ticks` consecutive overloaded observations, sheds every put
+/// while open ([`crate::ViperError::Backpressure`] — degraded but
+/// correct: reads, scans and deletes keep working), and closes once the
+/// retrain queue has drained to `depth_close`. Emits
+/// [`Event::CircuitOpen`] / [`Event::CircuitClose`] on transitions.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    open: AtomicBool,
+    over_ticks: AtomicU32,
+    opens: AtomicU64,
+    closes: AtomicU64,
+    recorder: Recorder,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig, recorder: Recorder) -> Self {
+        assert!(cfg.depth_close < cfg.depth_open, "close threshold must sit below open");
+        assert!(cfg.sustain_ticks >= 1);
+        CircuitBreaker {
+            cfg,
+            open: AtomicBool::new(false),
+            over_ticks: AtomicU32::new(0),
+            opens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            recorder,
+        }
+    }
+
+    /// Whether puts are currently being shed.
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// How often the breaker has opened (monotonic).
+    pub fn times_opened(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// How often the breaker has closed again (monotonic).
+    pub fn times_closed(&self) -> u64 {
+        self.closes.load(Ordering::Relaxed)
+    }
+
+    /// Feeds one tick's overload signals; returns whether the breaker is
+    /// open afterwards. Intended to be called from a single maintenance
+    /// thread (transitions are not atomic across racing observers).
+    pub fn observe(&self, retrain_depth: usize, put_p999_ns: u64) -> bool {
+        let overloaded = retrain_depth >= self.cfg.depth_open
+            || (self.cfg.p999_open_ns > 0 && put_p999_ns >= self.cfg.p999_open_ns);
+        if self.is_open() {
+            if retrain_depth <= self.cfg.depth_close {
+                self.open.store(false, Ordering::Release);
+                self.over_ticks.store(0, Ordering::Relaxed);
+                self.closes.fetch_add(1, Ordering::Relaxed);
+                self.recorder.event(Event::CircuitClose);
+            }
+        } else if overloaded {
+            let over = self.over_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            if over >= self.cfg.sustain_ticks {
+                self.open.store(true, Ordering::Release);
+                self.opens.fetch_add(1, Ordering::Relaxed);
+                self.recorder.event(Event::CircuitOpen);
+            }
+        } else {
+            self.over_ticks.store(0, Ordering::Relaxed);
+        }
+        self.is_open()
+    }
+}
+
+/// Cadence and budgets of the [`MaintenanceWorker`].
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// Sleep between self-healing passes.
+    pub interval: Duration,
+    /// Deferred leaf retrains drained per pass.
+    pub retrain_budget: usize,
+    /// The stall watchdog flags the worker if no pass completes within
+    /// this window. Must comfortably exceed `interval` in real configs;
+    /// tests set it below `interval` to provoke the flag deterministically.
+    pub stall_timeout: Duration,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            interval: Duration::from_millis(1),
+            retrain_budget: 8,
+            stall_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Cumulative counters of a worker's passes (all monotonic).
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    ticks: AtomicU64,
+    retrains: AtomicU64,
+    stale_retired: AtomicU64,
+    repaired_superseded: AtomicU64,
+    repaired_lost: AtomicU64,
+    pages_reclaimed: AtomicU64,
+    lifted_read_only: AtomicU64,
+    /// Millis since worker start at which the last pass completed.
+    last_tick_ms: AtomicU64,
+    stalled: AtomicBool,
+}
+
+/// Plain snapshot of the worker's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    pub ticks: u64,
+    pub retrains: u64,
+    pub stale_retired: u64,
+    pub repaired_superseded: u64,
+    pub repaired_lost: u64,
+    pub pages_reclaimed: u64,
+    pub lifted_read_only: u64,
+    /// Whether the watchdog ever flagged a stall.
+    pub stalled: bool,
+}
+
+impl WorkerCounters {
+    fn record(&self, pass: &MaintenancePass) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        self.retrains.fetch_add(pass.retrains_run as u64, Ordering::Relaxed);
+        self.stale_retired.fetch_add(pass.stale_retired as u64, Ordering::Relaxed);
+        self.repaired_superseded.fetch_add(pass.repair.superseded as u64, Ordering::Relaxed);
+        self.repaired_lost.fetch_add(pass.repair.lost.len() as u64, Ordering::Relaxed);
+        self.pages_reclaimed.fetch_add(pass.pages_reclaimed as u64, Ordering::Relaxed);
+        self.lifted_read_only.fetch_add(pass.lifted_read_only as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            retrains: self.retrains.load(Ordering::Relaxed),
+            stale_retired: self.stale_retired.load(Ordering::Relaxed),
+            repaired_superseded: self.repaired_superseded.load(Ordering::Relaxed),
+            repaired_lost: self.repaired_lost.load(Ordering::Relaxed),
+            pages_reclaimed: self.pages_reclaimed.load(Ordering::Relaxed),
+            lifted_read_only: self.lifted_read_only.load(Ordering::Relaxed),
+            stalled: self.stalled.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Background self-healing thread over a shared-writer store, plus its
+/// stall watchdog. Spawning one:
+///
+/// * switches the store's index into *deferred retraining* — a foreground
+///   insert that would trigger a leaf retrain parks the key in the
+///   overflow buffer ([`Event::RetrainDeferred`]) and returns; the worker
+///   drains the queue with a bounded budget per pass;
+/// * runs one `run_maintenance` pass per `interval`: drain retrains,
+///   sweep stale slots, repair quarantine, page GC, lift read-only;
+/// * feeds the store's [`CircuitBreaker`] (if installed) with the retrain
+///   depth and put p999 after every pass.
+///
+/// Dropping (or [`MaintenanceWorker::shutdown`]) stops both threads,
+/// turns deferred retraining off and fully drains the queue, so a cleanly
+/// shut down store has no parked keys.
+pub struct MaintenanceWorker {
+    stop: Arc<AtomicBool>,
+    counters: Arc<WorkerCounters>,
+    worker: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceWorker {
+    pub fn spawn<I>(store: Arc<ViperStore<I, SharedWriter>>, cfg: MaintenanceConfig) -> Self
+    where
+        I: Index + ConcurrentIndex + Send + Sync + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(WorkerCounters::default());
+        let started = Instant::now();
+        ConcurrentIndex::set_defer_retrains(store.index(), true);
+
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let store = Arc::clone(&store);
+            std::thread::Builder::new()
+                .name("viper-maintenance".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let pass = store.run_maintenance(cfg.retrain_budget);
+                        counters.record(&pass);
+                        counters
+                            .last_tick_ms
+                            .store(started.elapsed().as_millis() as u64, Ordering::Release);
+                        if let Some(breaker) = store.circuit_breaker() {
+                            let depth = ConcurrentIndex::pending_retrains(store.index());
+                            let p999 = store.recorder().snapshot().op(OpKind::Put).p999;
+                            breaker.observe(depth, p999);
+                        }
+                        sleep_interruptible(cfg.interval, &stop);
+                    }
+                    // Exit deferred mode and drain everything still
+                    // parked, so shutdown leaves no key stranded in an
+                    // overflow buffer.
+                    ConcurrentIndex::set_defer_retrains(store.index(), false);
+                })
+                .expect("spawn maintenance worker")
+        };
+
+        let watchdog = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let timeout_ms = cfg.stall_timeout.as_millis() as u64;
+            let poll = (cfg.stall_timeout / 4).min(Duration::from_millis(50));
+            std::thread::Builder::new()
+                .name("viper-maintenance-watchdog".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let last = counters.last_tick_ms.load(Ordering::Acquire);
+                        let now = started.elapsed().as_millis() as u64;
+                        if now.saturating_sub(last) > timeout_ms {
+                            counters.stalled.store(true, Ordering::Release);
+                        }
+                        sleep_interruptible(poll, &stop);
+                    }
+                })
+                .expect("spawn maintenance watchdog")
+        };
+
+        MaintenanceWorker { stop, counters, worker: Some(worker), watchdog: Some(watchdog) }
+    }
+
+    /// Cumulative pass counters so far.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.counters.snapshot()
+    }
+
+    /// Whether the watchdog has flagged a stalled worker.
+    pub fn is_stalled(&self) -> bool {
+        self.counters.stalled.load(Ordering::Acquire)
+    }
+
+    /// Stops both threads, waits for them, and returns the final stats.
+    pub fn shutdown(mut self) -> MaintenanceStats {
+        self.halt();
+        self.counters.snapshot()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Sleeps up to `total`, waking early (within ~10 ms) when `stop` flips —
+/// keeps worker shutdown latency bounded regardless of the interval.
+fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
+    let chunk = Duration::from_millis(10);
+    let mut slept = Duration::ZERO;
+    while slept < total {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let step = chunk.min(total - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::{value_for_test, LockedMap, MapIndex};
+    use crate::store::{ConcurrentViperStore, StoreConfig};
+    use li_core::telemetry::Recorder;
+    use li_nvm::{Fault, FaultPlan, NvmDevice};
+
+    #[test]
+    fn breaker_trips_on_sustained_depth_and_recovers() {
+        let rec = Recorder::enabled();
+        let cfg =
+            BreakerConfig { depth_open: 10, depth_close: 2, sustain_ticks: 2, p999_open_ns: 0 };
+        let b = CircuitBreaker::new(cfg, rec.clone());
+        assert!(!b.observe(50, 0), "first overloaded tick must not trip");
+        assert!(b.observe(50, 0), "second consecutive tick trips");
+        assert!(b.is_open());
+        assert!(b.observe(5, 0), "above depth_close: stays open");
+        assert!(!b.observe(1, 0), "drained: closes");
+        assert_eq!((b.times_opened(), b.times_closed()), (1, 1));
+        let s = rec.snapshot();
+        assert_eq!(s.event(Event::CircuitOpen), 1);
+        assert_eq!(s.event(Event::CircuitClose), 1);
+    }
+
+    #[test]
+    fn breaker_spike_resets_without_sustain() {
+        let b = CircuitBreaker::new(
+            BreakerConfig { depth_open: 10, depth_close: 2, sustain_ticks: 3, p999_open_ns: 0 },
+            Recorder::disabled(),
+        );
+        for _ in 0..10 {
+            assert!(!b.observe(50, 0));
+            assert!(!b.observe(0, 0), "calm tick resets the sustain counter");
+        }
+        assert_eq!(b.times_opened(), 0);
+    }
+
+    #[test]
+    fn breaker_latency_trigger() {
+        let b = CircuitBreaker::new(
+            BreakerConfig {
+                depth_open: 1000,
+                depth_close: 2,
+                sustain_ticks: 2,
+                p999_open_ns: 1_000,
+            },
+            Recorder::disabled(),
+        );
+        b.observe(0, 50_000);
+        assert!(b.observe(0, 50_000), "latency alone must trip the breaker");
+        assert!(!b.observe(0, 0), "depth is already below close: recovers");
+    }
+
+    fn shared_store(n: usize) -> ConcurrentViperStore<LockedMap> {
+        ConcurrentViperStore::new(StoreConfig::test(n), LockedMap::default())
+    }
+
+    #[test]
+    fn worker_ticks_and_shuts_down_cleanly() {
+        let store = Arc::new(shared_store(1_000));
+        let vs = store.heap().layout().value_size;
+        let worker = MaintenanceWorker::spawn(
+            Arc::clone(&store),
+            MaintenanceConfig { interval: Duration::from_millis(1), ..Default::default() },
+        );
+        let mut val = vec![0u8; vs];
+        for k in 0..200u64 {
+            value_for_test(k, &mut val);
+            store.put(k, &val).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while worker.stats().ticks < 3 {
+            assert!(Instant::now() < deadline, "worker never ticked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let t0 = Instant::now();
+        let stats = worker.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(1), "shutdown must be prompt");
+        assert!(stats.ticks >= 3);
+        assert!(!stats.stalled, "healthy worker must not be flagged");
+        assert_eq!(store.len(), 200);
+    }
+
+    #[test]
+    fn watchdog_flags_a_stalled_worker() {
+        let store = Arc::new(shared_store(100));
+        // Interval far beyond the stall timeout: the watchdog must flag
+        // the sleeping worker as stalled.
+        let worker = MaintenanceWorker::spawn(
+            Arc::clone(&store),
+            MaintenanceConfig {
+                interval: Duration::from_secs(30),
+                retrain_budget: 8,
+                stall_timeout: Duration::from_millis(30),
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !worker.is_stalled() {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(worker.shutdown().stalled);
+    }
+
+    #[test]
+    fn worker_lifts_read_only_after_full_window_passes() {
+        // A device-full window with no foreground deletes: only the
+        // worker's op-clock ticks can expire it and lift read-only.
+        let cfg = StoreConfig::test(100);
+        let plan = FaultPlan::none().with(Fault::FullWindow { from: 0, until: 12 });
+        let dev = Arc::new(NvmDevice::with_faults(cfg.nvm, &plan));
+        // Recovery of an empty device consumes no device ops, so the
+        // window is still fully ahead when the store comes up.
+        let store =
+            Arc::new(ConcurrentViperStore::<LockedMap>::recover_shared(dev, cfg.layout, |_| {
+                LockedMap::default()
+            }));
+        let vs = cfg.layout.value_size;
+        assert_eq!(store.put(1, &vec![1u8; vs]), Err(crate::ViperError::DeviceFull));
+        store.put(1, &vec![1u8; vs]).unwrap_err();
+        assert!(store.is_read_only());
+        let worker = MaintenanceWorker::spawn(
+            Arc::clone(&store),
+            MaintenanceConfig { interval: Duration::from_millis(1), ..Default::default() },
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.is_read_only() {
+            assert!(Instant::now() < deadline, "worker never lifted read-only");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        worker.shutdown();
+        store.put(1, &vec![1u8; vs]).expect("store must accept writes again");
+    }
+
+    #[test]
+    fn single_writer_maintenance_pass_reports_work() {
+        let mut store = crate::ViperStore::<MapIndex>::new(
+            StoreConfig::test(2_000).with_crash_safe_updates(true),
+            MapIndex::default(),
+        );
+        let vs = store.heap().layout().value_size;
+        // Span several pages so at least one fully-dead page is not the
+        // open page (the open page is never a GC victim).
+        let n = 3 * store.heap().layout().slots_per_page() as u64;
+        for k in 0..n {
+            store.put(k, &vec![1u8; vs]).unwrap();
+        }
+        for k in 0..n {
+            store.delete(k).unwrap();
+        }
+        let pass = store.run_maintenance(usize::MAX);
+        assert!(pass.pages_reclaimed > 0, "all records deleted: pages must come back");
+        assert!(pass.did_work());
+        assert!(!pass.lifted_read_only);
+    }
+}

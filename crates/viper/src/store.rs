@@ -19,15 +19,18 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use li_core::telemetry::{Event, OpKind, Recorder};
 use li_core::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
-use li_core::{Key, KeyValue};
+use li_core::{Admission, AdmissionGuard, Key, KeyValue};
 use li_nvm::{NvmConfig, NvmDevice};
 
 use crate::error::ViperError;
 use crate::heap::{RecordHeap, RecoverOptions, RecoveryReport};
 use crate::layout::RecordLayout;
+use crate::maintenance::CircuitBreaker;
+use crate::retry::{with_retry, RetryPolicy};
 
 /// Store construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -167,10 +170,13 @@ impl<I: ConcurrentIndex> WriteAccess for Shared<'_, I> {
     }
 }
 
-/// The one implementation of insert-or-update + read-only degradation.
-/// Device exhaustion flips the store to read-only and surfaces
-/// [`ViperError::DeviceFull`]; subsequent puts fail fast with
-/// [`ViperError::ReadOnly`] until a delete frees space.
+/// The one implementation of insert-or-update. Fails fast with
+/// [`ViperError::ReadOnly`] while degraded; surfaces device faults
+/// unchanged. The read-only *transition* on exhaustion lives in the
+/// retrying wrappers — a single attempt must stay retryable as
+/// `DeviceFull` (transient: the window may pass during backoff), whereas
+/// flipping the flag here would turn the next attempt into the permanent
+/// `ReadOnly` and defeat the retry.
 fn put_core(
     heap: &RecordHeap,
     crash_safe_updates: bool,
@@ -182,7 +188,7 @@ fn put_core(
     if read_only.load(Ordering::Acquire) {
         return Err(ViperError::ReadOnly);
     }
-    let result = match index.lookup(key) {
+    match index.lookup(key) {
         Some(offset) => {
             if crash_safe_updates {
                 match heap.replace(offset, key, value) {
@@ -204,15 +210,18 @@ fn put_core(
             }
             Err(e) => Err(e),
         },
-    };
-    if result == Err(ViperError::DeviceFull) {
-        read_only.store(true, Ordering::Release);
     }
-    result
 }
 
 /// The one implementation of delete. Accepted even in read-only
 /// degradation — reclaiming space lifts it.
+///
+/// On a retirement failure the key is re-published into the DRAM index
+/// before the error surfaces: the record is still durably live on the
+/// device, and leaving the index diverged would make a "failed" delete
+/// look applied until a restart resurrected the record — exactly the
+/// half-state the torture oracle flags. The rollback is pure DRAM, so it
+/// cannot itself fault.
 fn delete_core(
     heap: &RecordHeap,
     read_only: &AtomicBool,
@@ -220,13 +229,57 @@ fn delete_core(
     key: Key,
 ) -> Result<bool, ViperError> {
     match index.unpublish(key) {
-        Some(offset) => {
-            heap.mark_dead(offset)?;
-            read_only.store(false, Ordering::Release);
-            Ok(true)
-        }
+        Some(offset) => match heap.mark_dead(offset) {
+            Ok(()) => {
+                read_only.store(false, Ordering::Release);
+                Ok(true)
+            }
+            Err(e) => {
+                index.publish(key, offset);
+                Err(e)
+            }
+        },
         None => Ok(false),
     }
+}
+
+/// The overload ladder's front door, shared by both write models: an open
+/// circuit breaker sheds the write outright; a saturated admission gate
+/// sheds it after a bounded spin-wait. Both surface as the
+/// `WouldBlock`-style [`ViperError::Backpressure`] — the store is healthy,
+/// the caller should back off and retry.
+fn shed_check<'a>(
+    breaker: &Option<Arc<CircuitBreaker>>,
+    admission: &'a Option<Admission>,
+    max_wait: Duration,
+) -> Result<Option<AdmissionGuard<'a>>, ViperError> {
+    if let Some(b) = breaker {
+        if b.is_open() {
+            return Err(ViperError::Backpressure);
+        }
+    }
+    match admission {
+        Some(gate) => match gate.enter(0, max_wait) {
+            Ok(g) => Ok(Some(g)),
+            Err(_) => Err(ViperError::Backpressure),
+        },
+        None => Ok(None),
+    }
+}
+
+/// What one online repair pass resolved. Every formerly quarantined slot
+/// lands in exactly one bucket, so
+/// `superseded + lost.len() == quarantined` (minus slots a transient
+/// fault kept quarantined for the next pass).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Quarantined slots whose key has a live record elsewhere — the
+    /// corrupt copy was stale, nothing was lost.
+    pub superseded: usize,
+    /// Keys whose *only* record was the corrupt one: the payload is
+    /// unrecoverable and the caller (or operator) should be told. The slot
+    /// itself is still reclaimed.
+    pub lost: Vec<Key>,
 }
 
 /// Viper: fixed-size record pages on (simulated) NVM plus a volatile,
@@ -239,6 +292,14 @@ pub struct ViperStore<I, M: WriteModel = SingleWriter> {
     crash_safe_updates: bool,
     read_only: AtomicBool,
     recorder: Recorder,
+    /// Bounded retry of transient put/delete faults (disabled by default).
+    retry: RetryPolicy,
+    /// Optional single-lane write admission gate (overload backpressure).
+    admission: Option<Admission>,
+    /// How long a put spin-waits on a saturated gate before shedding.
+    admission_wait: Duration,
+    /// Optional circuit breaker; when open, puts shed immediately.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 /// The shared-writer store flavour (kept as an alias so pre-unification
@@ -254,6 +315,10 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
             crash_safe_updates,
             read_only: AtomicBool::new(false),
             recorder: Recorder::disabled(),
+            retry: RetryPolicy::disabled(),
+            admission: None,
+            admission_wait: Duration::from_micros(200),
+            breaker: None,
         }
     }
 
@@ -262,6 +327,7 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
     /// and index-level structural events land in one metrics sink.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.index.set_recorder(recorder.clone());
+        self.heap.set_recorder(recorder.clone());
         self.recorder = recorder;
     }
 
@@ -327,6 +393,93 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
     /// [`StoreConfig`] to carry the flag).
     pub fn set_crash_safe_updates(&mut self, on: bool) {
         self.crash_safe_updates = on;
+    }
+
+    /// Enables bounded retry with seeded backoff for transient put/delete
+    /// faults. Disabled by default (the pre-resilience behaviour).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Caps concurrently admitted puts at `limit`; a put finding the gate
+    /// saturated spin-waits up to `max_wait` and then sheds with
+    /// [`ViperError::Backpressure`]. Deletes are never gated — they
+    /// reclaim space and are the pressure-relief valve. Pass `limit = 0`
+    /// to remove the gate.
+    pub fn set_admission_limit(&mut self, limit: usize, max_wait: Duration) {
+        self.admission = (limit > 0).then(|| Admission::new(1, limit));
+        self.admission_wait = max_wait;
+    }
+
+    /// Installs a circuit breaker; while it is open, puts shed immediately
+    /// with [`ViperError::Backpressure`]. The breaker is shared with the
+    /// maintenance worker, which feeds it overload observations.
+    pub fn set_circuit_breaker(&mut self, breaker: Arc<CircuitBreaker>) {
+        self.breaker = Some(breaker);
+    }
+
+    /// The installed circuit breaker, if any.
+    pub fn circuit_breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
+    }
+
+    /// Lifts read-only degradation if the heap can currently make
+    /// progress again (recycled slots, page headroom, and no injected
+    /// device-full window). Returns whether the store left read-only
+    /// mode. Deletes lift the mode inline; this is the maintenance
+    /// worker's path out when space came back some other way (page GC,
+    /// quarantine repair, a fault window expiring).
+    pub fn try_lift_read_only(&self) -> bool {
+        if self.read_only.load(Ordering::Acquire) && self.heap.has_free_capacity() {
+            self.read_only.store(false, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// Page-granular GC: returns fully dead pages to the allocator and
+    /// emits one [`Event::PageReclaimed`] per page. See
+    /// [`RecordHeap::reclaim_dead_pages`].
+    pub fn reclaim_dead_pages(&self) -> usize {
+        let n = self.heap.reclaim_dead_pages();
+        self.recorder.event_n(Event::PageReclaimed, n as u64);
+        n
+    }
+
+    /// Shared body of the per-model `repair_quarantined`: resolves every
+    /// quarantined slot against `lookup` (the model-appropriate index
+    /// probe), reclaims it, and emits one [`Event::RepairedSlot`] per slot
+    /// resolved — never more than the `QuarantineSlot` events recovery
+    /// emitted. Slots whose durable retirement faults stay quarantined
+    /// for the next pass.
+    fn repair_quarantined_with(&self, lookup: impl Fn(Key) -> Option<u64>) -> RepairOutcome {
+        let mut out = RepairOutcome::default();
+        for off in self.heap.quarantined_slots() {
+            // The slot failed its checksum, so the key bytes are only a
+            // hint — but a wrong key cannot resolve to this offset (the
+            // index never references quarantined slots), so the worst a
+            // garbage key does is misfile "superseded" as "lost".
+            let key = self.heap.read_key(off);
+            let superseded = lookup(key).is_some_and(|cur| cur != off);
+            match self.heap.reclaim_quarantined(off) {
+                Ok(true) => {
+                    self.recorder.event(Event::RepairedSlot);
+                    if superseded {
+                        out.superseded += 1;
+                    } else {
+                        out.lost.push(key);
+                    }
+                }
+                Ok(false) => {} // raced a concurrent repair pass
+                Err(_) => {}    // transient fault: retried next pass
+            }
+        }
+        out
     }
 
     /// The one bulk-load implementation both write models construct through.
@@ -490,27 +643,85 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
         Self::with_parts(RecordHeap::new(dev, config.layout), index, config.crash_safe_updates)
     }
 
-    /// Inserts or updates (degradation contract: see [`put_core`]).
+    /// Inserts or updates (degradation contract: see [`put_core`]). Sheds
+    /// under overload ([`ViperError::Backpressure`]), retries transient
+    /// faults per the configured [`RetryPolicy`], and degrades to
+    /// read-only only once the retry budget is exhausted on exhaustion.
     pub fn put(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
-        let t = self.recorder.start();
-        let r = put_core(
-            &self.heap,
-            self.crash_safe_updates,
-            &self.read_only,
-            Excl(&mut self.index),
-            key,
-            value,
-        );
-        self.recorder.finish(OpKind::Put, t);
+        let crash_safe = self.crash_safe_updates;
+        let ViperStore {
+            heap,
+            index,
+            read_only,
+            recorder,
+            retry,
+            admission,
+            admission_wait,
+            breaker,
+            ..
+        } = self;
+        let t = recorder.start();
+        let r = (|| {
+            let _gate = shed_check(breaker, admission, *admission_wait)?;
+            let r = with_retry(retry, key, recorder, heap.device(), || {
+                put_core(heap, crash_safe, read_only, Excl(&mut *index), key, value)
+            });
+            if r == Err(ViperError::DeviceFull) {
+                read_only.store(true, Ordering::Release);
+            }
+            r
+        })();
+        recorder.finish(OpKind::Put, t);
         r
     }
 
-    /// Removes a key; returns whether it existed.
+    /// Removes a key; returns whether it existed. Retries transient
+    /// faults; never gated or shed — deletes reclaim space and are the
+    /// way out of degradation.
     pub fn delete(&mut self, key: Key) -> Result<bool, ViperError> {
-        let t = self.recorder.start();
-        let r = delete_core(&self.heap, &self.read_only, Excl(&mut self.index), key);
-        self.recorder.finish(OpKind::Delete, t);
+        let ViperStore { heap, index, read_only, recorder, retry, .. } = self;
+        let t = recorder.start();
+        let r = with_retry(retry, key, recorder, heap.device(), || {
+            delete_core(heap, read_only, Excl(&mut *index), key)
+        });
+        recorder.finish(OpKind::Delete, t);
         r
+    }
+
+    /// Online repair of recovery's quarantined slots: each is resolved
+    /// against the index (superseded elsewhere, or its payload reported
+    /// lost) and reclaimed into circulation.
+    pub fn repair_quarantined(&self) -> RepairOutcome {
+        self.repair_quarantined_with(|key| Index::get(&self.index, key))
+    }
+
+    /// Retires slots parked by a transiently failed out-of-place update
+    /// (see [`RecordHeap::sweep_stale`]). Returns the number retired.
+    pub fn sweep_stale_slots(&self) -> usize {
+        self.heap.sweep_stale(|key, off| Index::get(&self.index, key) == Some(off))
+    }
+
+    /// One full self-healing pass: drain up to `retrain_budget` deferred
+    /// leaf retrains, retire stale slots, repair quarantined slots,
+    /// reclaim dead pages, tick the device clock (so injected fault
+    /// windows pass even with the foreground idle), and lift read-only if
+    /// space came back. Timed as one [`OpKind::Maintenance`] op.
+    pub fn run_maintenance(&mut self, retrain_budget: usize) -> crate::MaintenancePass {
+        let t = self.recorder.start();
+        let retrains_run = UpdatableIndex::run_pending_retrains(&mut self.index, retrain_budget);
+        let stale_retired = self.sweep_stale_slots();
+        let repair = self.repair_quarantined();
+        let pages_reclaimed = self.reclaim_dead_pages();
+        let _ = self.heap.device().try_fence();
+        let lifted_read_only = self.try_lift_read_only();
+        self.recorder.finish(OpKind::Maintenance, t);
+        crate::MaintenancePass {
+            retrains_run,
+            stale_retired,
+            repair,
+            pages_reclaimed,
+            lifted_read_only,
+        }
     }
 }
 
@@ -521,31 +732,86 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
         Self::with_parts(RecordHeap::new(dev, config.layout), index, config.crash_safe_updates)
     }
 
-    /// Inserts or updates through a shared reference. Same degradation
-    /// contract as the single-writer put; same-key races are serialised by
-    /// the stripe lock.
+    /// Inserts or updates through a shared reference. Same degradation,
+    /// backpressure and retry contract as the single-writer put; same-key
+    /// races are serialised by the stripe lock, which is released during
+    /// each backoff so other keys in the stripe keep flowing.
     pub fn put(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
         let t = self.recorder.start();
-        let _guard = self.key_locks.lock(key);
-        let r = put_core(
-            &self.heap,
-            self.crash_safe_updates,
-            &self.read_only,
-            Shared(&self.index),
-            key,
-            value,
-        );
+        let r = (|| {
+            let _gate = shed_check(&self.breaker, &self.admission, self.admission_wait)?;
+            let r = with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
+                let _guard = self.key_locks.lock(key);
+                put_core(
+                    &self.heap,
+                    self.crash_safe_updates,
+                    &self.read_only,
+                    Shared(&self.index),
+                    key,
+                    value,
+                )
+            });
+            if r == Err(ViperError::DeviceFull) {
+                self.read_only.store(true, Ordering::Release);
+            }
+            r
+        })();
         self.recorder.finish(OpKind::Put, t);
         r
     }
 
-    /// Removes a key through a shared reference.
+    /// Removes a key through a shared reference. Retries transient
+    /// faults; never gated or shed (deletes are the way out of
+    /// degradation).
     pub fn delete(&self, key: Key) -> Result<bool, ViperError> {
         let t = self.recorder.start();
-        let _guard = self.key_locks.lock(key);
-        let r = delete_core(&self.heap, &self.read_only, Shared(&self.index), key);
+        let r = with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
+            let _guard = self.key_locks.lock(key);
+            delete_core(&self.heap, &self.read_only, Shared(&self.index), key)
+        });
         self.recorder.finish(OpKind::Delete, t);
         r
+    }
+
+    /// Online repair of recovery's quarantined slots through a shared
+    /// reference; each probe is serialised with same-key writers by the
+    /// stripe lock.
+    pub fn repair_quarantined(&self) -> RepairOutcome {
+        self.repair_quarantined_with(|key| {
+            let _guard = self.key_locks.lock(key);
+            ConcurrentIndex::get(&self.index, key)
+        })
+    }
+
+    /// Retires slots parked by a transiently failed out-of-place update
+    /// (see [`RecordHeap::sweep_stale`]), serialising each candidate's
+    /// probe with same-key writers.
+    pub fn sweep_stale_slots(&self) -> usize {
+        self.heap.sweep_stale(|key, off| {
+            let _guard = self.key_locks.lock(key);
+            ConcurrentIndex::get(&self.index, key) == Some(off)
+        })
+    }
+
+    /// Shared-writer twin of the single-writer `run_maintenance`: one
+    /// full self-healing pass through a shared reference — this is what
+    /// the [`crate::MaintenanceWorker`] calls on every tick.
+    pub fn run_maintenance(&self, retrain_budget: usize) -> crate::MaintenancePass {
+        let t = self.recorder.start();
+        let retrains_run = ConcurrentIndex::run_pending_retrains(&self.index, retrain_budget);
+        let stale_retired = self.sweep_stale_slots();
+        let repair = self.repair_quarantined();
+        let pages_reclaimed = self.reclaim_dead_pages();
+        let _ = self.heap.device().try_fence();
+        let lifted_read_only = self.try_lift_read_only();
+        self.recorder.finish(OpKind::Maintenance, t);
+        crate::MaintenancePass {
+            retrains_run,
+            stale_retired,
+            repair,
+            pages_reclaimed,
+            lifted_read_only,
+        }
     }
 
     /// Shared-writer twin of [`ViperStore::bulk_load_with`]. Named
@@ -818,7 +1084,7 @@ pub(crate) mod tests {
 
     /// Concurrent index built on a lock-wrapped map (reference impl).
     #[derive(Default)]
-    struct LockedMap(parking_lot::RwLock<BTreeMap<Key, u64>>);
+    pub(crate) struct LockedMap(parking_lot::RwLock<BTreeMap<Key, u64>>);
 
     impl Index for LockedMap {
         fn name(&self) -> &'static str {
@@ -964,6 +1230,109 @@ pub(crate) mod tests {
         assert!(store.delete(0).unwrap());
         assert!(!store.is_read_only());
         store.put(u64::MAX, &val).unwrap();
+    }
+
+    #[test]
+    fn put_retries_through_transient_fault_window() {
+        use li_core::telemetry::Event;
+        use li_nvm::{Fault, FaultPlan};
+
+        let cfg = StoreConfig::test(1_000);
+        // A device-full window covering the first few device ops: without
+        // retry the very first put fails and flips the store read-only.
+        let plan = FaultPlan::none().with(Fault::FullWindow { from: 0, until: 3 });
+        let dev = Arc::new(NvmDevice::with_faults(cfg.nvm, &plan));
+        let mut store =
+            ViperStore::<MapIndex>::recover_with(dev, cfg.layout, |_| MapIndex::default());
+        store.set_recorder(Recorder::enabled());
+        store.set_retry_policy(RetryPolicy::standard(42));
+        let vs = store.heap().layout().value_size;
+        // Each backoff ticks a benign fence, so the window expires while
+        // the put is waiting and a later attempt succeeds.
+        store.put(9, &vec![9u8; vs]).unwrap();
+        assert!(!store.is_read_only(), "retried put must not degrade the store");
+        let snap = store.recorder().snapshot();
+        assert!(snap.event(Event::BackoffWait) >= 1, "put must have backed off");
+        assert!(snap.op(OpKind::RetryAttempts).count >= 1);
+        let mut buf = vec![0u8; vs];
+        assert!(store.get(9, &mut buf));
+        assert_eq!(buf, vec![9u8; vs]);
+    }
+
+    #[test]
+    fn exhausted_retries_still_degrade_to_read_only() {
+        use li_nvm::{Fault, FaultPlan};
+
+        let cfg = StoreConfig::test(1_000);
+        // Window far wider than the retry budget can outwait.
+        let plan = FaultPlan::none().with(Fault::FullWindow { from: 0, until: 10_000 });
+        let dev = Arc::new(NvmDevice::with_faults(cfg.nvm, &plan));
+        let mut store =
+            ViperStore::<MapIndex>::recover_with(dev, cfg.layout, |_| MapIndex::default());
+        store.set_retry_policy(RetryPolicy::standard(7));
+        let vs = store.heap().layout().value_size;
+        assert_eq!(store.put(1, &vec![1u8; vs]), Err(ViperError::DeviceFull));
+        assert!(store.is_read_only(), "budget exhausted: degrade, don't spin forever");
+    }
+
+    #[test]
+    fn open_breaker_sheds_puts_but_not_deletes() {
+        use crate::maintenance::{BreakerConfig, CircuitBreaker};
+        use li_core::telemetry::Event;
+
+        let mut store = ConcurrentViperStore::new(StoreConfig::test(1_000), LockedMap::default());
+        let vs = store.heap().layout().value_size;
+        store.put(5, &vec![5u8; vs]).unwrap();
+
+        let rec = Recorder::enabled();
+        let breaker = Arc::new(CircuitBreaker::new(
+            BreakerConfig { depth_open: 1, depth_close: 0, sustain_ticks: 1, p999_open_ns: 0 },
+            rec.clone(),
+        ));
+        store.set_circuit_breaker(Arc::clone(&breaker));
+        assert!(breaker.observe(8, 0), "one overloaded tick must open at sustain_ticks=1");
+        assert_eq!(store.put(6, &vec![6u8; vs]), Err(ViperError::Backpressure));
+        // Deletes are the pressure-relief valve: never shed.
+        assert!(store.delete(5).unwrap());
+        breaker.observe(0, 0);
+        assert!(!breaker.is_open(), "drained queue must close the breaker");
+        store.put(6, &vec![6u8; vs]).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.event(Event::CircuitOpen), 1);
+        assert_eq!(snap.event(Event::CircuitClose), 1);
+    }
+
+    #[test]
+    fn admission_limit_bounds_in_flight_puts() {
+        let mut store = ConcurrentViperStore::new(StoreConfig::test(20_000), LockedMap::default());
+        store.set_admission_limit(2, Duration::from_millis(50));
+        let store = Arc::new(store);
+        let vs = store.heap().layout().value_size;
+        let mut handles = Vec::new();
+        let shed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for t in 0..8u64 {
+            let store = Arc::clone(&store);
+            let shed = Arc::clone(&shed);
+            handles.push(std::thread::spawn(move || {
+                let val = vec![t as u8; vs];
+                for i in 0..500u64 {
+                    match store.put(t * 1_000 + i, &val) {
+                        Ok(()) => {}
+                        Err(ViperError::Backpressure) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every put either landed or was shed with Backpressure — nothing
+        // else, and the store stays consistent.
+        let shed = shed.load(Ordering::Relaxed);
+        assert_eq!(store.len() + shed, 4_000);
     }
 }
 

@@ -397,6 +397,59 @@ impl UpdatableIndex for AnyIndex {
             AnyIndex::Lipp(i) => i.remove(key),
         }
     }
+
+    fn set_defer_retrains(&mut self, on: bool) -> bool {
+        // Read-only kinds have no retraining to defer; everything else
+        // forwards (most inherit the no-op default).
+        match self {
+            AnyIndex::Rmi(_) | AnyIndex::Rs(_) => false,
+            AnyIndex::BTree(i) => i.set_defer_retrains(on),
+            AnyIndex::SkipList(i) => i.set_defer_retrains(on),
+            AnyIndex::Cceh(i) => i.set_defer_retrains(on),
+            AnyIndex::Art(i) => i.set_defer_retrains(on),
+            AnyIndex::Wormhole(i) => i.set_defer_retrains(on),
+            AnyIndex::BwTree(i) => i.set_defer_retrains(on),
+            AnyIndex::Fiting(i) => i.set_defer_retrains(on),
+            AnyIndex::Pgm(i) => i.set_defer_retrains(on),
+            AnyIndex::Alex(i) => i.set_defer_retrains(on),
+            AnyIndex::XIndex(i) => UpdatableIndex::set_defer_retrains(i, on),
+            AnyIndex::Lipp(i) => i.set_defer_retrains(on),
+        }
+    }
+
+    fn pending_retrains(&self) -> usize {
+        match self {
+            AnyIndex::Rmi(_) | AnyIndex::Rs(_) => 0,
+            AnyIndex::BTree(i) => i.pending_retrains(),
+            AnyIndex::SkipList(i) => i.pending_retrains(),
+            AnyIndex::Cceh(i) => i.pending_retrains(),
+            AnyIndex::Art(i) => i.pending_retrains(),
+            AnyIndex::Wormhole(i) => i.pending_retrains(),
+            AnyIndex::BwTree(i) => i.pending_retrains(),
+            AnyIndex::Fiting(i) => i.pending_retrains(),
+            AnyIndex::Pgm(i) => i.pending_retrains(),
+            AnyIndex::Alex(i) => i.pending_retrains(),
+            AnyIndex::XIndex(i) => UpdatableIndex::pending_retrains(i),
+            AnyIndex::Lipp(i) => i.pending_retrains(),
+        }
+    }
+
+    fn run_pending_retrains(&mut self, budget: usize) -> usize {
+        match self {
+            AnyIndex::Rmi(_) | AnyIndex::Rs(_) => 0,
+            AnyIndex::BTree(i) => i.run_pending_retrains(budget),
+            AnyIndex::SkipList(i) => i.run_pending_retrains(budget),
+            AnyIndex::Cceh(i) => i.run_pending_retrains(budget),
+            AnyIndex::Art(i) => i.run_pending_retrains(budget),
+            AnyIndex::Wormhole(i) => i.run_pending_retrains(budget),
+            AnyIndex::BwTree(i) => i.run_pending_retrains(budget),
+            AnyIndex::Fiting(i) => i.run_pending_retrains(budget),
+            AnyIndex::Pgm(i) => i.run_pending_retrains(budget),
+            AnyIndex::Alex(i) => i.run_pending_retrains(budget),
+            AnyIndex::XIndex(i) => UpdatableIndex::run_pending_retrains(i, budget),
+            AnyIndex::Lipp(i) => i.run_pending_retrains(budget),
+        }
+    }
 }
 
 /// How an [`IndexKind`] reaches write-concurrent service (Fig. 14).
@@ -565,6 +618,18 @@ impl ConcurrentIndex for AnyConcurrentIndex {
 
     fn len(&self) -> usize {
         cdispatch!(self, i => ConcurrentIndex::len(i))
+    }
+
+    fn set_defer_retrains(&self, on: bool) -> bool {
+        cdispatch!(self, i => ConcurrentIndex::set_defer_retrains(i, on))
+    }
+
+    fn pending_retrains(&self) -> usize {
+        cdispatch!(self, i => ConcurrentIndex::pending_retrains(i))
+    }
+
+    fn run_pending_retrains(&self, budget: usize) -> usize {
+        cdispatch!(self, i => ConcurrentIndex::run_pending_retrains(i, budget))
     }
 }
 

@@ -39,7 +39,8 @@ use li_core::telemetry::{Recorder, TelemetrySnapshot};
 use li_core::Sharded;
 use li_nvm::{FaultCountersSnapshot, FaultPlan, NvmConfig, NvmDevice, NvmError};
 use li_viper::{
-    ConcurrentViperStore, RecordLayout, RecoverOptions, RecoveryReport, ViperError, ViperStore,
+    ConcurrentViperStore, RecordLayout, RecoverOptions, RecoveryReport, RetryPolicy, ViperError,
+    ViperStore,
 };
 
 use crate::{AnyIndex, IndexKind};
@@ -98,6 +99,11 @@ pub struct TortureConfig {
     /// shared-writer store over a range-sharded index with this many
     /// shards, so crash schedules also cover the concurrent publish path.
     pub shards: usize,
+    /// Arm the store's transient-fault retry (seeded from the run seed).
+    /// Off, each transient fault surfaces as an op-level error the harness
+    /// counts as "not applied"; on, the store rides out short device-full
+    /// windows and write-failure bursts, and the oracle must still hold.
+    pub retry: bool,
 }
 
 impl TortureConfig {
@@ -110,12 +116,18 @@ impl TortureConfig {
             crash_safe_updates: true,
             verify_checksums: true,
             shards: 0,
+            retry: false,
         }
     }
 
     /// [`TortureConfig::quick`] against the shared-writer sharded store.
     pub fn quick_sharded(kind: IndexKind) -> Self {
         TortureConfig { shards: 4, ..TortureConfig::quick(kind) }
+    }
+
+    /// [`TortureConfig::quick`] with the self-healing retry path armed.
+    pub fn quick_retrying(kind: IndexKind) -> Self {
+        TortureConfig { retry: true, ..TortureConfig::quick(kind) }
     }
 }
 
@@ -160,6 +172,13 @@ impl Driver {
         match self {
             Driver::Single(s) => s.set_crash_safe_updates(on),
             Driver::Sharded(s) => s.set_crash_safe_updates(on),
+        }
+    }
+
+    fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        match self {
+            Driver::Single(s) => s.set_retry_policy(policy),
+            Driver::Sharded(s) => s.set_retry_policy(policy),
         }
     }
 
@@ -253,6 +272,9 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     let (mut store, _) =
         Driver::recover(cfg, Arc::clone(&dev), layout, RecoverOptions::default(), recorder.clone());
     store.set_crash_safe_updates(cfg.crash_safe_updates);
+    if cfg.retry {
+        store.set_retry_policy(RetryPolicy::standard(seed));
+    }
     drop(dev); // store's clone is now unique again after into_device()
 
     // Oracle state.
@@ -400,6 +422,21 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     let mut telemetry = recorder.snapshot();
     telemetry.nvm = nvm_at_crash.to_telemetry();
 
+    // Retry causality: the heap emits one `Event::Retry` per write failure
+    // it observes, so with no recovery healing (healing writes bypass the
+    // retrying path and fire post-snapshot faults) the two counts must
+    // agree exactly — every injected transient write fault was seen, and
+    // no phantom retry happened.
+    if report.pages_healed == 0 {
+        let retries = telemetry.event(li_core::telemetry::Event::Retry);
+        if retries != faults.failed_writes {
+            divergences.push(format!(
+                "retry causality broken: {retries} Retry event(s) vs {} injected write failure(s)",
+                faults.failed_writes
+            ));
+        }
+    }
+
     TortureOutcome {
         seed,
         kind: cfg.kind,
@@ -448,6 +485,17 @@ mod tests {
         assert_eq!(out.telemetry.op(OpKind::Recovery).count, 2);
         assert!(out.telemetry.op(OpKind::Put).count > 0);
         assert!(out.telemetry.nvm.writes > 0);
+    }
+
+    #[test]
+    fn retrying_store_satisfies_oracle() {
+        // With retry armed the store absorbs transient fault windows
+        // instead of erroring; the oracle and the Retry/failed_writes
+        // causality invariant must hold across many seeds.
+        for seed in 0..24u64 {
+            let out = torture_run(seed, &TortureConfig::quick_retrying(IndexKind::BTree));
+            assert!(out.passed(), "seed {seed}: {:?}", out.divergences);
+        }
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! * every strategy's event fingerprint is distinguishable from the rest;
 //! * the three concurrent routes are tellable apart from shard banks;
 //! * every `QuarantineSlot` in crash torture has a matching injected
-//!   fault (or an in-flight op cut by the crash) to blame.
+//!   fault (or an in-flight op cut by the crash) to blame;
+//! * every injected transient write fault surfaces as exactly one `Retry`
+//!   event (absent recovery healing, which bypasses the retrying path);
+//! * every `RepairedSlot` traces back to a `QuarantineSlot`, and a full
+//!   repair pass accounts for every quarantined record as superseded or
+//!   lost.
 
 use std::collections::BTreeMap;
 
@@ -331,6 +336,98 @@ fn every_torture_quarantine_has_a_matching_fault() {
     // otherwise this test proves nothing. Seeds are fixed, so this is
     // deterministic, not flaky.
     assert!(quarantined_total > 0, "no seed exercised quarantine — widen the sweep");
+}
+
+#[test]
+fn injected_transient_faults_match_retry_events() {
+    // With the store's retry armed, torture runs count causality both
+    // ways: the heap emits one `Retry` per observed write failure, and a
+    // store-level retry always records a backoff wait. `torture_run`
+    // itself flags Retry/failed_writes drift as a divergence; here we also
+    // prove the sweep actually exercised both mechanisms.
+    let cfg = TortureConfig::quick_retrying(IndexKind::BTree);
+    let mut injected_total = 0u64;
+    let mut backoffs_total = 0u64;
+    for seed in 0..32u64 {
+        let out = torture_run(seed, &cfg);
+        assert!(out.passed(), "seed {seed}: {:?}", out.divergences);
+        if out.report.pages_healed == 0 {
+            assert_eq!(
+                out.telemetry.event(Event::Retry),
+                out.faults.failed_writes,
+                "seed {seed}: Retry events vs injected write failures"
+            );
+        }
+        // Every backoff wait is both counted and timed at the same site.
+        assert_eq!(
+            out.telemetry.event(Event::BackoffWait),
+            out.telemetry.op(OpKind::BackoffWait).count,
+            "seed {seed}: BackoffWait event vs histogram"
+        );
+        // An op records at most one attempts sample but at least one
+        // backoff per retry, so samples can never outnumber waits.
+        assert!(
+            out.telemetry.op(OpKind::RetryAttempts).count
+                <= out.telemetry.event(Event::BackoffWait),
+            "seed {seed}: more retried ops than backoff waits"
+        );
+        injected_total += out.faults.failed_writes;
+        backoffs_total += out.telemetry.event(Event::BackoffWait);
+    }
+    assert!(injected_total > 0, "sweep injected no write failures — widen it");
+    assert!(backoffs_total > 0, "sweep never exercised store-level backoff — widen it");
+}
+
+#[test]
+fn every_repaired_slot_had_a_matching_quarantine() {
+    use lip::viper::{RecoverOptions, StoreConfig, ViperStore};
+
+    let keys: Vec<u64> = (0..200u64).map(|i| i * 3 + 1).collect();
+    let cfg = StoreConfig::test(400);
+    let store = ViperStore::bulk_load_with(
+        cfg,
+        &keys,
+        |k, buf| buf.fill((k % 251) as u8),
+        |pairs| AnyIndex::build(IndexKind::BTree, pairs),
+    );
+    // Corrupt a handful of published payloads behind the CRC's back.
+    let corrupted: Vec<(u64, u64)> =
+        keys.iter().step_by(40).map(|&k| (k, Index::get(store.index(), k).unwrap())).collect();
+    let dev = store.into_device();
+    for &(_, off) in &corrupted {
+        let voff = cfg.layout.value_offset(off as usize);
+        dev.write(voff, &vec![0xAA; cfg.layout.value_size]);
+        dev.persist(voff, cfg.layout.value_size);
+    }
+
+    let rec = Recorder::enabled();
+    let (store, report) = ViperStore::recover_recorded(
+        dev,
+        cfg.layout,
+        RecoverOptions::default(),
+        rec.clone(),
+        |pairs| AnyIndex::build(IndexKind::BTree, pairs),
+    );
+    assert_eq!(report.quarantined, corrupted.len());
+
+    let outcome = store.repair_quarantined();
+    // No newer copy of these keys exists, so repair must report every one
+    // of them as lost — and name the right keys.
+    assert_eq!(outcome.superseded, 0);
+    let mut lost = outcome.lost.clone();
+    lost.sort_unstable();
+    let mut expect: Vec<u64> = corrupted.iter().map(|&(k, _)| k).collect();
+    expect.sort_unstable();
+    assert_eq!(lost, expect);
+
+    // Causality: exactly one RepairedSlot per QuarantineSlot, no phantoms.
+    let snap = rec.snapshot();
+    assert_eq!(snap.event(Event::QuarantineSlot), corrupted.len() as u64);
+    assert_eq!(snap.event(Event::RepairedSlot), snap.event(Event::QuarantineSlot));
+    // The quarantine list is drained; a second pass finds nothing.
+    let again = store.repair_quarantined();
+    assert_eq!(again.superseded + again.lost.len(), 0);
+    assert_eq!(rec.snapshot().event(Event::RepairedSlot), corrupted.len() as u64);
 }
 
 #[test]
