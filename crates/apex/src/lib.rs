@@ -306,7 +306,7 @@ impl Apex {
         self.dev.write(off_bitmap(node), &bitmap);
         self.dev.write(off_bitmap(node) + BITMAP_BYTES, &slot_bytes);
         // Header (magic last so a torn node is never live).
-        let pivot = data.first().map(|kv| kv.0).unwrap_or(0);
+        let pivot = data.first().map_or(0, |kv| kv.0);
         self.dev.write_u64(node + 8, version);
         self.dev.write_u64(node + 16, replaces);
         self.dev.write(node + 24, &(data.len() as u32).to_le_bytes());

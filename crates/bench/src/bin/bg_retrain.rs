@@ -51,7 +51,7 @@ fn parse_args(default_inserts: usize) -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--inserts" => {
-                args.inserts = it.next().and_then(|v| v.parse().ok()).expect("--inserts N")
+                args.inserts = it.next().and_then(|v| v.parse().ok()).expect("--inserts N");
             }
             "--shards" => args.shards = it.next().and_then(|v| v.parse().ok()).expect("--shards N"),
             "--out" => args.out = it.next().expect("--out PATH"),

@@ -46,15 +46,15 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--seeds" => {
                 seeds =
-                    value(&mut i).parse().unwrap_or_else(|_| die("--seeds needs a number".into()))
+                    value(&mut i).parse().unwrap_or_else(|_| die("--seeds needs a number".into()));
             }
             "--start-seed" => {
                 start_seed = value(&mut i)
                     .parse()
-                    .unwrap_or_else(|_| die("--start-seed needs a number".into()))
+                    .unwrap_or_else(|_| die("--start-seed needs a number".into()));
             }
             "--ops" => {
-                ops = value(&mut i).parse().unwrap_or_else(|_| die("--ops needs a number".into()))
+                ops = value(&mut i).parse().unwrap_or_else(|_| die("--ops needs a number".into()));
             }
             "--kinds" => {
                 kinds = value(&mut i)
@@ -78,7 +78,7 @@ fn main() -> ExitCode {
             }
             "--shards" => {
                 shards =
-                    value(&mut i).parse().unwrap_or_else(|_| die("--shards needs a number".into()))
+                    value(&mut i).parse().unwrap_or_else(|_| die("--shards needs a number".into()));
             }
             "--in-place" => crash_safe = false,
             "--no-verify" => verify = false,

@@ -1,5 +1,6 @@
 //! Shared measurement machinery for the figure/table binaries.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use li_core::hist::LatencyHistogram;
@@ -223,9 +224,9 @@ pub fn header(cols: &[&str]) {
     let mut line = String::new();
     for (i, c) in cols.iter().enumerate() {
         if i == 0 {
-            line.push_str(&format!("{c:<18}"));
+            let _ = write!(line, "{c:<18}");
         } else {
-            line.push_str(&format!("{c:>14}"));
+            let _ = write!(line, "{c:>14}");
         }
     }
     println!("{line}");
@@ -236,7 +237,7 @@ pub fn header(cols: &[&str]) {
 pub fn row(name: &str, cells: &[String]) {
     let mut line = format!("{name:<18}");
     for c in cells {
-        line.push_str(&format!("{c:>14}"));
+        let _ = write!(line, "{c:>14}");
     }
     println!("{line}");
 }

@@ -30,7 +30,7 @@ pub fn segment_fsw(keys: &[Key], epsilon: u64) -> Vec<Segment> {
     let close =
         |out: &mut Vec<Segment>, keys: &[Key], start: usize, end: usize, lo: f64, hi: f64| {
             let slope = match (lo.is_finite(), hi.is_finite()) {
-                (true, true) => (lo + hi) / 2.0,
+                (true, true) => f64::midpoint(lo, hi),
                 (true, false) => lo,
                 (false, true) => hi,
                 (false, false) => 0.0, // single-point segment

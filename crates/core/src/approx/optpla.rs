@@ -232,7 +232,7 @@ impl OptimalPla {
         }
         let min_slope = slope_f(self.rect[0], self.rect[2]);
         let max_slope = slope_f(self.rect[1], self.rect[3]);
-        let slope = (min_slope + max_slope) / 2.0;
+        let slope = f64::midpoint(min_slope, max_slope);
 
         // Intersection of the two extreme lines gives a point every
         // feasible line passes near; anchor the mid-slope line there.

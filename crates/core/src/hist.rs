@@ -45,7 +45,7 @@ impl LatencyHistogram {
         if value < SUB as u64 {
             return value as usize;
         }
-        let pow = 63 - value.leading_zeros();
+        let pow = value.ilog2();
         let sub = (value >> (pow - SUB_BITS)) as usize & (SUB - 1);
         let idx = ((pow - SUB_BITS + 1) as usize) * SUB + sub;
         idx.min(BUCKETS - 1)
@@ -139,7 +139,7 @@ impl core::fmt::Debug for LatencyHistogram {
             .field("p99", &self.percentile(0.99))
             .field("p999", &self.percentile(0.999))
             .field("max", &self.max)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

@@ -8,7 +8,7 @@
 //! instead of a full descent. [`HotCache`] wraps any
 //! [`UpdatableIndex`] and keeps itself coherent across inserts/removes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use li_sync::sync::atomic::{AtomicU64, Ordering};
 
 use crate::traits::{Index, OrderedIndex, UpdatableIndex};
 use crate::types::{Key, KeyValue, Value};
@@ -136,7 +136,7 @@ impl<I: Index + UpdatableIndex> UpdatableIndex for HotCache<I> {
 
 impl<I: OrderedIndex> OrderedIndex for HotCache<I> {
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
-        self.inner.range(lo, hi, out)
+        self.inner.range(lo, hi, out);
     }
 }
 

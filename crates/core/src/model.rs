@@ -113,6 +113,7 @@ impl LinearModel {
     /// Returns a copy with slope and intercept scaled by `factor` — ALEX's
     /// trick of expanding a fitted model so the same keys spread over a
     /// larger, gap-containing array (§II-B3).
+    #[must_use]
     pub fn scaled(&self, factor: f64) -> Self {
         LinearModel { x0: self.x0, slope: self.slope * factor, intercept: self.intercept * factor }
     }
@@ -120,6 +121,7 @@ impl LinearModel {
     /// Returns a copy whose predictions are shifted by `delta` positions
     /// (e.g. converting between a segment's global and leaf-local position
     /// spaces).
+    #[must_use]
     pub fn shifted(&self, delta: f64) -> Self {
         LinearModel { x0: self.x0, slope: self.slope, intercept: self.intercept + delta }
     }
@@ -245,12 +247,12 @@ impl CubicModel {
             let x = (k - x0) as f64 / span;
             let y = i as f64;
             let mut p = 1.0;
-            for sk in s.iter_mut() {
+            for sk in &mut s {
                 *sk += p;
                 p *= x;
             }
             let mut p = 1.0;
-            for tk in t.iter_mut() {
+            for tk in &mut t {
                 *tk += p * y;
                 p *= x;
             }

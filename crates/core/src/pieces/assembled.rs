@@ -101,7 +101,7 @@ impl PiecewiseIndex {
     /// retired leaves.
     pub fn stats(&self) -> RetrainStats {
         let mut s = self.stats;
-        s.insert_moves += self.leaves.iter().map(|l| l.moves()).sum::<u64>();
+        s.insert_moves += self.leaves.iter().map(super::insertion::LeafStorage::moves).sum::<u64>();
         s
     }
 
@@ -261,7 +261,7 @@ impl Index for PiecewiseIndex {
     }
 
     fn data_size_bytes(&self) -> usize {
-        self.leaves.iter().map(|l| l.data_size_bytes()).sum::<usize>()
+        self.leaves.iter().map(super::insertion::LeafStorage::data_size_bytes).sum::<usize>()
             + self.overflow.len() * core::mem::size_of::<KeyValue>()
     }
 

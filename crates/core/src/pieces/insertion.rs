@@ -126,7 +126,7 @@ impl LeafStorage for Leaf {
         dispatch!(self, l => l.to_sorted_vec())
     }
     fn range_into(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
-        dispatch!(self, l => l.range_into(lo, hi, out))
+        dispatch!(self, l => l.range_into(lo, hi, out));
     }
     fn moves(&self) -> u64 {
         dispatch!(self, l => l.moves())
@@ -559,7 +559,6 @@ impl GappedLeaf {
                     if i >= cap {
                         break;
                     }
-                    continue;
                 }
             }
         }
@@ -616,9 +615,8 @@ impl GappedLeaf {
                     if k < key {
                         prev = Some(i);
                         break;
-                    } else {
-                        next = Some(i);
                     }
+                    next = Some(i);
                 }
             }
         }

@@ -13,10 +13,10 @@
 //! (XIndex): it satisfies the same trait surface with zero added locking,
 //! so a runtime-selected lineup can mix both routes behind one type.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::{RwLock, RwLockWriteGuard};
+use li_sync::sync::atomic::{AtomicUsize, Ordering};
+use li_sync::sync::{RwLock, RwLockWriteGuard};
 
 use crate::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, UpdatableIndex};
 use crate::types::{Key, KeyValue, Value};
@@ -79,7 +79,7 @@ impl Admission {
         }
         let t0 = Instant::now();
         loop {
-            std::thread::yield_now();
+            li_sync::thread::yield_now();
             if let Some(g) = self.try_enter(lane) {
                 return Ok(g);
             }
@@ -235,15 +235,14 @@ impl<I> Sharded<I> {
         if !self.recorder.is_enabled() {
             return self.shards[s].write();
         }
-        match self.shards[s].try_write() {
-            Some(g) => g,
-            None => {
-                let t0 = std::time::Instant::now();
-                let g = self.shards[s].write();
-                let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                self.recorder.shard_lock_wait(s, ns);
-                g
-            }
+        if let Some(g) = self.shards[s].try_write() {
+            g
+        } else {
+            let t0 = std::time::Instant::now();
+            let g = self.shards[s].write();
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.recorder.shard_lock_wait(s, ns);
+            g
         }
     }
 }
@@ -411,13 +410,13 @@ impl<C: Index> Index for Native<C> {
         self.0.data_size_bytes()
     }
     fn set_recorder(&mut self, recorder: Recorder) {
-        self.0.set_recorder(recorder)
+        self.0.set_recorder(recorder);
     }
 }
 
 impl<C: OrderedIndex> OrderedIndex for Native<C> {
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
-        self.0.range(lo, hi, out)
+        self.0.range(lo, hi, out);
     }
 }
 
@@ -548,7 +547,7 @@ mod tests {
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let idx = Arc::clone(&idx);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 for i in 0..1_000u64 {
                     // Own every key ≡ t (mod 8): updates of loaded keys and
                     // inserts of fresh ones, interleaved across all shards.
@@ -582,14 +581,14 @@ mod tests {
             .map(|t| {
                 let gate = Arc::clone(&gate);
                 let peak = Arc::clone(&peak);
-                std::thread::spawn(move || {
+                li_sync::thread::spawn(move || {
                     for i in 0..500usize {
                         let lane = (t + i) % 4;
                         let _g = loop {
                             if let Some(g) = gate.try_enter(lane) {
                                 break g;
                             }
-                            std::thread::yield_now();
+                            li_sync::thread::yield_now();
                         };
                         peak.fetch_max(gate.in_flight(lane), Ordering::Relaxed);
                     }
@@ -652,7 +651,7 @@ mod tests {
     #[test]
     fn native_bridge_passes_through() {
         #[derive(Default)]
-        struct CountingMap(parking_lot::Mutex<BTreeMap<Key, Value>>);
+        struct CountingMap(li_sync::sync::Mutex<BTreeMap<Key, Value>>);
         impl ConcurrentIndex for CountingMap {
             fn get(&self, key: Key) -> Option<Value> {
                 self.0.lock().get(&key).copied()
@@ -704,18 +703,18 @@ mod tests {
         for attempt in 0.. {
             assert!(attempt < 50, "never observed a shard lock wait");
             let idx2 = Arc::clone(&idx);
-            let ready = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let ready = Arc::new(li_sync::sync::atomic::AtomicBool::new(false));
             let ready2 = Arc::clone(&ready);
             let writer = idx.with_shard(key, |_shard| {
-                let w = std::thread::spawn(move || {
-                    ready2.store(true, std::sync::atomic::Ordering::Release);
+                let w = li_sync::thread::spawn(move || {
+                    ready2.store(true, li_sync::sync::atomic::Ordering::Release);
                     ConcurrentIndex::insert(&*idx2, key, 9);
                 });
-                while !ready.load(std::sync::atomic::Ordering::Acquire) {
-                    std::thread::yield_now();
+                while !ready.load(li_sync::sync::atomic::Ordering::Acquire) {
+                    li_sync::thread::yield_now();
                 }
                 // Give the writer time to fail try_write and block.
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                li_sync::thread::sleep(std::time::Duration::from_millis(10));
                 w
             });
             writer.join().unwrap();

@@ -18,6 +18,8 @@
 //! * [`FitingTree::new_buffered`] — "FITing-tree-buf": per-leaf off-site
 //!   buffer merged on overflow.
 
+#![forbid(unsafe_code)]
+
 use li_core::approx::ApproxAlgorithm;
 use li_core::pieces::assembled::{PiecewiseConfig, PiecewiseIndex};
 use li_core::pieces::insertion::LeafKind;
@@ -145,13 +147,13 @@ impl Index for FitingTree {
     }
 
     fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
-        self.inner.set_recorder(recorder)
+        self.inner.set_recorder(recorder);
     }
 }
 
 impl OrderedIndex for FitingTree {
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
-        self.inner.range(lo, hi, out)
+        self.inner.range(lo, hi, out);
     }
 }
 

@@ -5,9 +5,9 @@
 //! device itself — allocation metadata is volatile, and Viper's recovery
 //! re-derives it from page headers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use li_sync::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use li_sync::sync::Mutex;
 
 /// Allocates fixed-size pages within `[0, capacity)` of a device.
 pub struct PageAllocator {
@@ -142,7 +142,7 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..8 {
             let a = Arc::clone(&a);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 (0..1000).map(|_| a.alloc().unwrap()).collect::<Vec<_>>()
             }));
         }

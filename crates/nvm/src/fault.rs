@@ -28,8 +28,8 @@
 //!   reports the device as full for all ops in `[from, until)`, letting
 //!   callers exercise their exhaustion paths without filling the device.
 
+use li_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Errors surfaced by the fallible device operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +115,7 @@ impl FaultPlan {
     }
 
     /// Builder-style addition of one fault.
+    #[must_use]
     pub fn with(mut self, fault: Fault) -> Self {
         self.faults.push(fault);
         self
@@ -319,9 +320,8 @@ impl FaultInjector {
     }
 
     pub(crate) fn on_write(&self, len: usize) -> WriteOutcome {
-        let op = match self.advance() {
-            Ok(op) => op,
-            Err(()) => return WriteOutcome::Crashed,
+        let Ok(op) = self.advance() else {
+            return WriteOutcome::Crashed;
         };
         if self.failed.contains(&op) {
             self.counters.failed_writes.fetch_add(1, Ordering::Relaxed);
@@ -342,9 +342,8 @@ impl FaultInjector {
     }
 
     pub(crate) fn on_flush(&self) -> FlushOutcome {
-        let op = match self.advance() {
-            Ok(op) => op,
-            Err(()) => return FlushOutcome::Crashed,
+        let Ok(op) = self.advance() else {
+            return FlushOutcome::Crashed;
         };
         if self.dropped.contains(&op) {
             self.counters.dropped_flushes.fetch_add(1, Ordering::Relaxed);

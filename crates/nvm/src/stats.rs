@@ -1,6 +1,6 @@
 //! Device traffic counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use li_sync::sync::atomic::{AtomicU64, Ordering};
 
 use crate::fault::FaultCountersSnapshot;
 
@@ -62,15 +62,22 @@ impl NvmStats {
     pub fn snapshot(&self) -> NvmStatsSnapshot {
         // A single acquire fence orders every load below after all device
         // ops whose counter updates were visible when the snapshot began.
-        // Concurrent torture readers thus observe a consistent frontier —
-        // e.g. never a `bytes_written` that lags the `writes` increment of
-        // the same completed op — instead of six independently torn loads.
-        std::sync::atomic::fence(Ordering::Acquire);
+        // Concurrent torture readers thus observe a consistent frontier
+        // instead of six independently torn loads.
+        li_sync::sync::atomic::fence(Ordering::Acquire);
+        // Byte totals are loaded BEFORE their op counters: `on_read` /
+        // `on_write` bump the op counter first and the byte counter
+        // second, so reading in the reverse order guarantees a snapshot
+        // never shows byte traffic leading its op count. (The original
+        // op-counter-first order could — found by the
+        // `nvm_stats_snapshot_frontier` loom model.)
+        let bytes_read = self.bytes_read.load(Ordering::Relaxed);
+        let bytes_written = self.bytes_written.load(Ordering::Relaxed);
         NvmStatsSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read,
+            bytes_written,
             flushes: self.flushes.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
             faults: FaultCountersSnapshot::default(),

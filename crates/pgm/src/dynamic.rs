@@ -125,7 +125,7 @@ impl DynamicPgm {
         // At the top occupied level, tombstones can be dropped iff nothing
         // older remains below... here "older" means deeper levels; drop
         // tombstones only when no deeper occupied level exists.
-        let deepest_occupied = self.levels[target + 1..].iter().any(|l| l.is_some());
+        let deepest_occupied = self.levels[target + 1..].iter().any(std::option::Option::is_some);
         if !deepest_occupied {
             merged.retain(|&(_, e)| e != Entry::Dead);
         }

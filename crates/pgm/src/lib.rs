@@ -12,6 +12,8 @@
 //!   exactly the retraining profile Fig. 18 (b) measures (many cheap
 //!   retrains).
 
+#![forbid(unsafe_code)]
+
 pub mod dynamic;
 pub mod statik;
 

@@ -11,6 +11,8 @@
 //! bits, most radix cells are empty and one giant cell covers almost every
 //! spline point, degenerating the segment search.
 
+#![forbid(unsafe_code)]
+
 use li_core::search::lower_bound_kv;
 use li_core::traits::{BulkBuildIndex, DepthStats, Index, OrderedIndex, TwoPhaseLookup};
 use li_core::{Key, KeyValue, Value};

@@ -9,6 +9,8 @@
 //! bulk build and lookups but no insertion. Per-model errors are unbounded
 //! a priori — the source of RMI's high tail latency in Fig. 10.
 
+#![forbid(unsafe_code)]
+
 use li_core::model::CubicModel;
 use li_core::search::lower_bound_kv;
 use li_core::traits::{BulkBuildIndex, DepthStats, Index, OrderedIndex, TwoPhaseLookup};

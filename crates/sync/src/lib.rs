@@ -1,0 +1,77 @@
+//! `li-sync`: the workspace's single concurrency import surface.
+//!
+//! Every crate in the workspace takes its atomics, locks, threads and
+//! spin hints from here instead of `std::sync` / `parking_lot`
+//! directly (`cargo xtask lint` rule R1 enforces this). In a normal
+//! build the module tree below re-exports the plain types; under
+//! `RUSTFLAGS="--cfg loom"` the same paths resolve to the vendored
+//! `loom` model checker's instrumented types, so the loom model tests
+//! exercise the *production* protocol code, not a copy.
+//!
+//! Layout mirrors `std`:
+//!
+//! * [`sync`] — `Arc`, `Mutex`, `RwLock` (+ guards, parking_lot-style
+//!   non-poisoning API) and [`sync::atomic`].
+//! * [`thread`] — `Builder`, `JoinHandle`, `spawn`, `yield_now`,
+//!   `sleep`.
+//! * [`hint`] — `spin_loop`.
+//!
+//! Migration is therefore mechanical: `use std::sync::atomic::X` →
+//! `use li_sync::sync::atomic::X`, `use parking_lot::X` →
+//! `use li_sync::sync::X`, `std::thread::X` → `li_sync::thread::X`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(not(loom))]
+pub mod sync {
+    pub use std::sync::Arc;
+
+    pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+            Ordering,
+        };
+    }
+}
+
+#[cfg(not(loom))]
+pub mod thread {
+    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(not(loom))]
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(loom)]
+pub mod sync {
+    pub use loom::sync::Arc;
+
+    pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+    pub mod atomic {
+        pub use loom::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+            Ordering,
+        };
+    }
+}
+
+#[cfg(loom)]
+pub mod thread {
+    pub use loom::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(loom)]
+pub mod hint {
+    pub use loom::hint::spin_loop;
+}
+
+/// Runs a closure under bounded-exhaustive interleaving exploration
+/// when built with `--cfg loom`; absent otherwise so accidental use in
+/// production code fails to compile.
+#[cfg(loom)]
+pub use loom::model;

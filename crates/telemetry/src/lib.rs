@@ -21,12 +21,18 @@
 //!   with `NvmStats` device counters folded in ([`NvmCounters`]) and a
 //!   dependency-free JSON serializer for `li-bench --telemetry`.
 //!
-//! The crate is deliberately dependency-free so every other crate in the
-//! workspace can use it without layering concerns.
+//! The crate depends only on `li-sync` (the workspace concurrency shim,
+//! which is what lets the histogram/snapshot protocol be loom
+//! model-checked), so every other crate can use it without layering
+//! concerns.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
 use std::time::Instant;
+
+use li_sync::sync::atomic::{AtomicU64, Ordering};
+use li_sync::sync::Arc;
 
 /// Structural events emitted by indexes and stores.
 ///
@@ -183,7 +189,14 @@ impl OpKind {
 /// Bucket count: bucket `b` holds values whose bit-length is `b`, i.e.
 /// value 0 → bucket 0, value `v > 0` → bucket `64 - v.leading_zeros()`.
 /// Nanosecond latencies up to `u64::MAX` land in buckets 0..=64.
+///
+/// Under `--cfg loom` the array shrinks so a histogram snapshot is a
+/// handful of scheduling points instead of 65 — the record/snapshot
+/// protocol being model-checked is bucket-count independent.
+#[cfg(not(loom))]
 pub const HIST_BUCKETS: usize = 65;
+#[cfg(loom)]
+pub const HIST_BUCKETS: usize = 8;
 
 /// Lock-free fixed-bucket log₂ histogram.
 ///
@@ -219,7 +232,7 @@ impl AtomicHistogram {
 
     #[inline]
     fn bucket_of(value: u64) -> usize {
-        (64 - value.leading_zeros()) as usize
+        ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
 
     /// Inclusive upper edge of a bucket.
@@ -249,7 +262,7 @@ impl AtomicHistogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         // Order this snapshot after everything published before it began
         // (same discipline as `NvmStats::snapshot`).
-        std::sync::atomic::fence(Ordering::Acquire);
+        li_sync::sync::atomic::fence(Ordering::Acquire);
         let buckets: [u64; HIST_BUCKETS] =
             std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let count: u64 = buckets.iter().sum();
@@ -497,7 +510,7 @@ impl Recorder {
         let Some(m) = &self.0 else {
             return TelemetrySnapshot::default();
         };
-        std::sync::atomic::fence(Ordering::Acquire);
+        li_sync::sync::atomic::fence(Ordering::Acquire);
         let events: [u64; Event::COUNT] =
             std::array::from_fn(|i| m.events[i].load(Ordering::Relaxed));
         let ops: [HistogramSnapshot; OpKind::COUNT] = std::array::from_fn(|i| m.ops[i].snapshot());
@@ -570,7 +583,7 @@ impl TelemetrySnapshot {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\"{}\":{}", e.name(), self.events[e.idx()]));
+            let _ = write!(out, "\"{}\":{}", e.name(), self.events[e.idx()]);
         }
         out.push_str("},\"ops\":{");
         let mut first = true;
@@ -583,7 +596,7 @@ impl TelemetrySnapshot {
                 out.push(',');
             }
             first = false;
-            out.push_str(&format!(
+            let _ = write!(out,
                 "\"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"min_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
                 k.name(),
                 h.count,
@@ -594,19 +607,20 @@ impl TelemetrySnapshot {
                 h.p99,
                 h.p999,
                 h.max
-            ));
+            );
         }
         out.push_str("},\"shards\":[");
         for (i, s) in self.shards.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
+            let _ = write!(
+                out,
                 "{{\"shard\":{},\"reads\":{},\"writes\":{},\"lock_waits\":{}}}",
                 s.shard, s.reads, s.writes, s.lock_waits
-            ));
+            );
         }
-        out.push_str(&format!(
+        let _ = write!(out,
             "],\"nvm\":{{\"reads\":{},\"writes\":{},\"bytes_read\":{},\"bytes_written\":{},\"flushes\":{},\"fences\":{},\"faults_injected\":{}}}}}",
             self.nvm.reads,
             self.nvm.writes,
@@ -615,7 +629,7 @@ impl TelemetrySnapshot {
             self.nvm.flushes,
             self.nvm.fences,
             self.nvm.faults_injected
-        ));
+        );
         out
     }
 }
@@ -709,7 +723,7 @@ mod tests {
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let r = r.clone();
-                std::thread::spawn(move || {
+                li_sync::thread::spawn(move || {
                     for i in 0..10_000u64 {
                         r.event(Event::Retrain);
                         r.record_ns(OpKind::Insert, i);

@@ -270,12 +270,12 @@ impl Art {
         a.iter().zip(b).take_while(|(x, y)| x == y).count()
     }
 
-    fn get_rec<'a>(node: &'a Node, bytes: &[u8; KEY_LEN], mut depth: usize) -> Option<&'a Node> {
+    fn get_rec(node: &Node, bytes: [u8; KEY_LEN], mut depth: usize) -> Option<&Node> {
         let mut cur = node;
         loop {
             match cur {
                 Node::Leaf { key, .. } => {
-                    return (key_bytes(*key) == *bytes).then_some(cur);
+                    return (key_bytes(*key) == bytes).then_some(cur);
                 }
                 Node::Inner { prefix, children } => {
                     if depth + prefix.len() > KEY_LEN
@@ -296,14 +296,14 @@ impl Art {
 
     fn insert_rec(
         node: &mut Box<Node>,
-        bytes: &[u8; KEY_LEN],
+        bytes: [u8; KEY_LEN],
         key: Key,
         value: Value,
         depth: usize,
     ) -> Option<Value> {
         match node.as_mut() {
             Node::Leaf { key: lkey, value: lvalue } => {
-                if key_bytes(*lkey) == *bytes {
+                if key_bytes(*lkey) == bytes {
                     return Some(std::mem::replace(lvalue, value));
                 }
                 // Split: create an inner node covering the common prefix.
@@ -340,21 +340,20 @@ impl Art {
                 let next_depth = depth + prefix.len();
                 debug_assert!(next_depth < KEY_LEN);
                 let byte = bytes[next_depth];
-                match children.get_mut(byte) {
-                    Some(child) => Self::insert_rec(child, bytes, key, value, next_depth + 1),
-                    None => {
-                        children.add(byte, Box::new(Node::Leaf { key, value }));
-                        None
-                    }
+                if let Some(child) = children.get_mut(byte) {
+                    Self::insert_rec(child, bytes, key, value, next_depth + 1)
+                } else {
+                    children.add(byte, Box::new(Node::Leaf { key, value }));
+                    None
                 }
             }
         }
     }
 
-    fn remove_rec(node: &mut Box<Node>, bytes: &[u8; KEY_LEN], depth: usize) -> RemoveOutcome {
+    fn remove_rec(node: &mut Box<Node>, bytes: [u8; KEY_LEN], depth: usize) -> RemoveOutcome {
         match node.as_mut() {
             Node::Leaf { key, value } => {
-                if key_bytes(*key) == *bytes {
+                if key_bytes(*key) == bytes {
                     RemoveOutcome::RemoveMe(*value)
                 } else {
                     RemoveOutcome::NotFound
@@ -464,9 +463,9 @@ impl Index for Art {
     fn get(&self, key: Key) -> Option<Value> {
         let bytes = key_bytes(key);
         let node = self.root.as_deref()?;
-        match Self::get_rec(node, &bytes, 0)? {
+        match Self::get_rec(node, bytes, 0)? {
             Node::Leaf { value, .. } => Some(*value),
-            _ => None,
+            Node::Inner { .. } => None,
         }
     }
 
@@ -489,7 +488,7 @@ impl UpdatableIndex for Art {
                 None
             }
             Some(root) => {
-                let old = Self::insert_rec(root, &bytes, key, value, 0);
+                let old = Self::insert_rec(root, bytes, key, value, 0);
                 if old.is_none() {
                     self.len += 1;
                 }
@@ -501,7 +500,7 @@ impl UpdatableIndex for Art {
     fn remove(&mut self, key: Key) -> Option<Value> {
         let bytes = key_bytes(key);
         let root = self.root.as_mut()?;
-        match Self::remove_rec(root, &bytes, 0) {
+        match Self::remove_rec(root, bytes, 0) {
             RemoveOutcome::NotFound => None,
             RemoveOutcome::Removed(v) => {
                 self.len -= 1;

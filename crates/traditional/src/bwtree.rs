@@ -170,7 +170,7 @@ impl BwTree {
                             }
                         }
                         Delta::Split { sep, .. } => {
-                            split = Some(split.map_or(sep, |s: Key| s.min(sep)))
+                            split = Some(split.map_or(sep, |s: Key| s.min(sep)));
                         }
                         Delta::IndexEntry { .. } => unreachable!("index entry on a leaf"),
                     }
@@ -192,7 +192,7 @@ impl BwTree {
                             children.insert(i + 1, child);
                         }
                         Delta::Split { sep, .. } => {
-                            split = Some(split.map_or(sep, |s: Key| s.min(sep)))
+                            split = Some(split.map_or(sep, |s: Key| s.min(sep)));
                         }
                         _ => unreachable!("data delta on an inner page"),
                     }

@@ -322,7 +322,7 @@ impl BulkBuildIndex for Cceh {
 /// Shard selection uses hash bits 40..48, disjoint from both the directory
 /// bits (MSBs) and the bucket bits (LSBs) of the per-shard tables.
 pub struct ShardedCceh {
-    shards: Vec<parking_lot::RwLock<Cceh>>,
+    shards: Vec<li_sync::sync::RwLock<Cceh>>,
 }
 
 const SHARD_BITS: u32 = 8;
@@ -337,28 +337,28 @@ impl ShardedCceh {
     pub fn new() -> Self {
         ShardedCceh {
             shards: (0..1usize << SHARD_BITS)
-                .map(|_| parking_lot::RwLock::new(Cceh::new()))
+                .map(|_| li_sync::sync::RwLock::new(Cceh::new()))
                 .collect(),
         }
     }
 
     #[inline]
-    fn shard_of(&self, key: Key) -> usize {
+    fn shard_of(key: Key) -> usize {
         ((Cceh::hash(key) >> 40) & ((1 << SHARD_BITS) - 1)) as usize
     }
 }
 
 impl li_core::traits::ConcurrentIndex for ShardedCceh {
     fn get(&self, key: Key) -> Option<Value> {
-        self.shards[self.shard_of(key)].read().get(key)
+        self.shards[Self::shard_of(key)].read().get(key)
     }
 
     fn insert(&self, key: Key, value: Value) -> Option<Value> {
-        self.shards[self.shard_of(key)].write().insert(key, value)
+        self.shards[Self::shard_of(key)].write().insert(key, value)
     }
 
     fn remove(&self, key: Key) -> Option<Value> {
-        self.shards[self.shard_of(key)].write().remove(key)
+        self.shards[Self::shard_of(key)].write().remove(key)
     }
 
     fn len(&self) -> usize {
@@ -448,7 +448,7 @@ mod tests {
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 for i in 0..20_000u64 {
                     let k = t * 1_000_000 + i;
                     c.insert(k, k + 1);

@@ -20,6 +20,8 @@
 //! (`li_core::shard::Sharded`); only [`ShardedCceh`] carries its own
 //! internal concurrency (per-directory-stripe locking).
 
+#![forbid(unsafe_code)]
+
 pub mod art;
 pub mod bptree;
 pub mod bwtree;

@@ -230,7 +230,7 @@ impl BulkBuildIndex for Wormhole {
             return w;
         }
         let fill = LEAF_CAP * 3 / 4;
-        w.leaves = data.chunks(fill).map(|c| c.to_vec()).collect();
+        w.leaves = data.chunks(fill).map(<[(u64, u64)]>::to_vec).collect();
         w.anchors = w.leaves.iter().map(|l| l[0].0).collect();
         // Leaf 0 must absorb keys below the smallest anchor.
         w.anchors[0] = 0;
@@ -312,7 +312,7 @@ mod tests {
         for &(k, v) in data.iter().step_by(337) {
             assert_eq!(w.get(k), Some(v));
         }
-        assert_eq!(w.get((1 << 56) | 5_000), None);
+        assert_eq!(w.get((1 << 56) | 0x1388), None);
     }
 
     #[test]

@@ -17,14 +17,14 @@
 //! exhaustion, injected crash points and unrecovered transient write
 //! failures surface as `Err`, never as panics.
 
+use li_sync::sync::atomic::{AtomicU64, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use li_core::telemetry::{Event, Recorder};
 use li_core::Key;
 use li_nvm::{NvmDevice, NvmError, PageAllocator};
-use parking_lot::Mutex;
+use li_sync::sync::Mutex;
 
 use crate::error::ViperError;
 use crate::layout::{RecordLayout, PAGE_HEADER, PAGE_MAGIC, SLOT_DEAD, SLOT_FREE, SLOT_LIVE};
@@ -162,7 +162,6 @@ impl RecordHeap {
                 Ok(()) => return Ok(()),
                 Err(NvmError::WriteFailed) => {
                     self.recorder.event(Event::Retry);
-                    continue;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -917,7 +916,7 @@ mod tests {
         let spp = l.slots_per_page();
         // Page 0 keeps one live record; page 1 is the open page.
         let offs: Vec<u64> =
-            (0..spp as u64 + 1).map(|k| h.append(k, &val(&l, 1)).unwrap()).collect();
+            (0..=(spp as u64)).map(|k| h.append(k, &val(&l, 1)).unwrap()).collect();
         for &off in &offs[1..spp] {
             h.mark_dead(off).unwrap();
         }
@@ -976,7 +975,7 @@ mod tests {
         for t in 0..8u64 {
             let h = Arc::clone(&h);
             let v = val(&l, t as u8);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut offs = Vec::new();
                 for i in 0..500u64 {
                     offs.push((t * 1000 + i, h.append(t * 1000 + i, &v).unwrap()));

@@ -15,9 +15,9 @@
 //!    pages, and lifts read-only degradation — all off the foreground
 //!    path, watched by a stall watchdog.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use li_sync::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use li_sync::thread::JoinHandle;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use li_core::telemetry::{Event, OpKind, Recorder};
@@ -261,7 +261,7 @@ impl MaintenanceWorker {
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
             let store = Arc::clone(&store);
-            std::thread::Builder::new()
+            li_sync::thread::Builder::new()
                 .name("viper-maintenance".into())
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
@@ -290,7 +290,7 @@ impl MaintenanceWorker {
             let counters = Arc::clone(&counters);
             let timeout_ms = cfg.stall_timeout.as_millis() as u64;
             let poll = (cfg.stall_timeout / 4).min(Duration::from_millis(50));
-            std::thread::Builder::new()
+            li_sync::thread::Builder::new()
                 .name("viper-maintenance-watchdog".into())
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
@@ -350,8 +350,8 @@ fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
         if stop.load(Ordering::Acquire) {
             return;
         }
-        let step = chunk.min(total - slept);
-        std::thread::sleep(step);
+        let step = chunk.min(total.checked_sub(slept).unwrap());
+        li_sync::thread::sleep(step);
         slept += step;
     }
 }
@@ -430,7 +430,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         while worker.stats().ticks < 3 {
             assert!(Instant::now() < deadline, "worker never ticked");
-            std::thread::sleep(Duration::from_millis(1));
+            li_sync::thread::sleep(Duration::from_millis(1));
         }
         let t0 = Instant::now();
         let stats = worker.shutdown();
@@ -456,7 +456,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         while !worker.is_stalled() {
             assert!(Instant::now() < deadline, "watchdog never fired");
-            std::thread::sleep(Duration::from_millis(5));
+            li_sync::thread::sleep(Duration::from_millis(5));
         }
         assert!(worker.shutdown().stalled);
     }
@@ -485,7 +485,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         while store.is_read_only() {
             assert!(Instant::now() < deadline, "worker never lifted read-only");
-            std::thread::sleep(Duration::from_millis(1));
+            li_sync::thread::sleep(Duration::from_millis(1));
         }
         worker.shutdown();
         store.put(1, &vec![1u8; vs]).expect("store must accept writes again");

@@ -92,7 +92,7 @@ impl RetryPolicy {
     pub(crate) fn wait(&self, salt: u64, attempt: u32, recorder: &Recorder, dev: &NvmDevice) {
         let pause = self.backoff_for(salt, attempt);
         if !pause.is_zero() {
-            std::thread::sleep(pause);
+            li_sync::thread::sleep(pause);
         }
         recorder.event(Event::BackoffWait);
         recorder.record_ns(OpKind::BackoffWait, pause.as_nanos().min(u128::from(u64::MAX)) as u64);

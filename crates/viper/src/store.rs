@@ -17,7 +17,7 @@
 //! DRAM index (`&mut I` via [`UpdatableIndex`] versus `&I` via
 //! [`ConcurrentIndex`]) and in whether a key-stripe lock is taken.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use li_sync::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -78,6 +78,7 @@ impl StoreConfig {
     }
 
     /// Switches update strategy (see [`StoreConfig::crash_safe_updates`]).
+    #[must_use]
     pub fn with_crash_safe_updates(mut self, on: bool) -> Self {
         self.crash_safe_updates = on;
         self
@@ -114,19 +115,19 @@ impl WriteModel for SharedWriter {
 /// Striped same-key write locks, Viper's fine-grained-locking discipline.
 /// Without them, two racing inserters of one key could leave a stale
 /// record offset alive while its slot is recycled for another key.
-pub struct KeyStripes(Vec<parking_lot::Mutex<()>>);
+pub struct KeyStripes(Vec<li_sync::sync::Mutex<()>>);
 
 const KEY_STRIPES: usize = 1024;
 
 impl Default for KeyStripes {
     fn default() -> Self {
-        KeyStripes((0..KEY_STRIPES).map(|_| parking_lot::Mutex::new(())).collect())
+        KeyStripes((0..KEY_STRIPES).map(|_| li_sync::sync::Mutex::new(())).collect())
     }
 }
 
 impl KeyStripes {
     #[inline]
-    fn lock(&self, key: Key) -> parking_lot::MutexGuard<'_, ()> {
+    fn lock(&self, key: Key) -> li_sync::sync::MutexGuard<'_, ()> {
         let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         self.0[(h >> 54) as usize % KEY_STRIPES].lock()
     }
@@ -249,8 +250,8 @@ fn delete_core(
 /// `WouldBlock`-style [`ViperError::Backpressure`] — the store is healthy,
 /// the caller should back off and retry.
 fn shed_check<'a>(
-    breaker: &Option<Arc<CircuitBreaker>>,
-    admission: &'a Option<Admission>,
+    breaker: Option<&Arc<CircuitBreaker>>,
+    admission: Option<&'a Admission>,
     max_wait: Duration,
 ) -> Result<Option<AdmissionGuard<'a>>, ViperError> {
     if let Some(b) = breaker {
@@ -662,7 +663,7 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
         } = self;
         let t = recorder.start();
         let r = (|| {
-            let _gate = shed_check(breaker, admission, *admission_wait)?;
+            let _gate = shed_check(breaker.as_ref(), admission.as_ref(), *admission_wait)?;
             let r = with_retry(retry, key, recorder, heap.device(), || {
                 put_core(heap, crash_safe, read_only, Excl(&mut *index), key, value)
             });
@@ -739,7 +740,8 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
     pub fn put(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
         let t = self.recorder.start();
         let r = (|| {
-            let _gate = shed_check(&self.breaker, &self.admission, self.admission_wait)?;
+            let _gate =
+                shed_check(self.breaker.as_ref(), self.admission.as_ref(), self.admission_wait)?;
             let r = with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
                 let _guard = self.key_locks.lock(key);
                 put_core(
@@ -917,7 +919,7 @@ pub(crate) mod tests {
     }
 
     fn value_for(key: Key, buf: &mut [u8]) {
-        value_for_test(key, buf)
+        value_for_test(key, buf);
     }
 
     pub(crate) fn value_for_test(key: Key, buf: &mut [u8]) {
@@ -1084,7 +1086,7 @@ pub(crate) mod tests {
 
     /// Concurrent index built on a lock-wrapped map (reference impl).
     #[derive(Default)]
-    pub(crate) struct LockedMap(parking_lot::RwLock<BTreeMap<Key, u64>>);
+    pub(crate) struct LockedMap(li_sync::sync::RwLock<BTreeMap<Key, u64>>);
 
     impl Index for LockedMap {
         fn name(&self) -> &'static str {
@@ -1127,7 +1129,7 @@ pub(crate) mod tests {
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let store = Arc::clone(&store);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut val = vec![0u8; vs];
                 for i in 0..1_000u64 {
                     let k = t * 10_000 + i;
@@ -1160,7 +1162,7 @@ pub(crate) mod tests {
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let store = Arc::clone(&store);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let val = vec![t as u8; vs];
                 for _ in 0..200 {
                     store.put(777, &val).unwrap();
@@ -1309,11 +1311,11 @@ pub(crate) mod tests {
         let store = Arc::new(store);
         let vs = store.heap().layout().value_size;
         let mut handles = Vec::new();
-        let shed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let shed = Arc::new(li_sync::sync::atomic::AtomicUsize::new(0));
         for t in 0..8u64 {
             let store = Arc::clone(&store);
             let shed = Arc::clone(&shed);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let val = vec![t as u8; vs];
                 for i in 0..500u64 {
                     match store.put(t * 1_000 + i, &val) {

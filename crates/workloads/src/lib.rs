@@ -9,6 +9,8 @@
 //! * [`ops`] — YCSB workload mixes A/B/C/D/F plus the paper's read-only /
 //!   write-only streams, generated deterministically from a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod ops;
 pub mod zipf;

@@ -15,9 +15,10 @@
 //! ("retrain one node"); groups that outgrow their bound split, which is
 //! the only operation that takes the global structure lock.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
+
+use li_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use li_sync::sync::Arc;
 
 use li_core::pieces::retrain::RetrainStats;
 use li_core::pieces::structure::{InnerStructure, RmiInner};
@@ -27,7 +28,7 @@ use li_core::traits::{
     BulkBuildIndex, ConcurrentIndex, DepthStats, Index, OrderedIndex, UpdatableIndex,
 };
 use li_core::{Key, KeyValue, LinearModel, Value};
-use parking_lot::{Mutex, RwLock};
+use li_sync::sync::{Mutex, RwLock};
 
 /// Tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +166,18 @@ pub struct XIndex {
     /// Serialises structure (split) operations.
     structure_lock: Mutex<()>,
     config: XIndexConfig,
+    /// Live key count, maintained with `Ordering::Relaxed`.
+    ///
+    /// Relaxed is deliberate and audited (see `xtask/relaxed-allowlist.txt`):
+    /// the counter is advisory — every update happens while holding the
+    /// owning group's data lock, but readers of `len()` take no lock, so a
+    /// read that races an insert/remove may lag by in-flight operations.
+    /// It never drifts permanently: each successful insert adds exactly one
+    /// and each successful remove subtracts exactly one, so at quiescence
+    /// (all writers joined) `len()` equals the true key count. The
+    /// `xindex_retire_vs_get_insert` loom model asserts that quiescent
+    /// agreement across all bounded interleavings. Do NOT use this counter
+    /// for cross-thread control flow.
     len: AtomicU64,
     retrain_count: AtomicU64,
     retrain_ns: AtomicU64,
@@ -238,9 +251,8 @@ impl XIndex {
         }
         let t0 = Instant::now();
         let snap = self.snapshot();
-        let idx = match snap.groups.iter().position(|g| Arc::ptr_eq(g, group)) {
-            Some(i) => i,
-            None => return, // raced with another structural change
+        let Some(idx) = snap.groups.iter().position(|g| Arc::ptr_eq(g, group)) else {
+            return; // raced with another structural change
         };
         // Retire FIRST (under the group's write lock), then drain: any
         // reader that acquires the lock afterwards sees `retired` and
@@ -260,7 +272,7 @@ impl XIndex {
         // The left half keeps the old routing pivot (it may be covering
         // keys below its first sorted key); the right half's pivot is its
         // first key.
-        let right_pivot = right.first().map(|kv| kv.0).unwrap_or(snap.pivots[idx]);
+        let right_pivot = right.first().map_or(snap.pivots[idx], |kv| kv.0);
         let mut groups = snap.groups.clone();
         groups.splice(idx..=idx, [Group::new(left), Group::new(right)]);
         let mut pivots = snap.pivots.clone();
@@ -304,18 +316,20 @@ impl XIndex {
                     }
                 }
             };
-            match result {
-                Some(old) => {
-                    if split_needed {
-                        self.split_group(&group);
-                    }
-                    if old.is_none() {
-                        self.len.fetch_add(1, Ordering::Relaxed);
-                    }
-                    return old;
+            if let Some(old) = result {
+                if split_needed {
+                    self.split_group(&group);
                 }
-                None => continue, // retired; retry with the fresh snapshot
+                if old.is_none() {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                }
+                return old;
             }
+            // Retired: the splitter holds the structure lock and
+            // has not installed the fresh snapshot yet. Yield so
+            // it can finish instead of spinning on the old
+            // snapshot (livelock found by the loom model).
+            li_sync::thread::yield_now();
         }
     }
 
@@ -326,6 +340,7 @@ impl XIndex {
             let d = group.data.read();
             if group.retired.load(Ordering::Acquire) {
                 drop(d);
+                li_sync::thread::yield_now();
                 continue;
             }
             return d.get(key);
@@ -339,6 +354,7 @@ impl XIndex {
             let mut d = group.data.write();
             if group.retired.load(Ordering::Acquire) {
                 drop(d);
+                li_sync::thread::yield_now();
                 continue;
             }
             if let Ok(i) = d.buffer.binary_search_by_key(&key, |kv| kv.0) {
@@ -586,7 +602,7 @@ mod tests {
         // the loaded keys.
         for t in 0..4u64 {
             let x = Arc::clone(&x);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 for i in 0..10_000u64 {
                     let k = (1u64 << 63) | (t << 40) | i;
                     ConcurrentIndex::insert(&*x, k, i);
@@ -596,7 +612,7 @@ mod tests {
         for t in 0..4u64 {
             let x = Arc::clone(&x);
             let data = data.clone();
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + t);
                 for _ in 0..20_000 {
                     let &(k, v) = &data[rng.random_range(0..data.len())];
@@ -627,7 +643,7 @@ mod tests {
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let x = Arc::clone(&x);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(t);
                 for i in 0..5_000u64 {
                     let k = rng.random_range(0..1_000_000u64);

@@ -333,7 +333,7 @@ impl Index for AnyIndex {
     /// instrumented (traditional, read-only learned, LIPP) keep the
     /// default drop-it behaviour.
     fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
-        dispatch!(self, i => i.set_recorder(recorder))
+        dispatch!(self, i => i.set_recorder(recorder));
     }
 }
 
@@ -591,7 +591,7 @@ impl Index for AnyConcurrentIndex {
     /// hands it to the inner index, `Sharded` clones it into every shard
     /// (so per-shard routing counters share one sink).
     fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
-        cdispatch!(self, i => i.set_recorder(recorder))
+        cdispatch!(self, i => i.set_recorder(recorder));
     }
 }
 
@@ -599,7 +599,7 @@ impl OrderedIndex for AnyConcurrentIndex {
     /// Range scan; a sharded CCEH still cannot scan (the underlying
     /// [`AnyIndex`] yields nothing) — gate on [`IndexKind::supports_range`].
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
-        cdispatch!(self, i => i.range(lo, hi, out))
+        cdispatch!(self, i => i.range(lo, hi, out));
     }
 }
 
@@ -701,7 +701,8 @@ mod tests {
 
     #[test]
     fn capabilities_table_rows() {
-        let learned: Vec<_> = IndexKind::LEARNED.iter().filter_map(|k| k.capabilities()).collect();
+        let learned: Vec<_> =
+            IndexKind::LEARNED.iter().filter_map(super::IndexKind::capabilities).collect();
         assert_eq!(learned.len(), 8);
         assert!(learned.iter().any(|c| c.concurrent_writes), "XIndex row");
         assert!(IndexKind::BTree.capabilities().is_none());

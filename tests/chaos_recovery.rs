@@ -16,8 +16,8 @@
 //! * **Bounded time** — every session runs under a deadline watchdog, so
 //!   a deadlock or livelock fails the test instead of hanging CI.
 
+use li_sync::sync::atomic::{AtomicBool, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -87,7 +87,7 @@ fn sharded_btree(shards: usize) -> impl FnOnce(&[(u64, u64)]) -> Sharded<AnyInde
 
 #[test]
 fn transient_storm_eight_threads_matches_oracle_and_exits_read_only() {
-    with_deadline(Duration::from_secs(120), || {
+    with_deadline(Duration::from_mins(2), || {
         const THREADS: u64 = 8;
         const OPS: u64 = 600;
 
@@ -193,7 +193,7 @@ fn transient_storm_eight_threads_matches_oracle_and_exits_read_only() {
 
 #[test]
 fn worker_repairs_every_quarantined_slot_after_corrupting_restart() {
-    with_deadline(Duration::from_secs(60), || {
+    with_deadline(Duration::from_mins(1), || {
         let keys: Vec<u64> = (0..2_000u64).map(|i| i * 5 + 2).collect();
         let cfg = StoreConfig::test(4_000);
         let store = ConcurrentViperStore::<Sharded<AnyIndex>>::bulk_load_shared(
@@ -266,7 +266,7 @@ fn worker_repairs_every_quarantined_slot_after_corrupting_restart() {
 
 #[test]
 fn circuit_breaker_trips_under_backlog_and_recovers() {
-    with_deadline(Duration::from_secs(120), || {
+    with_deadline(Duration::from_mins(2), || {
         // Non-linear keys: a perfectly linear key set would collapse each
         // shard's piecewise index into a single segment, capping the
         // retrain queue at one pending leaf per shard — below any
@@ -334,7 +334,7 @@ fn circuit_breaker_trips_under_backlog_and_recovers() {
         starved.shutdown();
         let worker = MaintenanceWorker::spawn(Arc::clone(&store), MaintenanceConfig::default());
         assert!(
-            eventually(Duration::from_secs(60), || !breaker.is_open()),
+            eventually(Duration::from_mins(1), || !breaker.is_open()),
             "breaker never closed; pending retrains: {}",
             ConcurrentIndex::pending_retrains(store.index())
         );
@@ -352,7 +352,7 @@ fn circuit_breaker_trips_under_backlog_and_recovers() {
 
 #[test]
 fn maintenance_worker_clean_shutdown_smoke() {
-    with_deadline(Duration::from_secs(60), || {
+    with_deadline(Duration::from_mins(1), || {
         let initial: Vec<u64> = (0..10_000u64).map(|i| i * 13 + 1).collect();
         let cfg = StoreConfig::test(60_000);
         let mut store = ConcurrentViperStore::<Sharded<AnyIndex>>::bulk_load_shared(

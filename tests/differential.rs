@@ -234,8 +234,8 @@ fn lipp_and_apex_agree_with_alex_under_identical_churn() {
     // The two extension indexes replay the exact op stream given to ALEX.
     let keys = generate_keys(Dataset::OsmLike, 5_000, 5);
     let data: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
-    let mut alex = lip::alex::Alex::build_with(Default::default(), &data);
-    let mut lipp = lip::lipp::Lipp::build_with(Default::default(), &data);
+    let mut alex = lip::alex::Alex::build_with(lip::alex::AlexConfig::default(), &data);
+    let mut lipp = lip::lipp::Lipp::build_with(lip::lipp::LippConfig::default(), &data);
     let dev = std::sync::Arc::new(lip::nvm::NvmDevice::new(lip::nvm::NvmConfig::fast(
         4_000 * lip::apex::NODE_BYTES,
     )));

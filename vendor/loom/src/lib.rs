@@ -1,0 +1,67 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a self-contained bounded model checker with the same usage
+//! shape as `loom`: wrap a small concurrent protocol in [`model`], build
+//! its shared state from `loom::sync` types, spawn `loom::thread`s, and
+//! every execution-relevant interleaving of the threads is explored
+//! exhaustively up to a preemption bound.
+//!
+//! # How it works
+//!
+//! One *execution* runs the model closure with every spawned thread as a
+//! real OS thread, but under a cooperative token scheduler: exactly one
+//! thread runs at a time, and every atomic operation, lock acquisition or
+//! release is a *scheduling point* where the scheduler may switch
+//! threads. Each switch away from a still-runnable thread consumes one
+//! unit of the preemption budget (CHESS-style context bounding — see
+//! Musuvathi & Qadeer, PLDI'07: most concurrency bugs manifest within
+//! two preemptions). The sequence of scheduling decisions is recorded;
+//! after each execution the checker backtracks depth-first to the last
+//! decision with an unexplored alternative and replays. Exploration ends
+//! when the decision tree is exhausted or an iteration bound is hit.
+//!
+//! # Fidelity
+//!
+//! * **Sequentially consistent exploration.** Atomics delegate to
+//!   `std::sync::atomic` under the token scheduler, so all interleavings
+//!   of *operations* are explored, but weak-memory reorderings (a
+//!   `Relaxed` store becoming visible late) are **not** modeled. The real
+//!   loom models C11 ordering; this stand-in checks protocol logic, not
+//!   fence placement. DESIGN.md's verification matrix records this
+//!   honestly.
+//! * **`yield_now` deprioritizes.** A thread that yields (or sleeps) is
+//!   not rescheduled while any non-yielded thread can run — the same
+//!   convention real loom uses to make spin loops explorable.
+//! * **Deadlocks are detected**: if every unfinished thread is blocked,
+//!   the execution fails with the offending schedule.
+//!
+//! Outside [`model`], every type degrades to its plain `std` behavior,
+//! so a whole test suite can be compiled with `--cfg loom` and only the
+//! `#[cfg(loom)]` model tests change behavior.
+//!
+//! # Tuning
+//!
+//! * `LOOM_MAX_PREEMPTIONS` (default 2) — the preemption bound.
+//! * `LOOM_MAX_ITERATIONS` (default 50 000) — execution cap; exploration
+//!   reports how far it got when truncated.
+//! * `LOOM_LOG=1` — print the execution count when a model completes.
+
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+pub mod hint {
+    /// Spin-loop hint: a scheduling point inside a model, a plain
+    /// `std::hint::spin_loop` outside.
+    pub fn spin_loop() {
+        if crate::rt::in_model() {
+            crate::rt::yield_point();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+pub use rt::model;

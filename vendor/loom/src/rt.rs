@@ -1,0 +1,464 @@
+//! The execution engine: token scheduler + depth-first schedule explorer.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// CHESS-style context bound: schedules with at most this many
+/// preemptions (switches away from a thread that could have continued)
+/// are explored exhaustively.
+const DEFAULT_PREEMPTION_BOUND: usize = 2;
+/// Cap on executions per model; exploration is *bounded*, and hitting
+/// the cap is reported, never silent.
+const DEFAULT_ITERATION_BOUND: usize = 50_000;
+/// A single execution taking this many scheduling points is almost
+/// certainly a livelock (e.g. two threads yielding at each other).
+const MAX_STEPS_PER_EXECUTION: usize = 500_000;
+/// Decision-tree depth cap per execution (an unbounded spin loop that
+/// keeps branching would otherwise never terminate one execution).
+const MAX_BRANCHES_PER_EXECUTION: usize = 50_000;
+
+/// Global id source for lock/join resources. Ids are never reused;
+/// id 0 is reserved for "no resource" (guards taken outside a model).
+static RESOURCE_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_resource_id() -> u64 {
+    RESOURCE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Can be scheduled.
+    Runnable,
+    /// Voluntarily yielded; only scheduled when no thread is `Runnable`.
+    Yielded,
+    /// Waiting on a resource (lock or join) with this id.
+    Blocked(u64),
+    Finished,
+}
+
+struct ExecInner {
+    /// The thread holding the token.
+    current: usize,
+    states: Vec<TState>,
+    /// Per-thread resource id that `join` blocks on.
+    join_res: Vec<u64>,
+    /// Branch choices to replay from the previous execution.
+    prefix: Vec<usize>,
+    /// Branch points taken this execution: (chosen candidate index,
+    /// number of candidates).
+    decisions: Vec<(usize, usize)>,
+    preemptions_left: usize,
+    steps: usize,
+    failure: Option<String>,
+    /// First panic payload, preserved so the original assertion message
+    /// reaches the test harness.
+    payload: Option<Box<dyn Any + Send + 'static>>,
+}
+
+pub(crate) struct Execution {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, preemption_bound: usize) -> Arc<Self> {
+        Arc::new(Execution {
+            inner: Mutex::new(ExecInner {
+                current: 0,
+                states: vec![TState::Runnable],
+                join_res: vec![fresh_resource_id()],
+                prefix,
+                decisions: Vec::new(),
+                preemptions_left: preemption_bound,
+                steps: 0,
+                failure: None,
+                payload: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec, tid }));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Marker panic used to unwind user code out of a failed execution. The
+/// real diagnosis (first failure + payload) lives in `ExecInner`.
+fn abort_execution() -> ! {
+    resume_unwind(Box::new(ExecutionAborted))
+}
+
+pub(crate) struct ExecutionAborted;
+
+/// Picks the next thread to run. Returns an error message on deadlock.
+fn pick_next(inner: &mut ExecInner) -> Result<(), String> {
+    let cur = inner.current;
+    let cur_was_runnable = inner.states[cur] == TState::Runnable;
+    let mut cands: Vec<usize> = Vec::new();
+    if cur_was_runnable {
+        cands.push(cur);
+    }
+    for t in 0..inner.states.len() {
+        if t != cur && inner.states[t] == TState::Runnable {
+            cands.push(t);
+        }
+    }
+    if cands.is_empty() {
+        // Nothing runnable: revive yielded threads (they only run when
+        // everyone else is stuck, the loom yield convention).
+        let revived: Vec<usize> =
+            (0..inner.states.len()).filter(|&t| inner.states[t] == TState::Yielded).collect();
+        for &t in &revived {
+            inner.states[t] = TState::Runnable;
+        }
+        if revived.contains(&cur) {
+            cands.push(cur);
+        }
+        for &t in &revived {
+            if t != cur {
+                cands.push(t);
+            }
+        }
+    }
+    if cands.is_empty() {
+        if inner.states.iter().all(|s| *s == TState::Finished) {
+            return Ok(());
+        }
+        let stuck: Vec<(usize, TState)> = inner
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != TState::Finished)
+            .map(|(t, s)| (t, *s))
+            .collect();
+        return Err(format!("deadlock: every unfinished thread is blocked ({stuck:?})"));
+    }
+    // Branch over the candidate list. With the preemption budget spent,
+    // a still-runnable current thread keeps running (no branch).
+    let nalts = if cur_was_runnable && inner.preemptions_left == 0 { 1 } else { cands.len() };
+    let chosen_idx = if nalts <= 1 {
+        0
+    } else {
+        if inner.decisions.len() >= MAX_BRANCHES_PER_EXECUTION {
+            return Err(format!(
+                "branch limit exceeded ({MAX_BRANCHES_PER_EXECUTION} decision points in one \
+                 execution) — likely an unbounded loop without thread::yield_now"
+            ));
+        }
+        let i = inner.decisions.len();
+        let chosen = if i < inner.prefix.len() { inner.prefix[i].min(nalts - 1) } else { 0 };
+        inner.decisions.push((chosen, nalts));
+        chosen
+    };
+    let chosen = cands[chosen_idx];
+    if cur_was_runnable && chosen != cur {
+        inner.preemptions_left -= 1;
+    }
+    inner.current = chosen;
+    Ok(())
+}
+
+enum StepKind {
+    /// A plain scheduling point; the current thread stays runnable.
+    Normal,
+    /// The current thread yields (deprioritized until nothing else runs).
+    Yield,
+    /// The current thread blocks on a resource.
+    Block(u64),
+}
+
+/// One scheduling point: possibly switch threads, then wait until this
+/// thread holds the token again.
+fn step(ctx: &Ctx, kind: StepKind) {
+    let mut inner = ctx.exec.lock();
+    if inner.failure.is_some() {
+        drop(inner);
+        abort_execution();
+    }
+    inner.steps += 1;
+    if inner.steps > MAX_STEPS_PER_EXECUTION {
+        inner.failure = Some(format!(
+            "step limit exceeded ({MAX_STEPS_PER_EXECUTION} scheduling points in one execution) \
+             — likely a livelock"
+        ));
+        ctx.exec.cv.notify_all();
+        drop(inner);
+        abort_execution();
+    }
+    match kind {
+        StepKind::Normal => {}
+        StepKind::Yield => inner.states[ctx.tid] = TState::Yielded,
+        StepKind::Block(res) => inner.states[ctx.tid] = TState::Blocked(res),
+    }
+    if let Err(msg) = pick_next(&mut inner) {
+        inner.failure = Some(msg);
+        ctx.exec.cv.notify_all();
+        drop(inner);
+        abort_execution();
+    }
+    ctx.exec.cv.notify_all();
+    while inner.current != ctx.tid || inner.states[ctx.tid] != TState::Runnable {
+        if inner.failure.is_some() {
+            drop(inner);
+            abort_execution();
+        }
+        inner = ctx.exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// A scheduling point for shared-memory operations. No-op outside a
+/// model or while unwinding (guard drops during a panic must not
+/// re-enter the scheduler).
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some(ctx) = ctx() {
+        step(&ctx, StepKind::Normal);
+    }
+}
+
+/// `thread::yield_now` inside a model.
+pub(crate) fn yield_thread() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some(ctx) = ctx() {
+        step(&ctx, StepKind::Yield);
+    }
+}
+
+/// Blocks the current thread on `res` until [`unblock_all`] wakes it.
+pub(crate) fn block_on(res: u64) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some(ctx) = ctx() {
+        step(&ctx, StepKind::Block(res));
+    }
+}
+
+/// Marks every thread blocked on `res` runnable (they re-contend at
+/// their next scheduling). Does not itself switch threads.
+pub(crate) fn unblock_all(res: u64) {
+    if let Some(ctx) = ctx() {
+        let mut inner = ctx.exec.lock();
+        for s in inner.states.iter_mut() {
+            if *s == TState::Blocked(res) {
+                *s = TState::Runnable;
+            }
+        }
+        ctx.exec.cv.notify_all();
+    }
+}
+
+/// Lock release: wake waiters, then offer the scheduler a switch.
+pub(crate) fn unlock_point(res: u64) {
+    unblock_all(res);
+    yield_point();
+}
+
+/// Registers a new model thread from its parent (which holds the token,
+/// so tid assignment is deterministic). `None` outside a model.
+pub(crate) fn register_thread() -> Option<(Arc<Execution>, usize)> {
+    let ctx = ctx()?;
+    let mut inner = ctx.exec.lock();
+    let tid = inner.states.len();
+    inner.states.push(TState::Runnable);
+    inner.join_res.push(fresh_resource_id());
+    drop(inner);
+    Some((Arc::clone(&ctx.exec), tid))
+}
+
+/// Entry point of a freshly spawned model thread: installs its context.
+/// The thread must then call [`wait_first_schedule`] before touching
+/// shared state.
+pub(crate) fn thread_start(exec: Arc<Execution>, tid: usize) {
+    set_ctx(exec, tid);
+}
+
+pub(crate) fn wait_first_schedule() {
+    let ctx = ctx().expect("wait_first_schedule outside a model");
+    let mut inner = ctx.exec.lock();
+    while inner.current != ctx.tid || inner.states[ctx.tid] != TState::Runnable {
+        if inner.failure.is_some() {
+            drop(inner);
+            abort_execution();
+        }
+        inner = ctx.exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Records the first real failure of the execution (later ones are
+/// cascades of the induced unwinds).
+pub(crate) fn record_panic(payload: Box<dyn Any + Send + 'static>) {
+    if payload.downcast_ref::<ExecutionAborted>().is_some() {
+        // An induced unwind from abort_execution — not a new failure.
+        return;
+    }
+    if let Some(ctx) = ctx() {
+        let mut inner = ctx.exec.lock();
+        if inner.failure.is_none() {
+            inner.failure = Some(panic_message(&payload));
+            inner.payload = Some(payload);
+        }
+        ctx.exec.cv.notify_all();
+    }
+}
+
+fn panic_message(payload: &Box<dyn Any + Send + 'static>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        format!("thread panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("thread panicked: {s}")
+    } else {
+        "thread panicked".to_string()
+    }
+}
+
+/// Marks the current thread finished, wakes joiners, hands the token on.
+pub(crate) fn finish_current() {
+    let Some(ctx) = ctx() else { return };
+    let mut inner = ctx.exec.lock();
+    inner.states[ctx.tid] = TState::Finished;
+    let jr = inner.join_res[ctx.tid];
+    for s in inner.states.iter_mut() {
+        if *s == TState::Blocked(jr) {
+            *s = TState::Runnable;
+        }
+    }
+    if inner.failure.is_none() && inner.current == ctx.tid {
+        if let Err(msg) = pick_next(&mut inner) {
+            inner.failure = Some(msg);
+        }
+    }
+    ctx.exec.cv.notify_all();
+}
+
+pub(crate) fn exit_thread() {
+    clear_ctx();
+}
+
+/// Blocks until `target` finishes (join support).
+pub(crate) fn join_wait(exec: &Arc<Execution>, target: usize) {
+    let Some(ctx) = ctx() else { return };
+    debug_assert!(Arc::ptr_eq(&ctx.exec, exec), "join across model executions");
+    loop {
+        let jr = {
+            let inner = ctx.exec.lock();
+            if inner.states[target] == TState::Finished {
+                return;
+            }
+            inner.join_res[target]
+        };
+        // The token model makes check-then-block race-free: `target` can
+        // only transition while *it* is scheduled, which it is not.
+        block_on(jr);
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs `f` under every interleaving of its threads' scheduling points,
+/// bounded by `LOOM_MAX_PREEMPTIONS` preemptions per schedule and
+/// `LOOM_MAX_ITERATIONS` schedules total. Panics (re-raising the
+/// original assertion where possible) on the first failing schedule.
+pub fn model<F: Fn()>(f: F) {
+    let bound = env_usize("LOOM_MAX_PREEMPTIONS", DEFAULT_PREEMPTION_BOUND);
+    let max_iters = env_usize("LOOM_MAX_ITERATIONS", DEFAULT_ITERATION_BOUND).max(1);
+    let log = std::env::var("LOOM_LOG").is_ok();
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        let exec = Execution::new(prefix.clone(), bound);
+        set_ctx(Arc::clone(&exec), 0);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(&f)) {
+            record_panic(payload);
+        }
+        finish_current();
+        // Drain the execution: every spawned thread marks itself
+        // Finished on the way out, including failure-induced unwinds.
+        {
+            let mut inner = exec.lock();
+            while !inner.states.iter().all(|s| *s == TState::Finished) {
+                exec.cv.notify_all();
+                inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        clear_ctx();
+        iters += 1;
+        let (failure, payload, decisions) = {
+            let mut inner = exec.lock();
+            (inner.failure.take(), inner.payload.take(), std::mem::take(&mut inner.decisions))
+        };
+        if let Some(msg) = failure {
+            let path: Vec<usize> = decisions.iter().map(|d| d.0).collect();
+            eprintln!(
+                "loom: schedule {iters} failed (preemption bound {bound}); decision path {path:?}"
+            );
+            match payload {
+                Some(p) => resume_unwind(p),
+                None => panic!("loom model failed: {msg}"),
+            }
+        }
+        // Depth-first backtrack to the deepest unexplored alternative.
+        let mut d = decisions;
+        loop {
+            match d.last_mut() {
+                None => {
+                    if log {
+                        eprintln!("loom: explored {iters} schedules to completion");
+                    }
+                    return;
+                }
+                Some(last) => {
+                    if last.0 + 1 < last.1 {
+                        last.0 += 1;
+                        break;
+                    }
+                    d.pop();
+                }
+            }
+        }
+        if iters >= max_iters {
+            eprintln!(
+                "loom: iteration bound reached after {iters} schedules (LOOM_MAX_ITERATIONS); \
+                 exploration truncated"
+            );
+            return;
+        }
+        prefix = d.iter().map(|x| x.0).collect();
+    }
+}

@@ -1,0 +1,450 @@
+//! `loom::sync`: shared-memory types whose every operation is a
+//! scheduling point inside a model, and a plain delegate outside one.
+//!
+//! Lock APIs are parking_lot-style (non-poisoning, `lock() -> guard`),
+//! matching the workspace idiom that `li-sync` re-exports.
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    /// An atomic fence is a scheduling point: everything published
+    /// before it by other threads is visible after (the underlying std
+    /// fence provides real ordering; the scheduling point lets the
+    /// checker interleave around it).
+    pub fn fence(order: Ordering) {
+        rt::yield_point();
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $int:ty) => {
+            /// Model-checked atomic integer; every shared-memory access
+            /// is a scheduling point.
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$name);
+
+            impl $name {
+                pub fn new(v: $int) -> Self {
+                    $name(std::sync::atomic::$name::new(v))
+                }
+
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.load(order)
+                }
+
+                #[inline]
+                pub fn store(&self, val: $int, order: Ordering) {
+                    rt::yield_point();
+                    self.0.store(val, order);
+                }
+
+                #[inline]
+                pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.swap(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.fetch_add(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.fetch_sub(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_min(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.fetch_min(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_max(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.fetch_max(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_and(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.fetch_and(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_or(&self, val: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.0.fetch_or(val, order)
+                }
+
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    rt::yield_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    rt::yield_point();
+                    // Deterministic exploration: a spurious weak-CAS
+                    // failure would make replay diverge, so weak is
+                    // modeled as strong.
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                #[inline]
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.0.get_mut()
+                }
+
+                pub fn into_inner(self) -> $int {
+                    self.0.into_inner()
+                }
+            }
+
+            impl From<$int> for $name {
+                fn from(v: $int) -> Self {
+                    Self::new(v)
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU8, u8);
+    int_atomic!(AtomicU32, u32);
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicI64, i64);
+    int_atomic!(AtomicIsize, isize);
+
+    /// Model-checked atomic boolean.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            AtomicBool(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        #[inline]
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::yield_point();
+            self.0.load(order)
+        }
+
+        #[inline]
+        pub fn store(&self, val: bool, order: Ordering) {
+            rt::yield_point();
+            self.0.store(val, order);
+        }
+
+        #[inline]
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.0.swap(val, order)
+        }
+
+        #[inline]
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.0.fetch_and(val, order)
+        }
+
+        #[inline]
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.0.fetch_or(val, order)
+        }
+
+        #[inline]
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::yield_point();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.0.get_mut()
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.0.into_inner()
+        }
+    }
+}
+
+/// Non-poisoning mutex with parking_lot's `lock() -> guard` signature;
+/// acquisition, contention and release are scheduling points in a model.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    res: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { res: rt::fresh_resource_id(), inner: std::sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if !rt::in_model() {
+            return MutexGuard {
+                guard: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+                res: 0,
+            };
+        }
+        loop {
+            rt::yield_point();
+            // The token scheduler runs exactly one model thread at a
+            // time, so try_lock outcomes are deterministic per schedule.
+            match self.inner.try_lock() {
+                Ok(g) => return MutexGuard { guard: Some(g), res: self.res },
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    return MutexGuard { guard: Some(e.into_inner()), res: self.res }
+                }
+                Err(std::sync::TryLockError::WouldBlock) => rt::block_on(self.res),
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let res = if rt::in_model() {
+            rt::yield_point();
+            self.res
+        } else {
+            0
+        };
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g), res }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { guard: Some(e.into_inner()), res })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    res: u64,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        if self.res != 0 {
+            rt::unlock_point(self.res);
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Non-poisoning reader-writer lock with parking_lot's signatures;
+/// scheduling points as [`Mutex`].
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    res: u64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock { res: rt::fresh_resource_id(), inner: std::sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if !rt::in_model() {
+            return RwLockReadGuard {
+                guard: Some(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+                res: 0,
+            };
+        }
+        loop {
+            rt::yield_point();
+            match self.inner.try_read() {
+                Ok(g) => return RwLockReadGuard { guard: Some(g), res: self.res },
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    return RwLockReadGuard { guard: Some(e.into_inner()), res: self.res }
+                }
+                Err(std::sync::TryLockError::WouldBlock) => rt::block_on(self.res),
+            }
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if !rt::in_model() {
+            return RwLockWriteGuard {
+                guard: Some(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+                res: 0,
+            };
+        }
+        loop {
+            rt::yield_point();
+            match self.inner.try_write() {
+                Ok(g) => return RwLockWriteGuard { guard: Some(g), res: self.res },
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    return RwLockWriteGuard { guard: Some(e.into_inner()), res: self.res }
+                }
+                Err(std::sync::TryLockError::WouldBlock) => rt::block_on(self.res),
+            }
+        }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let res = if rt::in_model() {
+            rt::yield_point();
+            self.res
+        } else {
+            0
+        };
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { guard: Some(g), res }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockReadGuard { guard: Some(e.into_inner()), res })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let res = if rt::in_model() {
+            rt::yield_point();
+            self.res
+        } else {
+            0
+        };
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { guard: Some(g), res }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockWriteGuard { guard: Some(e.into_inner()), res })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::RwLockReadGuard<'a, T>>,
+    res: u64,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        if self.res != 0 {
+            rt::unlock_point(self.res);
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    res: u64,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        if self.res != 0 {
+            rt::unlock_point(self.res);
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}

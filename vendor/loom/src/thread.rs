@@ -1,0 +1,129 @@
+//! `loom::thread`: model-aware thread spawning and joining.
+//!
+//! Inside a model, spawned threads are registered with the execution's
+//! token scheduler and only run when handed the token; outside a model
+//! everything delegates to `std::thread`.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Thread factory mirroring `std::thread::Builder` (name + spawn).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            builder = builder.name(name);
+        }
+        if let Some((exec, tid)) = rt::register_thread() {
+            let texec = exec.clone();
+            let handle = builder.spawn(move || {
+                rt::thread_start(texec, tid);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    rt::wait_first_schedule();
+                    f()
+                }));
+                let out = match out {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        rt::record_panic(payload);
+                        None
+                    }
+                };
+                rt::finish_current();
+                rt::exit_thread();
+                out
+            })?;
+            // The parent still holds the token; give the scheduler a
+            // chance to run the child before the parent's next step.
+            rt::yield_point();
+            Ok(JoinHandle(Handle::Model { handle, exec, tid }))
+        } else {
+            Ok(JoinHandle(Handle::Std(builder.spawn(f)?)))
+        }
+    }
+}
+
+enum Handle<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        handle: std::thread::JoinHandle<Option<T>>,
+        exec: std::sync::Arc<rt::Execution>,
+        tid: usize,
+    },
+}
+
+/// Owned permission to join a thread, as `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Handle<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Handle::Std(h) => h.join(),
+            Handle::Model { handle, exec, tid } => {
+                rt::join_wait(&exec, tid);
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // The child panicked; its payload was forwarded to
+                    // the execution by record_panic. Surface a generic
+                    // payload to the joiner like std does.
+                    Ok(None) => Err(Box::new("loom model thread panicked")),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle { .. }")
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Inside a model this deprioritizes the calling thread (it is only
+/// rescheduled when no non-yielded thread can run), which makes
+/// spin-wait loops explorable without livelock.
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::yield_thread();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Sleeping inside a model is time-free: it deprioritizes exactly like
+/// [`yield_now`], so `sleep`-based polling loops stay explorable.
+pub fn sleep(dur: Duration) {
+    if rt::in_model() {
+        rt::yield_thread();
+    } else {
+        std::thread::sleep(dur);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: `Ordering::Relaxed` with no allowlist entry — rule R3 must
+//! flag it (a stop flag is control flow, not a statistics counter).
+
+use li_sync::sync::atomic::{AtomicBool, Ordering};
+
+pub fn should_stop(stop: &AtomicBool) -> bool {
+    stop.load(Ordering::Relaxed)
+}

@@ -1,0 +1,5 @@
+//! Fixture: undocumented unsafe — rule R2 must flag.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//! Fixture: direct primitive imports — rule R1 must flag both.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64, m: &Mutex<u64>) -> u64 {
+    c.fetch_add(1, Ordering::AcqRel) + *m.lock()
+}

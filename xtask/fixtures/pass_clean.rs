@@ -1,0 +1,14 @@
+//! Fixture: clean file — shim imports only, no unsafe, no Relaxed.
+//! Mentions of std::sync::atomic and parking_lot in comments (or in
+//! "string literals with parking_lot inside") must not trip rule R1.
+
+use li_sync::sync::atomic::{AtomicU64, Ordering};
+use li_sync::sync::{Mutex, RwLock};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn guarded(m: &Mutex<u64>, r: &RwLock<u64>) -> u64 {
+    *m.lock() + *r.read()
+}

@@ -1,0 +1,8 @@
+//! Fixture: `Ordering::Relaxed` in a file the allowlist covers (the
+//! unit test supplies an allowlist entry with a reason).
+
+use li_sync::sync::atomic::{AtomicU64, Ordering};
+
+pub fn count(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,13 @@
+//! Fixture: documented unsafe — rule R2 must accept.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // SAFETY: caller slice is non-empty by the assert above; the raw
+    // pointer read stays in bounds.
+    unsafe { *bytes.as_ptr() }
+}
+
+// SAFETY: Wrapper owns no thread-affine state; the raw pointer inside
+// is only dereferenced behind the lock.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*mut u8);

@@ -1,0 +1,247 @@
+//! A minimal Rust lexer: blanks comments, string literals and char
+//! literals out of source text while preserving every byte offset and
+//! newline, and records comment text with line numbers.
+//!
+//! This is NOT a full lexer — it only needs to be sound for the lint
+//! rules: after cleaning, any substring match for `unsafe`,
+//! `parking_lot`, `Ordering::Relaxed`, `.unwrap()` etc. is a real code
+//! token, never part of a comment or string.
+//!
+//! Handled: `//` line comments (incl. doc), nested `/* */` block
+//! comments, `"…"` strings with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any hash count, plus `br…` byte variants), char literals
+//! with escapes, and lifetimes (`'a` is not a char literal).
+
+/// Cleaned source plus extracted comments.
+pub struct Cleaned {
+    /// Source with comments/strings/chars replaced by spaces; same
+    /// length and line structure as the input.
+    pub code: String,
+    /// `(first_line, text)` of every comment, 1-based lines.
+    pub comments: Vec<(usize, String)>,
+}
+
+pub fn clean(src: &str) -> Cleaned {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a char to the cleaned output, blanking non-newlines.
+    fn blank(out: &mut Vec<char>, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            comments.push((start_line, text));
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    blank(&mut out, '/');
+                    blank(&mut out, '*');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    text.push_str("*/");
+                    blank(&mut out, '*');
+                    blank(&mut out, '/');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            comments.push((start_line, text));
+            continue;
+        }
+        // Raw string r"…" / r#"…"# and byte variants br…
+        let raw_start = if c == 'r' && !prev_is_ident(&b, i) {
+            Some(i + 1)
+        } else if c == 'b' && i + 1 < n && b[i + 1] == 'r' && !prev_is_ident(&b, i) {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(mut j) = raw_start {
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                // Blank from i up to and including the closing quote+hashes.
+                let mut k = j + 1;
+                'scan: while k < n {
+                    if b[k] == '"' {
+                        let mut h = 0usize;
+                        while k + 1 + h < n && b[k + 1 + h] == '#' && h < hashes {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                for &ch in &b[i..k.min(n)] {
+                    if ch == '\n' {
+                        line += 1;
+                    }
+                    blank(&mut out, ch);
+                }
+                i = k.min(n);
+                continue;
+            }
+        }
+        // Plain (or byte) string.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"' && !prev_is_ident(&b, i)) {
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            for &ch in &b[i..j.min(n)] {
+                if ch == '\n' {
+                    line += 1;
+                }
+                blank(&mut out, ch);
+            }
+            i = j.min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident NOT followed by a closing quote.
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if !is_lifetime {
+                let mut j = i + 1;
+                if j < n && b[j] == '\\' {
+                    j += 1;
+                    // Escape body: \u{…} or single char.
+                    if j < n && b[j] == 'u' {
+                        while j < n && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                } else if j < n {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    j += 1;
+                }
+                for &ch in &b[i..j.min(n)] {
+                    blank(&mut out, ch);
+                }
+                i = j.min(n);
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    Cleaned { code: out.into_iter().collect(), comments }
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// 1-based line number of a byte offset in `code` (cleaned text has the
+/// same line structure as the original).
+pub fn line_of(code: &str, offset: usize) -> usize {
+    1 + code[..offset].matches('\n').count()
+}
+
+/// Whether `code[pos..pos+len]` is a standalone word (not part of a
+/// longer identifier).
+pub fn is_word(code: &str, pos: usize, len: usize) -> bool {
+    let before = code[..pos].chars().next_back();
+    let after = code[pos + len..].chars().next();
+    let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    boundary(before) && boundary(after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let src = r#"let x = "parking_lot"; // parking_lot here
+/* unsafe */ let y = 'u';"#;
+        let c = clean(src);
+        assert!(!c.code.contains("parking_lot"));
+        assert!(!c.code.contains("unsafe"));
+        assert_eq!(c.comments.len(), 2);
+        assert!(c.comments[0].1.contains("parking_lot"));
+        assert_eq!(c.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "let s = r#\"unsafe \"quoted\" text\"#; fn f<'a>(x: &'a str) {}";
+        let c = clean(src);
+        assert!(!c.code.contains("unsafe"));
+        assert!(c.code.contains("'a>"), "lifetime must survive cleaning");
+    }
+
+    #[test]
+    fn char_escapes() {
+        let src = "let q = '\\''; let n = '\\n'; let u = '\\u{1F600}'; let word = unsafe_name;";
+        let c = clean(src);
+        // The identifier containing "unsafe" survives; is_word rejects it.
+        let pos = c.code.find("unsafe").unwrap();
+        assert!(!is_word(&c.code, pos, "unsafe".len()));
+    }
+
+    #[test]
+    fn line_numbers_preserved() {
+        let src = "line1\n\"str\nstr\"\nunsafe {}\n";
+        let c = clean(src);
+        let pos = c.code.find("unsafe").unwrap();
+        assert_eq!(line_of(&c.code, pos), 4);
+    }
+}

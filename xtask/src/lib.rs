@@ -1,0 +1,107 @@
+//! `li-lint`: workspace invariant linter.
+//!
+//! The build environment has no crates.io access, so instead of `syn`
+//! this uses a small hand-rolled Rust lexer ([`lexer`]) that blanks
+//! comments, strings and char literals out of the source (preserving
+//! byte offsets and line numbers) and records comment text separately.
+//! Rules then operate on the cleaned text, where naive substring /
+//! token scanning is sound.
+//!
+//! Rules (all CI-failing; see DESIGN.md "Verification matrix"):
+//!
+//! * **R1 sync-shim**: no direct `std::sync::atomic` / `parking_lot` /
+//!   `std::hint::spin_loop` use outside `crates/sync` — everything goes
+//!   through `li-sync` so `--cfg loom` instruments the real code.
+//! * **R2 safety-comments**: every `unsafe` keyword is preceded (within
+//!   a few lines) by a `// SAFETY:` comment.
+//! * **R3 relaxed-allowlist**: files using `Ordering::Relaxed` must be
+//!   listed, with a reason, in `xtask/relaxed-allowlist.txt` — the
+//!   audit trail that each use is a statistics counter, not a
+//!   cross-thread control flag.
+//! * **R4 hot-path-panics**: no `panic!` / `unwrap` / `expect` /
+//!   `unreachable!` inside the Viper `put` / `get` / `delete` hot
+//!   paths (`crates/viper/src/store.rs`), excluding `#[cfg(test)]`.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+/// One rule violation; `cargo xtask lint` prints these and exits 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.msg)
+    }
+}
+
+/// Source files the linter covers: `src/`, `tests/`, and every
+/// `crates/*/src` except the shim itself. `vendor/`, `xtask/` and
+/// `target/` are out of scope (vendored stubs mirror upstream APIs;
+/// the linter's own sources mention the banned tokens).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect_rs(&root.join("src"), &mut out);
+    collect_rs(&root.join("tests"), &mut out);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.file_name().is_some_and(|n| n == "sync") {
+                continue;
+            }
+            collect_rs(&p.join("src"), &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let allow = rules::RelaxedAllowlist::load(root);
+    let mut out = Vec::new();
+    for file in workspace_files(root) {
+        let Ok(src) = std::fs::read_to_string(&file) else { continue };
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        out.extend(rules::check_file(&rel, &src, &allow));
+    }
+    out
+}
+
+/// Lints explicit files (fixture mode); relative paths are kept as
+/// given, the allowlist still comes from `root`.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> Vec<Violation> {
+    let allow = rules::RelaxedAllowlist::load(root);
+    let mut out = Vec::new();
+    for file in files {
+        match std::fs::read_to_string(file) {
+            Ok(src) => out.extend(rules::check_file(file, &src, &allow)),
+            Err(e) => out.push(Violation {
+                file: file.clone(),
+                line: 0,
+                rule: "io",
+                msg: format!("cannot read: {e}"),
+            }),
+        }
+    }
+    out
+}

@@ -1,0 +1,135 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `lint [FILES…]` — run the li-lint invariant rules over the
+//!   workspace (or just FILES, for fixture checks); non-zero exit on
+//!   any violation.
+//! * `loom` — build and run the loom model suite
+//!   (`RUSTFLAGS="--cfg loom" cargo test --release --test loom_models`)
+//!   in its own target dir so the normal build cache survives.
+//! * `miri` — run the li-nvm unsafe-path tests under Miri when the
+//!   component is installed; prints how to install it otherwise.
+//! * `tsan` — run the shard-oracle suite under ThreadSanitizer when
+//!   rust-src is available (nightly + -Zbuild-std).
+
+use std::path::PathBuf;
+use std::process::{exit, Command};
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask sits in the workspace").into()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("loom") => run_loom(),
+        Some("miri") => run_miri(),
+        Some("tsan") => run_tsan(),
+        _ => {
+            eprintln!("usage: cargo xtask <lint [FILES…] | loom | miri | tsan>");
+            exit(2);
+        }
+    }
+}
+
+fn lint(files: &[String]) {
+    let root = root();
+    let violations = if files.is_empty() {
+        xtask::lint_workspace(&root)
+    } else {
+        xtask::lint_files(&root, &files.iter().map(PathBuf::from).collect::<Vec<_>>())
+    };
+    if violations.is_empty() {
+        let scope = if files.is_empty() {
+            "workspace".to_string()
+        } else {
+            format!("{} file(s)", files.len())
+        };
+        println!("li-lint: {scope} clean");
+        return;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("li-lint: {} violation(s)", violations.len());
+    exit(1);
+}
+
+fn run_loom() {
+    let status = Command::new("cargo")
+        .current_dir(root())
+        .env("RUSTFLAGS", "--cfg loom")
+        .env("CARGO_TARGET_DIR", "target/loom")
+        .args(["test", "--release", "--test", "loom_models"])
+        .status()
+        .expect("failed to spawn cargo");
+    exit(status.code().unwrap_or(1));
+}
+
+/// True when `cargo <subcmd> --version` works (the component exists).
+fn subcommand_available(subcmd: &str) -> bool {
+    Command::new("cargo").args([subcmd, "--version"]).output().is_ok_and(|o| o.status.success())
+}
+
+fn run_miri() {
+    if !subcommand_available("miri") {
+        eprintln!(
+            "cargo xtask miri: the `miri` component is not installed \
+             (rustup +nightly component add miri); skipping locally — CI runs it."
+        );
+        return;
+    }
+    let status = Command::new("cargo")
+        .current_dir(root())
+        // Device tests create temp files; Instant is used for latency
+        // bookkeeping.
+        .env("MIRIFLAGS", "-Zmiri-disable-isolation")
+        .args(["miri", "test", "-p", "li-nvm"])
+        .status()
+        .expect("failed to spawn cargo miri");
+    exit(status.code().unwrap_or(1));
+}
+
+fn run_tsan() {
+    let sysroot = Command::new("rustc")
+        .args(["--print", "sysroot"])
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let has_src =
+        sysroot.as_deref().is_some_and(|s| PathBuf::from(s).join("lib/rustlib/src/rust").exists());
+    if !has_src {
+        eprintln!(
+            "cargo xtask tsan: rust-src is not installed \
+             (rustup +nightly component add rust-src); skipping locally — CI runs it."
+        );
+        return;
+    }
+    let status = Command::new("cargo")
+        .current_dir(root())
+        .env("RUSTFLAGS", "-Zsanitizer=thread")
+        .env("CARGO_TARGET_DIR", "target/tsan")
+        .args([
+            "test",
+            "--release",
+            "-Zbuild-std",
+            "--target",
+            current_target().as_str(),
+            "--test",
+            "shard_oracle",
+        ])
+        .status()
+        .expect("failed to spawn cargo");
+    exit(status.code().unwrap_or(1));
+}
+
+fn current_target() -> String {
+    let out = Command::new("rustc").args(["-vV"]).output().expect("rustc -vV");
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find_map(|l| l.strip_prefix("host: "))
+        .expect("host triple")
+        .to_string()
+}

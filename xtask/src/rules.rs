@@ -1,0 +1,349 @@
+//! The lint rules. Each operates on [`crate::lexer::Cleaned`] text, so
+//! substring scans cannot be fooled by comments or string literals.
+
+use std::path::Path;
+
+use crate::lexer::{self, Cleaned};
+use crate::Violation;
+
+/// How many lines above an `unsafe` keyword a `// SAFETY:` comment may
+/// sit (attributes or a signature line may intervene).
+const SAFETY_WINDOW: usize = 8;
+
+/// Parsed `xtask/relaxed-allowlist.txt`: files audited to use
+/// `Ordering::Relaxed` only for statistics, never control flow.
+pub struct RelaxedAllowlist {
+    /// `(workspace-relative path, reason)`.
+    entries: Vec<(String, String)>,
+}
+
+impl RelaxedAllowlist {
+    pub fn load(root: &Path) -> Self {
+        let text =
+            std::fs::read_to_string(root.join("xtask/relaxed-allowlist.txt")).unwrap_or_default();
+        Self::parse(&text)
+    }
+
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((path, reason)) = line.split_once('=') {
+                entries.push((path.trim().to_string(), reason.trim().to_string()));
+            }
+        }
+        RelaxedAllowlist { entries }
+    }
+
+    /// A file is allowed if an entry matches it by path suffix (entries
+    /// are workspace-relative; lint input may be absolute).
+    pub fn allows(&self, file: &Path) -> bool {
+        let f = file.to_string_lossy().replace('\\', "/");
+        self.entries.iter().any(|(p, reason)| {
+            !reason.is_empty() && (f == *p || f.ends_with(&format!("/{p}")) || f.ends_with(p))
+        })
+    }
+}
+
+/// Applies every rule relevant to `file`.
+pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Violation> {
+    let cleaned = lexer::clean(src);
+    let excluded = test_spans(&cleaned.code);
+    let mut out = Vec::new();
+    out.extend(sync_shim(file, &cleaned));
+    out.extend(safety_comments(file, &cleaned));
+    out.extend(relaxed_allowlist(file, &cleaned, allow));
+    if is_viper_store(file) {
+        out.extend(hot_path_panics(file, &cleaned, &excluded));
+    }
+    out
+}
+
+fn is_viper_store(file: &Path) -> bool {
+    let f = file.to_string_lossy().replace('\\', "/");
+    f.ends_with("viper/src/store.rs")
+}
+
+/// Byte spans of `#[cfg(test)]`-gated blocks in cleaned code.
+pub fn test_spans(code: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find("cfg(test)") {
+        let at = from + p;
+        if let Some(open_rel) = code[at..].find('{') {
+            let open = at + open_rel;
+            if let Some(close) = match_brace(code, open) {
+                spans.push((at, close));
+                from = close;
+                continue;
+            }
+        }
+        from = at + 1;
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], pos: usize) -> bool {
+    spans.iter().any(|&(a, b)| pos >= a && pos < b)
+}
+
+/// Offset of the `}` matching the `{` at `open`.
+fn match_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in bytes.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn find_words<'a>(code: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(p) = code[from..].find(needle) {
+            let at = from + p;
+            from = at + 1;
+            if lexer::is_word(code, at, needle.len()) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// R1: all concurrency primitives come from `li-sync`.
+pub fn sync_shim(file: &Path, cleaned: &Cleaned) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (needle, instead) in [
+        ("std::sync::atomic", "li_sync::sync::atomic"),
+        ("parking_lot", "li_sync::sync"),
+        ("std::hint::spin_loop", "li_sync::hint::spin_loop"),
+    ] {
+        let mut from = 0usize;
+        while let Some(p) = cleaned.code[from..].find(needle) {
+            let at = from + p;
+            from = at + needle.len();
+            // `parking_lot` must be a path segment, not part of an ident.
+            if needle == "parking_lot" && !lexer::is_word(&cleaned.code, at, needle.len()) {
+                continue;
+            }
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lexer::line_of(&cleaned.code, at),
+                rule: "sync-shim",
+                msg: format!(
+                    "direct `{needle}` use; go through `{instead}` so --cfg loom instruments it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R2: every `unsafe` is preceded by a `// SAFETY:` comment.
+pub fn safety_comments(file: &Path, cleaned: &Cleaned) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for at in find_words(&cleaned.code, "unsafe") {
+        let line = lexer::line_of(&cleaned.code, at);
+        let documented = cleaned.comments.iter().any(|(cl, text)| {
+            text.contains("SAFETY:") && *cl <= line && line - cl <= SAFETY_WINDOW
+        });
+        if !documented {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line,
+                rule: "safety-comments",
+                msg: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines above"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R3: `Ordering::Relaxed` only in allowlisted (audited) files.
+pub fn relaxed_allowlist(
+    file: &Path,
+    cleaned: &Cleaned,
+    allow: &RelaxedAllowlist,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if allow.allows(file) {
+        return out;
+    }
+    for at in find_words(&cleaned.code, "Relaxed") {
+        out.push(Violation {
+            file: file.to_path_buf(),
+            line: lexer::line_of(&cleaned.code, at),
+            rule: "relaxed-allowlist",
+            msg: "`Ordering::Relaxed` in a file not in xtask/relaxed-allowlist.txt; \
+                  audit that it is a statistics counter (not a cross-thread control flag) \
+                  and add the file with a reason"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// R4: Viper `put` / `get` / `delete` never panic.
+pub fn hot_path_panics(
+    file: &Path,
+    cleaned: &Cleaned,
+    excluded: &[(usize, usize)],
+) -> Vec<Violation> {
+    const HOT: [&str; 3] = ["put", "get", "delete"];
+    const BANNED: [&str; 6] =
+        [".unwrap(", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+    let code = &cleaned.code;
+    let mut out = Vec::new();
+    for fn_at in find_words(code, "fn") {
+        if in_spans(excluded, fn_at) {
+            continue;
+        }
+        // Identifier after `fn`.
+        let rest = &code[fn_at + 2..];
+        let name_start = rest.len() - rest.trim_start().len();
+        let name: String =
+            rest[name_start..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if !HOT.contains(&name.as_str()) {
+            continue;
+        }
+        // Body = next `{` before any `;` (a `;` first means a trait decl).
+        let sig = &code[fn_at..];
+        let Some(open_rel) = sig.find('{') else { continue };
+        if sig.find(';').is_some_and(|s| s < open_rel) {
+            continue;
+        }
+        let open = fn_at + open_rel;
+        let Some(close) = match_brace(code, open) else { continue };
+        for banned in BANNED {
+            let body = &code[open..close];
+            let mut from = 0usize;
+            while let Some(p) = body[from..].find(banned) {
+                let at = open + from + p;
+                from += p + banned.len();
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lexer::line_of(code, at),
+                    rule: "hot-path-panics",
+                    msg: format!(
+                        "`{banned}` inside hot-path fn `{name}`; return a ViperError instead"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(path: &str, src: &str, allow: &str) -> Vec<Violation> {
+        check_file(&PathBuf::from(path), src, &RelaxedAllowlist::parse(allow))
+    }
+
+    #[test]
+    fn fixtures_pass_and_fail_each_rule() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let allow = RelaxedAllowlist::parse("fixtures/pass_relaxed_allowed.rs = audited counter\n");
+        for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+            let p = entry.unwrap().path();
+            let name = p.file_name().unwrap().to_string_lossy().to_string();
+            if !std::path::Path::new(&name)
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("rs"))
+            {
+                continue;
+            }
+            let src = std::fs::read_to_string(&p).unwrap();
+            // The hot-path rule is gated on the Viper store path, so its
+            // fixtures are linted as if they were that file.
+            let rel = if name.contains("hot_path") {
+                PathBuf::from("crates/viper/src/store.rs")
+            } else {
+                PathBuf::from("fixtures").join(&name)
+            };
+            let v = check_file(&rel, &src, &allow);
+            if name.starts_with("pass_") {
+                assert!(v.is_empty(), "{name} should pass but got: {v:?}");
+            } else if name.starts_with("fail_") {
+                assert!(!v.is_empty(), "{name} should fail but passed");
+                // The seeded rule name is embedded in the file name:
+                // fail_<rule-with-underscores>.rs
+                let want =
+                    name.trim_start_matches("fail_").trim_end_matches(".rs").replace('_', "-");
+                assert!(
+                    v.iter().any(|x| x.rule == want),
+                    "{name}: expected rule {want}, got {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r1_flags_direct_atomics_but_not_comments() {
+        let v = lint("crates/x/src/lib.rs", "use std::sync::atomic::AtomicU64;\n", "");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sync-shim");
+        assert_eq!(v[0].line, 1);
+        let v = lint("crates/x/src/lib.rs", "// std::sync::atomic is banned\n", "");
+        assert!(v.is_empty());
+        let v = lint("crates/x/src/lib.rs", "let s = \"parking_lot\";\n", "");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn r2_accepts_safety_comment_within_window() {
+        let ok = "// SAFETY: ptr is valid for len bytes.\nunsafe { read(p) }\n";
+        assert!(lint("a.rs", ok, "").is_empty());
+        let bad = "unsafe { read(p) }\n";
+        let v = lint("a.rs", bad, "");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comments");
+        // Identifier containing "unsafe" is not the keyword.
+        assert!(lint("a.rs", "fn unsafe_free() {}\n", "").is_empty());
+    }
+
+    #[test]
+    fn r3_allowlist_is_per_file_with_reason() {
+        let src = "x.load(Ordering::Relaxed);\n";
+        let v = lint("crates/x/src/lib.rs", src, "");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-allowlist");
+        let allow = "crates/x/src/lib.rs = audited: stats counter only\n";
+        assert!(lint("crates/x/src/lib.rs", src, allow).is_empty());
+        // An entry without a reason does not allow.
+        let noreason = "crates/x/src/lib.rs =\n";
+        assert_eq!(lint("crates/x/src/lib.rs", src, noreason).len(), 1);
+    }
+
+    #[test]
+    fn r4_only_hot_fns_in_viper_store_and_skips_tests() {
+        let src = "impl S {\n    fn put(&self) { x.unwrap(); }\n    fn helper(&self) { y.unwrap(); }\n}\n";
+        let v = lint("crates/viper/src/store.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-panics");
+        assert_eq!(v[0].line, 2);
+        // Same content elsewhere is not checked.
+        assert!(lint("crates/other/src/store_like.rs", src, "").is_empty());
+        // Test modules are exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn put() { x.unwrap(); }\n}\n";
+        assert!(lint("crates/viper/src/store.rs", test_src, "").is_empty());
+    }
+}
