@@ -1,0 +1,296 @@
+//! Checkpoint + WAL-replay recovery vs. full-rescan recovery (the
+//! durability tentpole's acceptance benchmark).
+//!
+//! The paper's availability analysis (§III-E2 / Fig. 16) measures how
+//! long a learned-index store is offline after a crash when recovery must
+//! rescan every NVM page and retrain the model from scratch. This binary
+//! quantifies what the WAL + model-checkpoint subsystem buys back: for
+//! each key count, one durable store is loaded, mutated past its last
+//! checkpoint, and crashed — then recovered twice from the same image:
+//!
+//! * **checkpoint_replay** — deserialize the newest checkpoint (live
+//!   entries + serialized model parameters), replay the WAL tail, and
+//!   validate checkpointed entries against their slots. No page scan, no
+//!   retraining.
+//! * **full_rescan** — the pre-durability path: scan every heap page,
+//!   CRC-verify every slot, rebuild the model from scratch.
+//!
+//! One JSON document is written under `results/` so CI can assert the
+//! headline claim: checkpoint + replay is strictly faster at every swept
+//! key count.
+//!
+//! Flags: `--keys N[,N...]` (default `1000000,10000000`), `--tail N`
+//! (mutations past the last checkpoint, default 10000), `--trials N`
+//! (timed recoveries per path, best-of; default 2 — the store is rebuilt
+//! per trial so both paths see a cold image, and the minimum discards
+//! scheduler noise rather than flattering either side), `--out PATH`,
+//! `--check` (exit non-zero unless the fast path wins every row).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use li_core::approx::ApproxAlgorithm;
+use li_core::pieces::assembled::{PiecewiseConfig, PiecewiseIndex};
+use li_core::pieces::insertion::LeafKind;
+use li_core::pieces::retrain::RetrainPolicy;
+use li_core::pieces::structure::StructureKind;
+use li_core::telemetry::Recorder;
+use li_nvm::{DurabilityTracking, LatencyModel, NvmConfig};
+use li_viper::{DurabilityConfig, RecordLayout, RecoverOptions, StoreConfig, ViperStore};
+use li_workloads::{generate_keys, Dataset};
+
+struct Args {
+    keys: Vec<usize>,
+    tail: usize,
+    trials: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        keys: vec![1_000_000, 10_000_000],
+        tail: 10_000,
+        trials: 2,
+        out: "results/recovery.json".to_string(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--keys" => {
+                let spec = it.next().expect("--keys N[,N...]");
+                args.keys = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--keys takes integers"))
+                    .collect();
+            }
+            "--tail" => args.tail = it.next().and_then(|v| v.parse().ok()).expect("--tail N"),
+            "--trials" => {
+                args.trials = it.next().and_then(|v| v.parse().ok()).expect("--trials N");
+                assert!(args.trials >= 1, "--trials must be >= 1");
+            }
+            "--out" => args.out = it.next().expect("--out PATH"),
+            "--check" => args.check = true,
+            "--telemetry" => {} // accepted for uniformity with other binaries
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn pieces_cfg() -> PiecewiseConfig {
+    PiecewiseConfig {
+        algo: ApproxAlgorithm::OptPla { epsilon: 64 },
+        structure: StructureKind::BTree,
+        leaf: LeafKind::Gapped { density: 0.7, max_density: 0.85 },
+        policy: RetrainPolicy::ResegmentLeaf,
+    }
+}
+
+fn value_of(key: u64, buf: &mut [u8]) {
+    buf.fill((key % 251) as u8);
+}
+
+struct Row {
+    keys: usize,
+    live: usize,
+    replayed: usize,
+    fast_ms: f64,
+    rescan_ms: f64,
+}
+
+/// Re-arms the WAL tail: `tail` updates past whatever checkpoint the store
+/// last wrote, plus `tail / 10` deletes (no-ops after the first arming —
+/// the keys are already gone — so the live count is stable across trials).
+fn arm_tail(
+    store: &mut ViperStore<PiecewiseIndex>,
+    keys: &[u64],
+    tail: usize,
+    layout: &RecordLayout,
+) {
+    let mut val = vec![0u8; layout.value_size];
+    for &k in keys.iter().take(tail) {
+        value_of(k ^ 0x5a, &mut val);
+        store.put(k, &val).expect("tail update");
+    }
+    for &k in keys.iter().rev().take(tail / 10) {
+        store.delete(k).expect("tail delete");
+    }
+}
+
+/// Crashes the store and times a checkpoint+replay recovery.
+fn recover_fast(
+    store: ViperStore<PiecewiseIndex>,
+    layout: RecordLayout,
+    opts: RecoverOptions,
+    cfg: PiecewiseConfig,
+    live: usize,
+) -> (ViperStore<PiecewiseIndex>, f64, usize) {
+    let mut dev = Arc::try_unwrap(store.into_device()).ok().expect("unique device");
+    dev.crash();
+    let t0 = Instant::now();
+    let (store, report) = ViperStore::recover_with_model(
+        Arc::new(dev),
+        layout,
+        opts,
+        Recorder::disabled(),
+        |pairs, model| match model {
+            Some(bytes) => PiecewiseIndex::build_from_model(cfg, pairs, bytes),
+            None => PiecewiseIndex::build_with(cfg, pairs),
+        },
+    );
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(report.from_checkpoint, "fast path fell back to a rescan");
+    assert!(report.replayed > 0, "the WAL tail must be replayed");
+    assert_eq!(store.len(), live, "checkpoint_replay lost acked writes");
+    (store, ms, report.replayed)
+}
+
+/// Crashes the store and times a forced full-rescan recovery.
+fn recover_rescan(
+    store: ViperStore<PiecewiseIndex>,
+    layout: RecordLayout,
+    opts: RecoverOptions,
+    cfg: PiecewiseConfig,
+    live: usize,
+) -> (ViperStore<PiecewiseIndex>, f64) {
+    let mut dev = Arc::try_unwrap(store.into_device()).ok().expect("unique device");
+    dev.crash();
+    let t0 = Instant::now();
+    let (store, report) = ViperStore::recover_with_options(Arc::new(dev), layout, opts, |pairs| {
+        PiecewiseIndex::build_with(cfg, pairs)
+    });
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!report.from_checkpoint);
+    assert_eq!(store.len(), live, "full_rescan lost acked writes");
+    (store, ms)
+}
+
+/// Loads a durable store with `n` keys and a `tail` of un-checkpointed
+/// mutations in the WAL, then crashes and recovers it `trials` times per
+/// path, keeping each path's best time. One untimed warmup recovery runs
+/// first (the process's first recovery pays one-off page-table/allocator
+/// warming that would otherwise be billed to whichever path runs first)
+/// and the timed trials alternate fast/rescan so slow environmental drift
+/// lands on both paths equally. Every recovery re-arms the tail (the
+/// recovery itself checkpoints, retiring the previous one), so both paths
+/// always face a checkpointed image plus a live WAL tail; the minimum
+/// discards scheduler noise without favouring either side.
+fn run_one(n: usize, tail: usize, trials: usize) -> Row {
+    let keys = generate_keys(Dataset::YcsbNormal, n, 7);
+    let layout = RecordLayout::small();
+    let heap_bytes = (n * 2 / layout.slots_per_page() + 16) * layout.page_size;
+    let durability = DurabilityConfig::sized_for(n + tail, 64 * 1024);
+    let config = StoreConfig {
+        layout,
+        nvm: NvmConfig {
+            capacity: heap_bytes,
+            latency: LatencyModel::dram_like(),
+            durability: DurabilityTracking::Shadow,
+        },
+        crash_safe_updates: false,
+        durability: None,
+    }
+    .with_durability(durability);
+
+    eprintln!("[{n} keys] loading (checkpoint generation 1 at load)...");
+    let cfg = pieces_cfg();
+    let mut store = ViperStore::bulk_load_with(config, &keys, value_of, |pairs| {
+        PiecewiseIndex::build_with(cfg, pairs)
+    });
+    arm_tail(&mut store, &keys, tail, &layout);
+    let live = store.len();
+    let opts = RecoverOptions { durability: Some(durability), ..RecoverOptions::default() };
+    let rescan_opts = RecoverOptions { use_checkpoint: false, ..opts };
+
+    eprintln!("[{n} keys] warmup recovery (untimed)...");
+    let (warm, _, _) = recover_fast(store, layout, opts, cfg, live);
+    store = warm;
+    arm_tail(&mut store, &keys, tail, &layout);
+
+    let mut fast_ms = f64::INFINITY;
+    let mut rescan_ms = f64::INFINITY;
+    let mut replayed = 0;
+    for trial in 0..trials {
+        eprintln!("[{n} keys] crash + checkpoint_replay recovery (trial {})...", trial + 1);
+        let (s, ms, rep) = recover_fast(store, layout, opts, cfg, live);
+        store = s;
+        if ms < fast_ms {
+            fast_ms = ms;
+            replayed = rep;
+        }
+        arm_tail(&mut store, &keys, tail, &layout);
+        assert_eq!(store.len(), live, "re-arming the tail must not change the live set");
+
+        eprintln!("[{n} keys] crash + full_rescan recovery (trial {})...", trial + 1);
+        let (s, ms) = recover_rescan(store, layout, rescan_opts, cfg, live);
+        store = s;
+        rescan_ms = rescan_ms.min(ms);
+        arm_tail(&mut store, &keys, tail, &layout);
+        assert_eq!(store.len(), live, "re-arming the tail must not change the live set");
+    }
+
+    Row { keys: n, live, replayed, fast_ms, rescan_ms }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== recovery: checkpoint+WAL-replay vs full-rescan ==\n");
+    println!(
+        "{:>12} {:>12} {:>10} {:>16} {:>14} {:>9}",
+        "keys", "live", "replayed", "ckpt+replay ms", "rescan ms", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &args.keys {
+        let row = run_one(n, args.tail.min(n / 2), args.trials);
+        println!(
+            "{:>12} {:>12} {:>10} {:>16.1} {:>14.1} {:>8.1}x",
+            row.keys,
+            row.live,
+            row.replayed,
+            row.fast_ms,
+            row.rescan_ms,
+            row.rescan_ms / row.fast_ms
+        );
+        rows.push(row);
+    }
+
+    let fast_wins_all = rows.iter().all(|r| r.fast_ms < r.rescan_ms);
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"keys\":{},\"live\":{},\"replayed\":{},\
+                 \"checkpoint_replay_ms\":{:.2},\"full_rescan_ms\":{:.2},\"speedup\":{:.2}}}",
+                r.keys,
+                r.live,
+                r.replayed,
+                r.fast_ms,
+                r.rescan_ms,
+                r.rescan_ms / r.fast_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"recovery\",\"dataset\":\"YCSB\",\"index\":\"pieces-gapped-optpla\",\
+         \"tail\":{},\"trials\":{},\"rows\":[{}],\"checkpoint_replay_wins_all\":{}}}\n",
+        args.tail,
+        args.trials,
+        cells.join(","),
+        fast_wins_all
+    );
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(&args.out, &json).expect("write JSON");
+    println!("\n[json] {}", args.out);
+
+    if args.check && !fast_wins_all {
+        eprintln!("CHECK FAILED: checkpoint+replay is not strictly faster at every key count");
+        std::process::exit(1);
+    }
+}

@@ -236,6 +236,7 @@ fn nvm_drag(cfg: &BenchConfig) {
                     durability: li_nvm::DurabilityTracking::Disabled,
                 },
                 crash_safe_updates: false,
+                durability: None,
             };
             let mut store = ViperStore::bulk_load_with(config, &keys, harness::value_of, |p| {
                 AnyIndex::build(kind, p)

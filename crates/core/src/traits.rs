@@ -39,6 +39,16 @@ pub trait Index: Send + Sync {
     /// (`Sharded`, `Native`, `AnyIndex`, `ViperStore`) forward the
     /// recorder to whatever they contain.
     fn set_recorder(&mut self, _recorder: Recorder) {}
+
+    /// Serializes the index's *model parameters* — segment boundaries,
+    /// slopes, routing tables — for a durability checkpoint, so recovery
+    /// can rebuild without retraining from scratch. `None` (the default)
+    /// means the index has no model worth saving and checkpointed
+    /// recovery retrains from the recovered pairs instead; correctness
+    /// never depends on this, only recovery speed.
+    fn model_save(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Indexes that support ordered range scans (every index in the paper except

@@ -75,11 +75,23 @@ pub enum Event {
     /// A retrain trigger was queued for background maintenance instead
     /// of blocking the foreground insert.
     RetrainDeferred,
+    /// A record was appended to the write-ahead log (one per logged
+    /// put/delete, before the heap write).
+    WalAppend,
+    /// One group-commit flush/fence batch made a range of WAL appends
+    /// durable (≤ WalAppend: a batch covers one or more appends).
+    GroupCommit,
+    /// A checkpoint (heap snapshot + serialized index model + manifest
+    /// swap) was written durably.
+    CheckpointWritten,
+    /// Recovery replayed WAL records past the checkpoint watermark
+    /// (counted per record applied).
+    LogReplay,
 }
 
 impl Event {
     /// All variants, in counter-array order.
-    pub const ALL: [Event; 15] = [
+    pub const ALL: [Event; 19] = [
         Event::Retrain,
         Event::SplitNode,
         Event::ExpandNode,
@@ -95,6 +107,10 @@ impl Event {
         Event::RepairedSlot,
         Event::PageReclaimed,
         Event::RetrainDeferred,
+        Event::WalAppend,
+        Event::GroupCommit,
+        Event::CheckpointWritten,
+        Event::LogReplay,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -121,6 +137,10 @@ impl Event {
             Event::RepairedSlot => "repaired_slot",
             Event::PageReclaimed => "page_reclaimed",
             Event::RetrainDeferred => "retrain_deferred",
+            Event::WalAppend => "wal_append",
+            Event::GroupCommit => "group_commit",
+            Event::CheckpointWritten => "checkpoint_written",
+            Event::LogReplay => "log_replay",
         }
     }
 }

@@ -1,0 +1,490 @@
+//! Model-checkpointed recovery: periodic snapshots of the live key →
+//! heap-offset map plus the learned index's *model parameters*, written
+//! behind a double-buffered, versioned manifest on the same `li-nvm`
+//! device as the heap and WAL.
+//!
+//! Layout (top of the device, below the heap — see [`Geometry`]):
+//!
+//! ```text
+//! | heap pages … | WAL ring | blob A | blob B | manifest A | manifest B |
+//! ```
+//!
+//! A checkpoint is written in two fenced steps (the classic atomic
+//! pointer swap):
+//!
+//! 1. serialize the blob into the slot for `generation % 2`, flush, fence;
+//! 2. write the 64-byte manifest for that generation (carrying the blob's
+//!    length and CRC32) into *its* slot for `generation % 2`, flush, fence.
+//!
+//! A crash between the steps leaves the previous manifest intact; a crash
+//! (or lying flush) that corrupts the new blob is caught by the CRC in
+//! the manifest and recovery falls back to the previous generation, or to
+//! a full heap rescan as the last resort. Nothing is ever updated in
+//! place across generations, so there is no torn-manifest window.
+//!
+//! Blob format (little-endian):
+//!
+//! ```text
+//! magic(8) ‖ watermark(8) ‖ next_seq(8) ‖ pages_hwm(8)
+//!          ‖ entry_count(8) ‖ model_len(8)
+//!          ‖ entries: entry_count × (key(8) ‖ offset(8))
+//!          ‖ model bytes
+//! ```
+//!
+//! Entries are sorted by key so recovery can hand them straight to an
+//! index builder. The blob has no internal CRC — the manifest carries it,
+//! so a blob is only ever trusted through a manifest that names it.
+
+use li_core::telemetry::{Event, Recorder};
+use li_nvm::NvmDevice;
+
+use crate::error::ViperError;
+use crate::layout::Crc32;
+use crate::wal::{write_retry, WAL_RECORD};
+
+/// Magic tag opening every checkpoint blob ("LIPCKPT1").
+const BLOB_MAGIC: u64 = 0x4C49_5043_4B50_5431;
+/// Magic tag opening every manifest slot ("LIPMANI1").
+const MANIFEST_MAGIC: u64 = 0x4C49_504D_414E_4931;
+/// Fixed manifest slot size (two slots live at the very top of the device).
+pub const MANIFEST_SIZE: usize = 64;
+/// Serialized blob header size.
+const BLOB_HEADER: usize = 48;
+/// Bytes per (key, offset) entry.
+const ENTRY: usize = 16;
+/// Blob bytes are written in chunks of this size, each with bounded retry.
+const WRITE_CHUNK: usize = 1 << 16;
+
+/// Sizing knobs for the durability region. `None` durability (the
+/// default at the store level) keeps the whole device for the heap and
+/// recovery falls back to the page rescan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// WAL ring capacity in records. Appends refuse (and force a
+    /// checkpoint) once this many un-checkpointed records accumulate.
+    pub wal_records: u64,
+    /// Capacity of each checkpoint blob slot in bytes (two slots are
+    /// reserved). Must cover the live-entry table plus the serialized
+    /// index model at the largest expected population.
+    pub checkpoint_bytes: usize,
+    /// The maintenance worker writes a checkpoint once the WAL lag
+    /// reaches this many records.
+    pub checkpoint_lag: u64,
+}
+
+impl DurabilityConfig {
+    /// A configuration sized for up to `max_live` live records: blob
+    /// slots big enough for the entry table plus a generous model
+    /// allowance, and a WAL of `wal_records` entries with a
+    /// checkpoint trigger at half the ring.
+    pub fn sized_for(max_live: usize, wal_records: u64) -> Self {
+        let checkpoint_bytes = BLOB_HEADER + max_live * ENTRY + max_live / 4 + 4096;
+        DurabilityConfig { wal_records, checkpoint_bytes, checkpoint_lag: (wal_records / 2).max(1) }
+    }
+
+    /// Device bytes consumed by the durability region under this config.
+    pub fn region_bytes(&self) -> usize {
+        (self.wal_records as usize) * WAL_RECORD + 2 * self.checkpoint_bytes + 2 * MANIFEST_SIZE
+    }
+}
+
+/// Where each durability structure lives on the device. The heap keeps
+/// `[0, heap_capacity)`; everything else stacks above it.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry {
+    /// Page-aligned heap capacity in bytes.
+    pub heap_capacity: usize,
+    /// First byte of the WAL ring.
+    pub wal_base: usize,
+    /// WAL ring capacity in records.
+    pub wal_records: u64,
+    /// First byte of blob slots A and B.
+    pub blob_base: [usize; 2],
+    /// Capacity of each blob slot.
+    pub blob_capacity: usize,
+    /// First byte of manifest slots A and B.
+    pub manifest_base: [usize; 2],
+}
+
+impl Geometry {
+    /// Carves the durability region out of the top of a device of
+    /// `capacity` bytes, flooring the heap to `page_size`. Returns `None`
+    /// when the device is too small to leave at least one heap page.
+    pub fn compute(capacity: usize, page_size: usize, cfg: &DurabilityConfig) -> Option<Geometry> {
+        let region = cfg.region_bytes();
+        if region >= capacity {
+            return None;
+        }
+        let heap_capacity = ((capacity - region) / page_size) * page_size;
+        if heap_capacity < page_size {
+            return None;
+        }
+        let wal_base = heap_capacity;
+        let blob_a = wal_base + (cfg.wal_records as usize) * WAL_RECORD;
+        let blob_b = blob_a + cfg.checkpoint_bytes;
+        let manifest_a = blob_b + cfg.checkpoint_bytes;
+        let manifest_b = manifest_a + MANIFEST_SIZE;
+        Some(Geometry {
+            heap_capacity,
+            wal_base,
+            wal_records: cfg.wal_records,
+            blob_base: [blob_a, blob_b],
+            blob_capacity: cfg.checkpoint_bytes,
+            manifest_base: [manifest_a, manifest_b],
+        })
+    }
+}
+
+/// One checkpoint's content: the live map snapshot, the counters recovery
+/// needs to resume, and (optionally) the learned index's serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointBlob {
+    /// Highest LSN whose effect this snapshot includes; recovery replays
+    /// the WAL strictly after it.
+    pub watermark: u64,
+    /// Heap sequence counter to resume from (replay may bump it further).
+    pub next_seq: u64,
+    /// Pages allocated at snapshot time (heap high-water mark).
+    pub pages_hwm: u64,
+    /// Live `(key, heap slot offset)` pairs, sorted by key.
+    pub entries: Vec<(u64, u64)>,
+    /// Serialized index model (empty when the index has none to save;
+    /// recovery then retrains from the entries).
+    pub model: Vec<u8>,
+}
+
+impl CheckpointBlob {
+    pub fn serialized_len(&self) -> usize {
+        BLOB_HEADER + self.entries.len() * ENTRY + self.model.len()
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.serialized_len());
+        buf.extend_from_slice(&BLOB_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&self.watermark.to_le_bytes());
+        buf.extend_from_slice(&self.next_seq.to_le_bytes());
+        buf.extend_from_slice(&self.pages_hwm.to_le_bytes());
+        buf.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.model.len() as u64).to_le_bytes());
+        for &(key, offset) in &self.entries {
+            buf.extend_from_slice(&key.to_le_bytes());
+            buf.extend_from_slice(&offset.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.model);
+        buf
+    }
+
+    fn deserialize(buf: &[u8]) -> Option<CheckpointBlob> {
+        if buf.len() < BLOB_HEADER {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        if word(0) != BLOB_MAGIC {
+            return None;
+        }
+        let entry_count = word(4) as usize;
+        let model_len = word(5) as usize;
+        let need =
+            BLOB_HEADER.checked_add(entry_count.checked_mul(ENTRY)?)?.checked_add(model_len)?;
+        if buf.len() != need {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(entry_count);
+        let mut at = BLOB_HEADER;
+        for _ in 0..entry_count {
+            let key = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+            let offset = u64::from_le_bytes(buf[at + 8..at + 16].try_into().unwrap());
+            entries.push((key, offset));
+            at += ENTRY;
+        }
+        Some(CheckpointBlob {
+            watermark: word(1),
+            next_seq: word(2),
+            pages_hwm: word(3),
+            entries,
+            model: buf[at..].to_vec(),
+        })
+    }
+}
+
+/// The 64-byte versioned pointer to a blob. Recovery trusts the
+/// highest-generation manifest whose own CRC *and* blob CRC both verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    pub generation: u64,
+    pub blob_slot: u64,
+    pub blob_len: u64,
+    pub blob_crc: u32,
+}
+
+impl Manifest {
+    fn encode(&self) -> [u8; MANIFEST_SIZE] {
+        let mut buf = [0u8; MANIFEST_SIZE];
+        buf[..8].copy_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.generation.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.blob_slot.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.blob_len.to_le_bytes());
+        buf[32..36].copy_from_slice(&self.blob_crc.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&buf[..36]);
+        buf[36..40].copy_from_slice(&crc.finish().to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8; MANIFEST_SIZE]) -> Option<Manifest> {
+        if u64::from_le_bytes(buf[..8].try_into().unwrap()) != MANIFEST_MAGIC {
+            return None;
+        }
+        let mut crc = Crc32::new();
+        crc.update(&buf[..36]);
+        if crc.finish() != u32::from_le_bytes(buf[36..40].try_into().unwrap()) {
+            return None;
+        }
+        Some(Manifest {
+            generation: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            blob_slot: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            blob_len: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+            blob_crc: u32::from_le_bytes(buf[32..36].try_into().unwrap()),
+        })
+    }
+}
+
+fn crc_of(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+/// Writes `blob` as checkpoint `generation` (blob, flush, fence, then
+/// manifest, flush, fence). Returns [`ViperError::DeviceFull`] when the
+/// serialized blob outgrows its slot — the caller should treat the
+/// checkpoint as skipped, not the store as broken.
+pub fn write_checkpoint(
+    dev: &NvmDevice,
+    recorder: &Recorder,
+    geom: &Geometry,
+    generation: u64,
+    blob: &CheckpointBlob,
+) -> Result<(), ViperError> {
+    let bytes = blob.serialize();
+    if bytes.len() > geom.blob_capacity {
+        return Err(ViperError::DeviceFull);
+    }
+    let slot = (generation % 2) as usize;
+    let base = geom.blob_base[slot];
+    for (i, chunk) in bytes.chunks(WRITE_CHUNK).enumerate() {
+        write_retry(dev, recorder, base + i * WRITE_CHUNK, chunk)?;
+    }
+    dev.try_flush(base, bytes.len())?;
+    dev.try_fence()?;
+    let manifest = Manifest {
+        generation,
+        blob_slot: slot as u64,
+        blob_len: bytes.len() as u64,
+        blob_crc: crc_of(&bytes),
+    };
+    write_retry(dev, recorder, geom.manifest_base[slot], &manifest.encode())?;
+    dev.try_flush(geom.manifest_base[slot], MANIFEST_SIZE)?;
+    dev.try_fence()?;
+    recorder.event(Event::CheckpointWritten);
+    Ok(())
+}
+
+/// A checkpoint recovered from the device, plus how many newer-or-equal
+/// manifest generations had to be rejected (CRC or blob validation
+/// failure) before this one verified.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    pub generation: u64,
+    pub blob: CheckpointBlob,
+    /// Manifest slots that looked written but failed validation; each is
+    /// surfaced as a quarantine-style telemetry event by the caller.
+    pub rejected: usize,
+}
+
+/// Highest generation named by any CRC-valid manifest slot, without
+/// validating the blobs (0 when neither slot decodes). A recovery that
+/// bypasses the checkpoint (forced rescan) must still number its fresh
+/// checkpoint above every existing manifest, or the next recovery would
+/// prefer the stale one.
+pub fn latest_generation(dev: &NvmDevice, geom: &Geometry) -> u64 {
+    let mut max = 0u64;
+    for slot in 0..2 {
+        let mut buf = [0u8; MANIFEST_SIZE];
+        dev.read_into(geom.manifest_base[slot], &mut buf);
+        if let Some(m) = Manifest::decode(&buf) {
+            max = max.max(m.generation);
+        }
+    }
+    max
+}
+
+/// Reads both manifest slots and returns the newest fully-verified
+/// checkpoint, falling back to the older generation when the newer one is
+/// corrupt. `None` means no usable checkpoint exists (fresh device, or
+/// both generations corrupt) and the caller must rescan the heap.
+pub fn load_latest(dev: &NvmDevice, geom: &Geometry) -> Option<LoadedCheckpoint> {
+    let mut candidates: Vec<Manifest> = Vec::with_capacity(2);
+    let mut raw_written = 0usize;
+    for slot in 0..2 {
+        let mut buf = [0u8; MANIFEST_SIZE];
+        dev.read_into(geom.manifest_base[slot], &mut buf);
+        if buf.iter().any(|&b| b != 0) {
+            raw_written += 1;
+        }
+        if let Some(m) = Manifest::decode(&buf) {
+            candidates.push(m);
+        }
+    }
+    candidates.sort_by_key(|m| std::cmp::Reverse(m.generation));
+    let mut rejected = raw_written.saturating_sub(candidates.len());
+    for m in candidates {
+        let slot = (m.blob_slot % 2) as usize;
+        let len = m.blob_len as usize;
+        if len > geom.blob_capacity {
+            rejected += 1;
+            continue;
+        }
+        let mut bytes = vec![0u8; len];
+        dev.read_into(geom.blob_base[slot], &mut bytes);
+        if crc_of(&bytes) != m.blob_crc {
+            rejected += 1;
+            continue;
+        }
+        match CheckpointBlob::deserialize(&bytes) {
+            Some(blob) => {
+                return Some(LoadedCheckpoint { generation: m.generation, blob, rejected })
+            }
+            None => rejected += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_nvm::NvmConfig;
+    use std::sync::Arc;
+
+    fn test_geom() -> (Arc<NvmDevice>, Geometry) {
+        let cfg =
+            DurabilityConfig { wal_records: 64, checkpoint_bytes: 1 << 14, checkpoint_lag: 8 };
+        let dev = Arc::new(NvmDevice::new(NvmConfig::fast(1 << 20)));
+        let geom = Geometry::compute(dev.capacity(), 4096, &cfg).unwrap();
+        (dev, geom)
+    }
+
+    fn sample_blob(watermark: u64) -> CheckpointBlob {
+        CheckpointBlob {
+            watermark,
+            next_seq: 100,
+            pages_hwm: 3,
+            entries: (0..50u64).map(|k| (k * 3, k * 64)).collect(),
+            model: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn geometry_reserves_the_top_of_the_device() {
+        let (dev, geom) = test_geom();
+        assert_eq!(geom.heap_capacity % 4096, 0);
+        assert!(geom.wal_base >= geom.heap_capacity);
+        assert!(geom.blob_base[0] >= geom.wal_base + 64 * WAL_RECORD);
+        assert_eq!(geom.blob_base[1], geom.blob_base[0] + geom.blob_capacity);
+        assert_eq!(geom.manifest_base[1], geom.manifest_base[0] + MANIFEST_SIZE);
+        assert!(geom.manifest_base[1] + MANIFEST_SIZE <= dev.capacity());
+    }
+
+    #[test]
+    fn geometry_refuses_a_device_too_small() {
+        let cfg =
+            DurabilityConfig { wal_records: 64, checkpoint_bytes: 1 << 14, checkpoint_lag: 8 };
+        assert!(Geometry::compute(cfg.region_bytes(), 4096, &cfg).is_none());
+        assert!(Geometry::compute(cfg.region_bytes() + 100, 4096, &cfg).is_none());
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let blob = sample_blob(17);
+        let bytes = blob.serialize();
+        assert_eq!(bytes.len(), blob.serialized_len());
+        assert_eq!(CheckpointBlob::deserialize(&bytes), Some(blob));
+        assert_eq!(CheckpointBlob::deserialize(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(CheckpointBlob::deserialize(&[]), None);
+    }
+
+    #[test]
+    fn write_then_load_latest() {
+        let (dev, geom) = test_geom();
+        let rec = Recorder::enabled();
+        write_checkpoint(&dev, &rec, &geom, 1, &sample_blob(5)).unwrap();
+        write_checkpoint(&dev, &rec, &geom, 2, &sample_blob(9)).unwrap();
+        let loaded = load_latest(&dev, &geom).expect("checkpoint");
+        assert_eq!(loaded.generation, 2);
+        assert_eq!(loaded.blob.watermark, 9);
+        assert_eq!(loaded.rejected, 0);
+        assert_eq!(rec.snapshot().event(Event::CheckpointWritten), 2);
+    }
+
+    #[test]
+    fn corrupt_newest_blob_falls_back_a_generation() {
+        let (dev, geom) = test_geom();
+        let rec = Recorder::enabled();
+        write_checkpoint(&dev, &rec, &geom, 1, &sample_blob(5)).unwrap();
+        write_checkpoint(&dev, &rec, &geom, 2, &sample_blob(9)).unwrap();
+        // Flip a byte inside generation 2's blob (slot 0).
+        let off = geom.blob_base[0] + 60;
+        let mut b = [0u8; 1];
+        dev.read_into(off, &mut b);
+        dev.write(off, &[b[0] ^ 0xFF]);
+        dev.persist(off, 1);
+        let loaded = load_latest(&dev, &geom).expect("fallback generation");
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.blob.watermark, 5);
+        assert_eq!(loaded.rejected, 1);
+    }
+
+    #[test]
+    fn truncated_manifest_falls_back_a_generation() {
+        let (dev, geom) = test_geom();
+        let rec = Recorder::enabled();
+        write_checkpoint(&dev, &rec, &geom, 1, &sample_blob(5)).unwrap();
+        write_checkpoint(&dev, &rec, &geom, 2, &sample_blob(9)).unwrap();
+        // Zero the tail of generation 2's manifest (slot 0): the CRC no
+        // longer verifies, exactly like a torn manifest write.
+        let base = geom.manifest_base[0];
+        dev.write(base + 20, &[0u8; MANIFEST_SIZE - 20]);
+        dev.persist(base, MANIFEST_SIZE);
+        let loaded = load_latest(&dev, &geom).expect("fallback generation");
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.rejected, 1);
+    }
+
+    #[test]
+    fn both_generations_corrupt_means_rescan() {
+        let (dev, geom) = test_geom();
+        let rec = Recorder::enabled();
+        write_checkpoint(&dev, &rec, &geom, 1, &sample_blob(5)).unwrap();
+        write_checkpoint(&dev, &rec, &geom, 2, &sample_blob(9)).unwrap();
+        for slot in 0..2 {
+            dev.write(geom.manifest_base[slot] + 8, &[0xEE; 8]);
+            dev.persist(geom.manifest_base[slot], MANIFEST_SIZE);
+        }
+        assert!(load_latest(&dev, &geom).is_none());
+    }
+
+    #[test]
+    fn oversized_blob_is_refused_not_written() {
+        let (dev, geom) = test_geom();
+        let rec = Recorder::enabled();
+        let mut blob = sample_blob(1);
+        blob.entries = (0..2048u64).map(|k| (k, k)).collect();
+        assert!(blob.serialized_len() > geom.blob_capacity);
+        assert!(matches!(
+            write_checkpoint(&dev, &rec, &geom, 1, &blob),
+            Err(ViperError::DeviceFull)
+        ));
+        assert!(load_latest(&dev, &geom).is_none());
+    }
+}

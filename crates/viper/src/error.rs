@@ -21,6 +21,11 @@ pub enum ViperError {
     /// saturated past its short wait, or the circuit breaker is open.
     /// `WouldBlock`-style — the store is healthy, retry later.
     Backpressure,
+    /// The WAL ring is full of un-checkpointed records. Not transient —
+    /// retrying without a checkpoint cannot help — so the store's put
+    /// path intercepts it, writes a checkpoint inline, and retries once
+    /// before letting it surface.
+    WalFull,
     /// The underlying device reported a fault (injected crash point,
     /// unrecovered transient write failure, …).
     Nvm(NvmError),
@@ -36,7 +41,7 @@ impl ViperError {
     pub const fn is_transient(self) -> bool {
         match self {
             ViperError::DeviceFull | ViperError::Backpressure => true,
-            ViperError::ReadOnly => false,
+            ViperError::ReadOnly | ViperError::WalFull => false,
             ViperError::Nvm(e) => e.is_transient(),
         }
     }
@@ -48,6 +53,7 @@ impl fmt::Display for ViperError {
             ViperError::DeviceFull => write!(f, "NVM device full"),
             ViperError::ReadOnly => write!(f, "store is read-only (device exhausted)"),
             ViperError::Backpressure => write!(f, "write shed by overload backpressure"),
+            ViperError::WalFull => write!(f, "WAL ring full of un-checkpointed records"),
             ViperError::Nvm(e) => write!(f, "NVM fault: {e}"),
         }
     }
@@ -95,6 +101,7 @@ mod tests {
         assert!(ViperError::Backpressure.is_transient());
         assert!(ViperError::Nvm(NvmError::WriteFailed).is_transient());
         assert!(!ViperError::ReadOnly.is_transient());
+        assert!(!ViperError::WalFull.is_transient(), "retry without checkpoint cannot clear it");
         assert!(!ViperError::Nvm(NvmError::Crashed).is_transient());
     }
 }

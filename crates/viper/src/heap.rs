@@ -26,6 +26,7 @@ use li_core::Key;
 use li_nvm::{NvmDevice, NvmError, PageAllocator};
 use li_sync::sync::Mutex;
 
+use crate::checkpoint::{DurabilityConfig, Geometry};
 use crate::error::ViperError;
 use crate::layout::{RecordLayout, PAGE_HEADER, PAGE_MAGIC, SLOT_DEAD, SLOT_FREE, SLOT_LIVE};
 
@@ -43,7 +44,8 @@ struct OpenPage {
     next_slot: usize,
 }
 
-/// Options for [`RecordHeap::recover_with_report`].
+/// Options for [`RecordHeap::recover_with_report`] and the store-level
+/// recovery entry points.
 #[derive(Debug, Clone, Copy)]
 pub struct RecoverOptions {
     /// Verify each live record's CRC and quarantine mismatches. Disabling
@@ -51,11 +53,29 @@ pub struct RecoverOptions {
     /// byte alone (the torture harness uses it to demonstrate why the
     /// checksum is load-bearing).
     pub verify_checksums: bool,
+    /// Durability-region geometry of the device being recovered. `None`
+    /// (the default) means the whole device is heap pages and recovery is
+    /// a full scan; `Some` bounds the heap scan below the WAL/checkpoint
+    /// region and enables checkpointed recovery.
+    pub durability: Option<DurabilityConfig>,
+    /// When durability is configured, try the checkpoint + log-replay
+    /// fast path before falling back to the full heap rescan. Disable to
+    /// force the rescan (the recovery benchmark compares the two).
+    pub use_checkpoint: bool,
+    /// Upper bound on WAL records replayed from a checkpoint before
+    /// recovery gives up on the fast path and rescans instead. `0` means
+    /// unlimited (the ring size already bounds the tail).
+    pub replay_limit: usize,
 }
 
 impl Default for RecoverOptions {
     fn default() -> Self {
-        RecoverOptions { verify_checksums: true }
+        RecoverOptions {
+            verify_checksums: true,
+            durability: None,
+            use_checkpoint: true,
+            replay_limit: 0,
+        }
     }
 }
 
@@ -71,7 +91,8 @@ pub struct RecoveryReport {
     /// same key (an out-of-place update crashed before retiring them).
     pub duplicates_dropped: usize,
     /// Pages the scan treated as allocated (valid header, or salvaged from
-    /// slot evidence after the header failed to persist).
+    /// slot evidence after the header failed to persist). Zero on the
+    /// checkpoint fast path, which does not scan pages.
     pub pages_scanned: usize,
     /// Allocated pages whose header magic was missing — a dropped or
     /// unfenced header flush — re-stamped during the scan. Their records
@@ -79,6 +100,10 @@ pub struct RecoveryReport {
     pub pages_healed: usize,
     /// Highest publish sequence seen among checksum-valid records.
     pub max_seq: u64,
+    /// WAL records replayed on top of the checkpoint (zero on rescans).
+    pub replayed: usize,
+    /// Whether recovery took the checkpoint + log-replay fast path.
+    pub from_checkpoint: bool,
 }
 
 /// Slot-granular record storage on a (simulated) NVM device.
@@ -108,9 +133,18 @@ pub struct RecordHeap {
 }
 
 impl RecordHeap {
-    /// Creates an empty heap over `dev`.
+    /// Creates an empty heap over the whole of `dev`.
     pub fn new(dev: Arc<NvmDevice>, layout: RecordLayout) -> Self {
-        let alloc = PageAllocator::new(dev.capacity(), layout.page_size);
+        let cap = dev.capacity();
+        Self::with_capacity(dev, layout, cap)
+    }
+
+    /// Creates an empty heap over the first `heap_capacity` bytes of
+    /// `dev`, leaving the rest for the durability region (WAL ring +
+    /// checkpoint slots). Allocation, scans and GC never touch bytes at
+    /// or above `heap_capacity`.
+    pub fn with_capacity(dev: Arc<NvmDevice>, layout: RecordLayout, heap_capacity: usize) -> Self {
+        let alloc = PageAllocator::new(heap_capacity.min(dev.capacity()), layout.page_size);
         RecordHeap {
             dev,
             layout,
@@ -225,6 +259,55 @@ impl RecordHeap {
         Ok(())
     }
 
+    /// First half of a WAL-ordered append: allocates a slot and makes the
+    /// record payload durable with the state byte still `SLOT_FREE`.
+    /// Nothing is published — a crash (or an abandoned staging, see
+    /// [`RecordHeap::recycle_slot`]) leaves the record invisible to both
+    /// the rescan and WAL replay (replay re-validates the slot state).
+    /// The caller logs the returned offset to the WAL and then calls
+    /// [`RecordHeap::commit_append`].
+    pub fn stage_append(&self, key: Key, value: &[u8]) -> Result<u64, ViperError> {
+        let off = self.alloc_slot()?;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut buf = vec![0u8; self.layout.slot_size()];
+        self.layout.encode_record(key, seq, SLOT_FREE, value, &mut buf);
+        let result = (|| -> Result<(), ViperError> {
+            self.write_retry(off, &buf)?;
+            self.dev.try_flush(off, buf.len())?;
+            self.dev.try_fence()?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.free_slots.lock().push(off);
+            return Err(e);
+        }
+        Ok(off as u64)
+    }
+
+    /// Second half of a WAL-ordered append: flips the staged slot live.
+    /// On failure the slot is recycled — its WAL record becomes an orphan
+    /// that replay rejects (state never reached `SLOT_LIVE`, and a later
+    /// occupant of the slot fails the replay key check).
+    pub fn commit_append(&self, offset: u64) -> Result<(), ViperError> {
+        let off = offset as usize;
+        let result = (|| -> Result<(), ViperError> {
+            self.write_retry(self.layout.state_offset(off), &[SLOT_LIVE])?;
+            self.dev.try_persist(self.layout.state_offset(off), 1)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.free_slots.lock().push(off);
+        }
+        result
+    }
+
+    /// Returns a staged-but-never-committed slot to the free list (the
+    /// caller failed between [`RecordHeap::stage_append`] and
+    /// [`RecordHeap::commit_append`], e.g. on a WAL device error).
+    pub(crate) fn recycle_slot(&self, offset: u64) {
+        self.free_slots.lock().push(offset as usize);
+    }
+
     /// Overwrites the value of a live record in place (same-size update),
     /// recomputing its checksum.
     ///
@@ -325,7 +408,11 @@ impl RecordHeap {
         layout: RecordLayout,
         opts: RecoverOptions,
     ) -> (Self, Vec<(Key, u64)>, RecoveryReport) {
-        let heap = RecordHeap::new(dev, layout);
+        let heap_capacity = opts
+            .durability
+            .and_then(|d| Geometry::compute(dev.capacity(), layout.page_size, &d))
+            .map_or(dev.capacity(), |g| g.heap_capacity);
+        let heap = RecordHeap::with_capacity(dev, layout, heap_capacity);
         let spp = layout.slots_per_page();
         let mut report = RecoveryReport::default();
         let mut free = Vec::new();
@@ -422,6 +509,102 @@ impl RecordHeap {
         // All recovered pages are fully accounted for (their free slots are
         // in the free list), so no open page is needed.
         (heap, live, report)
+    }
+
+    /// Rebuilds a heap's volatile state from a checkpoint instead of a
+    /// page scan: the allocator resumes past the checkpointed high-water
+    /// mark and the publish sequence past `next_seq`. Free and dead slots
+    /// below the high-water mark are *not* rediscovered (that would be
+    /// the scan this path exists to avoid) — they are reclaimed by the
+    /// next full-rescan recovery; until then the heap only loses reuse,
+    /// never correctness.
+    pub fn from_checkpoint(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        heap_capacity: usize,
+        pages_hwm: usize,
+        next_seq: u64,
+    ) -> Self {
+        let heap = RecordHeap::with_capacity(dev, layout, heap_capacity);
+        heap.alloc.assume_allocated(pages_hwm.min(heap.alloc.total_pages()));
+        heap.next_seq.store(next_seq.max(1), Ordering::Relaxed);
+        heap
+    }
+
+    /// Pages currently allocated (the checkpoint high-water mark).
+    pub fn pages_allocated(&self) -> usize {
+        self.alloc.allocated_pages()
+    }
+
+    /// The publish sequence the next append will take — checkpointed so a
+    /// fast-path recovery can resume it without rescanning for the max.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Parks a live slot on the stale list for [`RecordHeap::sweep_stale`]
+    /// to retire. Used by the store's durable delete when the retirement
+    /// hit a transient fault *after* the delete was WAL-logged: rolling
+    /// back would contradict the log (replay applies the delete), so the
+    /// slot is parked and the delete acknowledged.
+    pub(crate) fn park_stale(&self, offset: u64) {
+        self.stale.lock().push(offset as usize);
+    }
+
+    /// Adds slots the checkpoint fast path found corrupt to the
+    /// quarantine list (skipping any already present), mirroring what the
+    /// full rescan does for checksum mismatches.
+    pub(crate) fn adopt_quarantined(&self, slots: &[u64]) {
+        let mut q = self.quarantined.lock();
+        for &off in slots {
+            let off = off as usize;
+            if !q.contains(&off) {
+                q.push(off);
+            }
+        }
+    }
+
+    /// Snapshot of every live, checksum-valid record as sorted
+    /// `(key, offset)` pairs — the entry table of a checkpoint blob.
+    /// Duplicate live records of one key (a swallowed retirement) resolve
+    /// to the highest sequence, exactly as recovery would; slots parked on
+    /// the stale list are excluded (a WAL-logged delete whose retirement
+    /// faulted leaves its victim live on the device — snapshotting it
+    /// would resurrect an acknowledged delete). The caller must hold off
+    /// logged mutations for the duration (the store's checkpoint path is
+    /// quiescent by construction).
+    pub fn scan_live(&self) -> Vec<(Key, u64)> {
+        let spp = self.layout.slots_per_page();
+        let stale: std::collections::HashSet<usize> = self.stale.lock().iter().copied().collect();
+        let mut best: HashMap<Key, (u64, u64)> = HashMap::new();
+        let mut slot_buf = vec![0u8; self.layout.slot_size()];
+        for page in 0..self.alloc.allocated_pages() {
+            let page_offset = self.alloc.page_offset(page);
+            for slot in 0..spp {
+                let off = self.layout.slot_offset(page_offset, slot);
+                if stale.contains(&off) {
+                    continue;
+                }
+                self.dev.read_into(off, &mut slot_buf);
+                let header = RecordLayout::decode_header(&slot_buf);
+                if header.state != SLOT_LIVE || !self.layout.verify_slot(&slot_buf) {
+                    continue;
+                }
+                match best.entry(header.key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((header.seq, off as u64));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if header.seq > e.get().0 {
+                            e.insert((header.seq, off as u64));
+                        }
+                    }
+                }
+            }
+        }
+        let mut live: Vec<(Key, u64)> = best.into_iter().map(|(k, (_seq, off))| (k, off)).collect();
+        live.sort_unstable_by_key(|&(k, _)| k);
+        live
     }
 
     /// Approximate bytes of NVM in use (allocated pages).
@@ -743,8 +926,11 @@ mod tests {
         assert_eq!(live, vec![(1, off_good)]);
         // With verification off, the corrupt record is trusted — the
         // pre-hardening behaviour.
-        let (_, live_unverified, report2) =
-            RecordHeap::recover_with_report(dev, l, RecoverOptions { verify_checksums: false });
+        let (_, live_unverified, report2) = RecordHeap::recover_with_report(
+            dev,
+            l,
+            RecoverOptions { verify_checksums: false, ..RecoverOptions::default() },
+        );
         assert_eq!(report2.quarantined, 0);
         assert_eq!(live_unverified.len(), 2);
     }

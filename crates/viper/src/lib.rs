@@ -23,14 +23,23 @@
 //! * [`maintenance`] — the background [`MaintenanceWorker`] (deferred
 //!   retraining, quarantine repair, page GC, read-only lift, stall
 //!   watchdog) and the overload [`CircuitBreaker`].
+//! * [`wal`] — the write-ahead log: CRC-framed ring of LSN-addressed
+//!   records with group commit (one fence per batch of appenders).
+//! * [`checkpoint`] — model checkpoints behind a double-buffered,
+//!   versioned manifest; recovery deserializes the last checkpoint and
+//!   replays only the WAL tail instead of rescanning pages and
+//!   retraining.
 
+pub mod checkpoint;
 pub mod error;
 pub mod heap;
 pub mod layout;
 pub mod maintenance;
 pub mod retry;
 pub mod store;
+pub mod wal;
 
+pub use checkpoint::DurabilityConfig;
 pub use error::ViperError;
 pub use heap::{RecordHeap, RecoverOptions, RecoveryReport};
 pub use layout::{RecordLayout, PAGE_MAGIC};
@@ -43,3 +52,4 @@ pub use store::{
     ConcurrentViperStore, RepairOutcome, SharedWriter, SingleWriter, StoreConfig, ViperStore,
     WriteModel,
 };
+pub use wal::{Wal, WalFull};

@@ -38,6 +38,9 @@ pub struct MaintenancePass {
     pub pages_reclaimed: usize,
     /// Whether this pass lifted read-only degradation.
     pub lifted_read_only: bool,
+    /// Whether this pass wrote a checkpoint (WAL lag had reached
+    /// [`crate::DurabilityConfig::checkpoint_lag`]).
+    pub checkpoint_written: bool,
 }
 
 impl MaintenancePass {
@@ -49,6 +52,7 @@ impl MaintenancePass {
             || !self.repair.lost.is_empty()
             || self.pages_reclaimed > 0
             || self.lifted_read_only
+            || self.checkpoint_written
     }
 }
 
@@ -181,6 +185,7 @@ struct WorkerCounters {
     repaired_lost: AtomicU64,
     pages_reclaimed: AtomicU64,
     lifted_read_only: AtomicU64,
+    checkpoints: AtomicU64,
     /// Millis since worker start at which the last pass completed.
     last_tick_ms: AtomicU64,
     stalled: AtomicBool,
@@ -196,6 +201,8 @@ pub struct MaintenanceStats {
     pub repaired_lost: u64,
     pub pages_reclaimed: u64,
     pub lifted_read_only: u64,
+    /// Checkpoints written by lag-triggered passes.
+    pub checkpoints: u64,
     /// Whether the watchdog ever flagged a stall.
     pub stalled: bool,
 }
@@ -209,6 +216,7 @@ impl WorkerCounters {
         self.repaired_lost.fetch_add(pass.repair.lost.len() as u64, Ordering::Relaxed);
         self.pages_reclaimed.fetch_add(pass.pages_reclaimed as u64, Ordering::Relaxed);
         self.lifted_read_only.fetch_add(pass.lifted_read_only as u64, Ordering::Relaxed);
+        self.checkpoints.fetch_add(pass.checkpoint_written as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> MaintenanceStats {
@@ -220,6 +228,7 @@ impl WorkerCounters {
             repaired_lost: self.repaired_lost.load(Ordering::Relaxed),
             pages_reclaimed: self.pages_reclaimed.load(Ordering::Relaxed),
             lifted_read_only: self.lifted_read_only.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
             stalled: self.stalled.load(Ordering::Acquire),
         }
     }
@@ -489,6 +498,42 @@ mod tests {
         }
         worker.shutdown();
         store.put(1, &vec![1u8; vs]).expect("store must accept writes again");
+    }
+
+    #[test]
+    fn worker_checkpoints_once_wal_lag_reaches_trigger() {
+        let cfg =
+            StoreConfig::test(2_000).with_durability(crate::DurabilityConfig::sized_for(4_000, 64));
+        let store = Arc::new(ConcurrentViperStore::new(cfg, LockedMap::default()));
+        let vs = cfg.layout.value_size;
+        let mut val = vec![0u8; vs];
+        // Stay below the lag trigger (32): no pass may checkpoint.
+        for k in 0..10u64 {
+            value_for_test(k, &mut val);
+            store.put(k, &val).unwrap();
+        }
+        let pass = store.run_maintenance(8);
+        assert!(!pass.checkpoint_written, "below checkpoint_lag: no checkpoint");
+        assert_eq!(store.checkpoint_generation(), 0);
+        // Cross the trigger and let the worker pick it up.
+        for k in 10..60u64 {
+            value_for_test(k, &mut val);
+            store.put(k, &val).unwrap();
+        }
+        assert!(store.wal_lag() >= 32);
+        let worker = MaintenanceWorker::spawn(
+            Arc::clone(&store),
+            MaintenanceConfig { interval: Duration::from_millis(1), ..Default::default() },
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while worker.stats().checkpoints == 0 {
+            assert!(Instant::now() < deadline, "worker never checkpointed");
+            li_sync::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = worker.shutdown();
+        assert!(stats.checkpoints >= 1);
+        assert!(store.checkpoint_generation() >= 1);
+        assert!(store.wal_lag() < 32, "checkpoint must retire the logged span");
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! DRAM index (`&mut I` via [`UpdatableIndex`] versus `&I` via
 //! [`ConcurrentIndex`]) and in whether a key-stripe lock is taken.
 
-use li_sync::sync::atomic::{AtomicBool, Ordering};
+use li_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,11 +27,13 @@ use li_core::traits::{BulkBuildIndex, ConcurrentIndex, Index, OrderedIndex, Upda
 use li_core::{Admission, AdmissionGuard, Key, KeyValue};
 use li_nvm::{NvmConfig, NvmDevice};
 
+use crate::checkpoint::{self, CheckpointBlob, DurabilityConfig, Geometry};
 use crate::error::ViperError;
 use crate::heap::{RecordHeap, RecoverOptions, RecoveryReport};
-use crate::layout::RecordLayout;
+use crate::layout::{RecordLayout, SLOT_LIVE};
 use crate::maintenance::CircuitBreaker;
 use crate::retry::{with_retry, RetryPolicy};
+use crate::wal::{Wal, WalFull, WAL_OP_DELETE, WAL_OP_PUT};
 
 /// Store construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +47,12 @@ pub struct StoreConfig {
     /// paper's setup) can lose the record to quarantine if a crash tears
     /// the value mid-write.
     pub crash_safe_updates: bool,
+    /// When set, a slice at the top of the device is carved into a WAL
+    /// ring plus double-buffered checkpoints; every put/delete is logged
+    /// before it is acknowledged and recovery prefers checkpoint + log
+    /// replay over the full page rescan. `None` (the default) keeps the
+    /// pre-durability behaviour exactly.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl StoreConfig {
@@ -67,20 +76,41 @@ impl StoreConfig {
     pub fn paper(n: usize) -> Self {
         let layout = RecordLayout::paper_default();
         let bytes = Self::bytes_for(layout, n, 3, 1024, 64);
-        StoreConfig { layout, nvm: NvmConfig::optane(bytes), crash_safe_updates: false }
+        StoreConfig {
+            layout,
+            nvm: NvmConfig::optane(bytes),
+            crash_safe_updates: false,
+            durability: None,
+        }
     }
 
     /// Small, latency-free store for tests (50% headroom).
     pub fn test(n: usize) -> Self {
         let layout = RecordLayout::small();
         let bytes = Self::bytes_for(layout, n, 2, 64, 16);
-        StoreConfig { layout, nvm: NvmConfig::fast(bytes), crash_safe_updates: false }
+        StoreConfig {
+            layout,
+            nvm: NvmConfig::fast(bytes),
+            crash_safe_updates: false,
+            durability: None,
+        }
     }
 
     /// Switches update strategy (see [`StoreConfig::crash_safe_updates`]).
     #[must_use]
     pub fn with_crash_safe_updates(mut self, on: bool) -> Self {
         self.crash_safe_updates = on;
+        self
+    }
+
+    /// Enables WAL + checkpoint durability, growing the device by the
+    /// region's (page-rounded) footprint so the heap keeps the record
+    /// capacity this config was sized for.
+    #[must_use]
+    pub fn with_durability(mut self, d: DurabilityConfig) -> Self {
+        let page = self.layout.page_size;
+        self.nvm.capacity += d.region_bytes().div_ceil(page) * page + page;
+        self.durability = Some(d);
         self
     }
 }
@@ -171,6 +201,48 @@ impl<I: ConcurrentIndex> WriteAccess for Shared<'_, I> {
     }
 }
 
+/// Appends one record to the WAL, folding the ring-full refusal into the
+/// error domain. [`ViperError::WalFull`] is not retryable — the put and
+/// delete wrappers intercept it, write a checkpoint inline, and retry the
+/// attempt once.
+fn wal_append(wal: &Wal, key: Key, offset: u64, op: u8) -> Result<(), ViperError> {
+    match wal.append(key, offset, op)? {
+        Ok(_lsn) => Ok(()),
+        Err(WalFull) => Err(ViperError::WalFull),
+    }
+}
+
+/// Stage + log + commit: the durable flavour of an append. The payload is
+/// staged first (durable but not live), the WAL record covering it is
+/// group-committed, and only then does the slot flip live — a crash at
+/// any point leaves either no visible record or a logged one whose replay
+/// re-publishes it.
+fn logged_append(heap: &RecordHeap, wal: &Wal, key: Key, value: &[u8]) -> Result<u64, ViperError> {
+    let offset = heap.stage_append(key, value)?;
+    if let Err(e) = wal_append(wal, key, offset, WAL_OP_PUT) {
+        heap.recycle_slot(offset);
+        return Err(e);
+    }
+    heap.commit_append(offset)?;
+    Ok(offset)
+}
+
+/// Retires the record a logged mutation superseded. A *transient* fault
+/// here must not fail the operation: the mutation is already logged and
+/// acknowledged-to-be, and replay will apply it — so the victim slot is
+/// parked stale (excluded from checkpoints, retired by the sweep) instead
+/// of rolled back.
+fn retire_logged(heap: &RecordHeap, offset: u64) -> Result<(), ViperError> {
+    match heap.mark_dead(offset) {
+        Ok(()) => Ok(()),
+        Err(e) if e.is_transient() => {
+            heap.park_stale(offset);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// The one implementation of insert-or-update. Fails fast with
 /// [`ViperError::ReadOnly`] while degraded; surfaces device faults
 /// unchanged. The read-only *transition* on exhaustion lives in the
@@ -183,6 +255,7 @@ fn put_core(
     crash_safe_updates: bool,
     read_only: &AtomicBool,
     mut index: impl WriteAccess,
+    wal: Option<&Wal>,
     key: Key,
     value: &[u8],
 ) -> Result<(), ViperError> {
@@ -192,25 +265,37 @@ fn put_core(
     match index.lookup(key) {
         Some(offset) => {
             if crash_safe_updates {
-                match heap.replace(offset, key, value) {
-                    Ok(new_offset) => {
-                        index.publish(key, new_offset);
-                        Ok(())
+                let new_offset = match wal {
+                    Some(w) => {
+                        let new_offset = logged_append(heap, w, key, value)?;
+                        retire_logged(heap, offset)?;
+                        new_offset
                     }
-                    Err(e) => Err(e),
-                }
+                    None => heap.replace(offset, key, value)?,
+                };
+                index.publish(key, new_offset);
+                Ok(())
             } else {
+                // An in-place update keeps the key → offset mapping, so
+                // the log record is informationally redundant (replay
+                // re-points the index at the same slot) — but logging it
+                // keeps the WAL a complete mutation history and the
+                // group-commit ack honest about ordering.
+                if let Some(w) = wal {
+                    wal_append(w, key, offset, WAL_OP_PUT)?;
+                }
                 heap.update_in_place(offset, value)
             }
         }
-        None => match heap.append(key, value) {
-            Ok(offset) => {
-                let prev = index.publish(key, offset);
-                debug_assert!(prev.is_none(), "same-key put raced despite serialisation");
-                Ok(())
-            }
-            Err(e) => Err(e),
-        },
+        None => {
+            let offset = match wal {
+                Some(w) => logged_append(heap, w, key, value)?,
+                None => heap.append(key, value)?,
+            };
+            let prev = index.publish(key, offset);
+            debug_assert!(prev.is_none(), "same-key put raced despite serialisation");
+            Ok(())
+        }
     }
 }
 
@@ -227,8 +312,27 @@ fn delete_core(
     heap: &RecordHeap,
     read_only: &AtomicBool,
     mut index: impl WriteAccess,
+    wal: Option<&Wal>,
     key: Key,
 ) -> Result<bool, ViperError> {
+    if let Some(w) = wal {
+        // Durable ordering: log the delete *before* touching the device,
+        // so a crash after the ack always finds it in the log. Once
+        // logged, a transient retirement fault is swallowed (the slot is
+        // parked stale and the delete acknowledged): rolling back would
+        // contradict the log, whose replay applies the delete anyway.
+        let Some(offset) = index.lookup(key) else {
+            return Ok(false);
+        };
+        wal_append(w, key, offset, WAL_OP_DELETE)?;
+        if heap.mark_dead(offset).is_ok() {
+            read_only.store(false, Ordering::Release);
+        } else {
+            heap.park_stale(offset);
+        }
+        index.unpublish(key);
+        return Ok(true);
+    }
     match index.unpublish(key) {
         Some(offset) => match heap.mark_dead(offset) {
             Ok(()) => {
@@ -283,6 +387,18 @@ pub struct RepairOutcome {
     pub lost: Vec<Key>,
 }
 
+/// Per-store durability machinery: the WAL ring, the carved device
+/// geometry, and the generation counter of the last checkpoint written.
+struct Durability {
+    wal: Wal,
+    geom: Geometry,
+    config: DurabilityConfig,
+    /// Generation of the last successfully written checkpoint (0 = none
+    /// yet); the next checkpoint takes `generation + 1` and so alternates
+    /// blob/manifest slots.
+    generation: AtomicU64,
+}
+
 /// Viper: fixed-size record pages on (simulated) NVM plus a volatile,
 /// pluggable DRAM index mapping each key to its record offset. Generic
 /// over the index `I` and the [`WriteModel`] `M` (see module docs).
@@ -301,6 +417,9 @@ pub struct ViperStore<I, M: WriteModel = SingleWriter> {
     admission_wait: Duration,
     /// Optional circuit breaker; when open, puts shed immediately.
     breaker: Option<Arc<CircuitBreaker>>,
+    /// WAL + checkpoint state when the store was built with
+    /// [`StoreConfig::durability`]; `None` keeps every path log-free.
+    durability: Option<Durability>,
 }
 
 /// The shared-writer store flavour (kept as an alias so pre-unification
@@ -320,6 +439,7 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
             admission: None,
             admission_wait: Duration::from_micros(200),
             breaker: None,
+            durability: None,
         }
     }
 
@@ -329,6 +449,9 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.index.set_recorder(recorder.clone());
         self.heap.set_recorder(recorder.clone());
+        if let Some(d) = &mut self.durability {
+            d.wal.set_recorder(recorder.clone());
+        }
         self.recorder = recorder;
     }
 
@@ -483,6 +606,88 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
         out
     }
 
+    /// Builds the heap — and, when configured, the WAL and checkpoint
+    /// machinery — over a fresh device. `Err(DeviceFull)` means the device
+    /// cannot fit the durability region plus at least one heap page.
+    fn durable_parts(
+        config: &StoreConfig,
+        dev: &Arc<NvmDevice>,
+    ) -> Result<(RecordHeap, Option<Durability>), ViperError> {
+        match config.durability {
+            None => Ok((RecordHeap::new(Arc::clone(dev), config.layout), None)),
+            Some(dcfg) => {
+                let geom = Geometry::compute(dev.capacity(), config.layout.page_size, &dcfg)
+                    .ok_or(ViperError::DeviceFull)?;
+                let heap =
+                    RecordHeap::with_capacity(Arc::clone(dev), config.layout, geom.heap_capacity);
+                let wal = Wal::new(Arc::clone(dev), geom.wal_base, geom.wal_records, 1);
+                let durability =
+                    Durability { wal, geom, config: dcfg, generation: AtomicU64::new(0) };
+                Ok((heap, Some(durability)))
+            }
+        }
+    }
+
+    /// WAL records appended since the last checkpoint (0 without
+    /// durability). The maintenance worker writes a checkpoint once this
+    /// reaches [`DurabilityConfig::checkpoint_lag`].
+    pub fn wal_lag(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.wal.lag())
+    }
+
+    /// The durability sizing this store was built with, if any.
+    pub fn durability_config(&self) -> Option<DurabilityConfig> {
+        self.durability.as_ref().map(|d| d.config)
+    }
+
+    /// Generation of the newest checkpoint this store wrote (0 = none).
+    pub fn checkpoint_generation(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.generation.load(Ordering::Relaxed))
+    }
+
+    /// Writes a checkpoint from a caller-provided entry table (assumed
+    /// complete and key-sorted — recovery passes the validated live set it
+    /// just built instead of re-scanning the pages it worked to avoid).
+    /// Callers must guarantee writer quiescence; the public
+    /// `checkpoint_now` entry points provide it per write model.
+    fn checkpoint_with_entries(&self, entries: Vec<(u64, u64)>) -> Result<bool, ViperError> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        // With writers quiescent, every logged op at or below this LSN has
+        // already taken its heap effect (or lost it to a budgeted fault),
+        // so the snapshot below covers the whole log prefix it retires.
+        let watermark = d.wal.next_lsn() - 1;
+        let blob = CheckpointBlob {
+            watermark,
+            next_seq: self.heap.next_seq(),
+            pages_hwm: self.heap.pages_allocated() as u64,
+            entries,
+            model: self.index.model_save().unwrap_or_default(),
+        };
+        let generation = d.generation.load(Ordering::Relaxed) + 1;
+        checkpoint::write_checkpoint(
+            self.heap.device(),
+            &self.recorder,
+            &d.geom,
+            generation,
+            &blob,
+        )?;
+        d.generation.store(generation, Ordering::Relaxed);
+        d.wal.advance_start(watermark);
+        Ok(true)
+    }
+
+    /// Snapshots the heap and writes a checkpoint (no-op without
+    /// durability). Assumes writer quiescence — see
+    /// [`ViperStore::checkpoint_with_entries`].
+    fn checkpoint_inner(&self) -> Result<bool, ViperError> {
+        if self.durability.is_none() {
+            return Ok(false);
+        }
+        self.checkpoint_with_entries(self.heap.scan_live())
+    }
+
     /// The one bulk-load implementation both write models construct through.
     fn try_bulk_load_parts(
         config: StoreConfig,
@@ -491,7 +696,7 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> Result<Self, ViperError> {
         let dev = Arc::new(NvmDevice::new(config.nvm));
-        let heap = RecordHeap::new(dev, config.layout);
+        let (heap, durability) = Self::durable_parts(&config, &dev)?;
         let mut buf = vec![0u8; config.layout.value_size];
         let mut pairs: Vec<KeyValue> = Vec::with_capacity(keys.len());
         for &k in keys {
@@ -501,14 +706,71 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
         }
         // Keys were ascending, so pairs are ready for bulk build.
         let index = build(&pairs);
-        Ok(Self::with_parts(heap, index, config.crash_safe_updates))
+        let mut store = Self::with_parts(heap, index, config.crash_safe_updates);
+        store.durability = durability;
+        // Bulk-loaded records are not WAL-logged; the initial checkpoint
+        // is what makes them reachable by the fast recovery path. (A crash
+        // before it completes simply falls back to the page rescan.)
+        if store.durability.is_some() {
+            store.checkpoint_with_entries(pairs)?;
+        }
+        Ok(store)
     }
 
     /// The one recovery implementation both write models construct through.
-    /// The recorder times the whole scan-and-rebuild as one
-    /// [`OpKind::Recovery`] op, emits one [`Event::QuarantineSlot`] per
-    /// record the scan quarantined (the causal counter the crash-torture
-    /// harness asserts against), and stays attached to the rebuilt store.
+    /// The recorder times the whole rebuild as one [`OpKind::Recovery`]
+    /// op, emits one [`Event::QuarantineSlot`] per record quarantined and
+    /// one [`Event::LogReplay`] per WAL record applied over a checkpoint
+    /// (the causal counters the crash-torture harness asserts against),
+    /// and stays attached to the rebuilt store.
+    ///
+    /// With durability in `opts`, recovery prefers the newest verified
+    /// checkpoint plus the WAL tail past its watermark; the full page
+    /// rescan remains the fallback (no usable checkpoint, forced via
+    /// [`RecoverOptions::use_checkpoint`], or a replay tail past
+    /// [`RecoverOptions::replay_limit`]). A durable recovery ends by
+    /// writing a *fresh* checkpoint so the next crash starts from here.
+    fn recover_parts_with_model(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        recorder: Recorder,
+        build: impl FnOnce(&[KeyValue], Option<&[u8]>) -> I,
+    ) -> (Self, RecoveryReport) {
+        let t = recorder.start();
+        let RecoveredState { heap, live, model, report, resume } =
+            recover_state(&dev, layout, opts);
+        let index = build(&live, model.as_deref());
+        recorder.event_n(Event::LogReplay, report.replayed as u64);
+        recorder.event_n(Event::QuarantineSlot, report.quarantined as u64);
+        let mut store = Self::with_parts(heap, index, false);
+        if let (Some(dcfg), Some(r)) = (opts.durability, resume) {
+            store.durability = Some(Durability {
+                wal: Wal::resume(
+                    Arc::clone(&dev),
+                    r.geom.wal_base,
+                    r.geom.wal_records,
+                    r.start_lsn,
+                    r.next_lsn,
+                ),
+                geom: r.geom,
+                config: dcfg,
+                generation: AtomicU64::new(r.generation),
+            });
+        }
+        store.set_recorder(recorder.clone());
+        // Fold what was just recovered into a fresh checkpoint: the next
+        // crash then recovers from here instead of re-replaying this tail
+        // (or re-paying this rescan), and the retired WAL span reopens for
+        // appends. A faulted checkpoint write is survivable — the store
+        // works, the lag just stays — so it must not fail recovery.
+        let _ = store.checkpoint_with_entries(live);
+        recorder.finish(OpKind::Recovery, t);
+        (store, report)
+    }
+
+    /// [`ViperStore::recover_parts_with_model`] with the model bytes
+    /// elided, for index builders that always retrain from the entries.
     fn recover_parts(
         dev: Arc<NvmDevice>,
         layout: RecordLayout,
@@ -516,15 +778,296 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
         recorder: Recorder,
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> (Self, RecoveryReport) {
-        let t = recorder.start();
-        let (heap, mut live, report) = RecordHeap::recover_with_report(dev, layout, opts);
+        Self::recover_parts_with_model(dev, layout, opts, recorder, |pairs, _model| build(pairs))
+    }
+}
+
+/// `(geometry, WAL resume window, checkpoint generation)` a durable
+/// recovery hands back so the store can reopen the log where it left off.
+struct WalResume {
+    geom: Geometry,
+    /// First LSN still covered by the (old) checkpoint watermark + 1; the
+    /// span up to `next_lsn` stays protected until the post-recovery
+    /// checkpoint retires it.
+    start_lsn: u64,
+    next_lsn: u64,
+    /// Highest checkpoint generation on the device (0 = none); the fresh
+    /// post-recovery checkpoint numbers itself above it.
+    generation: u64,
+}
+
+/// Everything recovery produced short of the index build.
+struct RecoveredState {
+    heap: RecordHeap,
+    /// Validated live `(key, offset)` pairs, sorted by key.
+    live: Vec<KeyValue>,
+    /// Serialized index model from the checkpoint, when one was usable.
+    model: Option<Vec<u8>>,
+    report: RecoveryReport,
+    /// `None` without durability (no WAL to reopen).
+    resume: Option<WalResume>,
+}
+
+/// What validating a recovered `key → offset` mapping against the device
+/// found. The index must never point at anything but a live record of the
+/// same key.
+enum SlotCheck {
+    Live {
+        seq: u64,
+    },
+    /// Live record of the right key failing its checksum — quarantined,
+    /// exactly as the full rescan would.
+    Corrupt,
+    /// Slot is not a live record of this key (the logged op never took its
+    /// heap effect, or the mapping was superseded): dropped.
+    Gone,
+}
+
+fn check_slot(
+    layout: &RecordLayout,
+    verify_checksums: bool,
+    key: Key,
+    slot_buf: &[u8],
+) -> SlotCheck {
+    let header = RecordLayout::decode_header(slot_buf);
+    if header.state != SLOT_LIVE || header.key != key {
+        return SlotCheck::Gone;
+    }
+    if verify_checksums && !layout.verify_slot(slot_buf) {
+        return SlotCheck::Corrupt;
+    }
+    SlotCheck::Live { seq: header.seq }
+}
+
+/// Dispatches a recovery to the checkpoint fast path or the page rescan.
+fn recover_state(
+    dev: &Arc<NvmDevice>,
+    layout: RecordLayout,
+    opts: RecoverOptions,
+) -> RecoveredState {
+    let geom =
+        opts.durability.and_then(|d| Geometry::compute(dev.capacity(), layout.page_size, &d));
+    let Some(geom) = geom else {
+        // No durability region: the pre-durability rescan, verbatim.
+        let (heap, mut live, report) =
+            RecordHeap::recover_with_report(Arc::clone(dev), layout, opts);
         live.sort_unstable();
-        let index = build(&live);
-        recorder.event_n(Event::QuarantineSlot, report.quarantined as u64);
-        recorder.finish(OpKind::Recovery, t);
-        let mut store = Self::with_parts(heap, index, false);
-        store.set_recorder(recorder);
-        (store, report)
+        return RecoveredState { heap, live, model: None, report, resume: None };
+    };
+    if opts.use_checkpoint {
+        if let Some(state) = try_checkpoint_recovery(dev, layout, opts, &geom) {
+            return state;
+        }
+    }
+    rescan_with_replay(dev, layout, opts, &geom)
+}
+
+/// The fast path: newest verified checkpoint + WAL tail, no page scan and
+/// (when the blob carries model bytes) no retraining. `None` sends the
+/// caller to the rescan fallback.
+fn try_checkpoint_recovery(
+    dev: &Arc<NvmDevice>,
+    layout: RecordLayout,
+    opts: RecoverOptions,
+    geom: &Geometry,
+) -> Option<RecoveredState> {
+    let loaded = checkpoint::load_latest(dev, geom)?;
+    let blob = loaded.blob;
+    let replay = Wal::replay(dev, geom.wal_base, geom.wal_records, blob.watermark);
+    if opts.replay_limit != 0 && replay.records.len() > opts.replay_limit {
+        return None; // tail too long — the rescan is cheaper to trust
+    }
+    let mut report = RecoveryReport {
+        from_checkpoint: true,
+        replayed: replay.records.len(),
+        quarantined: loaded.rejected + replay.holes,
+        ..RecoveryReport::default()
+    };
+    // Checkpoint entries with the log tail applied on top, in LSN order.
+    // The entry table is key-sorted by construction (bulk load appends
+    // ascending keys, `scan_live` sorts, recovery re-checkpoints its
+    // sorted live set), so the tail folds in as a small sorted overlay
+    // merged over the base — no per-entry map rebuild, which at 10M+
+    // entries costs more than the page scan this path avoids. A blob that
+    // somehow isn't sorted is sorted here rather than trusted.
+    let mut blob = blob;
+    let mut base = std::mem::take(&mut blob.entries);
+    if !base.is_sorted_by_key(|e| e.0) {
+        base.sort_unstable_by_key(|e| e.0);
+        base.dedup_by_key(|e| e.0);
+    }
+    // Final tail effect per key (`None` = deleted). Slots a replayed
+    // delete leaves live on the device (its retirement faulted before the
+    // crash) are parked stale below so neither a later checkpoint nor a
+    // later rescan resurrects the acknowledged delete.
+    let mut overlay: BTreeMap<Key, Option<u64>> = BTreeMap::new();
+    let mut delete_victims: Vec<u64> = Vec::new();
+    for rec in &replay.records {
+        if rec.op == WAL_OP_DELETE {
+            let prior = match overlay.get(&rec.key) {
+                Some(&slot) => slot,
+                None => base.binary_search_by_key(&rec.key, |e| e.0).ok().map(|i| base[i].1),
+            };
+            if let Some(off) = prior {
+                delete_victims.push(off);
+            }
+            overlay.insert(rec.key, None);
+        } else {
+            overlay.insert(rec.key, Some(rec.offset));
+        }
+    }
+    let mut entries: Vec<KeyValue> = Vec::with_capacity(base.len() + overlay.len());
+    let mut ov = overlay.into_iter().peekable();
+    for &(key, offset) in &base {
+        // Overlay-only keys (fresh inserts in the tail) sorting before
+        // this base key slot in here.
+        while let Some(&(ok, oslot)) = ov.peek() {
+            if ok >= key {
+                break;
+            }
+            ov.next();
+            if let Some(off) = oslot {
+                entries.push((ok, off));
+            }
+        }
+        match ov.peek() {
+            Some(&(ok, oslot)) if ok == key => {
+                ov.next();
+                if let Some(off) = oslot {
+                    entries.push((key, off));
+                }
+            }
+            _ => entries.push((key, offset)),
+        }
+    }
+    for (ok, oslot) in ov {
+        if let Some(off) = oslot {
+            entries.push((ok, off));
+        }
+    }
+    // Validate every surviving mapping against its slot: replay holes and
+    // ops that faulted after logging leave mappings the device does not
+    // back, and the index must not point at garbage. Mappings are visited
+    // in offset order so each heap page is read once, sequentially —
+    // per-slot random reads would cost more device round-trips than the
+    // page rescan this path exists to beat.
+    let mut order: Vec<u32> =
+        (0..u32::try_from(entries.len()).expect("heap holds < 4G slots")).collect();
+    order.sort_unstable_by_key(|&i| entries[i as usize].1);
+    let mut alive = vec![false; entries.len()];
+    let mut corrupt: Vec<u64> = Vec::new();
+    let mut max_seq = blob.next_seq.saturating_sub(1);
+    let mut pages_hwm = blob.pages_hwm as usize;
+    let mut page_buf = vec![0u8; layout.page_size];
+    let mut cur_page = usize::MAX;
+    for &i in &order {
+        let (key, offset) = entries[i as usize];
+        let page = offset as usize / layout.page_size;
+        if page != cur_page {
+            dev.read_into(page * layout.page_size, &mut page_buf);
+            cur_page = page;
+        }
+        let in_page = offset as usize - page * layout.page_size;
+        let slot_buf = &page_buf[in_page..in_page + layout.slot_size()];
+        match check_slot(&layout, opts.verify_checksums, key, slot_buf) {
+            SlotCheck::Live { seq } => {
+                max_seq = max_seq.max(seq);
+                pages_hwm = pages_hwm.max(page + 1);
+                alive[i as usize] = true;
+            }
+            SlotCheck::Corrupt => {
+                report.quarantined += 1;
+                pages_hwm = pages_hwm.max(page + 1);
+                corrupt.push(offset);
+            }
+            SlotCheck::Gone => {}
+        }
+    }
+    let live: Vec<KeyValue> =
+        entries.into_iter().zip(&alive).filter_map(|(e, &ok)| ok.then_some(e)).collect();
+    report.live = live.len();
+    report.max_seq = max_seq;
+    // Sequence numbers consumed after the checkpoint but not observed
+    // above (slots staged then orphaned by faults) are bounded by the
+    // logged span plus the bounded write-retry budget; the slack keeps
+    // the highest-sequence-wins rule of a *future* rescan from tying with
+    // a leaked slot.
+    let span = replay.next_lsn - 1 - blob.watermark;
+    let next_seq = blob.next_seq.max(max_seq + 1) + span + 64;
+    let heap = RecordHeap::from_checkpoint(
+        Arc::clone(dev),
+        layout,
+        geom.heap_capacity,
+        pages_hwm,
+        next_seq,
+    );
+    heap.adopt_quarantined(&corrupt);
+    for off in delete_victims {
+        heap.park_stale(off);
+    }
+    Some(RecoveredState {
+        heap,
+        live, // filtered in merged-entry order: already key-sorted
+        model: (!blob.model.is_empty()).then_some(blob.model),
+        report,
+        resume: Some(WalResume {
+            geom: *geom,
+            start_lsn: blob.watermark + 1,
+            next_lsn: replay.next_lsn,
+            generation: loaded.generation,
+        }),
+    })
+}
+
+/// The fallback: full page rescan, *plus* a replay of the current WAL lap
+/// for deletes only. The scan already resolves every key to its newest
+/// durable record, so puts need no re-application — but a logged delete
+/// whose retirement faulted left its victim live on the device, and only
+/// the log knows the delete was acknowledged.
+fn rescan_with_replay(
+    dev: &Arc<NvmDevice>,
+    layout: RecordLayout,
+    opts: RecoverOptions,
+    geom: &Geometry,
+) -> RecoveredState {
+    let (heap, live, mut report) = RecordHeap::recover_with_report(Arc::clone(dev), layout, opts);
+    let max_lsn = Wal::max_lsn(dev, geom.wal_base, geom.wal_records);
+    let watermark = max_lsn.saturating_sub(geom.wal_records);
+    let replay = Wal::replay(dev, geom.wal_base, geom.wal_records, watermark);
+    // Only a key whose *last* logged op is a delete is removed: a later
+    // logged put legitimately re-inserted it, and the scan's state (the
+    // newest durable record) already reflects everything else.
+    let mut last_op: BTreeMap<Key, &crate::wal::WalRecord> = BTreeMap::new();
+    for rec in &replay.records {
+        last_op.insert(rec.key, rec);
+    }
+    let mut map: BTreeMap<Key, u64> = live.into_iter().collect();
+    let mut delete_victims: Vec<u64> = Vec::new();
+    for (key, rec) in last_op {
+        if rec.op == WAL_OP_DELETE {
+            if let Some(off) = map.remove(&key) {
+                delete_victims.push(off);
+            }
+        }
+    }
+    report.quarantined += replay.holes;
+    let live: Vec<KeyValue> = map.into_iter().collect();
+    report.live = live.len();
+    for off in delete_victims {
+        heap.park_stale(off);
+    }
+    let generation = checkpoint::latest_generation(dev, geom);
+    RecoveredState {
+        heap,
+        live,
+        model: None,
+        report,
+        resume: Some(WalResume {
+            geom: *geom,
+            start_lsn: watermark + 1,
+            next_lsn: replay.next_lsn,
+            generation,
+        }),
     }
 }
 
@@ -598,6 +1141,21 @@ impl<I: Index> ViperStore<I, SingleWriter> {
     ) -> (Self, RecoveryReport) {
         Self::recover_parts(dev, layout, opts, recorder, build)
     }
+
+    /// Recovery with a *model-aware* index builder: when the checkpoint
+    /// fast path surfaces serialized model parameters, they are handed to
+    /// `build` alongside the live pairs so the index can rebuild its
+    /// learned structure without retraining from scratch (`None` on the
+    /// rescan fallback or when the checkpoint carried no model).
+    pub fn recover_with_model(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        recorder: Recorder,
+        build: impl FnOnce(&[KeyValue], Option<&[u8]>) -> I,
+    ) -> (Self, RecoveryReport) {
+        Self::recover_parts_with_model(dev, layout, opts, recorder, build)
+    }
 }
 
 impl<I: Index + BulkBuildIndex> ViperStore<I, SingleWriter> {
@@ -639,16 +1197,40 @@ impl<I: OrderedIndex, M: WriteModel> ViperStore<I, M> {
 
 impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
     /// Creates an empty single-writer store with the given index.
+    ///
+    /// Panics if [`StoreConfig::durability`] is set but the device cannot
+    /// fit the durability region — a sizing error of the caller (the
+    /// [`StoreConfig::with_durability`] builder grows the device to fit).
     pub fn new(config: StoreConfig, index: I) -> Self {
         let dev = Arc::new(NvmDevice::new(config.nvm));
-        Self::with_parts(RecordHeap::new(dev, config.layout), index, config.crash_safe_updates)
+        let (heap, durability) =
+            Self::durable_parts(&config, &dev).expect("device too small for the durability region");
+        let mut store = Self::with_parts(heap, index, config.crash_safe_updates);
+        store.durability = durability;
+        store
     }
 
     /// Inserts or updates (degradation contract: see [`put_core`]). Sheds
     /// under overload ([`ViperError::Backpressure`]), retries transient
     /// faults per the configured [`RetryPolicy`], and degrades to
     /// read-only only once the retry budget is exhausted on exhaustion.
+    /// Under durability, a full WAL ring is absorbed by an inline
+    /// checkpoint plus one more attempt before [`ViperError::WalFull`]
+    /// can surface.
     pub fn put(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
+        let t = self.recorder.start();
+        let mut r = self.put_attempt(key, value);
+        if r == Err(ViperError::WalFull) {
+            r = self.checkpoint_inner().and_then(|_| self.put_attempt(key, value));
+        }
+        if r == Err(ViperError::DeviceFull) {
+            self.read_only.store(true, Ordering::Release);
+        }
+        self.recorder.finish(OpKind::Put, t);
+        r
+    }
+
+    fn put_attempt(&mut self, key: Key, value: &[u8]) -> Result<(), ViperError> {
         let crash_safe = self.crash_safe_updates;
         let ViperStore {
             heap,
@@ -659,34 +1241,42 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
             admission,
             admission_wait,
             breaker,
+            durability,
             ..
         } = self;
-        let t = recorder.start();
-        let r = (|| {
-            let _gate = shed_check(breaker.as_ref(), admission.as_ref(), *admission_wait)?;
-            let r = with_retry(retry, key, recorder, heap.device(), || {
-                put_core(heap, crash_safe, read_only, Excl(&mut *index), key, value)
-            });
-            if r == Err(ViperError::DeviceFull) {
-                read_only.store(true, Ordering::Release);
-            }
-            r
-        })();
-        recorder.finish(OpKind::Put, t);
-        r
+        let wal = durability.as_ref().map(|d| &d.wal);
+        let _gate = shed_check(breaker.as_ref(), admission.as_ref(), *admission_wait)?;
+        with_retry(retry, key, recorder, heap.device(), || {
+            put_core(heap, crash_safe, read_only, Excl(&mut *index), wal, key, value)
+        })
     }
 
     /// Removes a key; returns whether it existed. Retries transient
     /// faults; never gated or shed — deletes reclaim space and are the
-    /// way out of degradation.
+    /// way out of degradation. Absorbs a full WAL ring like `put`.
     pub fn delete(&mut self, key: Key) -> Result<bool, ViperError> {
-        let ViperStore { heap, index, read_only, recorder, retry, .. } = self;
-        let t = recorder.start();
-        let r = with_retry(retry, key, recorder, heap.device(), || {
-            delete_core(heap, read_only, Excl(&mut *index), key)
-        });
-        recorder.finish(OpKind::Delete, t);
+        let t = self.recorder.start();
+        let mut r = self.delete_attempt(key);
+        if r == Err(ViperError::WalFull) {
+            r = self.checkpoint_inner().and_then(|_| self.delete_attempt(key));
+        }
+        self.recorder.finish(OpKind::Delete, t);
         r
+    }
+
+    fn delete_attempt(&mut self, key: Key) -> Result<bool, ViperError> {
+        let ViperStore { heap, index, read_only, recorder, retry, durability, .. } = self;
+        let wal = durability.as_ref().map(|d| &d.wal);
+        with_retry(retry, key, recorder, heap.device(), || {
+            delete_core(heap, read_only, Excl(&mut *index), wal, key)
+        })
+    }
+
+    /// Writes a checkpoint now (no-op without durability, returning
+    /// `false`). `&mut self` is the writer-quiescence guarantee the
+    /// snapshot needs.
+    pub fn checkpoint_now(&mut self) -> Result<bool, ViperError> {
+        self.checkpoint_inner()
     }
 
     /// Online repair of recovery's quarantined slots: each is resolved
@@ -702,17 +1292,32 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
         self.heap.sweep_stale(|key, off| Index::get(&self.index, key) == Some(off))
     }
 
+    /// Writes a checkpoint iff the WAL lag has reached the configured
+    /// [`DurabilityConfig::checkpoint_lag`] (false without durability or
+    /// below the trigger; a faulted write also reports false and leaves
+    /// the lag for the next pass).
+    fn maybe_checkpoint(&mut self) -> bool {
+        match self.durability_config() {
+            Some(d) if self.wal_lag() >= d.checkpoint_lag => {
+                self.checkpoint_inner().unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+
     /// One full self-healing pass: drain up to `retrain_budget` deferred
     /// leaf retrains, retire stale slots, repair quarantined slots,
-    /// reclaim dead pages, tick the device clock (so injected fault
-    /// windows pass even with the foreground idle), and lift read-only if
-    /// space came back. Timed as one [`OpKind::Maintenance`] op.
+    /// reclaim dead pages, write a checkpoint if the WAL lag calls for
+    /// one, tick the device clock (so injected fault windows pass even
+    /// with the foreground idle), and lift read-only if space came back.
+    /// Timed as one [`OpKind::Maintenance`] op.
     pub fn run_maintenance(&mut self, retrain_budget: usize) -> crate::MaintenancePass {
         let t = self.recorder.start();
         let retrains_run = UpdatableIndex::run_pending_retrains(&mut self.index, retrain_budget);
         let stale_retired = self.sweep_stale_slots();
         let repair = self.repair_quarantined();
         let pages_reclaimed = self.reclaim_dead_pages();
+        let checkpoint_written = self.maybe_checkpoint();
         let _ = self.heap.device().try_fence();
         let lifted_read_only = self.try_lift_read_only();
         self.recorder.finish(OpKind::Maintenance, t);
@@ -722,57 +1327,90 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
             repair,
             pages_reclaimed,
             lifted_read_only,
+            checkpoint_written,
         }
     }
 }
 
 impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
     /// Creates an empty shared-writer store with the given index.
+    ///
+    /// Panics if [`StoreConfig::durability`] is set but the device cannot
+    /// fit the durability region (see the single-writer `new`).
     pub fn new(config: StoreConfig, index: I) -> Self {
         let dev = Arc::new(NvmDevice::new(config.nvm));
-        Self::with_parts(RecordHeap::new(dev, config.layout), index, config.crash_safe_updates)
+        let (heap, durability) =
+            Self::durable_parts(&config, &dev).expect("device too small for the durability region");
+        let mut store = Self::with_parts(heap, index, config.crash_safe_updates);
+        store.durability = durability;
+        store
     }
 
     /// Inserts or updates through a shared reference. Same degradation,
-    /// backpressure and retry contract as the single-writer put; same-key
-    /// races are serialised by the stripe lock, which is released during
-    /// each backoff so other keys in the stripe keep flowing.
+    /// backpressure, retry and WAL-full contract as the single-writer
+    /// put; same-key races are serialised by the stripe lock, which is
+    /// released during each backoff so other keys in the stripe keep
+    /// flowing.
     pub fn put(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
         let t = self.recorder.start();
-        let r = (|| {
-            let _gate =
-                shed_check(self.breaker.as_ref(), self.admission.as_ref(), self.admission_wait)?;
-            let r = with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
-                let _guard = self.key_locks.lock(key);
-                put_core(
-                    &self.heap,
-                    self.crash_safe_updates,
-                    &self.read_only,
-                    Shared(&self.index),
-                    key,
-                    value,
-                )
-            });
-            if r == Err(ViperError::DeviceFull) {
-                self.read_only.store(true, Ordering::Release);
-            }
-            r
-        })();
+        let mut r = self.put_attempt(key, value);
+        if r == Err(ViperError::WalFull) {
+            r = self.checkpoint_now().and_then(|_| self.put_attempt(key, value));
+        }
+        if r == Err(ViperError::DeviceFull) {
+            self.read_only.store(true, Ordering::Release);
+        }
         self.recorder.finish(OpKind::Put, t);
         r
     }
 
+    fn put_attempt(&self, key: Key, value: &[u8]) -> Result<(), ViperError> {
+        let wal = self.durability.as_ref().map(|d| &d.wal);
+        let _gate =
+            shed_check(self.breaker.as_ref(), self.admission.as_ref(), self.admission_wait)?;
+        with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
+            let _guard = self.key_locks.lock(key);
+            put_core(
+                &self.heap,
+                self.crash_safe_updates,
+                &self.read_only,
+                Shared(&self.index),
+                wal,
+                key,
+                value,
+            )
+        })
+    }
+
     /// Removes a key through a shared reference. Retries transient
     /// faults; never gated or shed (deletes are the way out of
-    /// degradation).
+    /// degradation). Absorbs a full WAL ring like `put`.
     pub fn delete(&self, key: Key) -> Result<bool, ViperError> {
         let t = self.recorder.start();
-        let r = with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
-            let _guard = self.key_locks.lock(key);
-            delete_core(&self.heap, &self.read_only, Shared(&self.index), key)
-        });
+        let mut r = self.delete_attempt(key);
+        if r == Err(ViperError::WalFull) {
+            r = self.checkpoint_now().and_then(|_| self.delete_attempt(key));
+        }
         self.recorder.finish(OpKind::Delete, t);
         r
+    }
+
+    fn delete_attempt(&self, key: Key) -> Result<bool, ViperError> {
+        let wal = self.durability.as_ref().map(|d| &d.wal);
+        with_retry(&self.retry, key, &self.recorder, self.heap.device(), || {
+            let _guard = self.key_locks.lock(key);
+            delete_core(&self.heap, &self.read_only, Shared(&self.index), wal, key)
+        })
+    }
+
+    /// Writes a checkpoint now (no-op without durability, returning
+    /// `false`), quiescing in-flight writers by holding every key stripe
+    /// for the duration. Callers must not hold a stripe themselves — the
+    /// put/delete wrappers invoke this only after their attempt (and its
+    /// stripe guard) has fully unwound.
+    pub fn checkpoint_now(&self) -> Result<bool, ViperError> {
+        let _quiesce: Vec<_> = self.key_locks.0.iter().map(|m| m.lock()).collect();
+        self.checkpoint_inner()
     }
 
     /// Online repair of recovery's quarantined slots through a shared
@@ -795,6 +1433,16 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
         })
     }
 
+    /// Shared-writer twin of the single-writer `maybe_checkpoint`:
+    /// lag-triggered checkpoint through a shared reference, quiescing
+    /// writers via [`ViperStore::checkpoint_now`].
+    fn maybe_checkpoint(&self) -> bool {
+        match self.durability_config() {
+            Some(d) if self.wal_lag() >= d.checkpoint_lag => self.checkpoint_now().unwrap_or(false),
+            _ => false,
+        }
+    }
+
     /// Shared-writer twin of the single-writer `run_maintenance`: one
     /// full self-healing pass through a shared reference — this is what
     /// the [`crate::MaintenanceWorker`] calls on every tick.
@@ -804,6 +1452,7 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
         let stale_retired = self.sweep_stale_slots();
         let repair = self.repair_quarantined();
         let pages_reclaimed = self.reclaim_dead_pages();
+        let checkpoint_written = self.maybe_checkpoint();
         let _ = self.heap.device().try_fence();
         let lifted_read_only = self.try_lift_read_only();
         self.recorder.finish(OpKind::Maintenance, t);
@@ -813,6 +1462,7 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
             repair,
             pages_reclaimed,
             lifted_read_only,
+            checkpoint_written,
         }
     }
 
@@ -867,6 +1517,17 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
         build: impl FnOnce(&[KeyValue]) -> I,
     ) -> (Self, RecoveryReport) {
         Self::recover_parts(dev, layout, opts, recorder, build)
+    }
+
+    /// Shared-writer twin of [`ViperStore::recover_with_model`].
+    pub fn recover_shared_with_model(
+        dev: Arc<NvmDevice>,
+        layout: RecordLayout,
+        opts: RecoverOptions,
+        recorder: Recorder,
+        build: impl FnOnce(&[KeyValue], Option<&[u8]>) -> I,
+    ) -> (Self, RecoveryReport) {
+        Self::recover_parts_with_model(dev, layout, opts, recorder, build)
     }
 }
 
@@ -1232,6 +1893,250 @@ pub(crate) mod tests {
         assert!(store.delete(0).unwrap());
         assert!(!store.is_read_only());
         store.put(u64::MAX, &val).unwrap();
+    }
+
+    fn durable_cfg(n: usize, wal_records: u64) -> StoreConfig {
+        StoreConfig::test(n).with_durability(DurabilityConfig::sized_for(2 * n, wal_records))
+    }
+
+    #[test]
+    fn durable_recovery_prefers_checkpoint_and_replays_tail() {
+        let keys: Vec<Key> = (0..400u64).map(|i| i * 3).collect();
+        let cfg = durable_cfg(1_000, 256);
+        let mut store: ViperStore<MapIndex> = ViperStore::bulk_load(cfg, &keys, value_for);
+        assert_eq!(store.checkpoint_generation(), 1, "bulk load must checkpoint");
+        let vs = cfg.layout.value_size;
+        // A logged tail past the bulk-load checkpoint: 10 inserts, 1 delete.
+        for k in 0..10u64 {
+            store.put(10_000 + k, &vec![7u8; vs]).unwrap();
+        }
+        assert!(store.delete(3).unwrap());
+        assert_eq!(store.wal_lag(), 11);
+
+        let dev = store.into_device();
+        let opts = RecoverOptions { durability: cfg.durability, ..RecoverOptions::default() };
+        let rec = Recorder::enabled();
+        let (recovered, report) = ViperStore::<MapIndex>::recover_with_model(
+            dev,
+            cfg.layout,
+            opts,
+            rec.clone(),
+            |pairs, _model| MapIndex::build(pairs),
+        );
+        assert!(report.from_checkpoint, "fast path must engage");
+        assert_eq!(report.replayed, 11);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(recovered.len(), 400 + 10 - 1);
+        let mut buf = vec![0u8; vs];
+        assert!(!recovered.get(3, &mut buf), "replayed delete must apply");
+        assert!(recovered.get(10_005, &mut buf));
+        assert_eq!(buf, vec![7u8; vs]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.event(Event::LogReplay), 11);
+        assert!(
+            snap.event(Event::CheckpointWritten) >= 1,
+            "recovery must fold the tail into a fresh checkpoint"
+        );
+        // The fresh checkpoint retired the replayed span.
+        assert_eq!(recovered.wal_lag(), 0);
+    }
+
+    #[test]
+    fn durable_recovery_resumes_writable_store() {
+        let keys: Vec<Key> = (0..100u64).collect();
+        let cfg = durable_cfg(1_000, 128);
+        let store: ViperStore<MapIndex> = ViperStore::bulk_load(cfg, &keys, value_for);
+        let vs = cfg.layout.value_size;
+        let dev = store.into_device();
+        let opts = RecoverOptions { durability: cfg.durability, ..RecoverOptions::default() };
+        let (mut recovered, report) = ViperStore::<MapIndex>::recover_with_model(
+            dev,
+            cfg.layout,
+            opts,
+            Recorder::disabled(),
+            |pairs, _| MapIndex::build(pairs),
+        );
+        assert!(report.from_checkpoint);
+        // The reopened WAL and resumed sequence keep accepting writes, and
+        // a second crash + recovery still sees everything.
+        for k in 0..50u64 {
+            recovered.put(500 + k, &vec![9u8; vs]).unwrap();
+        }
+        assert!(recovered.delete(0).unwrap());
+        let dev = recovered.into_device();
+        let (again, report2) = ViperStore::<MapIndex>::recover_with_model(
+            dev,
+            cfg.layout,
+            opts,
+            Recorder::disabled(),
+            |pairs, _| MapIndex::build(pairs),
+        );
+        assert!(report2.from_checkpoint);
+        assert_eq!(again.len(), 100 + 50 - 1);
+        let mut buf = vec![0u8; vs];
+        assert!(!again.get(0, &mut buf));
+        assert!(again.get(549, &mut buf));
+    }
+
+    #[test]
+    fn wal_full_forces_inline_checkpoint() {
+        // A ring of 8 records cannot hold 50 puts: the store must absorb
+        // the pressure with inline checkpoints instead of surfacing
+        // WalFull.
+        let cfg = durable_cfg(1_000, 8);
+        let mut store = ViperStore::<MapIndex>::new(cfg, MapIndex::default());
+        store.set_recorder(Recorder::enabled());
+        let vs = cfg.layout.value_size;
+        for k in 0..50u64 {
+            store.put(k, &vec![1u8; vs]).unwrap();
+        }
+        assert!(store.checkpoint_generation() >= 5, "ring of 8 must have checkpointed repeatedly");
+        assert!(store.wal_lag() <= 8);
+        let snap = store.recorder().snapshot();
+        assert_eq!(snap.event(Event::WalAppend), 50);
+        assert!(snap.event(Event::CheckpointWritten) >= 5);
+    }
+
+    #[test]
+    fn durable_rescan_fallback_reaches_same_state() {
+        let keys: Vec<Key> = (0..300u64).map(|i| i * 2).collect();
+        let cfg = durable_cfg(1_000, 256);
+        let mut store: ViperStore<MapIndex> = ViperStore::bulk_load(cfg, &keys, value_for);
+        let vs = cfg.layout.value_size;
+        store.put(9_999, &vec![5u8; vs]).unwrap();
+        assert!(store.delete(4).unwrap());
+        let dev = store.into_device();
+        let opts = RecoverOptions {
+            durability: cfg.durability,
+            use_checkpoint: false,
+            ..RecoverOptions::default()
+        };
+        let (recovered, report) = ViperStore::<MapIndex>::recover_with_model(
+            dev,
+            cfg.layout,
+            opts,
+            Recorder::disabled(),
+            |pairs, model| {
+                assert!(model.is_none(), "rescan path carries no model");
+                MapIndex::build(pairs)
+            },
+        );
+        assert!(!report.from_checkpoint);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(recovered.len(), 300);
+        let mut buf = vec![0u8; vs];
+        assert!(!recovered.get(4, &mut buf));
+        assert!(recovered.get(9_999, &mut buf));
+        // The forced rescan re-checkpointed *above* the stale generations
+        // so the next recovery trusts the fresh snapshot.
+        assert!(recovered.checkpoint_generation() >= 2);
+    }
+
+    /// A map index that saves a model blob, for exercising the
+    /// checkpointed-model round trip without a learned index.
+    struct ModelMap {
+        inner: MapIndex,
+        restored_from: Option<Vec<u8>>,
+    }
+
+    impl Index for ModelMap {
+        fn name(&self) -> &'static str {
+            "model-map"
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn get(&self, key: Key) -> Option<u64> {
+            Index::get(&self.inner, key)
+        }
+        fn index_size_bytes(&self) -> usize {
+            self.inner.index_size_bytes()
+        }
+        fn data_size_bytes(&self) -> usize {
+            0
+        }
+        fn model_save(&self) -> Option<Vec<u8>> {
+            Some(vec![0xAB; 16])
+        }
+    }
+
+    impl UpdatableIndex for ModelMap {
+        fn insert(&mut self, key: Key, value: u64) -> Option<u64> {
+            self.inner.insert(key, value)
+        }
+        fn remove(&mut self, key: Key) -> Option<u64> {
+            self.inner.remove(key)
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_index_model() {
+        let keys: Vec<Key> = (0..100u64).collect();
+        let cfg = durable_cfg(1_000, 64);
+        let store = ViperStore::<ModelMap>::bulk_load_with(cfg, &keys, value_for, |pairs| {
+            ModelMap { inner: MapIndex::build(pairs), restored_from: None }
+        });
+        let dev = store.into_device();
+        let opts = RecoverOptions { durability: cfg.durability, ..RecoverOptions::default() };
+        let (recovered, report) = ViperStore::<ModelMap>::recover_with_model(
+            dev,
+            cfg.layout,
+            opts,
+            Recorder::disabled(),
+            |pairs, model| ModelMap {
+                inner: MapIndex::build(pairs),
+                restored_from: model.map(<[u8]>::to_vec),
+            },
+        );
+        assert!(report.from_checkpoint);
+        assert_eq!(
+            recovered.index().restored_from.as_deref(),
+            Some(&[0xABu8; 16][..]),
+            "model bytes must round-trip through the checkpoint"
+        );
+    }
+
+    #[test]
+    fn shared_writer_durable_puts_and_recovery() {
+        let cfg = durable_cfg(10_000, 4_096);
+        let store = Arc::new(ConcurrentViperStore::new(cfg, LockedMap::default()));
+        let vs = cfg.layout.value_size;
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(li_sync::thread::spawn(move || {
+                let mut val = vec![0u8; vs];
+                for i in 0..500u64 {
+                    let k = t * 10_000 + i;
+                    value_for(k, &mut val);
+                    store.put(k, &val).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 2_000);
+        store.checkpoint_now().unwrap();
+        assert_eq!(store.wal_lag(), 0);
+        store.put(99_999, &vec![7u8; vs]).unwrap();
+
+        let store = Arc::into_inner(store).unwrap();
+        let dev = store.into_device();
+        let opts = RecoverOptions { durability: cfg.durability, ..RecoverOptions::default() };
+        let (recovered, report) = ConcurrentViperStore::<LockedMap>::recover_shared_with_model(
+            dev,
+            cfg.layout,
+            opts,
+            Recorder::disabled(),
+            |pairs, _| LockedMap(li_sync::sync::RwLock::new(pairs.iter().copied().collect())),
+        );
+        assert!(report.from_checkpoint);
+        assert_eq!(report.replayed, 1, "only the post-checkpoint put is in the tail");
+        assert_eq!(recovered.len(), 2_001);
+        let mut buf = vec![0u8; vs];
+        assert!(recovered.get(99_999, &mut buf));
+        assert_eq!(buf, vec![7u8; vs]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
             durability: lip::nvm::DurabilityTracking::Shadow,
         },
         crash_safe_updates: false,
+        durability: None,
     };
 
     println!("loading {n} records into the store (crash tracking on)...");

@@ -39,8 +39,8 @@ use li_core::telemetry::{Recorder, TelemetrySnapshot};
 use li_core::Sharded;
 use li_nvm::{FaultCountersSnapshot, FaultPlan, NvmConfig, NvmDevice, NvmError};
 use li_viper::{
-    ConcurrentViperStore, RecordLayout, RecoverOptions, RecoveryReport, RetryPolicy, ViperError,
-    ViperStore,
+    ConcurrentViperStore, DurabilityConfig, RecordLayout, RecoverOptions, RecoveryReport,
+    RetryPolicy, ViperError, ViperStore,
 };
 
 use crate::{AnyIndex, IndexKind};
@@ -104,6 +104,15 @@ pub struct TortureConfig {
     /// counts as "not applied"; on, the store rides out short device-full
     /// windows and write-failure bursts, and the oracle must still hold.
     pub retry: bool,
+    /// Carve a WAL + checkpoint region and log every mutation; recovery
+    /// then prefers checkpoint + replay, and the oracle must hold across
+    /// crash points inside WAL appends, group-commit flushes and
+    /// checkpoint writes alike. `None` keeps the log-free store.
+    pub durability: Option<DurabilityConfig>,
+    /// With durability: write a checkpoint after every this-many acked
+    /// ops (0 = only the recovery-time checkpoints), putting the
+    /// checkpoint writer itself inside the crash schedule.
+    pub checkpoint_every: usize,
 }
 
 impl TortureConfig {
@@ -117,6 +126,8 @@ impl TortureConfig {
             verify_checksums: true,
             shards: 0,
             retry: false,
+            durability: None,
+            checkpoint_every: 0,
         }
     }
 
@@ -128,6 +139,24 @@ impl TortureConfig {
     /// [`TortureConfig::quick`] with the self-healing retry path armed.
     pub fn quick_retrying(kind: IndexKind) -> Self {
         TortureConfig { retry: true, ..TortureConfig::quick(kind) }
+    }
+
+    /// [`TortureConfig::quick`] with WAL + checkpoint durability: the
+    /// ring is sized so a 400-op run can never legitimately fill it
+    /// (WalFull would mask the crash schedule with inline checkpoints),
+    /// and a checkpoint lands every 64 acked ops so crash points hit the
+    /// checkpoint writer too.
+    pub fn quick_durable(kind: IndexKind) -> Self {
+        TortureConfig {
+            durability: Some(DurabilityConfig::sized_for(512, 1024)),
+            checkpoint_every: 64,
+            ..TortureConfig::quick(kind)
+        }
+    }
+
+    /// [`TortureConfig::quick_durable`] against the shared-writer store.
+    pub fn quick_durable_sharded(kind: IndexKind) -> Self {
+        TortureConfig { shards: 4, ..TortureConfig::quick_durable(kind) }
     }
 }
 
@@ -210,6 +239,13 @@ impl Driver {
         }
     }
 
+    fn checkpoint_now(&mut self) -> Result<bool, ViperError> {
+        match self {
+            Driver::Single(s) => s.checkpoint_now(),
+            Driver::Sharded(s) => s.checkpoint_now(),
+        }
+    }
+
     fn into_device(self) -> Arc<NvmDevice> {
         match self {
             Driver::Single(s) => s.into_device(),
@@ -259,7 +295,11 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     // Capacity: live set + out-of-place churn + headroom. Quarantined
     // slots are never reused, but a single run recovers only once.
     let pages = (cfg.key_space as usize * 3) / spp + 8;
-    let nvm = NvmConfig::fast_with_crash(pages * layout.page_size);
+    // The durability region stacks on top of the heap's sizing.
+    let region = cfg.durability.map_or(0, |d| {
+        d.region_bytes().div_ceil(layout.page_size) * layout.page_size + layout.page_size
+    });
+    let nvm = NvmConfig::fast_with_crash(pages * layout.page_size + region);
     // Horizon ≈ device ops the workload will issue (≤ 9 per put).
     let plan = FaultPlan::random(seed, cfg.ops as u64 * 7);
     let dev = Arc::new(NvmDevice::with_faults(nvm, &plan));
@@ -269,8 +309,8 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
     // initial recover scans a blank device, so every `QuarantineSlot` it
     // accumulates comes from the post-crash recovery alone.
     let recorder = Recorder::enabled();
-    let (mut store, _) =
-        Driver::recover(cfg, Arc::clone(&dev), layout, RecoverOptions::default(), recorder.clone());
+    let opts = RecoverOptions { durability: cfg.durability, ..RecoverOptions::default() };
+    let (mut store, _) = Driver::recover(cfg, Arc::clone(&dev), layout, opts, recorder.clone());
     store.set_crash_safe_updates(cfg.crash_safe_updates);
     if cfg.retry {
         store.set_retry_policy(RetryPolicy::standard(seed));
@@ -327,6 +367,19 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
                 Err(_) => {}
             }
         }
+        if cfg.checkpoint_every > 0
+            && ops_acked > 0
+            && ops_acked.is_multiple_of(cfg.checkpoint_every)
+        {
+            // The checkpoint writer runs inside the crash schedule: a
+            // crash point firing mid-blob or mid-manifest must leave the
+            // previous generation (or the rescan) recoverable. Transient
+            // checkpoint faults just leave the lag for later.
+            if let Err(ViperError::Nvm(NvmError::Crashed)) = store.checkpoint_now() {
+                crashed_mid_run = true;
+                break;
+            }
+        }
     }
 
     // Pull the plug: unpersisted state vanishes, the device un-freezes.
@@ -341,7 +394,11 @@ pub fn torture_run(seed: u64, cfg: &TortureConfig) -> TortureOutcome {
         cfg,
         dev,
         layout,
-        RecoverOptions { verify_checksums: cfg.verify_checksums },
+        RecoverOptions {
+            verify_checksums: cfg.verify_checksums,
+            durability: cfg.durability,
+            ..RecoverOptions::default()
+        },
         recorder.clone(),
     );
 
@@ -494,6 +551,40 @@ mod tests {
         // causality invariant must hold across many seeds.
         for seed in 0..24u64 {
             let out = torture_run(seed, &TortureConfig::quick_retrying(IndexKind::BTree));
+            assert!(out.passed(), "seed {seed}: {:?}", out.divergences);
+        }
+    }
+
+    #[test]
+    fn durable_fault_free_seed_recovers_via_checkpoint() {
+        // Durable twin of fault_free_seed_recovers_exactly: the post-crash
+        // recovery must come from checkpoint + WAL replay, not a rescan,
+        // and the log must drain on every acked mutation.
+        let mut cfg = TortureConfig::quick_durable(IndexKind::BTree);
+        cfg.ops = 30;
+        let out = torture_run(3, &cfg);
+        assert!(out.passed(), "divergences: {:?}", out.divergences);
+        assert!(out.ops_acked > 0);
+        assert!(out.report.from_checkpoint, "expected checkpoint-based recovery");
+        use li_core::telemetry::{Event, OpKind};
+        // Puts may error before reaching the log (fault windows), and
+        // absent-key deletes ack without logging, so the workload only
+        // bounds appends loosely; commits can never outnumber appends.
+        assert!(out.telemetry.event(Event::WalAppend) > 0);
+        assert!(out.telemetry.event(Event::GroupCommit) <= out.telemetry.event(Event::WalAppend));
+        assert!(out.telemetry.event(Event::GroupCommit) > 0);
+        assert!(out.telemetry.event(Event::CheckpointWritten) >= 1);
+        assert_eq!(out.telemetry.event(Event::QuarantineSlot), out.report.quarantined as u64);
+        assert_eq!(out.telemetry.op(OpKind::Recovery).count, 2);
+    }
+
+    #[test]
+    fn durable_store_satisfies_oracle_across_seeds() {
+        // Crash points now land inside WAL appends, group-commit flushes
+        // and mid-run checkpoint writes; acked writes must still never be
+        // lost beyond the dropped-flush/torn-write budget.
+        for seed in 0..12u64 {
+            let out = torture_run(seed, &TortureConfig::quick_durable(IndexKind::BTree));
             assert!(out.passed(), "seed {seed}: {:?}", out.divergences);
         }
     }

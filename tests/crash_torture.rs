@@ -128,8 +128,11 @@ fn dropped_flush_corruption_caught_only_by_checksum() {
     // Pre-hardening recovery (verification off): the slot's state byte
     // says LIVE, so a never-written record surfaces — the harness fails
     // if quarantine is disabled.
-    let (heap, live, report) =
-        RecordHeap::recover_with_report(dev, layout, RecoverOptions { verify_checksums: false });
+    let (heap, live, report) = RecordHeap::recover_with_report(
+        dev,
+        layout,
+        RecoverOptions { verify_checksums: false, ..RecoverOptions::default() },
+    );
     assert_eq!(report.quarantined, 0);
     assert_eq!(live.len(), 1, "unverified recovery trusts the corrupt slot");
     let (bogus_key, bogus_off) = live[0];
@@ -200,5 +203,172 @@ fn torture_runs_are_deterministic() {
         assert_eq!(a.faults, b.faults, "seed {seed}");
         assert_eq!(a.report, b.report, "seed {seed}");
         assert_eq!(a.divergences, b.divergences, "seed {seed}");
+    }
+}
+
+/// Durable twin of the main sweep: 120 seeded schedules (40 per backend)
+/// against the WAL + checkpoint store. Crash points now also land inside
+/// WAL appends, group-commit flushes and mid-run checkpoint writes, and
+/// the recovery under test is checkpoint + log replay rather than a page
+/// rescan — the oracle (zero lost acked writes beyond the lying-fault
+/// budget) must hold regardless.
+#[test]
+fn durable_stores_survive_torture() {
+    let kinds = [IndexKind::BTree, IndexKind::Pgm, IndexKind::Alex];
+    let mut crashes = 0u64;
+    let mut from_checkpoint = 0usize;
+    let mut failures = Vec::new();
+    for &kind in &kinds {
+        let cfg = TortureConfig::quick_durable(kind);
+        for seed in 0..40u64 {
+            let out = torture_run(seed, &cfg);
+            crashes += out.faults.crash_triggers;
+            from_checkpoint += out.report.from_checkpoint as usize;
+            if !out.passed() {
+                failures.push(format!(
+                    "kind={} seed={}: {:?}",
+                    kind.name(),
+                    out.seed,
+                    out.divergences
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "oracle divergences:\n{}", failures.join("\n"));
+    assert!(crashes > 60, "only {crashes} crash points fired across 120 durable runs");
+    // The fast path must actually be the common case, not a lucky fallback.
+    assert!(from_checkpoint > 90, "only {from_checkpoint}/120 runs recovered from a checkpoint");
+}
+
+/// Shared-writer durable stores under the same schedules.
+#[test]
+fn sharded_durable_store_survives_torture() {
+    let cfg = TortureConfig::quick_durable_sharded(IndexKind::BTree);
+    for seed in 300..320u64 {
+        let out = torture_run(seed, &cfg);
+        assert!(out.passed(), "seed {}: {:?}", out.seed, out.divergences);
+    }
+}
+
+/// Exhaustive directed crash points for the durability tentpole: a
+/// rehearsal run (no faults) measures the device-op windows of one WAL
+/// append + group-commit flush, one explicit checkpoint write, and the
+/// post-checkpoint log tail; the script is then replayed once per device
+/// op in those windows with a crash pinned to exactly that op. Every
+/// replay must recover all acked writes byte-exactly (crash-only plans
+/// have a zero lying-fault budget) and the in-flight op must be
+/// either-or.
+#[test]
+fn every_crash_point_in_wal_append_group_commit_and_checkpoint_recovers() {
+    use lip::core::traits::BulkBuildIndex;
+    use lip::nvm::NvmError;
+    use lip::torture::{decode_version, value_pattern};
+    use lip::traditional::BPlusTree;
+    use lip::viper::{DurabilityConfig, ViperError, ViperStore};
+    use std::collections::BTreeMap;
+
+    let layout = RecordLayout::small();
+    let durability = DurabilityConfig::sized_for(256, 64);
+    let capacity = 32 * layout.page_size
+        + durability.region_bytes().div_ceil(layout.page_size) * layout.page_size
+        + layout.page_size;
+    let opts = RecoverOptions { durability: Some(durability), ..RecoverOptions::default() };
+
+    // Runs the deterministic script against `plan`; returns the acked
+    // (key -> version) map, the op the script crashed on (if any), the
+    // in-flight key, and window marks (taken with `FaultPlan::none`).
+    struct Run {
+        acked: BTreeMap<u64, u64>,
+        in_flight: Option<u64>,
+        dev: Arc<NvmDevice>,
+        marks: [u64; 2],
+    }
+    let script = |plan: &FaultPlan| -> Run {
+        let dev = Arc::new(NvmDevice::with_faults(NvmConfig::fast_with_crash(capacity), plan));
+        let (mut store, _) = ViperStore::<BPlusTree>::recover_with_options(
+            Arc::clone(&dev),
+            layout,
+            opts,
+            BPlusTree::build,
+        );
+        let ops = |d: &NvmDevice| d.fault_injector().expect("injected device").ops();
+        let mut acked = BTreeMap::new();
+        let mut in_flight = None;
+        let mut value = vec![0u8; layout.value_size];
+        let mut marks = [0u64; 2];
+        // Setup writes, then the probe put (WAL append + group commit),
+        // then a checkpoint, then a replayed tail — all distinct keys.
+        let phases: [&[u64]; 3] = [&[1, 2, 3, 4, 5, 6, 7, 8], &[100], &[200, 201, 202]];
+        'outer: for (i, keys) in phases.iter().enumerate() {
+            if i == 1 {
+                marks[0] = ops(&dev);
+            }
+            for &key in *keys {
+                value_pattern(key, key + 1, &mut value);
+                match store.put(key, &value) {
+                    Ok(()) => {
+                        acked.insert(key, key + 1);
+                    }
+                    Err(ViperError::Nvm(NvmError::Crashed)) => {
+                        in_flight = Some(key);
+                        break 'outer;
+                    }
+                    Err(e) => panic!("unexpected error on key {key}: {e}"),
+                }
+            }
+            if i == 1 {
+                // The explicit checkpoint sits between probe and tail so
+                // the sweep crosses blob + manifest writes too.
+                match store.checkpoint_now() {
+                    Ok(_) => {}
+                    Err(ViperError::Nvm(NvmError::Crashed)) => break 'outer,
+                    Err(e) => panic!("unexpected checkpoint error: {e}"),
+                }
+            }
+        }
+        marks[1] = ops(&dev);
+        drop(store);
+        Run { acked, in_flight, dev, marks }
+    };
+
+    let rehearsal = script(&FaultPlan::none());
+    assert!(rehearsal.in_flight.is_none(), "rehearsal must not crash");
+    assert_eq!(rehearsal.acked.len(), 12);
+    let [probe_start, end] = rehearsal.marks;
+    assert!(end > probe_start + 8, "window too small to be the real append+checkpoint path");
+
+    let mut value = vec![0u8; layout.value_size];
+    for op in probe_start..end {
+        let run = script(&FaultPlan::crash_at(op));
+        let mut dev = Arc::try_unwrap(run.dev).ok().expect("script dropped its store");
+        dev.crash();
+        let (store, report) = ViperStore::<BPlusTree>::recover_with_options(
+            Arc::new(dev),
+            layout,
+            opts,
+            BPlusTree::build,
+        );
+        assert!(report.from_checkpoint, "op {op}: durable recovery must use the checkpoint");
+        for (&key, &version) in &run.acked {
+            assert!(store.get(key, &mut value), "op {op}: acked key {key} lost");
+            assert_eq!(
+                decode_version(key, &value),
+                Some(version),
+                "op {op}: acked key {key} came back wrong"
+            );
+        }
+        // The in-flight op is either-or: absent, or complete and correct.
+        let mut expected = run.acked.len();
+        if let Some(key) = run.in_flight {
+            if store.get(key, &mut value) {
+                assert_eq!(
+                    decode_version(key, &value),
+                    Some(key + 1),
+                    "op {op}: in-flight key {key} surfaced torn"
+                );
+                expected += 1;
+            }
+        }
+        assert_eq!(store.len(), expected, "op {op}: phantom records surfaced");
     }
 }

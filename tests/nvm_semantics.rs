@@ -19,6 +19,7 @@ fn crash_config(records: usize) -> StoreConfig {
             durability: DurabilityTracking::Shadow,
         },
         crash_safe_updates: false,
+        durability: None,
     }
 }
 

@@ -56,15 +56,25 @@ pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Viola
     out.extend(sync_shim(file, &cleaned));
     out.extend(safety_comments(file, &cleaned));
     out.extend(relaxed_allowlist(file, &cleaned, allow));
-    if is_viper_store(file) {
-        out.extend(hot_path_panics(file, &cleaned, &excluded));
+    if let Some(hot) = hot_fns(file) {
+        out.extend(hot_path_panics(file, &cleaned, &excluded, hot));
     }
     out
 }
 
-fn is_viper_store(file: &Path) -> bool {
+/// Per-file list of hot-path functions R4 holds panic-free. The store's
+/// user-facing ops and the WAL's append/replay paths sit on every durable
+/// put/delete and on recovery; a panic there turns an injectable device
+/// fault into an outage.
+fn hot_fns(file: &Path) -> Option<&'static [&'static str]> {
     let f = file.to_string_lossy().replace('\\', "/");
-    f.ends_with("viper/src/store.rs")
+    if f.ends_with("viper/src/store.rs") {
+        Some(&["put", "get", "delete"])
+    } else if f.ends_with("viper/src/wal.rs") {
+        Some(&["append", "commit_through", "flush_batch", "replay", "max_lsn"])
+    } else {
+        None
+    }
 }
 
 /// Byte spans of `#[cfg(test)]`-gated blocks in cleaned code.
@@ -198,13 +208,13 @@ pub fn relaxed_allowlist(
     out
 }
 
-/// R4: Viper `put` / `get` / `delete` never panic.
+/// R4: hot-path functions (see [`hot_fns`]) never panic.
 pub fn hot_path_panics(
     file: &Path,
     cleaned: &Cleaned,
     excluded: &[(usize, usize)],
+    hot: &[&str],
 ) -> Vec<Violation> {
-    const HOT: [&str; 3] = ["put", "get", "delete"];
     const BANNED: [&str; 6] =
         [".unwrap(", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
     let code = &cleaned.code;
@@ -218,7 +228,7 @@ pub fn hot_path_panics(
         let name_start = rest.len() - rest.trim_start().len();
         let name: String =
             rest[name_start..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
-        if !HOT.contains(&name.as_str()) {
+        if !hot.contains(&name.as_str()) {
             continue;
         }
         // Body = next `{` before any `;` (a `;` first means a trait decl).
@@ -331,6 +341,18 @@ mod tests {
         // An entry without a reason does not allow.
         let noreason = "crates/x/src/lib.rs =\n";
         assert_eq!(lint("crates/x/src/lib.rs", src, noreason).len(), 1);
+    }
+
+    #[test]
+    fn r4_covers_wal_append_and_replay_paths() {
+        let src = "impl Wal {\n    pub fn append(&self) { x.unwrap(); }\n}\n";
+        let v = lint("crates/viper/src/wal.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-panics");
+        let src = "impl Wal {\n    pub fn replay() { panic!(); }\n    fn slot_of(&self) { y.unwrap(); }\n}\n";
+        let v = lint("crates/viper/src/wal.rs", src, "");
+        assert_eq!(v.len(), 1, "non-hot helpers are not checked: {v:?}");
+        assert_eq!(v[0].line, 2);
     }
 
     #[test]
