@@ -63,7 +63,7 @@ fn parse_args(default_inserts: usize) -> Args {
     args
 }
 
-fn build(loaded: &[Key], shards: usize) -> ConcurrentViperStore<Sharded<AnyIndex>> {
+fn build(loaded: &[Key], shards: usize) -> ConcurrentViperStore<Sharded> {
     let config = StoreConfig::paper(loaded.len() * 4 + 1024);
     ConcurrentViperStore::bulk_load_shared(config, loaded, harness::value_of, |pairs| {
         Sharded::build_with(shards, pairs, |chunk| AnyIndex::build(IndexKind::FitingBuf, chunk))
@@ -71,7 +71,7 @@ fn build(loaded: &[Key], shards: usize) -> ConcurrentViperStore<Sharded<AnyIndex
 }
 
 /// Drives the insert stream single-threaded, recording per-op latency.
-fn drive(store: &ConcurrentViperStore<Sharded<AnyIndex>>, inserts: &[Key]) -> LatencyHistogram {
+fn drive(store: &ConcurrentViperStore<Sharded>, inserts: &[Key]) -> LatencyHistogram {
     let vs = store.heap().layout().value_size;
     let mut val = vec![0u8; vs];
     let mut hist = LatencyHistogram::new();

@@ -35,6 +35,7 @@ pub mod pieces;
 pub mod search;
 pub mod shard;
 pub mod traits;
+pub mod tuner;
 pub mod types;
 
 /// Re-export of the observability crate so index crates reach it through
@@ -43,9 +44,13 @@ pub use li_telemetry as telemetry;
 
 pub use hot::HotCache;
 pub use model::LinearModel;
-pub use shard::{Admission, AdmissionGuard, Native, Saturated, Sharded};
+pub use shard::{
+    AdaptError, AdaptiveConfig, Admission, AdmissionGuard, BoxShard, KindSpec, Native, Saturated,
+    ShardIndex, Sharded,
+};
 pub use traits::{
-    BulkBuildIndex, ConcurrentIndex, DepthStats, Index, OrderedIndex, TwoPhaseLookup,
+    BulkBuildIndex, ConcurrentIndex, DepthStats, Index, NativeWriter, OrderedIndex, TwoPhaseLookup,
     UpdatableIndex,
 };
+pub use tuner::{KindId, ShardObs, Tuner, TunerAction, TunerConfig};
 pub use types::{Key, KeyValue, Value};

@@ -49,6 +49,27 @@ pub trait Index: Send + Sync {
     fn model_save(&self) -> Option<Vec<u8>> {
         None
     }
+
+    /// Probes for a natively write-concurrent surface. `Some` means this
+    /// index accepts inserts/removes through a shared reference (XIndex's
+    /// fine-grained internal locking), so a router holding only a *read*
+    /// lock on the cell may write through it. `None` (the default) routes
+    /// writes through the router's exclusive lock. This lives on `Index`
+    /// rather than a blanket impl so wrappers (`AnyIndex`) can forward it
+    /// per variant without coherence conflicts.
+    fn native_writer(&self) -> Option<&dyn NativeWriter> {
+        None
+    }
+}
+
+/// Shared-reference write surface exposed by indexes whose internal
+/// synchronization already makes concurrent writers safe (XIndex in the
+/// paper's lineup, Table I). Obtained via [`Index::native_writer`].
+pub trait NativeWriter: Send + Sync {
+    /// Insert/update through a shared reference.
+    fn insert(&self, key: Key, value: Value) -> Option<Value>;
+    /// Remove through a shared reference.
+    fn remove(&self, key: Key) -> Option<Value>;
 }
 
 /// Indexes that support ordered range scans (every index in the paper except
@@ -123,6 +144,15 @@ pub trait ConcurrentIndex: Send + Sync {
 
     /// Shared-reference twin of [`UpdatableIndex::run_pending_retrains`].
     fn run_pending_retrains(&self, _budget: usize) -> usize {
+        0
+    }
+
+    /// Runs one round of online adaptation (shard split/merge, index-kind
+    /// hot-swap) off the critical path; returns the number of structural
+    /// actions committed. The default does nothing — only adaptive
+    /// routers (`Sharded` with a tuner attached) override it, and the
+    /// `MaintenanceWorker` calls it once per pass.
+    fn run_adaptation(&self) -> usize {
         0
     }
 }

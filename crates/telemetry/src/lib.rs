@@ -87,11 +87,24 @@ pub enum Event {
     /// Recovery replayed WAL records past the checkpoint watermark
     /// (counted per record applied).
     LogReplay,
+    /// An online shard split committed: one hot shard range was cut into
+    /// two at its median key behind an atomic boundary-table swap.
+    ShardSplit,
+    /// An online shard merge committed: two cold adjacent shard ranges
+    /// were combined into one.
+    ShardMerge,
+    /// A shard's inner index kind was hot-swapped (background rebuild +
+    /// side-buffer replay + atomic cutover).
+    KindSwap,
+    /// The adaptation tuner issued a decision (split/merge/swap). Every
+    /// `ShardSplit`/`ShardMerge`/`KindSwap` is preceded by exactly one of
+    /// these; a decision whose cutover aborts leaves the count ahead.
+    TunerDecision,
 }
 
 impl Event {
     /// All variants, in counter-array order.
-    pub const ALL: [Event; 19] = [
+    pub const ALL: [Event; 23] = [
         Event::Retrain,
         Event::SplitNode,
         Event::ExpandNode,
@@ -111,6 +124,10 @@ impl Event {
         Event::GroupCommit,
         Event::CheckpointWritten,
         Event::LogReplay,
+        Event::ShardSplit,
+        Event::ShardMerge,
+        Event::KindSwap,
+        Event::TunerDecision,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -141,6 +158,10 @@ impl Event {
             Event::GroupCommit => "group_commit",
             Event::CheckpointWritten => "checkpoint_written",
             Event::LogReplay => "log_replay",
+            Event::ShardSplit => "shard_split",
+            Event::ShardMerge => "shard_merge",
+            Event::KindSwap => "kind_swap",
+            Event::TunerDecision => "tuner_decision",
         }
     }
 }

@@ -41,6 +41,10 @@ pub struct MaintenancePass {
     /// Whether this pass wrote a checkpoint (WAL lag had reached
     /// [`crate::DurabilityConfig::checkpoint_lag`]).
     pub checkpoint_written: bool,
+    /// Shard adaptations (splits, merges, kind swaps) committed by this
+    /// pass's `run_adaptation` call — 0 for non-adaptive indexes and the
+    /// single-writer route.
+    pub adaptations: usize,
 }
 
 impl MaintenancePass {
@@ -53,6 +57,7 @@ impl MaintenancePass {
             || self.pages_reclaimed > 0
             || self.lifted_read_only
             || self.checkpoint_written
+            || self.adaptations > 0
     }
 }
 
@@ -186,6 +191,7 @@ struct WorkerCounters {
     pages_reclaimed: AtomicU64,
     lifted_read_only: AtomicU64,
     checkpoints: AtomicU64,
+    adaptations: AtomicU64,
     /// Millis since worker start at which the last pass completed.
     last_tick_ms: AtomicU64,
     stalled: AtomicBool,
@@ -203,6 +209,9 @@ pub struct MaintenanceStats {
     pub lifted_read_only: u64,
     /// Checkpoints written by lag-triggered passes.
     pub checkpoints: u64,
+    /// Shard adaptations (splits, merges, kind swaps) committed by
+    /// maintenance passes.
+    pub adaptations: u64,
     /// Whether the watchdog ever flagged a stall.
     pub stalled: bool,
 }
@@ -217,6 +226,7 @@ impl WorkerCounters {
         self.pages_reclaimed.fetch_add(pass.pages_reclaimed as u64, Ordering::Relaxed);
         self.lifted_read_only.fetch_add(pass.lifted_read_only as u64, Ordering::Relaxed);
         self.checkpoints.fetch_add(pass.checkpoint_written as u64, Ordering::Relaxed);
+        self.adaptations.fetch_add(pass.adaptations as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> MaintenanceStats {
@@ -229,6 +239,7 @@ impl WorkerCounters {
             pages_reclaimed: self.pages_reclaimed.load(Ordering::Relaxed),
             lifted_read_only: self.lifted_read_only.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            adaptations: self.adaptations.load(Ordering::Relaxed),
             stalled: self.stalled.load(Ordering::Acquire),
         }
     }

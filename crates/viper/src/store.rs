@@ -1328,6 +1328,9 @@ impl<I: Index + UpdatableIndex> ViperStore<I, SingleWriter> {
             pages_reclaimed,
             lifted_read_only,
             checkpoint_written,
+            // Online shard adaptation needs the shared-writer route; the
+            // single-writer store has no concurrent router to adapt.
+            adaptations: 0,
         }
     }
 }
@@ -1449,6 +1452,10 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
     pub fn run_maintenance(&self, retrain_budget: usize) -> crate::MaintenancePass {
         let t = self.recorder.start();
         let retrains_run = ConcurrentIndex::run_pending_retrains(&self.index, retrain_budget);
+        // After drains, before space work: adaptation may rebuild shards,
+        // and a freshly swapped shard should not immediately re-park
+        // retrains this same pass.
+        let adaptations = ConcurrentIndex::run_adaptation(&self.index);
         let stale_retired = self.sweep_stale_slots();
         let repair = self.repair_quarantined();
         let pages_reclaimed = self.reclaim_dead_pages();
@@ -1463,6 +1470,7 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
             pages_reclaimed,
             lifted_read_only,
             checkpoint_written,
+            adaptations,
         }
     }
 
@@ -1847,9 +1855,9 @@ pub(crate) mod tests {
         // single-writer one had: bulk load, ordered scans, recovery.
         let keys: Vec<Key> = (0..500u64).map(|i| i * 4).collect();
         let cfg = StoreConfig::test(1_000);
-        let store: ConcurrentViperStore<li_core::shard::Sharded<MapIndex>> =
+        let store: ConcurrentViperStore<li_core::shard::Sharded> =
             ConcurrentViperStore::bulk_load_shared(cfg, &keys, value_for, |pairs| {
-                li_core::shard::Sharded::build(4, pairs)
+                li_core::shard::Sharded::build::<MapIndex>(4, pairs)
             });
         assert_eq!(store.len(), 500);
         let vs = cfg.layout.value_size;
@@ -1861,11 +1869,11 @@ pub(crate) mod tests {
 
         let dev = store.into_device();
         let (recovered, report) =
-            ConcurrentViperStore::<li_core::shard::Sharded<MapIndex>>::recover_shared_with_options(
+            ConcurrentViperStore::<li_core::shard::Sharded>::recover_shared_with_options(
                 dev,
                 cfg.layout,
                 RecoverOptions::default(),
-                |pairs| li_core::shard::Sharded::build(4, pairs),
+                |pairs| li_core::shard::Sharded::build::<MapIndex>(4, pairs),
             );
         assert_eq!(recovered.len(), 500);
         assert_eq!(report.quarantined, 0);

@@ -25,7 +25,7 @@ use li_core::pieces::structure::{InnerStructure, RmiInner};
 use li_core::search::lower_bound_kv;
 use li_core::telemetry::{Event, OpKind, Recorder};
 use li_core::traits::{
-    BulkBuildIndex, ConcurrentIndex, DepthStats, Index, OrderedIndex, UpdatableIndex,
+    BulkBuildIndex, ConcurrentIndex, DepthStats, Index, NativeWriter, OrderedIndex, UpdatableIndex,
 };
 use li_core::{Key, KeyValue, LinearModel, Value};
 use li_sync::sync::{Mutex, RwLock};
@@ -415,6 +415,23 @@ impl Index for XIndex {
 
     fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    fn native_writer(&self) -> Option<&dyn NativeWriter> {
+        Some(self)
+    }
+}
+
+/// XIndex's fine-grained internal locking makes `&self` writes safe, so a
+/// router holding only a read lock on its cell may write through this
+/// surface (the paper's Table I "concurrent writes" column).
+impl NativeWriter for XIndex {
+    fn insert(&self, key: Key, value: Value) -> Option<Value> {
+        self.insert_impl(key, value)
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        self.remove_impl(key)
     }
 }
 

@@ -335,6 +335,16 @@ impl Index for AnyIndex {
     fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
         dispatch!(self, i => i.set_recorder(recorder));
     }
+
+    /// XIndex is the only kind with a shared-reference write surface
+    /// (Table I); for it the sharded router can write under its cell
+    /// *read* lock instead of the exclusive path.
+    fn native_writer(&self) -> Option<&dyn li_core::traits::NativeWriter> {
+        match self {
+            AnyIndex::XIndex(i) => Index::native_writer(i),
+            _ => None,
+        }
+    }
 }
 
 impl OrderedIndex for AnyIndex {
@@ -512,13 +522,48 @@ impl ConcurrentKind {
     }
 }
 
-/// A runtime-selected write-concurrent index: either a natively concurrent
-/// index passed through lock-free, or any updatable [`AnyIndex`] lifted by
-/// range sharding.
-pub enum AnyConcurrentIndex {
-    Native(li_core::shard::Native<li_xindex::XIndex>),
-    Sharded(li_core::shard::Sharded<AnyIndex>),
+/// Policy table for the self-tuning route: which [`IndexKind`]s the tuner
+/// may rebuild shards under as the observed workload regime shifts.
+///
+/// The defaults encode the regime findings of "Are Updatable Learned
+/// Indexes Ready?" (PAPERS.md): gapped-ALEX wins insert-heavy phases, PGM
+/// wins read-mostly phases.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    /// Kind every shard starts as.
+    pub initial: IndexKind,
+    /// Rebuild target for shards whose write fraction crosses the tuner's
+    /// write-heavy threshold.
+    pub write_heavy: IndexKind,
+    /// Rebuild target for shards whose write fraction drops below the
+    /// tuner's read-mostly threshold.
+    pub read_mostly: IndexKind,
+    /// Hysteresis and thresholds; kind targets are filled in by
+    /// [`AnyConcurrentIndex::build_adaptive`].
+    pub tuner: li_core::TunerConfig,
 }
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            initial: IndexKind::Pgm,
+            write_heavy: IndexKind::Alex,
+            read_mostly: IndexKind::Pgm,
+            tuner: li_core::TunerConfig::default(),
+        }
+    }
+}
+
+/// A runtime-selected write-concurrent index: the heterogeneous
+/// [`li_core::Sharded`] router specialised to [`AnyIndex`] shards.
+///
+/// All three of the paper's concurrency routes collapse onto the one
+/// router: the native route (XIndex) is a single shard with the
+/// shared-reference write path enabled, the global-lock baseline is a
+/// single shard without it, and the sharded route is N exclusive shards.
+/// [`AnyConcurrentIndex::build_adaptive`] additionally arms online shard
+/// split/merge and kind hot-swap.
+pub struct AnyConcurrentIndex(li_core::Sharded);
 
 impl AnyConcurrentIndex {
     /// Bulk-builds a concurrent index over sorted pairs with the default
@@ -527,71 +572,92 @@ impl AnyConcurrentIndex {
         Self::build_with_shards(kind, ConcurrentKind::DEFAULT_SHARDS, data)
     }
 
-    /// Bulk-builds with an explicit shard count (ignored by the native
-    /// route; forced to 1 by the global-lock route).
+    /// Bulk-builds with an explicit shard count (forced to 1 by the
+    /// native and global-lock routes).
     pub fn build_with_shards(kind: ConcurrentKind, shards: usize, data: &[KeyValue]) -> Self {
-        match kind.via {
-            ConcurrentVia::Native => {
-                debug_assert_eq!(kind.index, IndexKind::XIndex);
-                AnyConcurrentIndex::Native(li_core::shard::Native(li_xindex::XIndex::build(data)))
-            }
-            ConcurrentVia::Sharded => AnyConcurrentIndex::Sharded(
-                li_core::shard::Sharded::build_with(shards, data, |chunk| {
-                    AnyIndex::build(kind.index, chunk)
-                }),
-            ),
-            ConcurrentVia::GlobalLock => {
-                AnyConcurrentIndex::Sharded(li_core::shard::Sharded::build_with(1, data, |chunk| {
-                    AnyIndex::build(kind.index, chunk)
-                }))
-            }
+        let shards = match kind.via {
+            ConcurrentVia::Native | ConcurrentVia::GlobalLock => 1,
+            ConcurrentVia::Sharded => shards,
+        };
+        let mut inner =
+            li_core::Sharded::build_with(shards, data, |chunk| AnyIndex::build(kind.index, chunk));
+        if kind.via == ConcurrentVia::Native {
+            debug_assert_eq!(kind.index, IndexKind::XIndex);
+            inner.set_allow_native(true);
         }
+        AnyConcurrentIndex(inner)
+    }
+
+    /// Bulk-builds a self-tuning router: shards start as `policy.initial`
+    /// and the maintenance-driven tuner may split/merge them and hot-swap
+    /// them among the policy's kinds as the workload drifts.
+    pub fn build_adaptive(shards: usize, data: &[KeyValue], policy: AdaptivePolicy) -> Self {
+        let AdaptivePolicy { initial, write_heavy, read_mostly, mut tuner } = policy;
+        let mut lineup: Vec<IndexKind> = Vec::new();
+        let id_of = |k: IndexKind, lineup: &mut Vec<IndexKind>| -> li_core::KindId {
+            match lineup.iter().position(|&have| have == k) {
+                Some(i) => i as li_core::KindId,
+                None => {
+                    lineup.push(k);
+                    (lineup.len() - 1) as li_core::KindId
+                }
+            }
+        };
+        let initial_id = id_of(initial, &mut lineup);
+        tuner.write_heavy_kind = Some(id_of(write_heavy, &mut lineup));
+        tuner.read_mostly_kind = Some(id_of(read_mostly, &mut lineup));
+        let kinds = lineup
+            .into_iter()
+            .map(|k| {
+                li_core::KindSpec::new(k.name(), move |chunk| Box::new(AnyIndex::build(k, chunk)))
+            })
+            .collect();
+        let mut cfg = li_core::AdaptiveConfig::new(kinds, initial_id);
+        cfg.tuner = tuner;
+        AnyConcurrentIndex(li_core::Sharded::build_adaptive(shards, data, cfg))
     }
 
     /// Shard count backing this instance (1 for the native route).
     pub fn shard_count(&self) -> usize {
-        match self {
-            AnyConcurrentIndex::Native(_) => 1,
-            AnyConcurrentIndex::Sharded(s) => s.shard_count(),
-        }
+        self.0.shard_count()
     }
 }
 
-macro_rules! cdispatch {
-    ($self:ident, $i:ident => $body:expr) => {
-        match $self {
-            AnyConcurrentIndex::Native($i) => $body,
-            AnyConcurrentIndex::Sharded($i) => $body,
-        }
-    };
+/// Exposes the router's introspection and adaptation surface
+/// (`shard_kinds`, `force_split`, `run_adaptation`, …) without
+/// re-wrapping each method.
+impl core::ops::Deref for AnyConcurrentIndex {
+    type Target = li_core::Sharded;
+    fn deref(&self) -> &li_core::Sharded {
+        &self.0
+    }
 }
 
 impl Index for AnyConcurrentIndex {
     fn name(&self) -> &'static str {
-        cdispatch!(self, i => Index::name(i))
+        Index::name(&self.0)
     }
 
     fn len(&self) -> usize {
-        cdispatch!(self, i => Index::len(i))
+        Index::len(&self.0)
     }
 
     fn get(&self, key: Key) -> Option<Value> {
-        cdispatch!(self, i => Index::get(i, key))
+        Index::get(&self.0, key)
     }
 
     fn index_size_bytes(&self) -> usize {
-        cdispatch!(self, i => i.index_size_bytes())
+        self.0.index_size_bytes()
     }
 
     fn data_size_bytes(&self) -> usize {
-        cdispatch!(self, i => i.data_size_bytes())
+        self.0.data_size_bytes()
     }
 
-    /// Forwards the recorder through the concurrent wrapper: `Native`
-    /// hands it to the inner index, `Sharded` clones it into every shard
-    /// (so per-shard routing counters share one sink).
+    /// Forwards the recorder through the router, which clones it into
+    /// every shard (so per-shard routing counters share one sink).
     fn set_recorder(&mut self, recorder: li_core::telemetry::Recorder) {
-        cdispatch!(self, i => i.set_recorder(recorder));
+        self.0.set_recorder(recorder);
     }
 }
 
@@ -599,37 +665,41 @@ impl OrderedIndex for AnyConcurrentIndex {
     /// Range scan; a sharded CCEH still cannot scan (the underlying
     /// [`AnyIndex`] yields nothing) — gate on [`IndexKind::supports_range`].
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<KeyValue>) {
-        cdispatch!(self, i => i.range(lo, hi, out));
+        self.0.range(lo, hi, out);
     }
 }
 
 impl ConcurrentIndex for AnyConcurrentIndex {
     fn get(&self, key: Key) -> Option<Value> {
-        cdispatch!(self, i => ConcurrentIndex::get(i, key))
+        ConcurrentIndex::get(&self.0, key)
     }
 
     fn insert(&self, key: Key, value: Value) -> Option<Value> {
-        cdispatch!(self, i => ConcurrentIndex::insert(i, key, value))
+        ConcurrentIndex::insert(&self.0, key, value)
     }
 
     fn remove(&self, key: Key) -> Option<Value> {
-        cdispatch!(self, i => ConcurrentIndex::remove(i, key))
+        ConcurrentIndex::remove(&self.0, key)
     }
 
     fn len(&self) -> usize {
-        cdispatch!(self, i => ConcurrentIndex::len(i))
+        ConcurrentIndex::len(&self.0)
     }
 
     fn set_defer_retrains(&self, on: bool) -> bool {
-        cdispatch!(self, i => ConcurrentIndex::set_defer_retrains(i, on))
+        ConcurrentIndex::set_defer_retrains(&self.0, on)
     }
 
     fn pending_retrains(&self) -> usize {
-        cdispatch!(self, i => ConcurrentIndex::pending_retrains(i))
+        ConcurrentIndex::pending_retrains(&self.0)
     }
 
     fn run_pending_retrains(&self, budget: usize) -> usize {
-        cdispatch!(self, i => ConcurrentIndex::run_pending_retrains(i, budget))
+        ConcurrentIndex::run_pending_retrains(&self.0, budget)
+    }
+
+    fn run_adaptation(&self) -> usize {
+        ConcurrentIndex::run_adaptation(&self.0)
     }
 }
 
@@ -745,6 +815,31 @@ mod tests {
         assert_eq!(shard.shard_count(), 8);
         let native = AnyConcurrentIndex::build(ConcurrentKind::of(IndexKind::XIndex).unwrap(), &d);
         assert_eq!(native.shard_count(), 1);
+    }
+
+    #[test]
+    fn adaptive_route_swaps_kinds_and_preserves_contents() {
+        let d = data(6_000);
+        let idx = AnyConcurrentIndex::build_adaptive(4, &d, AdaptivePolicy::default());
+        assert!(idx.is_adaptive());
+        assert_eq!(idx.shard_count(), 4);
+        assert_eq!(ConcurrentIndex::len(&idx), d.len());
+        // The policy's kinds registered in lineup order, deduplicated
+        // (default policy: PGM initial + read-mostly, ALEX write-heavy).
+        assert_eq!(idx.kind_label(0), "PGM");
+        assert_eq!(idx.kind_label(1), "ALEX");
+        assert_eq!(idx.shard_kinds(), vec![0, 0, 0, 0]);
+
+        idx.force_swap(0, 1).unwrap();
+        assert_eq!(idx.shard_kinds()[0], 1);
+        idx.force_split(1).unwrap();
+        assert_eq!(idx.shard_count(), 5);
+        for &(k, v) in d.iter().step_by(101) {
+            assert_eq!(ConcurrentIndex::get(&idx, k), Some(v), "key {k} after adaptation");
+        }
+        assert_eq!(idx.insert(2, 42), None);
+        assert_eq!(ConcurrentIndex::get(&idx, 2), Some(42));
+        assert_eq!(idx.range_vec(0, u64::MAX).len(), d.len() + 1);
     }
 
     #[test]

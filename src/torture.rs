@@ -161,12 +161,12 @@ impl TortureConfig {
 }
 
 /// The store under torture: the one [`ViperStore`] in either write model,
-/// so a crash schedule can target a `Sharded<AnyIndex>` backend as easily
+/// so a crash schedule can target a `Sharded` backend as easily
 /// as the single-writer paper configuration.
 #[allow(clippy::large_enum_variant)] // one driver per run; no point boxing
 enum Driver {
     Single(ViperStore<AnyIndex>),
-    Sharded(ConcurrentViperStore<Sharded<AnyIndex>>),
+    Sharded(ConcurrentViperStore<Sharded>),
 }
 
 impl Driver {

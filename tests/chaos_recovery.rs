@@ -13,6 +13,10 @@
 //! * **Overload ladder** — the circuit breaker trips under sustained
 //!   retrain backlog, sheds puts (never deletes), and closes once the
 //!   worker drains the queue.
+//! * **Adaptation under faults** — with a drifting workload on an
+//!   adaptive router, the maintenance worker keeps committing tuner
+//!   decisions (kind swaps in both directions) through injected device
+//!   failures, and no cutover loses or duplicates an acked op.
 //! * **Bounded time** — every session runs under a deadline watchdog, so
 //!   a deadlock or livelock fails the test instead of hanging CI.
 
@@ -23,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use lip::core::telemetry::{Event, Recorder};
 use lip::core::traits::ConcurrentIndex;
-use lip::core::Sharded;
+use lip::core::{AdaptiveConfig, KindSpec, Sharded};
 use lip::nvm::{Fault, FaultPlan, NvmDevice};
 use lip::viper::{
     BreakerConfig, CircuitBreaker, ConcurrentViperStore, MaintenanceConfig, MaintenanceWorker,
@@ -81,7 +85,7 @@ fn value_of(key: u64, version: u64, buf: &mut [u8]) {
     buf[8..].fill((key % 251) as u8);
 }
 
-fn sharded_btree(shards: usize) -> impl FnOnce(&[(u64, u64)]) -> Sharded<AnyIndex> {
+fn sharded_btree(shards: usize) -> impl FnOnce(&[(u64, u64)]) -> Sharded {
     move |pairs| Sharded::build_with(shards, pairs, |c| AnyIndex::build(IndexKind::BTree, c))
 }
 
@@ -108,7 +112,7 @@ fn transient_storm_eight_threads_matches_oracle_and_exits_read_only() {
 
         let cfg = StoreConfig::test(40_000);
         let dev = Arc::new(NvmDevice::with_faults(cfg.nvm, &plan));
-        let (mut store, _) = ConcurrentViperStore::<Sharded<AnyIndex>>::recover_shared_with_options(
+        let (mut store, _) = ConcurrentViperStore::<Sharded>::recover_shared_with_options(
             dev,
             cfg.layout,
             RecoverOptions::default(),
@@ -191,12 +195,216 @@ fn transient_storm_eight_threads_matches_oracle_and_exits_read_only() {
     });
 }
 
+/// Builds a self-tuning router for the adaptive storm: shards start as
+/// B-Tree (kind 0) and the tuner may hot-swap them to gapped ALEX
+/// (kind 1) under a write-heavy mix and back under a read-mostly one.
+/// Evidence floors are lowered so decisions commit within a few of the
+/// worker's 1 ms epochs instead of the production-scale defaults.
+fn adaptive_sharded(shards: usize) -> impl FnOnce(&[(u64, u64)]) -> Sharded {
+    move |pairs| {
+        let kinds = vec![
+            KindSpec::new("btree", |c| Box::new(AnyIndex::build(IndexKind::BTree, c)) as _),
+            KindSpec::new("alex", |c| Box::new(AnyIndex::build(IndexKind::Alex, c)) as _),
+        ];
+        let mut cfg = AdaptiveConfig::new(kinds, 0);
+        cfg.tuner.write_heavy_kind = Some(1);
+        cfg.tuner.read_mostly_kind = Some(0);
+        // Through the store every put is one index lookup plus one
+        // publish, so even a pure-put storm caps out at write_frac ≈
+        // 0.5 as the router sees it — the default 0.70 threshold can
+        // never fire behind Viper. Tighten both bands to the mixes the
+        // two phases actually produce (≈0.48 and ≈0.06).
+        cfg.tuner.write_heavy_frac = 0.45;
+        cfg.tuner.read_mostly_frac = 0.35;
+        cfg.tuner.min_dwell_epochs = 1;
+        cfg.tuner.cooldown_epochs = 0;
+        cfg.tuner.min_epoch_ops = 64;
+        cfg.tuner.min_swap_ops = 128;
+        cfg.tuner.max_actions_per_epoch = 2;
+        // Pin the shard count so the storm isolates the kind-swap rule:
+        // the per-thread key clusters are so skewed that split/merge
+        // would churn every epoch, and each cutover resets the dwell
+        // clock of the cells it touches — the swap rule would starve.
+        // Split/merge under concurrent load is covered by the
+        // shard_oracle forced-adaptation session.
+        cfg.tuner.max_shards = shards;
+        cfg.tuner.min_shards = shards;
+        Sharded::build_adaptive(shards, pairs, cfg)
+    }
+}
+
+/// Drift storm on the adaptive router with fault injection: 8 writer
+/// threads run a write-heavy mix until the tuner hot-swaps a shard to
+/// the write-optimized kind, then flip to read-mostly until it swaps
+/// back — all while the device injects write failures and device-full
+/// windows and the maintenance worker is the only adaptation driver.
+/// Afterwards the store must match the per-thread oracles exactly and
+/// the telemetry causality invariant (one TunerDecision per committed
+/// structural event) must hold.
+#[test]
+fn adaptive_storm_swaps_kinds_both_ways_and_matches_oracle() {
+    with_deadline(Duration::from_mins(2), || {
+        const THREADS: u64 = 8;
+
+        // Deterministic chaos, front-loaded so the write-heavy phase
+        // absorbs it: short write-failure bursts plus device-full
+        // windows over the first ~30k device ops.
+        let mut plan = FaultPlan::none();
+        for b in 0..12u64 {
+            let start = 700 + b * 2_000;
+            for op in start..start + 3 {
+                plan = plan.with(Fault::FailedWrite { op });
+            }
+        }
+        for w in 0..3u64 {
+            let from = 3_000 + w * 9_000;
+            plan = plan.with(Fault::FullWindow { from, until: from + 20 });
+        }
+
+        // Generously sized device: the swap gate below needs the put
+        // storm to stay writable for many 1 ms maintenance epochs, so
+        // out-of-place updates must not exhaust the heap before the
+        // tuner's evidence floors are met.
+        let cfg = StoreConfig::test(300_000);
+        let dev = Arc::new(NvmDevice::with_faults(cfg.nvm, &plan));
+        let (mut store, _) = ConcurrentViperStore::<Sharded>::recover_shared_with_options(
+            dev,
+            cfg.layout,
+            RecoverOptions::default(),
+            adaptive_sharded(4),
+        );
+        store.set_recorder(Recorder::enabled());
+        store.set_retry_policy(RetryPolicy::standard(0xADA));
+        let store = Arc::new(store);
+        let worker = MaintenanceWorker::spawn(
+            Arc::clone(&store),
+            MaintenanceConfig {
+                interval: Duration::from_millis(1),
+                retrain_budget: 16,
+                stall_timeout: Duration::from_secs(30),
+            },
+        );
+
+        let vs = cfg.layout.value_size;
+        let stop = Arc::new(AtomicBool::new(false));
+        // false = write-heavy phase, true = read-mostly phase.
+        let read_phase = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let read_phase = Arc::clone(&read_phase);
+            handles.push(std::thread::spawn(move || {
+                // Disjoint per-thread key ranges: each thread's oracle is
+                // authoritative for its own keys, even mid-cutover.
+                let base = t * 1_000_000;
+                let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+                let mut s = 0xada5_eed0 ^ t;
+                let mut val = vec![0u8; vs];
+                let mut buf = vec![0u8; vs];
+                let mut expect = vec![0u8; vs];
+                let mut version = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    // Pace the storm: full-speed writers would exhaust
+                    // the heap's slack in a handful of maintenance
+                    // epochs; a short pause per batch buys the tuner
+                    // hundreds of epochs of headroom.
+                    std::thread::sleep(Duration::from_micros(500));
+                    for _ in 0..100 {
+                        let r = splitmix64(&mut s);
+                        let key = base + r % 2_000;
+                        // Write-heavy phase: ~15/16 puts. Read-mostly
+                        // phase: ~1/16 puts, the rest verified gets.
+                        let write = if read_phase.load(Ordering::Acquire) {
+                            r >> 60 == 0
+                        } else {
+                            r >> 60 != 0
+                        };
+                        if write {
+                            version += 1;
+                            value_of(key, version, &mut val);
+                            if store.put(key, &val).is_ok() {
+                                oracle.insert(key, version);
+                            }
+                            // Errors are transient-by-design: op not
+                            // applied, oracle untouched.
+                        } else {
+                            let found = store.get(key, &mut buf);
+                            match oracle.get(&key) {
+                                Some(&v) => {
+                                    assert!(found, "t{t}: acked key {key} unreadable");
+                                    value_of(key, v, &mut expect);
+                                    assert_eq!(buf, expect, "t{t}: key {key} wrong version");
+                                }
+                                None => assert!(!found, "t{t}: key {key} resurrected"),
+                            }
+                        }
+                    }
+                }
+                oracle
+            }));
+        }
+
+        // Phase 1: write-heavy until the tuner commits a hot-swap to the
+        // write-optimized kind through the fault storm.
+        let swapped_up = eventually(Duration::from_secs(45), || {
+            store.recorder().snapshot().event(Event::KindSwap) >= 1
+        });
+        let swaps_after_write_phase = store.recorder().snapshot().event(Event::KindSwap);
+        // Phase 2: flip to read-mostly and wait for a swap back.
+        read_phase.store(true, Ordering::Release);
+        let swapped_back = eventually(Duration::from_secs(45), || {
+            store.recorder().snapshot().event(Event::KindSwap) > swaps_after_write_phase
+        });
+
+        stop.store(true, Ordering::Release);
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for h in handles {
+            oracle.extend(h.join().expect("adaptive storm thread panicked"));
+        }
+        assert!(swapped_up, "tuner never swapped a shard under the write-heavy mix");
+        assert!(swapped_back, "tuner never swapped back under the read-mostly mix");
+
+        assert!(
+            eventually(Duration::from_secs(30), || !store.is_read_only()),
+            "store never exited read-only"
+        );
+        let stats = worker.shutdown();
+        assert!(stats.adaptations >= 2, "worker committed fewer than two adaptations");
+        assert!(!stats.stalled, "watchdog flagged a stall during adaptation");
+
+        // Oracle equivalence across every cutover the storm committed.
+        let mut buf = vec![0u8; vs];
+        let mut expect = vec![0u8; vs];
+        for (&key, &version) in &oracle {
+            assert!(store.get(key, &mut buf), "acked key {key} lost across cutovers");
+            value_of(key, version, &mut expect);
+            assert_eq!(buf, expect, "key {key}: wrong version survived a cutover");
+        }
+        assert_eq!(store.len(), oracle.len(), "store holds keys the oracle never acked");
+
+        // Fault injection must actually have bitten, and the causality
+        // invariant must hold: every committed structural adaptation is
+        // preceded by exactly one tuner decision.
+        let snap = store.recorder().snapshot();
+        assert!(snap.event(Event::Retry) > 0, "no injected write failure was observed");
+        let structural = snap.event(Event::ShardSplit)
+            + snap.event(Event::ShardMerge)
+            + snap.event(Event::KindSwap);
+        assert!(structural >= 2, "fewer than two structural adaptations committed");
+        assert!(
+            snap.event(Event::TunerDecision) >= structural,
+            "committed adaptations outnumber tuner decisions"
+        );
+    });
+}
+
 #[test]
 fn worker_repairs_every_quarantined_slot_after_corrupting_restart() {
     with_deadline(Duration::from_mins(1), || {
         let keys: Vec<u64> = (0..2_000u64).map(|i| i * 5 + 2).collect();
         let cfg = StoreConfig::test(4_000);
-        let store = ConcurrentViperStore::<Sharded<AnyIndex>>::bulk_load_shared(
+        let store = ConcurrentViperStore::<Sharded>::bulk_load_shared(
             cfg,
             &keys,
             |k, buf| value_of(k, 1, buf),
@@ -227,7 +435,7 @@ fn worker_repairs_every_quarantined_slot_after_corrupting_restart() {
         }
 
         let rec = Recorder::enabled();
-        let (store, report) = ConcurrentViperStore::<Sharded<AnyIndex>>::recover_shared_recorded(
+        let (store, report) = ConcurrentViperStore::<Sharded>::recover_shared_recorded(
             dev,
             cfg.layout,
             RecoverOptions::default(),
@@ -274,7 +482,7 @@ fn circuit_breaker_trips_under_backlog_and_recovers() {
         let initial = lip::workloads::generate_keys(lip::workloads::Dataset::OsmLike, 20_000, 5);
         let (lo, hi) = (initial[0], *initial.last().unwrap());
         let cfg = StoreConfig::test(300_000);
-        let mut store = ConcurrentViperStore::<Sharded<AnyIndex>>::bulk_load_shared(
+        let mut store = ConcurrentViperStore::<Sharded>::bulk_load_shared(
             cfg,
             &initial,
             |k, buf| value_of(k, 1, buf),
@@ -355,7 +563,7 @@ fn maintenance_worker_clean_shutdown_smoke() {
     with_deadline(Duration::from_mins(1), || {
         let initial: Vec<u64> = (0..10_000u64).map(|i| i * 13 + 1).collect();
         let cfg = StoreConfig::test(60_000);
-        let mut store = ConcurrentViperStore::<Sharded<AnyIndex>>::bulk_load_shared(
+        let mut store = ConcurrentViperStore::<Sharded>::bulk_load_shared(
             cfg,
             &initial,
             |k, buf| value_of(k, 1, buf),

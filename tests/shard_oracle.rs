@@ -1,5 +1,5 @@
 //! Multi-threaded oracle test for the range-sharding lift (ISSUE
-//! satellite): seeded concurrent op streams against `Sharded<AnyIndex>`
+//! satellite): seeded concurrent op streams against `Sharded`
 //! (and natively-concurrent XIndex) must end in exactly the state a
 //! `BTreeMap` oracle predicts — full contents, point lookups, misses and
 //! range scans.
@@ -11,8 +11,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use li_sync::sync::atomic::{AtomicBool, Ordering};
+
 use lip::core::traits::{ConcurrentIndex, OrderedIndex};
-use lip::{AnyConcurrentIndex, ConcurrentKind, IndexKind};
+use lip::{AdaptivePolicy, AnyConcurrentIndex, ConcurrentKind, IndexKind};
 
 const THREADS: u64 = 8;
 const OPS_PER_THREAD: usize = 4_000;
@@ -123,4 +125,126 @@ fn native_xindex_matches_oracle() {
 #[test]
 fn global_lock_route_matches_oracle() {
     oracle_session(ConcurrentKind::global_lock(IndexKind::SkipList).unwrap(), 0x10c);
+}
+
+/// 8-thread oracle session against the *adaptive* router while a
+/// background thread forces shard splits, merges, and index-kind
+/// hot-swaps mid-stream. Every op's return value and the full final
+/// state must still match the oracle exactly: a cutover that lost a
+/// side-logged write, replayed one twice, or mis-routed around a moving
+/// boundary shows up as a divergence.
+#[test]
+fn adaptive_session_with_forced_adaptations_matches_oracle() {
+    let seed = 0xada97_u64;
+    let initial: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i * 3, i)).collect();
+    let idx = Arc::new(AnyConcurrentIndex::build_adaptive(4, &initial, AdaptivePolicy::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Adaptation churn: rotate split / merge / kind-swap over the live
+    // layout until the writers finish. Failures (Busy, CannotSplit,
+    // Stale under concurrent layout changes) are expected and skipped —
+    // what matters is that plenty of each commit mid-stream.
+    let adapt = {
+        let idx = Arc::clone(&idx);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut splits, mut merges, mut swaps) = (0u32, 0u32, 0u32);
+            let mut step = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let kinds = idx.shard_kinds();
+                let n = kinds.len();
+                let s = step % n;
+                match step % 3 {
+                    0 if n < 12 => {
+                        if idx.force_split(s).is_ok() {
+                            splits += 1;
+                        }
+                    }
+                    1 if n >= 3 => {
+                        if idx.force_merge(step % (n - 1)).is_ok() {
+                            merges += 1;
+                        }
+                    }
+                    _ => {
+                        // Swap to the *other* registered kind so the
+                        // count only covers real hot-swaps, not no-ops.
+                        if idx.force_swap(s, 1 - kinds[s]).is_ok() {
+                            swaps += 1;
+                        }
+                    }
+                }
+                step += 1;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            (splits, merges, swaps)
+        })
+    };
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let idx = Arc::clone(&idx);
+        let initial = initial.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut oracle: BTreeMap<u64, u64> =
+                initial.into_iter().filter(|(k, _)| k % THREADS == t).collect();
+            let mut s = seed ^ (t.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let key_span = 120_000u64 / THREADS;
+            for i in 0..OPS_PER_THREAD {
+                let r = splitmix64(&mut s);
+                let key = (r % key_span) * THREADS + t;
+                match r >> 61 {
+                    0..=4 => {
+                        let v = (i as u64) << 8 | t;
+                        let prev = ConcurrentIndex::insert(&*idx, key, v);
+                        assert_eq!(prev, oracle.insert(key, v), "t{t} insert {key}");
+                    }
+                    5 => {
+                        let prev = ConcurrentIndex::remove(&*idx, key);
+                        assert_eq!(prev, oracle.remove(&key), "t{t} remove {key}");
+                    }
+                    _ => {
+                        let got = ConcurrentIndex::get(&*idx, key);
+                        assert_eq!(got, oracle.get(&key).copied(), "t{t} get {key}");
+                    }
+                }
+            }
+            oracle
+        }));
+    }
+
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for h in handles {
+        oracle.extend(h.join().expect("oracle thread"));
+    }
+    stop.store(true, Ordering::Release);
+    let (splits, merges, swaps) = adapt.join().expect("adaptation thread");
+    assert!(splits >= 1, "no split committed mid-stream");
+    assert!(merges >= 1, "no merge committed mid-stream");
+    assert!(swaps >= 1, "no kind hot-swap committed mid-stream");
+
+    // No lost, duplicated, or misrouted keys across all the cutovers.
+    assert_eq!(ConcurrentIndex::len(&*idx), oracle.len(), "adaptive len");
+    for (&k, &v) in &oracle {
+        assert_eq!(ConcurrentIndex::get(&*idx, k), Some(v), "adaptive key {k}");
+    }
+    let max_key = 120_000 * 3;
+    for probe in (0..max_key).step_by(997) {
+        assert_eq!(
+            ConcurrentIndex::get(&*idx, probe),
+            oracle.get(&probe).copied(),
+            "adaptive probe {probe}"
+        );
+    }
+    let mut s = seed ^ 0xdead_beef;
+    for _ in 0..50 {
+        let lo = splitmix64(&mut s) % max_key;
+        let hi = lo + 1 + splitmix64(&mut s) % 20_000;
+        let got = idx.range_vec(lo, hi);
+        let want: Vec<(u64, u64)> = oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want, "adaptive range [{lo}, {hi}]");
+    }
+    // The full scan seen through the ordered face is the oracle, in order.
+    let all = idx.range_vec(0, u64::MAX);
+    let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(all, want, "adaptive full scan");
 }

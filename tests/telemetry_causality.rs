@@ -27,7 +27,7 @@ use lip::core::telemetry::{Event, OpKind, Recorder};
 use lip::core::traits::{ConcurrentIndex, Index, UpdatableIndex};
 use lip::torture::{torture_run, TortureConfig};
 use lip::workloads::{generate_keys, Dataset};
-use lip::{AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
+use lip::{AdaptivePolicy, AnyConcurrentIndex, AnyIndex, ConcurrentKind, IndexKind};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 fn seed_data(n: usize, seed: u64) -> Vec<(u64, u64)> {
@@ -229,9 +229,11 @@ fn concurrent_routes_are_distinguishable_from_shard_banks() {
         rec.snapshot()
     };
 
-    // Native (XIndex): no sharding layer, so no shard banks at all.
+    // Native (XIndex): since the dyn-dispatch collapse this is one shard
+    // cell whose writes go through the index's shared-reference surface —
+    // one bank, and never any cell-lock contention.
     let native = drive(ConcurrentKind::of(IndexKind::XIndex).unwrap());
-    assert_eq!(native.shards.len(), 0, "native route has no shard banks");
+    assert_eq!(native.active_shards(), 1, "native route is a single cell");
 
     // GlobalLock: exactly one bank funnels everything.
     let lock = drive(ConcurrentKind::global_lock(IndexKind::BTree).unwrap());
@@ -250,6 +252,69 @@ fn concurrent_routes_are_distinguishable_from_shard_banks() {
         );
         assert_eq!(snap.total_lock_waits(), 0, "{name}");
     }
+}
+
+/// Tuner/adaptation causality: every committed structural change
+/// (`ShardSplit`/`ShardMerge`/`KindSwap`) is preceded by exactly one
+/// `TunerDecision`, so decisions can never undercount commits — a
+/// decision whose cutover aborts leaves the decision count ahead. Forced
+/// (operator-driven) adaptations bypass the tuner and must emit the
+/// structural event *without* a decision.
+#[test]
+fn tuner_decisions_precede_every_committed_adaptation() {
+    let data = seed_data(16_000, 21);
+    let mut policy = AdaptivePolicy::default();
+    // Aggressive hysteresis so a short test run crosses the thresholds.
+    policy.tuner.min_dwell_epochs = 1;
+    policy.tuner.cooldown_epochs = 0;
+    policy.tuner.min_epoch_ops = 64;
+    policy.tuner.min_swap_ops = 64;
+    let mut idx = AnyConcurrentIndex::build_adaptive(2, &data, policy);
+    let rec = Recorder::enabled();
+    idx.set_recorder(rec.clone());
+
+    // Write-heavy epochs over a narrow hot range until the tuner commits
+    // at least one adaptation (kind swap toward the write-heavy kind
+    // first, by rule priority).
+    let lo_keys: Vec<u64> = {
+        let mut sorted: Vec<u64> = data.iter().map(|&(k, _)| k).collect();
+        sorted.sort_unstable();
+        sorted.into_iter().take(1_000).collect()
+    };
+    let mut committed = 0usize;
+    for epoch in 0..12u64 {
+        for (i, &k) in lo_keys.iter().enumerate() {
+            idx.insert(k.wrapping_add(1), epoch * 10_000 + i as u64);
+        }
+        committed += idx.run_adaptation();
+        if committed >= 2 {
+            break;
+        }
+    }
+    assert!(committed >= 1, "tuner never committed an adaptation");
+
+    let s = rec.snapshot();
+    let structural =
+        s.event(Event::ShardSplit) + s.event(Event::ShardMerge) + s.event(Event::KindSwap);
+    assert!(s.event(Event::KindSwap) >= 1, "write-heavy drift must hot-swap a shard");
+    assert_eq!(structural, committed as u64, "every committed action emits one structural event");
+    assert!(
+        s.event(Event::TunerDecision) >= structural,
+        "decisions ({}) must cover every committed adaptation ({structural})",
+        s.event(Event::TunerDecision)
+    );
+
+    // Forced adaptations are operator actions, not tuner decisions: the
+    // structural counter moves, the decision counter must not.
+    let decisions_before = rec.event_count(Event::TunerDecision);
+    let splits_before = rec.event_count(Event::ShardSplit);
+    idx.force_split(0).expect("forced split");
+    assert_eq!(rec.event_count(Event::ShardSplit), splits_before + 1);
+    assert_eq!(
+        rec.event_count(Event::TunerDecision),
+        decisions_before,
+        "forced adaptation must not masquerade as a tuner decision"
+    );
 }
 
 #[test]

@@ -65,13 +65,31 @@ pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Viola
 /// Per-file list of hot-path functions R4 holds panic-free. The store's
 /// user-facing ops and the WAL's append/replay paths sit on every durable
 /// put/delete and on recovery; a panic there turns an injectable device
-/// fault into an outage.
+/// fault into an outage. The shard router's op and cutover paths are held
+/// to the same bar: a panic inside a commit would poison the boundary
+/// table for every thread, and the tuner runs on the maintenance thread
+/// where a panic silently kills adaptation.
 fn hot_fns(file: &Path) -> Option<&'static [&'static str]> {
     let f = file.to_string_lossy().replace('\\', "/");
     if f.ends_with("viper/src/store.rs") {
         Some(&["put", "get", "delete"])
     } else if f.ends_with("viper/src/wal.rs") {
         Some(&["append", "commit_through", "flush_batch", "replay", "max_lsn"])
+    } else if f.ends_with("core/src/shard.rs") {
+        Some(&[
+            "get",
+            "insert",
+            "remove",
+            "range",
+            "apply",
+            "write_cell",
+            "commit_swap",
+            "commit_split",
+            "commit_merge",
+            "run_adaptation",
+        ])
+    } else if f.ends_with("core/src/tuner.rs") {
+        Some(&["observe", "penalize"])
     } else {
         None
     }
@@ -353,6 +371,24 @@ mod tests {
         let v = lint("crates/viper/src/wal.rs", src, "");
         assert_eq!(v.len(), 1, "non-hot helpers are not checked: {v:?}");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn r4_covers_shard_cutover_and_tuner_paths() {
+        // The cutover commits are hot: a panic there poisons the boundary
+        // table for every thread.
+        let src = "impl Sharded {\n    fn commit_swap(&self) { side.take().unwrap(); }\n}\n";
+        let v = lint("crates/core/src/shard.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-panics");
+        // Non-hot helpers in the same file are not checked.
+        let src = "impl Sharded {\n    fn boundaries(&self) { x.unwrap(); }\n}\n";
+        assert!(lint("crates/core/src/shard.rs", src, "").is_empty());
+        // The tuner's decision fn runs on the maintenance thread.
+        let src = "impl Tuner {\n    pub fn observe(&mut self) { h.unwrap(); }\n}\n";
+        let v = lint("crates/core/src/tuner.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-panics");
     }
 
     #[test]
