@@ -1,0 +1,122 @@
+//! A small blocking client for the `li-proto` protocol, generic over the
+//! stream so tests can wrap it in [`crate::FaultyTransport`].
+//!
+//! Supports both closed-loop use ([`Client::call`]: one request, wait
+//! for its response) and pipelined use ([`Client::send`] many, then
+//! [`Client::recv`] until caught up — responses may arrive out of
+//! submission order, matched by id).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use li_proto::{
+    decode_response, encode_request, split_frame, Body, Command, ProtoError, Request, Response,
+};
+
+/// Blocking protocol client over any `Read + Write` stream.
+pub struct Client<S> {
+    stream: S,
+    next_id: u64,
+    acc: Vec<u8>,
+    /// Responses read while waiting for a different id.
+    parked: HashMap<u64, Body>,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP with Nagle disabled and a read timeout so a
+    /// dead server can't hang a test forever.
+    pub fn connect(addr: impl ToSocketAddrs, read_timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(read_timeout))?;
+        Ok(Client::over(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream (e.g. a `FaultyTransport`).
+    pub fn over(stream: S) -> Self {
+        Client { stream, next_id: 1, acc: Vec::with_capacity(4096), parked: HashMap::new() }
+    }
+
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Sends one request; returns the id to await. `deadline_us` is the
+    /// server-side budget (0 = none).
+    pub fn send(&mut self, cmd: Command, deadline_us: u32) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request { id, deadline_us, cmd };
+        let mut frame = Vec::with_capacity(64);
+        encode_request(&req, &mut frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.stream.write_all(&frame)?;
+        Ok(id)
+    }
+
+    /// Reads the next response frame off the wire (any id).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        loop {
+            match split_frame(&self.acc) {
+                Ok(Some((range, consumed))) => {
+                    let resp = decode_response(&self.acc[range])
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    self.acc.drain(..consumed);
+                    return Ok(resp);
+                }
+                Ok(None) => {
+                    let mut chunk = [0u8; 4096];
+                    match self.stream.read(&mut chunk)? {
+                        0 => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "server closed the connection",
+                            ));
+                        }
+                        n => self.acc.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                Err(e @ ProtoError::Oversized { .. }) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+    }
+
+    /// Waits for the response to a specific id, parking any other
+    /// responses that arrive first (pipelined peers).
+    pub fn recv_for(&mut self, id: u64) -> io::Result<Body> {
+        if let Some(body) = self.parked.remove(&id) {
+            return Ok(body);
+        }
+        loop {
+            let resp = self.recv()?;
+            if resp.id == id {
+                return Ok(resp.body);
+            }
+            self.parked.insert(resp.id, resp.body);
+        }
+    }
+
+    /// Closed-loop request: send and wait for the matching response.
+    pub fn call(&mut self, cmd: Command, deadline_us: u32) -> io::Result<Body> {
+        let id = self.send(cmd, deadline_us)?;
+        self.recv_for(id)
+    }
+
+    /// Convenience: STATS as the raw JSON string.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.call(Command::Stats, 0)? {
+            Body::Stats(json) => Ok(json),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-stats response {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The TCP front-end: acceptor, per-connection reader/writer threads,
+//! and a shard-aware worker pool over one [`ConcurrentViperStore`].
+//!
+//! Thread anatomy (N workers, one reader + one writer per connection):
+//!
+//! ```text
+//! acceptor ─┬─> conn reader ──(route by shard_hint % N)──> worker queues
+//!           │        ^                                        │ execute
+//!           │        │ bounded write queue (slow-client cap)  v
+//!           │   conn writer <────────── encoded response frames
+//! ```
+//!
+//! Robustness properties, each tested by `tests/server_chaos.rs`:
+//!
+//! - **Deadline propagation**: the frame header's relative deadline is
+//!   resolved to an `Instant` at decode time and checked again at worker
+//!   pop — expired work is shed with `DEADLINE_EXCEEDED` *before*
+//!   touching the store.
+//! - **Typed overload**: store backpressure surfaces as
+//!   `RETRY_AFTER`/`OVERLOADED` responses (see `service::map_store_error`);
+//!   a full worker queue sheds at dispatch with `RETRY_AFTER`. The
+//!   connection stays up in every case.
+//! - **Slow-client protection**: per-connection write queues are bounded
+//!   (`write_queue_frames`); a client that stops reading long enough to
+//!   fill one, or stalls a writer past `stall_timeout`, is dropped —
+//!   protecting workers, which never block on a socket.
+//! - **Graceful drain**: shutdown stops accepting, answers new frames
+//!   with `CANCELLED`, lets in-flight work finish (bounded by
+//!   `drain_timeout`, after which the remainder is cancelled), flushes
+//!   write queues, then checkpoints the store.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+use li_core::{ConcurrentIndex, OrderedIndex};
+use li_proto::{
+    decode_request, encode_response, split_frame, Body, Command, ErrorKind, Request, Response,
+    LEN_PREFIX,
+};
+use li_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use li_sync::sync::{Arc, Mutex};
+use li_telemetry::{Event, OpKind};
+use li_viper::ConcurrentViperStore;
+
+use crate::config::ServiceConfig;
+use crate::service;
+
+/// Reader poll tick: how often blocked reads wake to check stop flags
+/// and idle timers.
+const READ_TICK: Duration = Duration::from_millis(20);
+/// Acceptor poll tick.
+const ACCEPT_TICK: Duration = Duration::from_millis(2);
+/// Retry hint attached to dispatch-level (worker-queue-full) shedding.
+const QUEUE_SHED_HINT_US: u32 = 500;
+
+/// Index bound the server needs from the store.
+pub trait ServeIndex: ConcurrentIndex + OrderedIndex + Send + Sync + 'static {}
+impl<T: ConcurrentIndex + OrderedIndex + Send + Sync + 'static> ServeIndex for T {}
+
+/// What graceful shutdown accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests answered with a real result over the server's lifetime.
+    pub completed: u64,
+    /// Requests answered with typed `CANCELLED` (drain refusals plus
+    /// post-timeout aborts).
+    pub cancelled: u64,
+    /// Whether in-flight work fully drained inside `drain_timeout`.
+    pub drained_clean: bool,
+    /// Whether the final checkpoint was written (false when the store
+    /// has no durability configured, or checkpointing failed).
+    pub checkpointed: bool,
+}
+
+/// One queued unit of work.
+struct Job {
+    id: u64,
+    cmd: Command,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: SyncSender<Vec<u8>>,
+    conn_alive: Arc<AtomicBool>,
+}
+
+struct Shared<I> {
+    store: Arc<ConcurrentViperStore<I>>,
+    cfg: ServiceConfig,
+    /// Stop accepting + refuse new frames with `CANCELLED`.
+    stopping: AtomicBool,
+    /// Drain timeout elapsed: workers cancel instead of executing.
+    aborting: AtomicBool,
+    /// Dispatched but not yet replied-to requests.
+    in_flight: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl<I> Shared<I> {
+    fn event(&self, e: Event)
+    where
+        I: ServeIndex,
+    {
+        self.store.recorder().event(e);
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts hard (threads are detached); call `shutdown` for the graceful
+/// path.
+pub struct Server<I: ServeIndex> {
+    shared: Arc<Shared<I>>,
+    local_addr: SocketAddr,
+    acceptor: Option<li_sync::thread::JoinHandle<()>>,
+    workers: Vec<li_sync::thread::JoinHandle<()>>,
+    worker_txs: Vec<SyncSender<Job>>,
+    conns: Arc<Mutex<Vec<ConnSlot>>>,
+}
+
+struct ConnSlot {
+    stream: TcpStream,
+    reader: li_sync::thread::JoinHandle<()>,
+    writer: li_sync::thread::JoinHandle<()>,
+}
+
+impl<I: ServeIndex> Server<I> {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `store`.
+    pub fn spawn(
+        store: Arc<ConcurrentViperStore<I>>,
+        cfg: ServiceConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            store,
+            cfg,
+            stopping: AtomicBool::new(false),
+            aborting: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+        });
+
+        let mut worker_txs = Vec::with_capacity(shared.cfg.workers);
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for w in 0..shared.cfg.workers {
+            let (tx, rx) = mpsc::sync_channel::<Job>(shared.cfg.queue_depth);
+            worker_txs.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                li_sync::thread::Builder::new()
+                    .name(format!("li-server-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            let txs = worker_txs.clone();
+            li_sync::thread::Builder::new()
+                .name("li-server-acceptor".into())
+                .spawn(move || accept_loop(&shared, &listener, &conns, &txs))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers, worker_txs, conns })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests completed so far (successes and typed errors alike).
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, refuse new frames with typed
+    /// `CANCELLED`, let in-flight work finish (bounded by
+    /// `drain_timeout`), flush per-connection write queues, checkpoint
+    /// the store, and join every thread.
+    pub fn shutdown(mut self) -> DrainReport {
+        let shared = &self.shared;
+        shared.stopping.store(true, Ordering::Release);
+
+        // Phase 1: bounded wait for dispatched work to finish.
+        let t0 = Instant::now();
+        let mut drained_clean = true;
+        while shared.in_flight.load(Ordering::Acquire) > 0 {
+            if t0.elapsed() > shared.cfg.drain_timeout {
+                drained_clean = false;
+                shared.aborting.store(true, Ordering::Release);
+            }
+            li_sync::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Phase 2: stop the acceptor, then unblock and join the readers
+        // (cutting only the read direction, so queued responses still
+        // flush). Acceptor and readers hold worker-sender clones, so
+        // they must exit before the workers can see disconnect.
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let slots: Vec<ConnSlot> = std::mem::take(&mut *self.conns.lock());
+        for slot in &slots {
+            let _ = slot.stream.shutdown(Shutdown::Read);
+        }
+        let mut writers = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let _ = slot.reader.join();
+            writers.push(slot.writer);
+        }
+
+        // Phase 3: retire the workers (queues are empty, senders gone).
+        self.worker_txs.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+
+        // Phase 4: writers exit once every reply sender is dropped —
+        // after draining whatever frames were still queued — then the
+        // store takes its final checkpoint.
+        for w in writers {
+            let _ = w.join();
+        }
+        let checkpointed = shared.store.drain().unwrap_or(false);
+
+        DrainReport {
+            completed: shared.completed.load(Ordering::Acquire),
+            cancelled: shared.cancelled.load(Ordering::Acquire),
+            drained_clean,
+            checkpointed,
+        }
+    }
+}
+
+fn accept_loop<I: ServeIndex>(
+    shared: &Arc<Shared<I>>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<ConnSlot>>>,
+    worker_txs: &[SyncSender<Job>],
+) {
+    while !shared.stopping.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.event(Event::ConnOpen);
+                if let Ok(slot) = spawn_conn(shared, stream, worker_txs) {
+                    conns.lock().push(slot);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                li_sync::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => li_sync::thread::sleep(ACCEPT_TICK),
+        }
+    }
+    // Dropping the listener here closes the socket: later connects are
+    // refused at the TCP layer.
+}
+
+fn spawn_conn<I: ServeIndex>(
+    shared: &Arc<Shared<I>>,
+    stream: TcpStream,
+    worker_txs: &[SyncSender<Job>],
+) -> io::Result<ConnSlot> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK))?;
+    let write_half = stream.try_clone()?;
+    write_half.set_write_timeout(Some(shared.cfg.stall_timeout))?;
+
+    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(shared.cfg.write_queue_frames);
+    let conn_alive = Arc::new(AtomicBool::new(true));
+
+    let writer = {
+        let shared = Arc::clone(shared);
+        let alive = Arc::clone(&conn_alive);
+        li_sync::thread::Builder::new()
+            .name("li-server-conn-writer".into())
+            .spawn(move || writer_loop(&shared, write_half, &rx, &alive))
+            .expect("spawn conn writer")
+    };
+    let reader = {
+        let shared = Arc::clone(shared);
+        let alive = Arc::clone(&conn_alive);
+        let txs = worker_txs.to_vec();
+        let stream = stream.try_clone()?;
+        li_sync::thread::Builder::new()
+            .name("li-server-conn-reader".into())
+            .spawn(move || {
+                reader_loop(&shared, stream, &txs, &tx, &alive);
+                shared.event(Event::ConnClose);
+            })
+            .expect("spawn conn reader")
+    };
+    Ok(ConnSlot { stream, reader, writer })
+}
+
+/// Queues one encoded response; a full queue means the client is not
+/// keeping up → slow-client drop.
+fn queue_reply<I: ServeIndex>(
+    shared: &Shared<I>,
+    reply: &SyncSender<Vec<u8>>,
+    conn_alive: &AtomicBool,
+    resp: &Response,
+) {
+    let mut frame = Vec::with_capacity(64);
+    if encode_response(resp, &mut frame).is_err() {
+        // Response too large for one frame (e.g. an enormous scan).
+        // Substitute a typed error so the request still resolves.
+        frame.clear();
+        let err = Response {
+            id: resp.id,
+            body: Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 },
+        };
+        encode_response(&err, &mut frame).expect("error response always fits");
+    }
+    match reply.try_send(frame) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.event(Event::SlowClientDrop);
+            conn_alive.store(false, Ordering::Release);
+        }
+        Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
+fn reader_loop<I: ServeIndex>(
+    shared: &Arc<Shared<I>>,
+    mut stream: TcpStream,
+    worker_txs: &[SyncSender<Job>],
+    reply: &SyncSender<Vec<u8>>,
+    conn_alive: &Arc<AtomicBool>,
+) {
+    let mut acc: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    loop {
+        if !conn_alive.load(Ordering::Acquire) {
+            // Writer stalled out or the write queue overflowed: cut the
+            // socket so the peer sees the drop promptly.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                last_activity = Instant::now();
+                acc.extend_from_slice(&chunk[..n]);
+                if !drain_frames(shared, &mut acc, worker_txs, reply, conn_alive) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() > shared.cfg.idle_timeout {
+                    shared.event(Event::SlowClientDrop);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Splits and dispatches every complete frame in `acc`. Returns false
+/// when the stream is unrecoverable (corrupt length prefix).
+fn drain_frames<I: ServeIndex>(
+    shared: &Arc<Shared<I>>,
+    acc: &mut Vec<u8>,
+    worker_txs: &[SyncSender<Job>],
+    reply: &SyncSender<Vec<u8>>,
+    conn_alive: &Arc<AtomicBool>,
+) -> bool {
+    loop {
+        match split_frame(acc) {
+            Ok(None) => return true,
+            Err(_) => {
+                // Corrupt length prefix: frame sync is lost; nothing
+                // more can be parsed from this stream.
+                shared.event(Event::FrameReject);
+                return false;
+            }
+            Ok(Some((range, consumed))) => {
+                match decode_request(&acc[range]) {
+                    Ok(req) => dispatch(shared, req, worker_txs, reply, conn_alive),
+                    Err(_) => {
+                        // Body-level corruption: the frame boundary held,
+                        // so answer typed and keep the connection.
+                        shared.event(Event::FrameReject);
+                        let id = salvage_id(&acc[LEN_PREFIX..consumed]);
+                        queue_reply(
+                            shared,
+                            reply,
+                            conn_alive,
+                            &Response {
+                                id,
+                                body: Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 },
+                            },
+                        );
+                    }
+                }
+                acc.drain(..consumed);
+            }
+        }
+    }
+}
+
+/// Best-effort request id from a frame that failed to decode, so the
+/// typed rejection still correlates client-side.
+fn salvage_id(body: &[u8]) -> u64 {
+    match body.get(..8) {
+        Some(b) => {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_le_bytes(a)
+        }
+        None => 0,
+    }
+}
+
+fn dispatch<I: ServeIndex>(
+    shared: &Arc<Shared<I>>,
+    req: Request,
+    worker_txs: &[SyncSender<Job>],
+    reply: &SyncSender<Vec<u8>>,
+    conn_alive: &Arc<AtomicBool>,
+) {
+    if shared.stopping.load(Ordering::Acquire) {
+        shared.event(Event::RequestCancelled);
+        shared.cancelled.fetch_add(1, Ordering::AcqRel);
+        let resp = Response {
+            id: req.id,
+            body: Body::Err { kind: ErrorKind::Cancelled, retry_after_us: 0 },
+        };
+        queue_reply(shared, reply, conn_alive, &resp);
+        return;
+    }
+    let deadline = (req.deadline_us > 0)
+        .then(|| Instant::now() + Duration::from_micros(u64::from(req.deadline_us)));
+    let worker = match req.cmd.route_key() {
+        Some(key) => shared.store.index().shard_hint(key) % worker_txs.len(),
+        None => 0,
+    };
+    let job = Job {
+        id: req.id,
+        cmd: req.cmd,
+        deadline,
+        enqueued: Instant::now(),
+        reply: reply.clone(),
+        conn_alive: Arc::clone(conn_alive),
+    };
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    match worker_txs[worker].try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(job)) => {
+            // Dispatch-level backpressure: the worker queue is the
+            // server's own admission gate. Typed shed, connection lives.
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            let resp = Response {
+                id: job.id,
+                body: Body::Err { kind: ErrorKind::RetryAfter, retry_after_us: QUEUE_SHED_HINT_US },
+            };
+            queue_reply(shared, reply, conn_alive, &resp);
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared.event(Event::RequestCancelled);
+            shared.cancelled.fetch_add(1, Ordering::AcqRel);
+            let resp = Response {
+                id: job.id,
+                body: Body::Err { kind: ErrorKind::Cancelled, retry_after_us: 0 },
+            };
+            queue_reply(shared, reply, conn_alive, &resp);
+        }
+    }
+}
+
+fn worker_loop<I: ServeIndex>(shared: &Arc<Shared<I>>, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let recorder = shared.store.recorder();
+        recorder.record_ns(
+            OpKind::ServerQueue,
+            job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+        let body = if shared.aborting.load(Ordering::Acquire) {
+            shared.event(Event::RequestCancelled);
+            shared.cancelled.fetch_add(1, Ordering::AcqRel);
+            Body::Err { kind: ErrorKind::Cancelled, retry_after_us: 0 }
+        } else if job.deadline.is_some_and(|d| Instant::now() > d) {
+            // Shed before touching the store: the client has already
+            // given up on this work.
+            shared.event(Event::DeadlineShed);
+            shared.completed.fetch_add(1, Ordering::AcqRel);
+            Body::Err { kind: ErrorKind::DeadlineExceeded, retry_after_us: 0 }
+        } else {
+            shared.completed.fetch_add(1, Ordering::AcqRel);
+            service::execute(&shared.store, &job.cmd)
+        };
+        queue_reply(shared, &job.reply, &job.conn_alive, &Response { id: job.id, body });
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn writer_loop<I: ServeIndex>(
+    shared: &Arc<Shared<I>>,
+    mut stream: TcpStream,
+    rx: &Receiver<Vec<u8>>,
+    conn_alive: &AtomicBool,
+) {
+    // `recv` keeps delivering frames queued before the senders dropped,
+    // which is exactly the drain-flush shutdown needs.
+    while let Ok(frame) = rx.recv() {
+        match stream.write_all(&frame) {
+            Ok(()) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The peer stalled the write direction past
+                // `stall_timeout` with a frame half-sent: drop them.
+                shared.event(Event::SlowClientDrop);
+                conn_alive.store(false, Ordering::Release);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(_) => {
+                conn_alive.store(false, Ordering::Release);
+                return;
+            }
+        }
+    }
+    let _ = stream.flush();
+}

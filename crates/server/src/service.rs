@@ -1,0 +1,306 @@
+//! Request execution against a [`ConcurrentViperStore`] and the mapping
+//! from [`ViperError`] to typed protocol errors.
+//!
+//! The mapping is the contract the chaos tests hold the server to: every
+//! rung of the overload ladder surfaces as a *response*, never a dropped
+//! connection. `Backpressure` splits on the store's
+//! [`OverloadState`] — gate saturation (rung two) becomes `RETRY_AFTER`
+//! with a hint sized to the admission wait, an open breaker (rung three)
+//! becomes `OVERLOADED` with a much longer hint — so a client can tell
+//! "brief stall" from "stop sending".
+//!
+//! Values on the wire are variable-length up to the store's fixed record
+//! size minus a 4-byte length header; the header is how a 3-byte client
+//! value survives the fixed-size record round-trip intact.
+
+use li_core::{ConcurrentIndex, OrderedIndex};
+use li_proto::{Body, Command, ErrorKind, MAX_VALUE};
+use li_telemetry::OpKind;
+use li_viper::{ConcurrentViperStore, OverloadState, ViperError};
+
+/// Length header carved out of each fixed-size record for the client
+/// value's true length.
+const VLEN_HEADER: usize = 4;
+
+/// Serves every command type against the store. Never returns a
+/// transport-level error: store failures come back as [`Body::Err`].
+pub fn execute<I>(store: &ConcurrentViperStore<I>, cmd: &Command) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    let recorder = store.recorder().clone();
+    let timer = recorder.start();
+    let (kind, body) = match cmd {
+        Command::Get { key } => (OpKind::ServerGet, get(store, *key)),
+        Command::Put { key, value } => (OpKind::ServerPut, put(store, *key, value)),
+        Command::Delete { key } => (OpKind::ServerDelete, delete(store, *key)),
+        Command::Scan { lo, hi, limit } => (OpKind::ServerScan, scan(store, *lo, *hi, *limit)),
+        Command::Batch(cmds) => {
+            // Shard-aware coalescing: execute sub-commands grouped by
+            // shard (so same-shard work amortizes router reads and lock
+            // locality) but return bodies in submission order.
+            let mut order: Vec<usize> = (0..cmds.len()).collect();
+            order.sort_by_key(|&i| cmds[i].route_key().map(|k| store.index().shard_hint(k)));
+            let mut bodies: Vec<Body> = vec![Body::Ok; cmds.len()];
+            for i in order {
+                bodies[i] = execute_one(store, &cmds[i]);
+            }
+            (OpKind::ServerBatch, Body::Batch(bodies))
+        }
+        Command::Stats => (OpKind::ServerStats, stats(store)),
+    };
+    recorder.finish(kind, timer);
+    body
+}
+
+/// One non-batch command (batch nesting is rejected at decode).
+fn execute_one<I>(store: &ConcurrentViperStore<I>, cmd: &Command) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    match cmd {
+        Command::Get { key } => get(store, *key),
+        Command::Put { key, value } => put(store, *key, value),
+        Command::Delete { key } => delete(store, *key),
+        Command::Scan { lo, hi, limit } => scan(store, *lo, *hi, *limit),
+        Command::Batch(_) | Command::Stats => {
+            Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 }
+        }
+    }
+}
+
+fn get<I>(store: &ConcurrentViperStore<I>, key: u64) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    let mut buf = vec![0u8; store.heap().layout().value_size];
+    if store.get(key, &mut buf) {
+        match unframe_value(&buf) {
+            Some(v) => Body::Value(v.to_vec()),
+            None => Body::Err { kind: ErrorKind::Internal, retry_after_us: 0 },
+        }
+    } else {
+        Body::NotFound
+    }
+}
+
+fn put<I>(store: &ConcurrentViperStore<I>, key: u64, value: &[u8]) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    let value_size = store.heap().layout().value_size;
+    if value.len() + VLEN_HEADER > value_size || value.len() > MAX_VALUE {
+        return Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 };
+    }
+    let mut framed = vec![0u8; value_size];
+    framed[..VLEN_HEADER].copy_from_slice(&(value.len() as u32).to_le_bytes());
+    framed[VLEN_HEADER..VLEN_HEADER + value.len()].copy_from_slice(value);
+    match store.put(key, &framed) {
+        Ok(()) => Body::Ok,
+        Err(e) => map_store_error(&e, store.overload_state(), store.retry_policy().max_backoff),
+    }
+}
+
+fn delete<I>(store: &ConcurrentViperStore<I>, key: u64) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    match store.delete(key) {
+        Ok(existed) => Body::Deleted(existed),
+        Err(e) => map_store_error(&e, store.overload_state(), store.retry_policy().max_backoff),
+    }
+}
+
+fn scan<I>(store: &ConcurrentViperStore<I>, lo: u64, hi: u64, limit: u32) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    if lo > hi {
+        return Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 };
+    }
+    let mut entries = Vec::new();
+    let mut corrupt = false;
+    store.scan(lo, hi, limit as usize, &mut |key, raw| match unframe_value(raw) {
+        Some(v) => entries.push((key, v.to_vec())),
+        None => corrupt = true,
+    });
+    if corrupt {
+        Body::Err { kind: ErrorKind::Internal, retry_after_us: 0 }
+    } else {
+        Body::Entries(entries)
+    }
+}
+
+fn stats<I>(store: &ConcurrentViperStore<I>) -> Body
+where
+    I: ConcurrentIndex + OrderedIndex,
+{
+    let mut snap = store.recorder().snapshot();
+    snap.nvm = store.heap().device().stats_snapshot().to_telemetry();
+    Body::Stats(snap.to_json())
+}
+
+/// The client value embedded in one fixed-size record, or `None` if the
+/// length header is inconsistent (torn/corrupt record).
+fn unframe_value(raw: &[u8]) -> Option<&[u8]> {
+    let header = raw.get(..VLEN_HEADER)?;
+    let mut h = [0u8; VLEN_HEADER];
+    h.copy_from_slice(header);
+    let len = u32::from_le_bytes(h) as usize;
+    raw.get(VLEN_HEADER..VLEN_HEADER + len)
+}
+
+/// [`ViperError`] → typed protocol error. `Backpressure` consults the
+/// overload ladder position; everything else classifies on the error
+/// alone, which is what lets a zero-retry configuration still answer
+/// permanent errors correctly (retrying only changes how long the store
+/// fought before surfacing a transient error, not its class).
+pub fn map_store_error(
+    err: &ViperError,
+    overload: OverloadState,
+    retry_cap: std::time::Duration,
+) -> Body {
+    let cap_us = (retry_cap.as_micros().min(u128::from(u32::MAX)) as u32).max(100);
+    match err {
+        ViperError::Backpressure => match overload {
+            OverloadState::BreakerOpen => {
+                Body::Err { kind: ErrorKind::Overloaded, retry_after_us: cap_us.saturating_mul(50) }
+            }
+            // Gate saturation, or the race where pressure lifted between
+            // the shed and this read: either way a short retry is right.
+            OverloadState::Gated { .. } | OverloadState::Clear => {
+                Body::Err { kind: ErrorKind::RetryAfter, retry_after_us: cap_us }
+            }
+        },
+        ViperError::ReadOnly => Body::Err { kind: ErrorKind::ReadOnly, retry_after_us: 0 },
+        // The retry budget (if any) is already spent by the time a
+        // transient error escapes the store; tell the client to try
+        // later. Permanent faults are internal.
+        e if e.is_transient() => {
+            Body::Err { kind: ErrorKind::RetryAfter, retry_after_us: cap_us.saturating_mul(4) }
+        }
+        _ => Body::Err { kind: ErrorKind::Internal, retry_after_us: 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_nvm::NvmError;
+    use li_viper::{RetryPolicy, StoreConfig};
+
+    type Store = ConcurrentViperStore<li_core::Sharded>;
+
+    fn test_store(n: usize) -> Store {
+        use li_core::BulkBuildIndex;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+        Store::bulk_load_shared(
+            StoreConfig::test(n + 64),
+            &keys,
+            |key, buf| {
+                buf.fill(0);
+                buf[..VLEN_HEADER].copy_from_slice(&4u32.to_le_bytes());
+                buf[VLEN_HEADER..VLEN_HEADER + 4].copy_from_slice(&(key as u32).to_le_bytes());
+            },
+            |pairs| li_core::Sharded::build_with(4, pairs, crate::testutil::MapIndex::build),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_client_value_length() {
+        let store = test_store(16);
+        assert!(matches!(
+            execute(&store, &Command::Put { key: 2, value: vec![9, 8, 7] }),
+            Body::Ok
+        ));
+        match execute(&store, &Command::Get { key: 2 }) {
+            Body::Value(v) => assert_eq!(v, vec![9, 8, 7]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Empty values round-trip too.
+        assert!(matches!(execute(&store, &Command::Put { key: 3, value: vec![] }), Body::Ok));
+        assert!(
+            matches!(execute(&store, &Command::Get { key: 3 }), Body::Value(v) if v.is_empty())
+        );
+    }
+
+    #[test]
+    fn oversized_value_is_bad_request_not_panic() {
+        let store = test_store(4);
+        let value_size = store.heap().layout().value_size;
+        let body = execute(&store, &Command::Put { key: 1, value: vec![0; value_size] });
+        assert_eq!(body, Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 });
+    }
+
+    #[test]
+    fn scan_returns_unframed_entries_in_order() {
+        let store = test_store(10);
+        match execute(&store, &Command::Scan { lo: 0, hi: u64::MAX, limit: 5 }) {
+            Body::Entries(e) => {
+                assert_eq!(e.len(), 5);
+                assert!(e.windows(2).all(|w| w[0].0 < w[1].0));
+                assert!(e.iter().all(|(_, v)| v.len() == 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let inverted = execute(&store, &Command::Scan { lo: 9, hi: 1, limit: 5 });
+        assert_eq!(inverted, Body::Err { kind: ErrorKind::BadRequest, retry_after_us: 0 });
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let store = test_store(32);
+        let cmds = vec![
+            Command::Put { key: 1000, value: vec![1] },
+            Command::Get { key: 1000 },
+            Command::Delete { key: 1000 },
+            Command::Get { key: 1000 },
+        ];
+        match execute(&store, &Command::Batch(cmds)) {
+            Body::Batch(bodies) => {
+                assert_eq!(bodies.len(), 4);
+                assert_eq!(bodies[0], Body::Ok);
+                assert_eq!(bodies[1], Body::Value(vec![1]));
+                assert_eq!(bodies[2], Body::Deleted(true));
+                assert_eq!(bodies[3], Body::NotFound);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Satellite: a zero-retry config must still classify permanent
+    /// errors correctly — retrying affects persistence of transients,
+    /// not classification.
+    #[test]
+    fn zero_retry_config_classifies_permanent_errors() {
+        let zero = RetryPolicy::disabled();
+        assert_eq!(zero.max_retries, 0);
+        let cases = [
+            (ViperError::ReadOnly, ErrorKind::ReadOnly),
+            (ViperError::Backpressure, ErrorKind::RetryAfter),
+            (ViperError::WalFull, ErrorKind::Internal),
+            (ViperError::Nvm(NvmError::Crashed), ErrorKind::Internal),
+            (ViperError::DeviceFull, ErrorKind::RetryAfter),
+        ];
+        for (err, want) in cases {
+            let body = map_store_error(&err, OverloadState::Clear, zero.max_backoff);
+            match body {
+                Body::Err { kind, .. } => assert_eq!(kind, want, "for {err:?}"),
+                other => panic!("{err:?} mapped to non-error {other:?}"),
+            }
+        }
+        // Breaker-open dominates: same error, harder answer.
+        let body = map_store_error(
+            &ViperError::Backpressure,
+            OverloadState::BreakerOpen,
+            zero.max_backoff,
+        );
+        assert!(matches!(body, Body::Err { kind: ErrorKind::Overloaded, .. }));
+        let body = map_store_error(
+            &ViperError::Backpressure,
+            OverloadState::Gated { in_flight: 4, limit: 4 },
+            zero.max_backoff,
+        );
+        assert!(matches!(body, Body::Err { kind: ErrorKind::RetryAfter, .. }));
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end smoke tests: a real `Server` on a loopback TCP socket,
+//! exercised by the blocking [`Client`]. The heavier seeded network
+//! fault storms live in the workspace-level `tests/server_chaos.rs`;
+//! this file pins the happy paths and the basic protocol semantics.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use li_proto::{Body, Command, ErrorKind};
+use li_server::{testutil, Client, Server, ServiceConfig};
+
+/// Runs `f` under a watchdog so a hung server fails the test instead of
+/// hanging CI (same discipline as tests/chaos_recovery.rs).
+fn with_deadline<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let t = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(v) => {
+            t.join().expect("test body panicked");
+            v
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match t.join() {
+            Err(e) => std::panic::resume_unwind(e),
+            Ok(()) => unreachable!("sender dropped without sending or panicking"),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("test exceeded {limit:?} deadline — server hang?")
+        }
+    }
+}
+
+fn client_for<I: li_server::ServeIndex>(server: &Server<I>) -> Client<std::net::TcpStream> {
+    Client::connect(server.local_addr(), Duration::from_secs(5)).expect("connect")
+}
+
+#[test]
+fn point_ops_round_trip_over_tcp() {
+    with_deadline(Duration::from_secs(30), || {
+        let cfg = ServiceConfig::default();
+        let store = testutil::served_store(64, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        // Preloaded key 1 holds its own 4-byte LE encoding.
+        match c.call(Command::Get { key: 1 }, 0).expect("get") {
+            Body::Value(v) => assert_eq!(v, 1u32.to_le_bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.call(Command::Get { key: 2 }, 0).expect("get"), Body::NotFound);
+
+        assert_eq!(c.call(Command::Put { key: 2, value: vec![7, 7] }, 0).expect("put"), Body::Ok);
+        assert_eq!(c.call(Command::Get { key: 2 }, 0).expect("get"), Body::Value(vec![7, 7]));
+        assert_eq!(c.call(Command::Delete { key: 2 }, 0).expect("del"), Body::Deleted(true));
+        assert_eq!(c.call(Command::Delete { key: 2 }, 0).expect("del"), Body::Deleted(false));
+
+        match c.call(Command::Scan { lo: 0, hi: 1000, limit: 10 }, 0).expect("scan") {
+            Body::Entries(e) => {
+                assert_eq!(e.len(), 10);
+                assert!(e.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let report = server.shutdown();
+        assert!(report.completed >= 7);
+        assert!(report.checkpointed, "durability is configured, drain must checkpoint");
+    });
+}
+
+#[test]
+fn pipelined_requests_resolve_out_of_order_by_id() {
+    with_deadline(Duration::from_secs(30), || {
+        let cfg = ServiceConfig::default();
+        let store = testutil::served_store(256, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        // Fire a pipelined burst without reading, then collect by id.
+        let ids: Vec<u64> = (0..64u64)
+            .map(|i| {
+                c.send(Command::Put { key: 10_000 + i, value: vec![i as u8] }, 0).expect("send")
+            })
+            .collect();
+        for id in &ids {
+            assert_eq!(c.recv_for(*id).expect("recv"), Body::Ok);
+        }
+        for i in 0..64u64 {
+            assert_eq!(
+                c.call(Command::Get { key: 10_000 + i }, 0).expect("get"),
+                Body::Value(vec![i as u8])
+            );
+        }
+        server.shutdown();
+    });
+}
+
+#[test]
+fn batch_coalesces_and_preserves_order() {
+    with_deadline(Duration::from_secs(30), || {
+        let cfg = ServiceConfig::default();
+        let store = testutil::served_store(64, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        let cmds = vec![
+            Command::Put { key: 5000, value: vec![1] },
+            Command::Put { key: 6000, value: vec![2] },
+            Command::Get { key: 5000 },
+            Command::Get { key: 6000 },
+            Command::Delete { key: 5000 },
+        ];
+        match c.call(Command::Batch(cmds), 0).expect("batch") {
+            Body::Batch(bodies) => {
+                assert_eq!(bodies.len(), 5);
+                assert_eq!(bodies[0], Body::Ok);
+                assert_eq!(bodies[1], Body::Ok);
+                assert_eq!(bodies[2], Body::Value(vec![1]));
+                assert_eq!(bodies[3], Body::Value(vec![2]));
+                assert_eq!(bodies[4], Body::Deleted(true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    });
+}
+
+#[test]
+fn stats_returns_telemetry_json() {
+    with_deadline(Duration::from_secs(30), || {
+        let cfg = ServiceConfig::default();
+        let store = testutil::served_store(64, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        let _ = c.call(Command::Get { key: 1 }, 0).expect("get");
+        let json = c.stats().expect("stats");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"server_get\""), "op histograms missing: {json}");
+        assert!(json.contains("\"conn_open\":1"), "connection counters missing: {json}");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn expired_deadline_is_shed_with_typed_error() {
+    with_deadline(Duration::from_secs(30), || {
+        // One worker with a deep queue: stuff it with slow-ish scans so a
+        // 1µs-deadline request expires while queued.
+        let mut cfg = ServiceConfig::default();
+        cfg.set("workers", "1").expect("cfg");
+        let store = testutil::served_store(512, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        let mut ids = Vec::new();
+        for _ in 0..32 {
+            ids.push(c.send(Command::Scan { lo: 0, hi: u64::MAX, limit: 512 }, 0).expect("send"));
+        }
+        let doomed = c.send(Command::Get { key: 1 }, 1).expect("send");
+        ids.push(doomed);
+        let mut shed = 0;
+        for id in ids {
+            match c.recv_for(id).expect("recv") {
+                Body::Err { kind: ErrorKind::DeadlineExceeded, .. } => shed += 1,
+                Body::Err { kind, .. } => panic!("unexpected error {kind:?}"),
+                _ => {}
+            }
+        }
+        assert_eq!(shed, 1, "the 1µs request (and only it) must be shed");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn corrupt_frame_body_gets_typed_rejection_and_connection_survives() {
+    with_deadline(Duration::from_secs(30), || {
+        use std::io::Write;
+        let cfg = ServiceConfig::default();
+        let store = testutil::served_store(64, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        // Hand-craft a frame with a valid length but an unknown opcode.
+        let mut frame = Vec::new();
+        let body_len = 8 + 4 + 1;
+        frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+        frame.extend_from_slice(&777u64.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.push(0xEE);
+        c.get_ref().try_clone().expect("clone").write_all(&frame).expect("write");
+
+        let resp = c.recv().expect("typed rejection");
+        assert_eq!(resp.id, 777, "rejection must carry the salvaged id");
+        assert!(matches!(resp.body, Body::Err { kind: ErrorKind::BadRequest, .. }));
+
+        // Frame sync held: the connection still serves real requests.
+        assert_eq!(c.call(Command::Get { key: 2 }, 0).expect("get"), Body::NotFound);
+        server.shutdown();
+    });
+}
+
+#[test]
+fn oversized_length_prefix_closes_the_connection() {
+    with_deadline(Duration::from_secs(30), || {
+        use std::io::Write;
+        let cfg = ServiceConfig::default();
+        let store = testutil::served_store(64, &cfg);
+        let server = Server::spawn(store, cfg, "127.0.0.1:0").expect("spawn");
+        let mut c = client_for(&server);
+
+        c.get_ref().try_clone().expect("clone").write_all(&u32::MAX.to_le_bytes()).expect("write");
+        // Stream corruption is unrecoverable: server closes; the client
+        // sees EOF (or a reset), not a hang.
+        let err = c.recv().expect_err("connection must close");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            "unexpected error {err:?}"
+        );
+        server.shutdown();
+    });
+}

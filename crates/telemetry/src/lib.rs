@@ -100,11 +100,27 @@ pub enum Event {
     /// `ShardSplit`/`ShardMerge`/`KindSwap` is preceded by exactly one of
     /// these; a decision whose cutover aborts leaves the count ahead.
     TunerDecision,
+    /// A server accepted one client connection.
+    ConnOpen,
+    /// A server connection closed (clean or not; one per `ConnOpen`).
+    ConnClose,
+    /// A request's deadline expired before the store was touched; the
+    /// work was shed with a typed `DEADLINE_EXCEEDED` response.
+    DeadlineShed,
+    /// A connection was dropped for slow-client protection (bounded
+    /// write queue overflowed, or read/write stalled past the timeout).
+    SlowClientDrop,
+    /// An inbound frame failed to decode (corrupt length, bad opcode,
+    /// truncated body) and was answered/closed with a typed error.
+    FrameReject,
+    /// A request was refused with typed `CANCELLED` because the server
+    /// was draining for shutdown.
+    RequestCancelled,
 }
 
 impl Event {
     /// All variants, in counter-array order.
-    pub const ALL: [Event; 23] = [
+    pub const ALL: [Event; 29] = [
         Event::Retrain,
         Event::SplitNode,
         Event::ExpandNode,
@@ -128,6 +144,12 @@ impl Event {
         Event::ShardMerge,
         Event::KindSwap,
         Event::TunerDecision,
+        Event::ConnOpen,
+        Event::ConnClose,
+        Event::DeadlineShed,
+        Event::SlowClientDrop,
+        Event::FrameReject,
+        Event::RequestCancelled,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -162,6 +184,12 @@ impl Event {
             Event::ShardMerge => "shard_merge",
             Event::KindSwap => "kind_swap",
             Event::TunerDecision => "tuner_decision",
+            Event::ConnOpen => "conn_open",
+            Event::ConnClose => "conn_close",
+            Event::DeadlineShed => "deadline_shed",
+            Event::SlowClientDrop => "slow_client_drop",
+            Event::FrameReject => "frame_reject",
+            Event::RequestCancelled => "request_cancelled",
         }
     }
 }
@@ -184,10 +212,24 @@ pub enum OpKind {
     RetryAttempts,
     /// Time spent sleeping in retry backoff (ns).
     BackoffWait,
+    /// End-to-end server GET (decode → store → response queued).
+    ServerGet,
+    /// End-to-end server PUT.
+    ServerPut,
+    /// End-to-end server DELETE.
+    ServerDelete,
+    /// End-to-end server SCAN.
+    ServerScan,
+    /// End-to-end server BATCH (whole batch, not per sub-command).
+    ServerBatch,
+    /// End-to-end server STATS.
+    ServerStats,
+    /// Time a request waited in a worker queue before executing (ns).
+    ServerQueue,
 }
 
 impl OpKind {
-    pub const ALL: [OpKind; 12] = [
+    pub const ALL: [OpKind; 19] = [
         OpKind::Get,
         OpKind::Insert,
         OpKind::Remove,
@@ -200,6 +242,13 @@ impl OpKind {
         OpKind::Maintenance,
         OpKind::RetryAttempts,
         OpKind::BackoffWait,
+        OpKind::ServerGet,
+        OpKind::ServerPut,
+        OpKind::ServerDelete,
+        OpKind::ServerScan,
+        OpKind::ServerBatch,
+        OpKind::ServerStats,
+        OpKind::ServerQueue,
     ];
 
     pub const COUNT: usize = Self::ALL.len();
@@ -223,6 +272,13 @@ impl OpKind {
             OpKind::Maintenance => "maintenance",
             OpKind::RetryAttempts => "retry_attempts",
             OpKind::BackoffWait => "backoff_wait",
+            OpKind::ServerGet => "server_get",
+            OpKind::ServerPut => "server_put",
+            OpKind::ServerDelete => "server_delete",
+            OpKind::ServerScan => "server_scan",
+            OpKind::ServerBatch => "server_batch",
+            OpKind::ServerStats => "server_stats",
+            OpKind::ServerQueue => "server_queue",
         }
     }
 }

@@ -49,7 +49,7 @@ pub use maintenance::{
 };
 pub use retry::RetryPolicy;
 pub use store::{
-    ConcurrentViperStore, RepairOutcome, SharedWriter, SingleWriter, StoreConfig, ViperStore,
-    WriteModel,
+    ConcurrentViperStore, OverloadState, RepairOutcome, SharedWriter, SingleWriter, StoreConfig,
+    ViperStore, WriteModel,
 };
 pub use wal::{Wal, WalFull};

@@ -62,7 +62,7 @@ impl MaintenancePass {
 }
 
 /// When the [`CircuitBreaker`] opens and closes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
     /// Retrain-queue depth at or above which a tick counts as overloaded.
     pub depth_open: usize,

@@ -372,6 +372,20 @@ fn shed_check<'a>(
     }
 }
 
+/// Instantaneous position on the overload ladder, surfaced so a front-end
+/// can distinguish "back off briefly" from "back off hard" when mapping
+/// [`ViperError::Backpressure`] to protocol errors — the error itself is
+/// deliberately one variant for both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadState {
+    /// Writes are being admitted normally.
+    Clear,
+    /// The admission gate is saturated: new puts spin-wait then shed.
+    Gated { in_flight: usize, limit: usize },
+    /// The circuit breaker is open: puts shed immediately.
+    BreakerOpen,
+}
+
 /// What one online repair pass resolved. Every formerly quarantined slot
 /// lands in exactly one bucket, so
 /// `superseded + lost.len() == quarantined` (minus slots a transient
@@ -550,6 +564,25 @@ impl<I: Index, M: WriteModel> ViperStore<I, M> {
     /// The installed circuit breaker, if any.
     pub fn circuit_breaker(&self) -> Option<&Arc<CircuitBreaker>> {
         self.breaker.as_ref()
+    }
+
+    /// Where this store currently sits on the overload ladder. Advisory —
+    /// the state can change between this read and the next write — but
+    /// accurate enough to pick a retry hint and the right typed error.
+    /// Breaker-open dominates gate saturation.
+    pub fn overload_state(&self) -> OverloadState {
+        if let Some(b) = &self.breaker {
+            if b.is_open() {
+                return OverloadState::BreakerOpen;
+            }
+        }
+        if let Some(gate) = &self.admission {
+            let in_flight = gate.in_flight(0);
+            if in_flight >= gate.limit() {
+                return OverloadState::Gated { in_flight, limit: gate.limit() };
+            }
+        }
+        OverloadState::Clear
     }
 
     /// Lifts read-only degradation if the heap can currently make
@@ -1414,6 +1447,17 @@ impl<I: Index + ConcurrentIndex> ViperStore<I, SharedWriter> {
     pub fn checkpoint_now(&self) -> Result<bool, ViperError> {
         let _quiesce: Vec<_> = self.key_locks.0.iter().map(|m| m.lock()).collect();
         self.checkpoint_inner()
+    }
+
+    /// Graceful-shutdown hook: quiesce all writer stripes, fence the
+    /// device, and write a final checkpoint when durability is
+    /// configured. Idempotent; returns whether a checkpoint was written.
+    /// Callers (e.g. `li-server`) stop admitting new work first, so by
+    /// the time this returns every acknowledged write is durable.
+    pub fn drain(&self) -> Result<bool, ViperError> {
+        let wrote = self.checkpoint_now()?;
+        let _ = self.heap.device().try_fence();
+        Ok(wrote)
     }
 
     /// Online repair of recovery's quarantined slots through a shared

@@ -68,7 +68,10 @@ pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Viola
 /// fault into an outage. The shard router's op and cutover paths are held
 /// to the same bar: a panic inside a commit would poison the boundary
 /// table for every thread, and the tuner runs on the maintenance thread
-/// where a panic silently kills adaptation.
+/// where a panic silently kills adaptation. The li-proto frame decoder
+/// parses untrusted network bytes on every connection's reader thread;
+/// a panic there hands any client a remote crash primitive, so corrupt
+/// input must surface as `ProtoError`, never a panic.
 fn hot_fns(file: &Path) -> Option<&'static [&'static str]> {
     let f = file.to_string_lossy().replace('\\', "/");
     if f.ends_with("viper/src/store.rs") {
@@ -90,6 +93,15 @@ fn hot_fns(file: &Path) -> Option<&'static [&'static str]> {
         ])
     } else if f.ends_with("core/src/tuner.rs") {
         Some(&["observe", "penalize"])
+    } else if f.ends_with("proto/src/lib.rs") {
+        Some(&[
+            "frame_len",
+            "split_frame",
+            "decode_request",
+            "decode_response",
+            "decode_command",
+            "decode_body",
+        ])
     } else {
         None
     }
@@ -389,6 +401,23 @@ mod tests {
         let v = lint("crates/core/src/tuner.rs", src, "");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "hot-path-panics");
+    }
+
+    #[test]
+    fn r4_covers_proto_frame_decoder() {
+        // Decode paths parse untrusted network bytes: a panic is a
+        // remote crash primitive.
+        let src = "pub fn decode_request(body: &[u8]) -> R {\n    u64::from_le_bytes(body[..8].try_into().unwrap())\n}\n";
+        let v = lint("crates/proto/src/lib.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-panics");
+        let src = "pub fn split_frame(buf: &[u8]) -> R {\n    panic!(\"oversized\");\n}\n";
+        let v = lint("crates/proto/src/lib.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Encode paths take trusted in-process input and are not held
+        // to the panic-free bar.
+        let src = "pub fn encode_request(req: &Request) { out.push(x.unwrap()); }\n";
+        assert!(lint("crates/proto/src/lib.rs", src, "").is_empty());
     }
 
     #[test]
