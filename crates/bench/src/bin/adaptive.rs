@@ -203,11 +203,11 @@ fn run_config(name: &str, idx: AnyConcurrentIndex, span: u64, ops: usize, seed: 
     let epochs = {
         let idx = Arc::clone(&idx);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
+        li_sync::thread::spawn(move || {
             let mut committed = 0usize;
             while !stop.load(Ordering::Acquire) {
                 committed += idx.run_adaptation();
-                std::thread::sleep(Duration::from_millis(4));
+                li_sync::thread::sleep(Duration::from_millis(4));
             }
             committed
         })

@@ -199,7 +199,7 @@ where
     let mut handles = Vec::new();
     for i in 0..clients {
         let run = Arc::clone(&run);
-        handles.push(std::thread::spawn(move || run(i)));
+        handles.push(li_sync::thread::spawn(move || run(i)));
     }
     let mut total = ClientTally::default();
     for h in handles {
@@ -354,14 +354,14 @@ fn storm(seed: u64) -> StormOutcome {
     let monitor = {
         let rec = rec.clone();
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || loop {
+        li_sync::thread::spawn(move || loop {
             if rec.snapshot().event(Event::Retry) > 0 {
                 return Some(Instant::now());
             }
             if stop.load(Ordering::Acquire) {
                 return None;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            li_sync::thread::sleep(Duration::from_micros(200));
         })
     };
 

@@ -30,7 +30,7 @@ pub fn run(cfg: &BenchConfig) {
             for t in 0..threads {
                 let store = Arc::clone(&store);
                 let slice: Vec<Op> = ops[t * chunk..(t + 1) * chunk].to_vec();
-                handles.push(std::thread::spawn(move || {
+                handles.push(li_sync::thread::spawn(move || {
                     let mut hist = LatencyHistogram::new();
                     let mut buf = vec![0u8; vs];
                     for op in &slice {

@@ -32,7 +32,7 @@ pub fn measure(
         let store = Arc::clone(&store);
         let mine: Vec<u64> =
             pool.iter().skip(t).step_by(threads).take(per_thread).copied().collect();
-        handles.push(std::thread::spawn(move || {
+        handles.push(li_sync::thread::spawn(move || {
             let mut hist = LatencyHistogram::new();
             let mut val = vec![0u8; vs];
             for k in mine {

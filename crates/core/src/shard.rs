@@ -278,7 +278,12 @@ impl ShardCell {
             id,
             kind,
             native,
-            lock: RwLock::new(ShardState { index, side: None }),
+            // `ordered`: merge commits hold two cells at once, always
+            // left-to-right in boundary order (see `commit_merge`).
+            lock: RwLock::with_class(
+                li_sync::lock_class!("shard-cell", ordered),
+                ShardState { index, side: None },
+            ),
             stats: CellStats {
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
@@ -395,7 +400,11 @@ impl Sharded {
             let spec = &kinds[initial as usize];
             Self::build_inner(shards, data, initial, &mut |chunk| (spec.build)(chunk))
         };
-        idx.adapt = Some(AdaptState { kinds, side_cap, tuner: Mutex::new(Tuner::new(tuner)) });
+        idx.adapt = Some(AdaptState {
+            kinds,
+            side_cap,
+            tuner: Mutex::with_class(li_sync::lock_class!("shard-tuner"), Tuner::new(tuner)),
+        });
         idx
     }
 
@@ -439,7 +448,7 @@ impl Sharded {
             start = end;
         }
         Sharded {
-            table: RwLock::new(Table { lower, cells }),
+            table: RwLock::with_class(li_sync::lock_class!("shard-table"), Table { lower, cells }),
             recorder: Recorder::disabled(),
             admission: None,
             admission_wait: Duration::from_micros(200),

@@ -25,7 +25,7 @@ impl PageAllocator {
             page_size,
             total_pages: capacity / page_size,
             next: AtomicUsize::new(0),
-            free: Mutex::new(Vec::new()),
+            free: Mutex::with_class(li_sync::lock_class!("nvm-alloc"), Vec::new()),
         }
     }
 

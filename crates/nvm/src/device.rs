@@ -123,9 +123,10 @@ impl NvmDevice {
     pub fn new(config: NvmConfig) -> Self {
         let shadow = match config.durability {
             DurabilityTracking::Disabled => None,
-            DurabilityTracking::Shadow => {
-                Some(Mutex::new(Shadow { image: vec![0u8; config.capacity], pending: Vec::new() }))
-            }
+            DurabilityTracking::Shadow => Some(Mutex::with_class(
+                li_sync::lock_class!("nvm-shadow"),
+                Shadow { image: vec![0u8; config.capacity], pending: Vec::new() },
+            )),
         };
         NvmDevice {
             mem: Arena::new(config.capacity),

@@ -29,9 +29,9 @@
 //!   `drain_timeout`, after which the remainder is cancelled), flushes
 //!   write queues, then checkpoints the store.
 
+use li_sync::sync::mpsc::{self, ClassedReceiver, ClassedSyncSender, TrySendError};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
 
 use li_core::{ConcurrentIndex, OrderedIndex};
@@ -80,7 +80,7 @@ struct Job {
     cmd: Command,
     deadline: Option<Instant>,
     enqueued: Instant,
-    reply: SyncSender<Vec<u8>>,
+    reply: ClassedSyncSender<Vec<u8>>,
     conn_alive: Arc<AtomicBool>,
 }
 
@@ -114,7 +114,7 @@ pub struct Server<I: ServeIndex> {
     local_addr: SocketAddr,
     acceptor: Option<li_sync::thread::JoinHandle<()>>,
     workers: Vec<li_sync::thread::JoinHandle<()>>,
-    worker_txs: Vec<SyncSender<Job>>,
+    worker_txs: Vec<ClassedSyncSender<Job>>,
     conns: Arc<Mutex<Vec<ConnSlot>>>,
 }
 
@@ -148,7 +148,10 @@ impl<I: ServeIndex> Server<I> {
         let mut worker_txs = Vec::with_capacity(shared.cfg.workers);
         let mut workers = Vec::with_capacity(shared.cfg.workers);
         for w in 0..shared.cfg.workers {
-            let (tx, rx) = mpsc::sync_channel::<Job>(shared.cfg.queue_depth);
+            let (tx, rx) = mpsc::classed_sync_channel::<Job>(
+                li_sync::lock_class!("server-worker-queue"),
+                shared.cfg.queue_depth,
+            );
             worker_txs.push(tx);
             let shared = Arc::clone(&shared);
             workers.push(
@@ -159,7 +162,8 @@ impl<I: ServeIndex> Server<I> {
             );
         }
 
-        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<ConnSlot>>> =
+            Arc::new(Mutex::with_class(li_sync::lock_class!("server-conns"), Vec::new()));
         let acceptor = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
@@ -246,7 +250,7 @@ fn accept_loop<I: ServeIndex>(
     shared: &Arc<Shared<I>>,
     listener: &TcpListener,
     conns: &Arc<Mutex<Vec<ConnSlot>>>,
-    worker_txs: &[SyncSender<Job>],
+    worker_txs: &[ClassedSyncSender<Job>],
 ) {
     while !shared.stopping.load(Ordering::Acquire) {
         match listener.accept() {
@@ -269,14 +273,17 @@ fn accept_loop<I: ServeIndex>(
 fn spawn_conn<I: ServeIndex>(
     shared: &Arc<Shared<I>>,
     stream: TcpStream,
-    worker_txs: &[SyncSender<Job>],
+    worker_txs: &[ClassedSyncSender<Job>],
 ) -> io::Result<ConnSlot> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TICK))?;
     let write_half = stream.try_clone()?;
     write_half.set_write_timeout(Some(shared.cfg.stall_timeout))?;
 
-    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(shared.cfg.write_queue_frames);
+    let (tx, rx) = mpsc::classed_sync_channel::<Vec<u8>>(
+        li_sync::lock_class!("server-write-queue"),
+        shared.cfg.write_queue_frames,
+    );
     let conn_alive = Arc::new(AtomicBool::new(true));
 
     let writer = {
@@ -307,7 +314,7 @@ fn spawn_conn<I: ServeIndex>(
 /// keeping up → slow-client drop.
 fn queue_reply<I: ServeIndex>(
     shared: &Shared<I>,
-    reply: &SyncSender<Vec<u8>>,
+    reply: &ClassedSyncSender<Vec<u8>>,
     conn_alive: &AtomicBool,
     resp: &Response,
 ) {
@@ -335,8 +342,8 @@ fn queue_reply<I: ServeIndex>(
 fn reader_loop<I: ServeIndex>(
     shared: &Arc<Shared<I>>,
     mut stream: TcpStream,
-    worker_txs: &[SyncSender<Job>],
-    reply: &SyncSender<Vec<u8>>,
+    worker_txs: &[ClassedSyncSender<Job>],
+    reply: &ClassedSyncSender<Vec<u8>>,
     conn_alive: &Arc<AtomicBool>,
 ) {
     let mut acc: Vec<u8> = Vec::with_capacity(4096);
@@ -378,8 +385,8 @@ fn reader_loop<I: ServeIndex>(
 fn drain_frames<I: ServeIndex>(
     shared: &Arc<Shared<I>>,
     acc: &mut Vec<u8>,
-    worker_txs: &[SyncSender<Job>],
-    reply: &SyncSender<Vec<u8>>,
+    worker_txs: &[ClassedSyncSender<Job>],
+    reply: &ClassedSyncSender<Vec<u8>>,
     conn_alive: &Arc<AtomicBool>,
 ) -> bool {
     loop {
@@ -432,8 +439,8 @@ fn salvage_id(body: &[u8]) -> u64 {
 fn dispatch<I: ServeIndex>(
     shared: &Arc<Shared<I>>,
     req: Request,
-    worker_txs: &[SyncSender<Job>],
-    reply: &SyncSender<Vec<u8>>,
+    worker_txs: &[ClassedSyncSender<Job>],
+    reply: &ClassedSyncSender<Vec<u8>>,
     conn_alive: &Arc<AtomicBool>,
 ) {
     if shared.stopping.load(Ordering::Acquire) {
@@ -486,7 +493,7 @@ fn dispatch<I: ServeIndex>(
     }
 }
 
-fn worker_loop<I: ServeIndex>(shared: &Arc<Shared<I>>, rx: &Receiver<Job>) {
+fn worker_loop<I: ServeIndex>(shared: &Arc<Shared<I>>, rx: &ClassedReceiver<Job>) {
     while let Ok(job) = rx.recv() {
         let recorder = shared.store.recorder();
         recorder.record_ns(
@@ -515,7 +522,7 @@ fn worker_loop<I: ServeIndex>(shared: &Arc<Shared<I>>, rx: &Receiver<Job>) {
 fn writer_loop<I: ServeIndex>(
     shared: &Arc<Shared<I>>,
     mut stream: TcpStream,
-    rx: &Receiver<Vec<u8>>,
+    rx: &ClassedReceiver<Vec<u8>>,
     conn_alive: &AtomicBool,
 ) {
     // `recv` keeps delivering frames queued before the senders dropped,

@@ -107,7 +107,7 @@ impl<S> FaultyTransport<S> {
             return Err(io::Error::new(io::ErrorKind::ConnectionReset, "injected disconnect"));
         }
         if self.roll(self.cfg.stall) {
-            std::thread::sleep(self.cfg.stall_for);
+            li_sync::thread::sleep(self.cfg.stall_for);
         }
         if self.roll(self.cfg.disconnect) {
             self.dead = true;

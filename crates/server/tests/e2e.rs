@@ -3,7 +3,7 @@
 //! fault storms live in the workspace-level `tests/server_chaos.rs`;
 //! this file pins the happy paths and the basic protocol semantics.
 
-use std::sync::mpsc;
+use li_sync::sync::mpsc;
 use std::time::Duration;
 
 use li_proto::{Body, Command, ErrorKind};
@@ -13,7 +13,7 @@ use li_server::{testutil, Client, Server, ServiceConfig};
 /// hanging CI (same discipline as tests/chaos_recovery.rs).
 fn with_deadline<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
     let (tx, rx) = mpsc::channel();
-    let t = std::thread::spawn(move || {
+    let t = li_sync::thread::spawn(move || {
         let _ = tx.send(f());
     });
     match rx.recv_timeout(limit) {

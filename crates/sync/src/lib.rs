@@ -1,32 +1,390 @@
 //! `li-sync`: the workspace's single concurrency import surface.
 //!
-//! Every crate in the workspace takes its atomics, locks, threads and
-//! spin hints from here instead of `std::sync` / `parking_lot`
-//! directly (`cargo xtask lint` rule R1 enforces this). In a normal
-//! build the module tree below re-exports the plain types; under
-//! `RUSTFLAGS="--cfg loom"` the same paths resolve to the vendored
-//! `loom` model checker's instrumented types, so the loom model tests
-//! exercise the *production* protocol code, not a copy.
+//! Every crate in the workspace takes its atomics, locks, threads,
+//! channels and spin hints from here instead of `std::sync` /
+//! `parking_lot` directly (`cargo xtask lint` rule R1 enforces this).
+//! The one seam buys three instrumented builds of the *same* production
+//! code:
+//!
+//! * normal build — [`sync::Mutex`] / [`sync::RwLock`] are thin wrappers
+//!   over `parking_lot` with the lock-class plumbing compiled out;
+//! * `--features lockdep` — every guard acquisition feeds the runtime
+//!   lock-order witness in [`lockdep`] (held-lock stack, acquisition
+//!   graph, incremental cycle detection);
+//! * `RUSTFLAGS="--cfg loom"` — the same paths resolve to the vendored
+//!   `loom` model checker's instrumented types (which own deadlock
+//!   detection in that build, so the witness stands down).
 //!
 //! Layout mirrors `std`:
 //!
 //! * [`sync`] — `Arc`, `Mutex`, `RwLock` (+ guards, parking_lot-style
-//!   non-poisoning API) and [`sync::atomic`].
-//! * [`thread`] — `Builder`, `JoinHandle`, `spawn`, `yield_now`,
-//!   `sleep`.
+//!   non-poisoning API), [`sync::atomic`] and [`sync::mpsc`].
+//! * [`thread`] — `Builder`, `JoinHandle`, `spawn`, `scope`,
+//!   `yield_now`, `sleep`.
 //! * [`hint`] — `spin_loop`.
 //!
 //! Migration is therefore mechanical: `use std::sync::atomic::X` →
 //! `use li_sync::sync::atomic::X`, `use parking_lot::X` →
-//! `use li_sync::sync::X`, `std::thread::X` → `li_sync::thread::X`.
+//! `use li_sync::sync::X`, `std::thread::X` → `li_sync::thread::X`,
+//! `std::sync::mpsc` → `li_sync::sync::mpsc`.
 
 #![forbid(unsafe_code)]
+
+pub mod lockdep;
+
+mod locks {
+    #[cfg(loom)]
+    use loom::sync as backend;
+    #[cfg(not(loom))]
+    use parking_lot as backend;
+
+    use crate::lockdep::LockClass;
+
+    /// Mutual exclusion with parking_lot's non-poisoning API, plus a
+    /// lock class for the [`crate::lockdep`] witness. `new` assigns an
+    /// automatic per-construction-site class; locks that participate in
+    /// a documented hierarchy should use [`Mutex::with_class`].
+    pub struct Mutex<T: ?Sized> {
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        class: &'static LockClass,
+        inner: backend::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        #[track_caller]
+        pub fn new(value: T) -> Self {
+            Mutex {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class: crate::lockdep::auto_class_here(),
+                inner: backend::Mutex::new(value),
+            }
+        }
+
+        /// A mutex belonging to a declared lock class (see
+        /// [`crate::lock_class!`]).
+        pub fn with_class(class: &'static LockClass, value: T) -> Self {
+            let _ = class;
+            Mutex {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class,
+                inner: backend::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        #[track_caller]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            // Witness first: an inversion must panic, not deadlock.
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            let token = crate::lockdep::acquire_token(self.class, crate::lockdep::Mode::Exclusive);
+            MutexGuard {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                _token: token,
+                inner: self.inner.lock(),
+            }
+        }
+
+        /// Never blocks, so it cannot complete a deadlock itself — but a
+        /// successful try still records its edges: a cycle through them
+        /// plus later blocking acquisitions is a real inversion.
+        #[track_caller]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            let inner = self.inner.try_lock()?;
+            Some(MutexGuard {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                _token: crate::lockdep::acquire_token(self.class, crate::lockdep::Mode::Exclusive),
+                inner,
+            })
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        #[track_caller]
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    #[must_use = "a MutexGuard unlocks on drop"]
+    pub struct MutexGuard<'a, T: ?Sized> {
+        // Declared before `inner`: the witness pops the held entry just
+        // before the real unlock.
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        _token: crate::lockdep::HeldToken,
+        inner: backend::MutexGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    /// Reader-writer lock; see [`Mutex`] for the class plumbing.
+    pub struct RwLock<T: ?Sized> {
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        class: &'static LockClass,
+        inner: backend::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        #[track_caller]
+        pub fn new(value: T) -> Self {
+            RwLock {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class: crate::lockdep::auto_class_here(),
+                inner: backend::RwLock::new(value),
+            }
+        }
+
+        /// A lock belonging to a declared class (see
+        /// [`crate::lock_class!`]).
+        pub fn with_class(class: &'static LockClass, value: T) -> Self {
+            let _ = class;
+            RwLock {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class,
+                inner: backend::RwLock::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        #[track_caller]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            let token = crate::lockdep::acquire_token(self.class, crate::lockdep::Mode::Shared);
+            RwLockReadGuard {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                _token: token,
+                inner: self.inner.read(),
+            }
+        }
+
+        #[track_caller]
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            let inner = self.inner.try_read()?;
+            Some(RwLockReadGuard {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                _token: crate::lockdep::acquire_token(self.class, crate::lockdep::Mode::Shared),
+                inner,
+            })
+        }
+
+        #[track_caller]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            let token = crate::lockdep::acquire_token(self.class, crate::lockdep::Mode::Exclusive);
+            RwLockWriteGuard {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                _token: token,
+                inner: self.inner.write(),
+            }
+        }
+
+        #[track_caller]
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            let inner = self.inner.try_write()?;
+            Some(RwLockWriteGuard {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                _token: crate::lockdep::acquire_token(self.class, crate::lockdep::Mode::Exclusive),
+                inner,
+            })
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        #[track_caller]
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    #[must_use = "an RwLockReadGuard unlocks on drop"]
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        _token: crate::lockdep::HeldToken,
+        inner: backend::RwLockReadGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    #[must_use = "an RwLockWriteGuard unlocks on drop"]
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        _token: crate::lockdep::HeldToken,
+        inner: backend::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&**self, f)
+        }
+    }
+}
+
+mod channels {
+    //! `std::sync::mpsc` re-exports plus lock-classed bounded channels.
+    //!
+    //! A full bounded channel blocks its sender exactly like a lock
+    //! blocks its waiter, so a thread that sends while holding a lock
+    //! the consumer needs is a deadlock the acquisition graph should
+    //! see. [`classed_sync_channel`] gives the channel a [`LockClass`];
+    //! blocking `send` / `recv` are witness *blocking points* (edges
+    //! from every held lock, no push — the channel is never "held").
+
+    pub use std::sync::mpsc::{
+        channel, sync_channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        SyncSender, TryRecvError, TrySendError,
+    };
+
+    use crate::lockdep::LockClass;
+
+    /// A bounded channel whose blocking endpoints participate in the
+    /// lockdep witness under `--features lockdep`.
+    pub fn classed_sync_channel<T>(
+        class: &'static LockClass,
+        bound: usize,
+    ) -> (ClassedSyncSender<T>, ClassedReceiver<T>) {
+        let _ = class;
+        let (tx, rx) = sync_channel(bound);
+        (
+            ClassedSyncSender {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class,
+                inner: tx,
+            },
+            ClassedReceiver {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class,
+                inner: rx,
+            },
+        )
+    }
+
+    /// Sending half of [`classed_sync_channel`].
+    pub struct ClassedSyncSender<T> {
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        class: &'static LockClass,
+        inner: SyncSender<T>,
+    }
+
+    impl<T> Clone for ClassedSyncSender<T> {
+        fn clone(&self) -> Self {
+            ClassedSyncSender {
+                #[cfg(all(feature = "lockdep", not(loom)))]
+                class: self.class,
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> ClassedSyncSender<T> {
+        /// Blocks when the channel is full — a witness blocking point.
+        #[track_caller]
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            crate::lockdep::blocking_point(self.class);
+            self.inner.send(value)
+        }
+
+        /// Never blocks; no witness edge.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value)
+        }
+    }
+
+    /// Receiving half of [`classed_sync_channel`].
+    pub struct ClassedReceiver<T> {
+        #[cfg(all(feature = "lockdep", not(loom)))]
+        class: &'static LockClass,
+        inner: Receiver<T>,
+    }
+
+    impl<T> ClassedReceiver<T> {
+        /// Blocks until a message or disconnect — a witness blocking
+        /// point.
+        #[track_caller]
+        pub fn recv(&self) -> Result<T, RecvError> {
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            crate::lockdep::blocking_point(self.class);
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` — a witness blocking point.
+        #[track_caller]
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            crate::lockdep::blocking_point(self.class);
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Never blocks; no witness edge.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+}
 
 #[cfg(not(loom))]
 pub mod sync {
     pub use std::sync::Arc;
 
-    pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    pub use crate::locks::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
     pub mod atomic {
         pub use std::sync::atomic::{
@@ -34,11 +392,17 @@ pub mod sync {
             Ordering,
         };
     }
+
+    pub mod mpsc {
+        pub use crate::channels::*;
+    }
 }
 
 #[cfg(not(loom))]
 pub mod thread {
-    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+    pub use std::thread::{
+        scope, sleep, spawn, yield_now, Builder, JoinHandle, Result, Scope, ScopedJoinHandle,
+    };
 }
 
 #[cfg(not(loom))]
@@ -50,7 +414,7 @@ pub mod hint {
 pub mod sync {
     pub use loom::sync::Arc;
 
-    pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    pub use crate::locks::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
     pub mod atomic {
         pub use loom::sync::atomic::{
@@ -58,11 +422,20 @@ pub mod sync {
             Ordering,
         };
     }
+
+    /// Channels are not modelled by the vendored loom; under `--cfg
+    /// loom` they degrade to plain std channels (outside `loom::model`
+    /// the locks do too, so crates that use channels still build).
+    pub mod mpsc {
+        pub use crate::channels::*;
+    }
 }
 
 #[cfg(loom)]
 pub mod thread {
     pub use loom::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+    /// Same alias std::thread exposes; loom has no equivalent to re-export.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
 }
 
 #[cfg(loom)]

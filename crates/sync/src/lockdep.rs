@@ -1,0 +1,703 @@
+//! Runtime lock-order witness (lockdep lineage).
+//!
+//! Every [`crate::sync::Mutex`] / [`crate::sync::RwLock`] belongs to a
+//! *lock class*: one static [`LockClass`] shared by every instance that
+//! plays the same role in the locking protocol (all 1024 Viper key
+//! stripes are one class; the shard router's boundary table is another).
+//! Classes are declared with the [`crate::lock_class!`] macro and
+//! attached at construction via `Mutex::with_class` /
+//! `RwLock::with_class`; locks built with plain `new` get an automatic
+//! per-construction-site class so nothing escapes the witness.
+//!
+//! Under the `lockdep` feature (and outside `--cfg loom`, where the
+//! model checker's own deadlock detection owns the job) every guard
+//! acquisition:
+//!
+//! 1. checks same-class rules — recursive acquisition and reentrant
+//!    reads panic unless the class is *ordered* (instances always nested
+//!    in one global order, e.g. merge locking two cells left-to-right);
+//! 2. records a `held-class -> acquired-class` edge into a global
+//!    acquisition graph and runs incremental cycle detection — a cycle
+//!    is a *potential* deadlock (two threads interleaving the two edge
+//!    directions), reported by panic with both acquisition sites even if
+//!    the schedule never actually deadlocks;
+//! 3. pushes onto a thread-local held-lock stack, popped when the guard
+//!    drops.
+//!
+//! The check runs *before* the inner lock is acquired, so an inversion
+//! panics instead of deadlocking. With the feature off every hook
+//! compiles to nothing and the guard types carry no extra state.
+//!
+//! Setting `LI_LOCKDEP_ORDER=<path to xtask/lock-order.txt>` makes the
+//! witness additionally enforce the *declared* hierarchy: an edge
+//! between two classes named in that file that the file's `order` lines
+//! do not (transitively) allow panics as "undeclared", tying the runtime
+//! witness to the same source of truth as the static `xtask` R6 pass.
+
+#[cfg(all(feature = "lockdep", not(loom)))]
+use std::panic::Location;
+#[cfg(all(feature = "lockdep", not(loom)))]
+use std::sync::atomic::AtomicU32;
+
+/// A lock class: the unit the acquisition graph is built over. See the
+/// module docs. Construct via [`crate::lock_class!`].
+pub struct LockClass {
+    name: &'static str,
+    site: &'static str,
+    ordered: bool,
+    /// Graph node id, assigned on first acquisition (0 = unassigned).
+    #[cfg(all(feature = "lockdep", not(loom)))]
+    id: AtomicU32,
+}
+
+impl LockClass {
+    /// A class whose instances must never be nested with each other.
+    #[must_use]
+    pub const fn new(name: &'static str, site: &'static str) -> Self {
+        LockClass {
+            name,
+            site,
+            ordered: false,
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// A class whose instances may nest because every thread acquires
+    /// them in one agreed global order (document that order where the
+    /// class is declared).
+    #[must_use]
+    pub const fn new_ordered(name: &'static str, site: &'static str) -> Self {
+        LockClass {
+            name,
+            site,
+            ordered: true,
+            #[cfg(all(feature = "lockdep", not(loom)))]
+            id: AtomicU32::new(0),
+        }
+    }
+
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `file:line` of the `lock_class!` invocation.
+    #[must_use]
+    pub const fn declaration_site(&self) -> &'static str {
+        self.site
+    }
+
+    #[must_use]
+    pub const fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+}
+
+/// Declares a `&'static LockClass`.
+///
+/// ```
+/// use li_sync::lock_class;
+/// let table = lock_class!("shard-table");
+/// let stripe = lock_class!("viper-stripe", ordered); // nested in index order
+/// ```
+#[macro_export]
+macro_rules! lock_class {
+    ($name:expr) => {{
+        static CLASS: $crate::lockdep::LockClass =
+            $crate::lockdep::LockClass::new($name, concat!(file!(), ":", line!()));
+        &CLASS
+    }};
+    ($name:expr, ordered) => {{
+        static CLASS: $crate::lockdep::LockClass =
+            $crate::lockdep::LockClass::new_ordered($name, concat!(file!(), ":", line!()));
+        &CLASS
+    }};
+}
+
+#[cfg(all(feature = "lockdep", not(loom)))]
+pub(crate) use active::{acquire_token, blocking_point, HeldToken, Mode};
+
+#[cfg(all(feature = "lockdep", not(loom)))]
+mod active {
+    use std::cell::{Cell, RefCell};
+    use std::collections::{HashMap, HashSet};
+    use std::panic::Location;
+    use std::sync::atomic::Ordering;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    use super::LockClass;
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Mode {
+        Shared,
+        Exclusive,
+    }
+
+    struct ClassInfo {
+        name: &'static str,
+        /// Auto classes (per-construction-site, from `Mutex::new`) are
+        /// exempt from the declared-hierarchy cross-check: they belong
+        /// to tests and scaffolding, not the documented protocol.
+        auto: bool,
+    }
+
+    /// Where an edge was first established, for the panic report.
+    struct EdgeInfo {
+        holder_site: String,
+        acquire_site: String,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        /// `id - 1` indexes into this.
+        classes: Vec<ClassInfo>,
+        /// Auto classes keyed by construction site.
+        auto: HashMap<String, &'static LockClass>,
+        edges: HashMap<(u32, u32), EdgeInfo>,
+        adj: HashMap<u32, Vec<u32>>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+        R.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
+        // A thread that panicked out of a report while holding the
+        // registry must not wedge every other thread's diagnostics.
+        registry().lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Declared hierarchy from `LI_LOCKDEP_ORDER` (optional).
+    struct Declared {
+        /// class name -> declared `ordered` flag.
+        classes: HashMap<String, bool>,
+        /// Transitive "may hold `k` while acquiring any of `v`".
+        reach: HashMap<String, HashSet<String>>,
+        path: String,
+    }
+
+    fn declared() -> Option<&'static Declared> {
+        static D: OnceLock<Option<Declared>> = OnceLock::new();
+        D.get_or_init(load_declared).as_ref()
+    }
+
+    fn load_declared() -> Option<Declared> {
+        let path = std::env::var("LI_LOCKDEP_ORDER").ok()?;
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("lockdep: cannot read LI_LOCKDEP_ORDER={path}: {e}"));
+        let mut classes: HashMap<String, bool> = HashMap::new();
+        let mut direct: HashMap<String, HashSet<String>> = HashMap::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("class") => {
+                    let Some(name) = words.next() else {
+                        panic!("lockdep: {path}:{}: `class` needs a name", no + 1);
+                    };
+                    let ordered = match words.next() {
+                        None => false,
+                        Some("ordered") => true,
+                        Some(w) => {
+                            panic!("lockdep: {path}:{}: unknown class flag `{w}`", no + 1)
+                        }
+                    };
+                    classes.insert(name.to_string(), ordered);
+                }
+                Some("order") => {
+                    let chain: Vec<&str> =
+                        line["order".len()..].split('>').map(str::trim).collect();
+                    assert!(
+                        chain.len() >= 2 && chain.iter().all(|c| !c.is_empty()),
+                        "lockdep: {path}:{}: `order` needs `a > b [> c ...]`",
+                        no + 1
+                    );
+                    for w in chain.windows(2) {
+                        direct.entry(w[0].to_string()).or_default().insert(w[1].to_string());
+                    }
+                }
+                // Static-pass directive (receiver-ident -> class); not
+                // needed at runtime.
+                Some("map") => {}
+                Some(w) => panic!("lockdep: {path}:{}: unknown directive `{w}`", no + 1),
+                // Blank and comment-only lines were skipped above.
+                None => unreachable!(),
+            }
+        }
+        for (src, dsts) in &direct {
+            for n in std::iter::once(src).chain(dsts.iter()) {
+                assert!(
+                    classes.contains_key(n),
+                    "lockdep: {path}: `order` references undeclared class `{n}`"
+                );
+            }
+        }
+        // Transitive closure (the hierarchy is a handful of classes).
+        let mut reach = direct;
+        loop {
+            let mut grew = false;
+            let snapshot: HashMap<String, HashSet<String>> = reach.clone();
+            for (src, outs) in &mut reach {
+                for mid in snapshot.get(src).into_iter().flatten() {
+                    for next in snapshot.get(mid).into_iter().flatten() {
+                        if next != src && outs.insert(next.clone()) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for (src, outs) in &reach {
+            assert!(
+                !outs.contains(src),
+                "lockdep: {path}: declared hierarchy has a cycle through `{src}`"
+            );
+        }
+        Some(Declared { classes, reach, path })
+    }
+
+    struct Held {
+        id: u32,
+        mode: Mode,
+        name: &'static str,
+        token: u64,
+        site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        /// Edges this thread already pushed through the global graph;
+        /// skips the registry lock on the hot path.
+        static SEEN: RefCell<HashSet<(u32, u32)>> = RefCell::new(HashSet::new());
+        static NEXT_TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+
+    fn class_id(class: &'static LockClass) -> u32 {
+        let id = class.id.load(Ordering::Acquire);
+        if id != 0 {
+            return id;
+        }
+        let mut reg = lock_registry();
+        let id = class.id.load(Ordering::Acquire);
+        if id != 0 {
+            return id;
+        }
+        if let Some(d) = declared() {
+            if let Some(&decl_ordered) = d.classes.get(class.name) {
+                if decl_ordered != class.ordered {
+                    let msg = format!(
+                        "lockdep: class `{}` (declared at {}) is {} in code but {} in {}",
+                        class.name,
+                        class.site,
+                        if class.ordered { "ordered" } else { "not ordered" },
+                        if decl_ordered { "ordered" } else { "not ordered" },
+                        d.path,
+                    );
+                    drop(reg);
+                    panic!("{msg}");
+                }
+            }
+        }
+        // One name = one class: a second `lock_class!` with the same
+        // name would silently split the class and blind the same-class
+        // checks, so it is rejected as misuse.
+        if let Some(dup) = reg.classes.iter().find(|c| !c.auto && c.name == class.name) {
+            let msg = format!(
+                "lockdep: duplicate lock class name `{}` (second declaration at {}); \
+                 declare the class once and share the `&'static LockClass`",
+                dup.name, class.site,
+            );
+            drop(reg);
+            panic!("{msg}");
+        }
+        reg.classes.push(ClassInfo { name: class.name, auto: false });
+        let id = u32::try_from(reg.classes.len()).expect("lock class count fits u32");
+        class.id.store(id, Ordering::Release);
+        id
+    }
+
+    /// The per-construction-site class a plain `Mutex::new` falls back
+    /// to. Leaked once per site; site count is bounded by the source.
+    pub(crate) fn auto_class(loc: &'static Location<'static>) -> &'static LockClass {
+        let key = format!("{}:{}:{}", loc.file(), loc.line(), loc.column());
+        let mut reg = lock_registry();
+        if let Some(c) = reg.auto.get(&key) {
+            return c;
+        }
+        let name: &'static str = Box::leak(key.clone().into_boxed_str());
+        let class: &'static LockClass = Box::leak(Box::new(LockClass::new(name, name)));
+        reg.classes.push(ClassInfo { name, auto: true });
+        let id = u32::try_from(reg.classes.len()).expect("lock class count fits u32");
+        class.id.store(id, Ordering::Release);
+        reg.auto.insert(key, class);
+        class
+    }
+
+    /// RAII token for one held lock; popped from the held stack on drop.
+    pub(crate) struct HeldToken(u64);
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|x| x.token == self.0) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Runs the witness for one acquisition and pushes the held entry.
+    /// Call *before* acquiring the inner lock so an inversion panics
+    /// instead of deadlocking.
+    #[track_caller]
+    pub(crate) fn acquire_token(class: &'static LockClass, mode: Mode) -> HeldToken {
+        let site = Location::caller();
+        let id = class_id(class);
+        let token = NEXT_TOKEN.with(|t| {
+            let v = t.get() + 1;
+            t.set(v);
+            v
+        });
+        HELD.with(|held_cell| {
+            {
+                let held = held_cell.borrow();
+                check_against_held(&held, class, id, mode, site);
+            }
+            held_cell.borrow_mut().push(Held { id, mode, name: class.name, token, site });
+        });
+        HeldToken(token)
+    }
+
+    /// Edge-only variant for operations that can block on a resource
+    /// that is not a lock (bounded-channel send/recv): records
+    /// held-lock -> class edges and runs cycle detection, but holds
+    /// nothing afterwards.
+    #[track_caller]
+    pub(crate) fn blocking_point(class: &'static LockClass) {
+        let site = Location::caller();
+        let id = class_id(class);
+        HELD.with(|held_cell| {
+            let held = held_cell.borrow();
+            let mut recorded: HashSet<u32> = HashSet::new();
+            for h in held.iter() {
+                if h.id != id && recorded.insert(h.id) {
+                    check_edge(h, id, class, site);
+                }
+            }
+        });
+    }
+
+    fn check_against_held(
+        held: &[Held],
+        class: &'static LockClass,
+        id: u32,
+        mode: Mode,
+        site: &'static Location<'static>,
+    ) {
+        for h in held {
+            if h.id == id && !class.ordered {
+                let kind = if mode == Mode::Shared && h.mode == Mode::Shared {
+                    "reentrant read of one RwLock class (readers are not recursion-safe: \
+                     a writer queued between the two reads deadlocks both)"
+                } else {
+                    "recursive acquisition of one lock class"
+                };
+                panic!(
+                    "lockdep: {kind}\n  class `{}` (declared at {})\n  first acquired at {}\n  \
+                     acquired again at {}\n  hint: mark the class `ordered` only if every \
+                     thread nests its instances in one agreed global order",
+                    class.name, class.site, h.site, site
+                );
+            }
+        }
+        let mut recorded: HashSet<u32> = HashSet::new();
+        for h in held {
+            if h.id != id && recorded.insert(h.id) {
+                check_edge(h, id, class, site);
+            }
+        }
+    }
+
+    /// Records `holder -> class` into the global graph; panics on a
+    /// cycle or (when a hierarchy file is loaded) an undeclared edge.
+    fn check_edge(
+        holder: &Held,
+        id: u32,
+        class: &'static LockClass,
+        site: &'static Location<'static>,
+    ) {
+        let key = (holder.id, id);
+        if SEEN.with(|s| s.borrow().contains(&key)) {
+            return;
+        }
+        let mut reg = lock_registry();
+        if !reg.edges.contains_key(&key) {
+            if let Some(d) = declared() {
+                let holder_decl = !reg.classes[(holder.id - 1) as usize].auto
+                    && d.classes.contains_key(holder.name);
+                let target_decl =
+                    !reg.classes[(id - 1) as usize].auto && d.classes.contains_key(class.name);
+                let allowed = d.reach.get(holder.name).is_some_and(|r| r.contains(class.name));
+                if holder_decl && target_decl && !allowed {
+                    let msg = format!(
+                        "lockdep: undeclared lock-order edge `{}` -> `{}`\n  holding `{}` \
+                         acquired at {}\n  acquiring `{}` at {}\n  either this nesting is a \
+                         bug, or it is legitimate and `order {} > {}` (or a covering chain) \
+                         belongs in {}",
+                        holder.name,
+                        class.name,
+                        holder.name,
+                        holder.site,
+                        class.name,
+                        site,
+                        holder.name,
+                        class.name,
+                        d.path,
+                    );
+                    drop(reg);
+                    panic!("{msg}");
+                }
+            }
+            reg.edges.insert(
+                key,
+                EdgeInfo { holder_site: holder.site.to_string(), acquire_site: site.to_string() },
+            );
+            reg.adj.entry(holder.id).or_default().push(id);
+            if let Some(path) = find_path(&reg.adj, id, holder.id) {
+                let msg = render_cycle(&reg, &path, holder, class, site);
+                drop(reg);
+                panic!("{msg}");
+            }
+        }
+        drop(reg);
+        SEEN.with(|s| s.borrow_mut().insert(key));
+    }
+
+    /// BFS path `from -> ... -> to` in the acquisition graph.
+    fn find_path(adj: &HashMap<u32, Vec<u32>>, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut visited: HashSet<u32> = HashSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for &m in adj.get(&n).into_iter().flatten() {
+                if visited.insert(m) {
+                    parent.insert(m, n);
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = parent[&cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    fn render_cycle(
+        reg: &Registry,
+        path: &[u32],
+        holder: &Held,
+        class: &'static LockClass,
+        site: &'static Location<'static>,
+    ) -> String {
+        let name_of = |id: u32| reg.classes[(id - 1) as usize].name;
+        let mut msg = format!(
+            "lockdep: lock-order inversion (potential deadlock)\n  acquiring `{}` at {}\n  \
+             while holding `{}` acquired at {}\n  but the acquisition graph already orders \
+             `{}` before `{}`:",
+            class.name, site, holder.name, holder.site, class.name, holder.name,
+        );
+        use std::fmt::Write as _;
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if let Some(e) = reg.edges.get(&(a, b)) {
+                let _ = write!(
+                    msg,
+                    "\n    `{}` -> `{}`: held `{}` at {}, acquired `{}` at {}",
+                    name_of(a),
+                    name_of(b),
+                    name_of(a),
+                    e.holder_site,
+                    name_of(b),
+                    e.acquire_site,
+                );
+            }
+        }
+        msg
+    }
+}
+
+/// Convenience used by `Mutex::new` / `RwLock::new` (wrapped here so the
+/// wrapper code has one call with the caller's location threaded in).
+#[cfg(all(feature = "lockdep", not(loom)))]
+#[track_caller]
+pub(crate) fn auto_class_here() -> &'static LockClass {
+    active::auto_class(Location::caller())
+}
+
+#[cfg(all(test, feature = "lockdep", not(loom)))]
+mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use crate::sync::{Mutex, RwLock};
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        let err = r.expect_err("expected a lockdep panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn ab_ba_inversion_is_caught_without_hanging() {
+        let a = Mutex::with_class(lock_class!("test.inv-a"), ());
+        let b = Mutex::with_class(lock_class!("test.inv-b"), ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // Single thread, so an actual deadlock is impossible: only the
+        // witness can object, and it must do so before blocking.
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })));
+        assert!(msg.contains("lock-order inversion"), "unexpected message: {msg}");
+        assert!(msg.contains("test.inv-a") && msg.contains("test.inv-b"), "{msg}");
+        // Both acquisition sites of the reverse edge are reported.
+        assert!(msg.contains("lockdep.rs"), "{msg}");
+    }
+
+    #[test]
+    fn hierarchy_respecting_nest_passes() {
+        let outer = RwLock::with_class(lock_class!("test.nest-outer"), 1u32);
+        let inner = Mutex::with_class(lock_class!("test.nest-inner"), 2u32);
+        for _ in 0..3 {
+            let g = outer.read();
+            let h = inner.lock();
+            assert_eq!(*g + *h, 3);
+        }
+        let g = outer.write();
+        let h = inner.lock();
+        assert_eq!(*g + *h, 3);
+    }
+
+    #[test]
+    fn reentrant_read_of_one_class_is_flagged() {
+        let l = RwLock::with_class(lock_class!("test.reent"), ());
+        let _g1 = l.read();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _g2 = l.read();
+        })));
+        assert!(msg.contains("reentrant read"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn recursive_mutex_acquisition_is_flagged() {
+        let class = lock_class!("test.rec");
+        let a = Mutex::with_class(class, ());
+        let b = Mutex::with_class(class, ());
+        let _ga = a.lock();
+        // Distinct instance, same class: still a violation (another
+        // thread nesting them the other way around would deadlock).
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+        })));
+        assert!(msg.contains("recursive acquisition"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn ordered_class_allows_fixed_order_nesting() {
+        let class = lock_class!("test.ordered", ordered);
+        let stripes: Vec<Mutex<()>> = (0..4).map(|_| Mutex::with_class(class, ())).collect();
+        // Quiesce-style sweep: all instances held at once, index order.
+        let guards: Vec<_> = stripes.iter().map(|m| m.lock()).collect();
+        assert_eq!(guards.len(), 4);
+    }
+
+    #[test]
+    fn try_lock_edges_feed_the_graph() {
+        let a = Mutex::with_class(lock_class!("test.try-a"), ());
+        let b = Mutex::with_class(lock_class!("test.try-b"), ());
+        {
+            let _ga = a.lock();
+            let _gb = b.try_lock().expect("uncontended");
+        }
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })));
+        assert!(msg.contains("lock-order inversion"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn auto_classes_from_plain_new_are_witnessed() {
+        let a = Mutex::new(0u8);
+        let b = Mutex::new(0u8);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })));
+        assert!(msg.contains("lock-order inversion"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn classed_channel_blocking_points_record_edges() {
+        let guard_class = lock_class!("test.chan-lock");
+        let chan_class = lock_class!("test.chan-queue");
+        let m = Mutex::with_class(guard_class, ());
+        let (tx, rx) = crate::sync::mpsc::classed_sync_channel::<u8>(chan_class, 4);
+        {
+            let _g = m.lock();
+            tx.send(7).unwrap();
+        }
+        assert_eq!(rx.recv().unwrap(), 7);
+        let tx2 = tx.clone();
+        tx2.try_send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn cross_thread_nesting_in_one_order_passes() {
+        use crate::sync::Arc;
+        let outer = Arc::new(Mutex::with_class(lock_class!("test.xt-outer"), 0u64));
+        let inner = Arc::new(Mutex::with_class(lock_class!("test.xt-inner"), 0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let o = Arc::clone(&outer);
+            let i = Arc::clone(&inner);
+            handles.push(crate::thread::spawn(move || {
+                for _ in 0..100 {
+                    let mut g = o.lock();
+                    let mut h = i.lock();
+                    *g += 1;
+                    *h += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*outer.lock(), 400);
+    }
+}

@@ -337,7 +337,12 @@ impl ShardedCceh {
     pub fn new() -> Self {
         ShardedCceh {
             shards: (0..1usize << SHARD_BITS)
-                .map(|_| li_sync::sync::RwLock::new(Cceh::new()))
+                .map(|_| {
+                    li_sync::sync::RwLock::with_class(
+                        li_sync::lock_class!("cceh-shard"),
+                        Cceh::new(),
+                    )
+                })
                 .collect(),
         }
     }

@@ -149,12 +149,18 @@ impl RecordHeap {
             dev,
             layout,
             alloc,
-            open: Mutex::new(OpenPage { page_offset: None, next_slot: 0 }),
-            free_slots: Mutex::new(Vec::new()),
-            update_locks: (0..UPDATE_STRIPES).map(|_| Mutex::new(())).collect(),
+            open: Mutex::with_class(
+                li_sync::lock_class!("heap-open"),
+                OpenPage { page_offset: None, next_slot: 0 },
+            ),
+            free_slots: Mutex::with_class(li_sync::lock_class!("heap-free"), Vec::new()),
+            update_locks: {
+                let class = li_sync::lock_class!("heap-stripe");
+                (0..UPDATE_STRIPES).map(|_| Mutex::with_class(class, ())).collect()
+            },
             next_seq: AtomicU64::new(1),
-            quarantined: Mutex::new(Vec::new()),
-            stale: Mutex::new(Vec::new()),
+            quarantined: Mutex::with_class(li_sync::lock_class!("heap-quarantine"), Vec::new()),
+            stale: Mutex::with_class(li_sync::lock_class!("heap-stale"), Vec::new()),
             recorder: Recorder::disabled(),
         }
     }

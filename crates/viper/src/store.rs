@@ -151,7 +151,10 @@ const KEY_STRIPES: usize = 1024;
 
 impl Default for KeyStripes {
     fn default() -> Self {
-        KeyStripes((0..KEY_STRIPES).map(|_| li_sync::sync::Mutex::new(())).collect())
+        // `ordered`: `checkpoint_now` quiesces by holding every stripe
+        // at once, always in index order.
+        let class = li_sync::lock_class!("viper-stripe", ordered);
+        KeyStripes((0..KEY_STRIPES).map(|_| li_sync::sync::Mutex::with_class(class, ())).collect())
     }
 }
 

@@ -184,12 +184,14 @@ impl Wal {
             dev,
             base,
             nslots,
-            append: Mutex::new(AppendState {
-                next_lsn: start_lsn,
-                start_lsn,
-                written_lsn: start_lsn - 1,
-            }),
-            commit: Mutex::new(CommitState { committed_lsn: start_lsn - 1, leader_active: false }),
+            append: Mutex::with_class(
+                li_sync::lock_class!("wal-append"),
+                AppendState { next_lsn: start_lsn, start_lsn, written_lsn: start_lsn - 1 },
+            ),
+            commit: Mutex::with_class(
+                li_sync::lock_class!("wal-fence"),
+                CommitState { committed_lsn: start_lsn - 1, leader_active: false },
+            ),
             recorder: Recorder::disabled(),
         }
     }

@@ -129,7 +129,10 @@ struct Group {
 impl Group {
     fn new(sorted: Vec<KeyValue>) -> Arc<Self> {
         Arc::new(Group {
-            data: RwLock::new(GroupData::build(sorted)),
+            data: RwLock::with_class(
+                li_sync::lock_class!("xindex-group"),
+                GroupData::build(sorted),
+            ),
             retired: AtomicBool::new(false),
         })
     }
@@ -193,8 +196,11 @@ impl XIndex {
             data.chunks(config.group_size.max(2)).map(|c| (Group::new(c.to_vec()), c[0].0)).unzip()
         };
         XIndex {
-            snapshot: RwLock::new(Snapshot::build(groups, pivots)),
-            structure_lock: Mutex::new(()),
+            snapshot: RwLock::with_class(
+                li_sync::lock_class!("xindex-snapshot"),
+                Snapshot::build(groups, pivots),
+            ),
+            structure_lock: Mutex::with_class(li_sync::lock_class!("xindex-structure"), ()),
             config,
             len: AtomicU64::new(data.len() as u64),
             retrain_count: AtomicU64::new(0),

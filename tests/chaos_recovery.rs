@@ -39,7 +39,7 @@ use lip::{AnyIndex, IndexKind};
 /// suite's deadlock watchdog.
 fn with_deadline<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
     let (tx, rx) = mpsc::channel();
-    let h = std::thread::spawn(move || {
+    let h = li_sync::thread::spawn(move || {
         let _ = tx.send(f());
     });
     match rx.recv_timeout(limit) {
@@ -64,7 +64,7 @@ fn eventually(limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
         if cond() {
             return true;
         }
-        std::thread::sleep(Duration::from_millis(5));
+        li_sync::thread::sleep(Duration::from_millis(5));
     }
     cond()
 }
@@ -134,7 +134,7 @@ fn transient_storm_eight_threads_matches_oracle_and_exits_read_only() {
         let mut handles = Vec::new();
         for t in 0..THREADS {
             let store = Arc::clone(&store);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 // Disjoint per-thread key ranges: each thread's oracle is
                 // authoritative for its own keys.
                 let base = t * 1_000_000;
@@ -294,7 +294,7 @@ fn adaptive_storm_swaps_kinds_both_ways_and_matches_oracle() {
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
             let read_phase = Arc::clone(&read_phase);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 // Disjoint per-thread key ranges: each thread's oracle is
                 // authoritative for its own keys, even mid-cutover.
                 let base = t * 1_000_000;
@@ -309,7 +309,7 @@ fn adaptive_storm_swaps_kinds_both_ways_and_matches_oracle() {
                     // the heap's slack in a handful of maintenance
                     // epochs; a short pause per batch buys the tuner
                     // hundreds of epochs of headroom.
-                    std::thread::sleep(Duration::from_micros(500));
+                    li_sync::thread::sleep(Duration::from_micros(500));
                     for _ in 0..100 {
                         let r = splitmix64(&mut s);
                         let key = base + r % 2_000;
@@ -580,7 +580,7 @@ fn maintenance_worker_clean_shutdown_smoke() {
         for t in 0..4u64 {
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut s = t ^ 0xABCD;
                 let mut val = vec![0u8; vs];
                 let mut i = 0u64;

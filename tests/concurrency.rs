@@ -26,7 +26,7 @@ fn concurrent_reads_every_index() {
         for t in 0..8usize {
             let store = Arc::clone(&store);
             let keys = keys.clone();
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut buf = vec![0u8; vs];
                 let mut expect = vec![0u8; vs];
                 for &k in keys.iter().skip(t).step_by(17) {
@@ -60,7 +60,7 @@ fn concurrent_writes_every_concurrent_kind() {
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let store = Arc::clone(&store);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut val = vec![0u8; vs];
                 for i in 0..2_000u64 {
                     let k = (i * 8 + t) * 97 + 6;
@@ -79,7 +79,7 @@ fn concurrent_writes_every_concurrent_kind() {
         for t in 0..4u64 {
             let store = Arc::clone(&store);
             let initial = initial.clone();
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let mut buf = vec![0u8; vs];
                 for &k in initial.iter().skip(t as usize).step_by(7) {
                     assert!(store.get(k, &mut buf), "reader {t}: lost {k}");
@@ -88,7 +88,7 @@ fn concurrent_writes_every_concurrent_kind() {
         }
         for t in 0..4u64 {
             let store = Arc::clone(&store);
-            handles.push(std::thread::spawn(move || {
+            handles.push(li_sync::thread::spawn(move || {
                 let val = vec![t as u8 + 1; vs];
                 for i in 0..1_000u64 {
                     let k = (i * 8 + t) * 97 + 6;
@@ -123,7 +123,7 @@ fn xindex_splits_under_concurrent_load() {
     let mut handles = Vec::new();
     for t in 0..6u64 {
         let x = Arc::clone(&x);
-        handles.push(std::thread::spawn(move || {
+        handles.push(li_sync::thread::spawn(move || {
             for i in 0..8_000u64 {
                 let k = (i * 37 + t) % 2_000_000;
                 ConcurrentIndex::insert(&*x, k, t * 1_000_000 + i);
@@ -133,7 +133,7 @@ fn xindex_splits_under_concurrent_load() {
     for t in 0..2u64 {
         let x = Arc::clone(&x);
         let loaded = loaded.clone();
-        handles.push(std::thread::spawn(move || {
+        handles.push(li_sync::thread::spawn(move || {
             for _ in 0..5 {
                 for &(k, _) in loaded.iter().skip(t as usize).step_by(13) {
                     assert!(ConcurrentIndex::get(&*x, k).is_some(), "lost loaded key {k}");

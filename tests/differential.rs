@@ -186,7 +186,7 @@ fn concurrent_routes_agree_under_parallel_disjoint_writers() {
         ConcurrentKind::global_lock(IndexKind::Pgm).unwrap(),
     ] {
         let idx = AnyConcurrentIndex::build(kind, &data);
-        std::thread::scope(|s| {
+        li_sync::thread::scope(|s| {
             for t in 0..WRITERS {
                 let idx = &idx;
                 let keys = &keys;

@@ -14,10 +14,10 @@
 //! 3. STATS counters are causal: the per-op counts a server reports
 //!    equal the completions a client observed — `stats_counters_*`.
 
+use li_sync::sync::mpsc;
 use std::collections::BTreeMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::mpsc;
 use std::time::Duration;
 
 use li_proto::{Body, Command, ErrorKind};
@@ -28,7 +28,7 @@ use li_sync::sync::Arc;
 /// hanging CI (same discipline as `tests/chaos_recovery.rs`).
 fn with_deadline<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
     let (tx, rx) = mpsc::channel();
-    let t = std::thread::spawn(move || {
+    let t = li_sync::thread::spawn(move || {
         let _ = tx.send(f());
     });
     match rx.recv_timeout(limit) {
@@ -169,7 +169,7 @@ fn network_fault_storm_acked_writes_survive_and_server_stays_up() {
         let addr = server.local_addr();
 
         let handles: Vec<_> = (0..CLIENTS)
-            .map(|id| std::thread::spawn(move || storm_client(addr, id, OPS, PRELOAD as u64)))
+            .map(|id| li_sync::thread::spawn(move || storm_client(addr, id, OPS, PRELOAD as u64)))
             .collect();
         let outcomes: Vec<StormOutcome> =
             handles.into_iter().map(|h| h.join().expect("storm client panicked")).collect();
@@ -238,12 +238,12 @@ fn graceful_shutdown_completes_or_cancels_then_refuses_and_checkpoints() {
                 backlog.send(Command::Scan { lo: 0, hi: u64::MAX, limit: 2048 }, 0).expect("send")
             })
             .collect();
-        std::thread::sleep(Duration::from_millis(10));
+        li_sync::thread::sleep(Duration::from_millis(10));
 
         // Trigger the drain, then keep feeding requests into it: frames
         // read after the stop flag must come back typed CANCELLED (or
         // the connection dies cleanly), never vanish.
-        let drain = std::thread::spawn(move || server.shutdown());
+        let drain = li_sync::thread::spawn(move || server.shutdown());
         let mut cancelled = 0u64;
         let mut completed2 = 0u64;
         let mut probe_died = false;

@@ -40,7 +40,7 @@ fn oracle_session(kind: ConcurrentKind, seed: u64) {
     for t in 0..THREADS {
         let idx = Arc::clone(&idx);
         let initial = initial.clone();
-        handles.push(std::thread::spawn(move || {
+        handles.push(li_sync::thread::spawn(move || {
             // This thread's oracle starts from its residue slice of the
             // bulk load and mirrors every op it applies.
             let mut oracle: BTreeMap<u64, u64> =
@@ -147,7 +147,7 @@ fn adaptive_session_with_forced_adaptations_matches_oracle() {
     let adapt = {
         let idx = Arc::clone(&idx);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
+        li_sync::thread::spawn(move || {
             let (mut splits, mut merges, mut swaps) = (0u32, 0u32, 0u32);
             let mut step = 0usize;
             while !stop.load(Ordering::Acquire) {
@@ -174,7 +174,7 @@ fn adaptive_session_with_forced_adaptations_matches_oracle() {
                     }
                 }
                 step += 1;
-                std::thread::sleep(std::time::Duration::from_micros(200));
+                li_sync::thread::sleep(std::time::Duration::from_micros(200));
             }
             (splits, merges, swaps)
         })
@@ -184,7 +184,7 @@ fn adaptive_session_with_forced_adaptations_matches_oracle() {
     for t in 0..THREADS {
         let idx = Arc::clone(&idx);
         let initial = initial.clone();
-        handles.push(std::thread::spawn(move || {
+        handles.push(li_sync::thread::spawn(move || {
             let mut oracle: BTreeMap<u64, u64> =
                 initial.into_iter().filter(|(k, _)| k % THREADS == t).collect();
             let mut s = seed ^ (t.wrapping_mul(0x9e37_79b9_7f4a_7c15));

@@ -644,7 +644,7 @@ fn concurrent_wal_appends_share_flush_fences() {
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
                 let wal = Arc::clone(&wal);
-                std::thread::spawn(move || {
+                li_sync::thread::spawn(move || {
                     for i in 0..PER_THREAD {
                         wal.append(t * PER_THREAD + i, i, 1)
                             .expect("fault-free device")

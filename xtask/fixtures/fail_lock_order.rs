@@ -1,0 +1,10 @@
+//! Fixture: planted lock-order inversion — rule R6 must flag the
+//! acquisition of `outer` (class `fix-outer`) while an `inner` guard
+//! (class `fix-inner`) is held, since the declared hierarchy is
+//! `fix-outer > fix-inner`. Linted as `crates/fixture/src/locks.rs`.
+
+pub fn inverted_nesting(s: &S) -> u64 {
+    let cell = s.inner.lock();
+    let table = s.outer.read();
+    *cell + table.len() as u64
+}

@@ -1,0 +1,27 @@
+//! Fixture: hierarchy-respecting lock nesting — rule R6 must accept.
+//! Linted as `crates/fixture/src/locks.rs` under the miniature order
+//! `fix-outer > fix-inner` with receivers `outer` / `inner` mapped
+//! (see `fixtures_pass_and_fail_each_rule`).
+
+pub fn nest_in_declared_order(s: &S) -> u64 {
+    let table = s.outer.read();
+    let cell = s.inner.lock();
+    let v = *cell + table.len() as u64;
+    drop(cell);
+    v
+}
+
+pub fn sibling_acquisitions_after_release(s: &S) {
+    {
+        let first = s.inner.lock();
+        let _ = *first;
+    }
+    // The inner guard's block closed: taking the outer lock now is a
+    // fresh acquisition, not an inversion.
+    let _top = s.outer.write();
+}
+
+pub fn temporary_guard_is_not_held(s: &S) {
+    *s.inner.lock() += 1;
+    let _top = s.outer.write();
+}

@@ -10,19 +10,31 @@
 //! Rules (all CI-failing; see DESIGN.md "Verification matrix"):
 //!
 //! * **R1 sync-shim**: no direct `std::sync::atomic` / `parking_lot` /
-//!   `std::hint::spin_loop` use outside `crates/sync` — everything goes
-//!   through `li-sync` so `--cfg loom` instruments the real code.
+//!   `std::hint::spin_loop` / `std::sync::mpsc` / `std::thread::` use
+//!   outside `crates/sync` — everything goes through `li-sync` so
+//!   `--cfg loom` instruments the real code and the lockdep witness
+//!   sees every blocking point.
 //! * **R2 safety-comments**: every `unsafe` keyword is preceded (within
 //!   a few lines) by a `// SAFETY:` comment.
 //! * **R3 relaxed-allowlist**: files using `Ordering::Relaxed` must be
 //!   listed, with a reason, in `xtask/relaxed-allowlist.txt` — the
 //!   audit trail that each use is a statistics counter, not a
-//!   cross-thread control flag.
+//!   cross-thread control flag. The allowlist itself is audited too:
+//!   reasonless or stale entries (file gone, or Relaxed-free) fail.
 //! * **R4 hot-path-panics**: no `panic!` / `unwrap` / `expect` /
-//!   `unreachable!` inside the Viper `put` / `get` / `delete` hot
-//!   paths (`crates/viper/src/store.rs`), excluding `#[cfg(test)]`.
+//!   `unreachable!` inside hot-path functions — the Viper
+//!   `put`/`get`/`delete`, the WAL append/replay, the shard op/cutover
+//!   paths, the proto frame decoder, and the li-server request path —
+//!   excluding `#[cfg(test)]`.
+//! * **R6 lock-order** ([`lockorder`]): every zero-arg
+//!   `.lock()`/`.read()`/`.write()` site in `crates/*/src` maps to a
+//!   class in `xtask/lock-order.txt`, and nesting inferred from
+//!   guard-binding scopes respects the declared hierarchy (the static
+//!   half of the lockdep checker; the runtime witness in `li-sync` is
+//!   the other half).
 
 pub mod lexer;
+pub mod lockorder;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -75,26 +87,47 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Loads the declared lock hierarchy, degrading a missing/invalid file
+/// into a violation so `cargo xtask lint` fails loudly instead of
+/// silently skipping R6.
+fn load_order(root: &Path, out: &mut Vec<Violation>) -> lockorder::LockOrder {
+    match lockorder::LockOrder::load(root) {
+        Ok(order) => order,
+        Err(e) => {
+            out.push(Violation {
+                file: root.join("xtask/lock-order.txt"),
+                line: 0,
+                rule: "lock-order",
+                msg: e,
+            });
+            lockorder::LockOrder::empty()
+        }
+    }
+}
+
 /// Lints the whole workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     let allow = rules::RelaxedAllowlist::load(root);
     let mut out = Vec::new();
+    out.extend(allow.audit(root));
+    let order = load_order(root, &mut out);
     for file in workspace_files(root) {
         let Ok(src) = std::fs::read_to_string(&file) else { continue };
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-        out.extend(rules::check_file(&rel, &src, &allow));
+        out.extend(rules::check_file(&rel, &src, &allow, &order));
     }
     out
 }
 
 /// Lints explicit files (fixture mode); relative paths are kept as
-/// given, the allowlist still comes from `root`.
+/// given, the allowlist and lock hierarchy still come from `root`.
 pub fn lint_files(root: &Path, files: &[PathBuf]) -> Vec<Violation> {
     let allow = rules::RelaxedAllowlist::load(root);
     let mut out = Vec::new();
+    let order = load_order(root, &mut out);
     for file in files {
         match std::fs::read_to_string(file) {
-            Ok(src) => out.extend(rules::check_file(file, &src, &allow)),
+            Ok(src) => out.extend(rules::check_file(file, &src, &allow, &order)),
             Err(e) => out.push(Violation {
                 file: file.clone(),
                 line: 0,

@@ -4,6 +4,7 @@
 use std::path::Path;
 
 use crate::lexer::{self, Cleaned};
+use crate::lockorder::{self, LockOrder};
 use crate::Violation;
 
 /// How many lines above an `unsafe` keyword a `// SAFETY:` comment may
@@ -13,8 +14,8 @@ const SAFETY_WINDOW: usize = 8;
 /// Parsed `xtask/relaxed-allowlist.txt`: files audited to use
 /// `Ordering::Relaxed` only for statistics, never control flow.
 pub struct RelaxedAllowlist {
-    /// `(workspace-relative path, reason)`.
-    entries: Vec<(String, String)>,
+    /// `(workspace-relative path, reason, allowlist line number)`.
+    entries: Vec<(String, String, usize)>,
 }
 
 impl RelaxedAllowlist {
@@ -26,13 +27,13 @@ impl RelaxedAllowlist {
 
     pub fn parse(text: &str) -> Self {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             if let Some((path, reason)) = line.split_once('=') {
-                entries.push((path.trim().to_string(), reason.trim().to_string()));
+                entries.push((path.trim().to_string(), reason.trim().to_string(), idx + 1));
             }
         }
         RelaxedAllowlist { entries }
@@ -42,14 +43,57 @@ impl RelaxedAllowlist {
     /// are workspace-relative; lint input may be absolute).
     pub fn allows(&self, file: &Path) -> bool {
         let f = file.to_string_lossy().replace('\\', "/");
-        self.entries.iter().any(|(p, reason)| {
+        self.entries.iter().any(|(p, reason, _)| {
             !reason.is_empty() && (f == *p || f.ends_with(&format!("/{p}")) || f.ends_with(p))
         })
+    }
+
+    /// R3 audit of the allowlist itself: every entry must carry a
+    /// reason, point at a file that still exists, and that file must
+    /// still use `Relaxed` — otherwise the audit trail has rotted and
+    /// the entry is a blanket exemption waiting to hide a real bug.
+    pub fn audit(&self, root: &Path) -> Vec<Violation> {
+        let list = root.join("xtask/relaxed-allowlist.txt");
+        let mut out = Vec::new();
+        for (path, reason, line) in &self.entries {
+            let stale = |msg: String| Violation {
+                file: list.clone(),
+                line: *line,
+                rule: "relaxed-allowlist",
+                msg,
+            };
+            if reason.is_empty() {
+                out.push(stale(format!(
+                    "allowlist entry `{path}` has no reason; record why every \
+                     Relaxed in that file is a statistics counter"
+                )));
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(root.join(path)) else {
+                out.push(stale(format!(
+                    "stale allowlist entry: `{path}` does not exist; remove it"
+                )));
+                continue;
+            };
+            let cleaned = lexer::clean(&src);
+            if !find_words(&cleaned.code, "Relaxed").any(|_| true) {
+                out.push(stale(format!(
+                    "stale allowlist entry: `{path}` no longer uses \
+                     `Ordering::Relaxed`; remove it"
+                )));
+            }
+        }
+        out
     }
 }
 
 /// Applies every rule relevant to `file`.
-pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Violation> {
+pub fn check_file(
+    file: &Path,
+    src: &str,
+    allow: &RelaxedAllowlist,
+    order: &LockOrder,
+) -> Vec<Violation> {
     let cleaned = lexer::clean(src);
     let excluded = test_spans(&cleaned.code);
     let mut out = Vec::new();
@@ -59,6 +103,7 @@ pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Viola
     if let Some(hot) = hot_fns(file) {
         out.extend(hot_path_panics(file, &cleaned, &excluded, hot));
     }
+    out.extend(lockorder::lock_order(file, &cleaned, &excluded, order));
     out
 }
 
@@ -71,7 +116,14 @@ pub fn check_file(file: &Path, src: &str, allow: &RelaxedAllowlist) -> Vec<Viola
 /// where a panic silently kills adaptation. The li-proto frame decoder
 /// parses untrusted network bytes on every connection's reader thread;
 /// a panic there hands any client a remote crash primitive, so corrupt
-/// input must surface as `ProtoError`, never a panic.
+/// input must surface as `ProtoError`, never a panic. The li-server
+/// request path (service execute/dispatch and the per-connection frame
+/// drain / worker loops) is held to the same bar: a panic in a worker
+/// kills that worker thread and silently shrinks the pool, and a panic
+/// in the reader path is again client-triggerable. Thread-spawn and
+/// one-shot reply-encode expects live outside these functions on
+/// purpose — they run at startup or on the writer side with in-process
+/// input.
 fn hot_fns(file: &Path) -> Option<&'static [&'static str]> {
     let f = file.to_string_lossy().replace('\\', "/");
     if f.ends_with("viper/src/store.rs") {
@@ -102,6 +154,20 @@ fn hot_fns(file: &Path) -> Option<&'static [&'static str]> {
             "decode_command",
             "decode_body",
         ])
+    } else if f.ends_with("server/src/service.rs") {
+        Some(&[
+            "execute",
+            "execute_one",
+            "get",
+            "put",
+            "delete",
+            "scan",
+            "stats",
+            "unframe_value",
+            "map_store_error",
+        ])
+    } else if f.ends_with("server/src/server.rs") {
+        Some(&["dispatch", "worker_loop", "drain_frames", "salvage_id"])
     } else {
         None
     }
@@ -170,6 +236,11 @@ pub fn sync_shim(file: &Path, cleaned: &Cleaned) -> Vec<Violation> {
         ("std::sync::atomic", "li_sync::sync::atomic"),
         ("parking_lot", "li_sync::sync"),
         ("std::hint::spin_loop", "li_sync::hint::spin_loop"),
+        // Channels and threads also route through the shim: loom swaps
+        // them out, and the shim's classed channels give the lockdep
+        // witness blocking points to hang acquisition edges on.
+        ("std::sync::mpsc", "li_sync::sync::mpsc"),
+        ("std::thread::", "li_sync::thread::"),
     ] {
         let mut from = 0usize;
         while let Some(p) = cleaned.code[from..].find(needle) {
@@ -295,13 +366,21 @@ mod tests {
     use std::path::PathBuf;
 
     fn lint(path: &str, src: &str, allow: &str) -> Vec<Violation> {
-        check_file(&PathBuf::from(path), src, &RelaxedAllowlist::parse(allow))
+        check_file(&PathBuf::from(path), src, &RelaxedAllowlist::parse(allow), &LockOrder::empty())
     }
 
     #[test]
     fn fixtures_pass_and_fail_each_rule() {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let allow = RelaxedAllowlist::parse("fixtures/pass_relaxed_allowed.rs = audited counter\n");
+        // R6 fixtures are linted under a synthetic crates path mapped by
+        // this miniature hierarchy (mirroring the hot-path convention).
+        let order = LockOrder::parse(
+            "class fix-outer\nclass fix-inner\norder fix-outer > fix-inner\n\
+             map crates/fixture/src/locks.rs outer fix-outer\n\
+             map crates/fixture/src/locks.rs inner fix-inner\n",
+        )
+        .unwrap();
         for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
             let p = entry.unwrap().path();
             let name = p.file_name().unwrap().to_string_lossy().to_string();
@@ -312,14 +391,16 @@ mod tests {
                 continue;
             }
             let src = std::fs::read_to_string(&p).unwrap();
-            // The hot-path rule is gated on the Viper store path, so its
-            // fixtures are linted as if they were that file.
+            // Path-gated rules lint their fixtures as if they were the
+            // gating file.
             let rel = if name.contains("hot_path") {
                 PathBuf::from("crates/viper/src/store.rs")
+            } else if name.contains("lock_order") {
+                PathBuf::from("crates/fixture/src/locks.rs")
             } else {
                 PathBuf::from("fixtures").join(&name)
             };
-            let v = check_file(&rel, &src, &allow);
+            let v = check_file(&rel, &src, &allow, &order);
             if name.starts_with("pass_") {
                 assert!(v.is_empty(), "{name} should pass but got: {v:?}");
             } else if name.starts_with("fail_") {
@@ -358,6 +439,41 @@ mod tests {
         assert_eq!(v[0].rule, "safety-comments");
         // Identifier containing "unsafe" is not the keyword.
         assert!(lint("a.rs", "fn unsafe_free() {}\n", "").is_empty());
+    }
+
+    #[test]
+    fn r1_flags_std_threads_and_channels() {
+        let v = lint("crates/x/src/lib.rs", "let (tx, rx) = std::sync::mpsc::channel();\n", "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "sync-shim");
+        let v = lint("crates/x/src/lib.rs", "std::thread::spawn(|| {});\n", "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("li_sync::thread"), "{}", v[0].msg);
+        // The shim's own re-export paths are fine.
+        let ok = "li_sync::thread::spawn(|| {});\nlet c = li_sync::sync::mpsc::channel::<u8>();\n";
+        assert!(lint("crates/x/src/lib.rs", ok, "").is_empty());
+    }
+
+    #[test]
+    fn r3_audit_flags_reasonless_and_stale_entries() {
+        let dir = std::env::temp_dir().join(format!("li-lint-audit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("xtask")).unwrap();
+        std::fs::write(dir.join("live.rs"), "x.load(Ordering::Relaxed);\n").unwrap();
+        std::fs::write(dir.join("quiet.rs"), "// Relaxed only in this comment\n").unwrap();
+        let allow = RelaxedAllowlist::parse(
+            "live.rs = audited counter\n\
+             quiet.rs = audited counter\n\
+             gone.rs = audited counter\n\
+             live.rs =\n",
+        );
+        let v = allow.audit(&dir);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "relaxed-allowlist"));
+        assert!(v.iter().any(|x| x.msg.contains("no longer uses") && x.line == 2), "{v:?}");
+        assert!(v.iter().any(|x| x.msg.contains("does not exist") && x.line == 3), "{v:?}");
+        assert!(v.iter().any(|x| x.msg.contains("no reason") && x.line == 4), "{v:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -418,6 +534,22 @@ mod tests {
         // to the panic-free bar.
         let src = "pub fn encode_request(req: &Request) { out.push(x.unwrap()); }\n";
         assert!(lint("crates/proto/src/lib.rs", src, "").is_empty());
+    }
+
+    #[test]
+    fn r4_covers_server_request_path() {
+        // A worker panic silently shrinks the pool; the frame drain
+        // parses client bytes.
+        let src = "fn worker_loop<I>(rx: &R) {\n    rx.recv().unwrap();\n}\n";
+        let v = lint("crates/server/src/server.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-panics");
+        let src = "fn execute_one<I>(s: &S, cmd: &Command) -> Body {\n    s.get(cmd.key).expect(\"present\")\n}\n";
+        let v = lint("crates/server/src/service.rs", src, "");
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Startup spawns and writer-side encodes stay out of scope.
+        let src = "pub fn spawn(cfg: C) -> S {\n    b.spawn(f).expect(\"spawn worker\")\n}\n";
+        assert!(lint("crates/server/src/server.rs", src, "").is_empty());
     }
 
     #[test]
